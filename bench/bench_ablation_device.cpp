@@ -1,0 +1,94 @@
+// Ablation: device choices — RRAM vs PCM cells, 1T1R vs 0T1R geometry,
+// and device variation (Eq. 16 closed form vs circuit-level Monte-Carlo).
+#include <cstdio>
+
+#include "accuracy/variation.hpp"
+#include "arch/accelerator.hpp"
+#include "bench_common.hpp"
+#include "nn/topologies.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace mnsim;
+using namespace mnsim::units;
+
+int main() {
+  auto net = nn::make_large_bank_layer();
+
+  // ---- RRAM vs PCM, 1T1R vs 0T1R ------------------------------------------------
+  util::Table devices("Device ablation (2048x1024 layer, crossbar 128)");
+  devices.set_header({"Device", "Cell", "Area (mm^2)", "Energy (uJ)",
+                      "Latency (us)", "Worst error (%)"});
+  util::CsvWriter dev_csv;
+  dev_csv.set_header({"device", "cell", "area_mm2", "energy_uj",
+                      "latency_us", "error_pct"});
+  for (const char* model : {"RRAM", "PCM", "STT-MRAM"}) {
+    for (auto cell : {tech::CellType::k1T1R, tech::CellType::k0T1R}) {
+      arch::AcceleratorConfig cfg;
+      cfg.cmos_node_nm = 45;
+      cfg.interconnect_node_nm = 45;
+      cfg.memristor_model = model;
+      if (std::string(model) == "PCM") {
+        cfg.resistance_min = 5e3;
+        cfg.resistance_max = 1e6;
+      } else if (std::string(model) == "STT-MRAM") {
+        // Binary cells: a 4-bit weight magnitude spreads over 3 cells.
+        cfg.resistance_min = 2e3;
+        cfg.resistance_max = 5e3;
+      }
+      cfg.cell_type = cell;
+      const auto rep = arch::simulate_accelerator(net, cfg);
+      const char* cell_name = cell == tech::CellType::k1T1R ? "1T1R" : "0T1R";
+      devices.add_row({model, cell_name,
+                       util::Table::num(rep.area / mm2, 2),
+                       util::Table::num(rep.energy_per_sample / uJ, 3),
+                       util::Table::num(rep.sample_latency / us, 3),
+                       util::Table::num(100 * rep.max_error_rate, 2)});
+      dev_csv.add_row({model, cell_name, std::to_string(rep.area / mm2),
+                       std::to_string(rep.energy_per_sample / uJ),
+                       std::to_string(rep.sample_latency / us),
+                       std::to_string(100 * rep.max_error_rate)});
+    }
+  }
+  devices.print();
+  std::printf(
+      "PCM's higher resistance window cuts crossbar compute power (lower "
+      "energy) and its relative wire error (lower error), at coarser "
+      "4-bit levels; binary STT-MRAM spends 3 cells per 4-bit weight "
+      "(more columns) but its ohmic junctions erase the nonlinearity "
+      "term; 0T1R cells shave the array area vs 1T1R.\n\n");
+  bench::save_csv(dev_csv, "ablation_device.csv");
+
+  // ---- variation: Eq. 16 bound vs Monte-Carlo -----------------------------------
+  util::Table variation("Device variation: Eq. 16 bound vs Monte-Carlo "
+                        "(16x16 worst-case array, 25 trials)");
+  variation.set_header({"sigma", "MC mean |err|", "MC max |err|",
+                        "Eq. 16 bound"});
+  util::CsvWriter var_csv;
+  var_csv.set_header({"sigma", "mc_mean", "mc_max", "bound"});
+  for (double sigma : {0.05, 0.1, 0.2, 0.3}) {
+    accuracy::CrossbarErrorInputs in;
+    in.rows = 16;
+    in.cols = 16;
+    in.device = tech::default_rram();
+    in.device.sigma = sigma;
+    in.segment_resistance = 0.022;
+    in.sense_resistance = 60.0;
+    accuracy::VariationMcOptions opt;
+    opt.trials = 25;
+    const auto mc = accuracy::variation_monte_carlo(in, opt);
+    variation.add_row({util::Table::num(sigma, 2),
+                       util::Table::num(mc.mean_error, 4),
+                       util::Table::num(mc.max_error, 4),
+                       util::Table::num(mc.closed_form_bound, 4)});
+    var_csv.add_row(std::vector<double>{sigma, mc.mean_error, mc.max_error,
+                                        mc.closed_form_bound});
+  }
+  variation.print();
+  std::printf(
+      "The Eq. 16 worst case upper-bounds the sampled errors at every "
+      "sigma; the mean stays well below it because random deviations "
+      "partially cancel across a column.\n");
+  bench::save_csv(var_csv, "ablation_variation.csv");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: the nonlinear V-I decoupling (the paper's approximation 1,
+// Sec. VI-A).
+//
+// Solves worst-case crossbars circuit-level twice — with the sinh device
+// law and with ideal linear cells — and splits the behavior model's error
+// into its interconnect and nonlinearity terms. Shows where each
+// non-ideality dominates: wires at large arrays, device nonlinearity at
+// small arrays (the two sides of the Table V U-curve).
+#include <cmath>
+#include <cstdio>
+
+#include "accuracy/voltage_error.hpp"
+#include "bench_common.hpp"
+#include "spice/crossbar_netlist.hpp"
+#include "tech/interconnect.hpp"
+#include "util/table.hpp"
+
+using namespace mnsim;
+
+int main() {
+  const auto device = tech::default_rram();
+  const double r = tech::interconnect_tech(45).segment_resistance;
+
+  util::Table table(
+      "Ablation: nonlinearity vs interconnect contributions (45 nm wires)");
+  table.set_header({"Size", "Circuit nonlinear", "Circuit linear",
+                    "Circuit NL effect", "Model wire term",
+                    "Model NL term"});
+  util::CsvWriter csv;
+  csv.set_header({"size", "spice_full", "spice_linear", "spice_nl",
+                  "model_wire", "model_nl"});
+
+  for (int size : {8, 16, 32, 64, 96}) {
+    auto spec = spice::CrossbarSpec::uniform(size, size, device, r, 60.0,
+                                             device.r_min);
+    const auto ideal = spice::ideal_column_outputs(spec);
+    const auto full = spice::solve_crossbar(spec);
+    spec.linear_memristors = true;
+    const auto linear = spice::solve_crossbar(spec);
+
+    const double err_full =
+        (ideal.back() - full.column_output_voltage.back()) / ideal.back();
+    const double err_linear =
+        (ideal.back() - linear.column_output_voltage.back()) / ideal.back();
+
+    accuracy::CrossbarErrorInputs in;
+    in.rows = size;
+    in.cols = size;
+    in.device = device;
+    in.segment_resistance = r;
+    in.sense_resistance = 60.0;
+    const auto model = accuracy::estimate_voltage_error(in);
+
+    table.add_row({std::to_string(size), util::Table::num(err_full, 4),
+                   util::Table::num(err_linear, 4),
+                   util::Table::num(err_full - err_linear, 4),
+                   util::Table::num(model.interconnect_term, 4),
+                   util::Table::num(model.nonlinear_term, 4)});
+    csv.add_row(std::vector<double>{double(size), err_full, err_linear,
+                                    err_full - err_linear,
+                                    model.interconnect_term,
+                                    model.nonlinear_term});
+  }
+  table.print();
+  std::printf(
+      "The circuit-level nonlinearity effect (full - linear) is negative "
+      "(the sinh cell conducts more than its programmed state) and decays "
+      "with array size, tracking the model's nonlinear term; the linear "
+      "residual tracks the wire term. Together they justify decoupling "
+      "the two non-idealities additively.\n");
+  bench::save_csv(csv, "ablation_nonlinearity.csv");
+  return 0;
+}

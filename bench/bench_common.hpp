@@ -1,0 +1,29 @@
+// Shared helpers for the table/figure reproduction benches: a results
+// directory for CSV dumps and a paper-vs-measured footer.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace mnsim::bench {
+
+// CSVs land in ./results (created on demand); failures to write are
+// non-fatal (read-only checkouts still print the tables).
+inline void save_csv(const util::CsvWriter& csv, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  const std::string path = "results/" + name;
+  if (csv.write(path))
+    std::printf("[csv] wrote %s\n", path.c_str());
+  else
+    std::printf("[csv] could not write %s (printing only)\n", path.c_str());
+}
+
+inline void paper_note(const char* text) {
+  std::printf("paper reference: %s\n", text);
+}
+
+}  // namespace mnsim::bench

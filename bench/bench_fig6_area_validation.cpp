@@ -1,0 +1,61 @@
+// Fig. 6: area-model validation against the fabricated layout.
+//
+// The paper lays out a 32x32 1T1R RRAM crossbar with its
+// computation-oriented decoders in 130 nm CMOS: layout 3420 um^2
+// (45 um x 76 um) against a 2251 um^2 model estimate; the ratio becomes
+// MNSIM's layout-fill coefficient (users can supply their own). We cannot
+// fabricate, so the published layout number is the recorded reference
+// (DESIGN.md substitution table) and this bench reproduces the
+// coefficient extraction mechanism.
+#include <cstdio>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/decoder.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace mnsim;
+using namespace mnsim::units;
+
+int main() {
+  circuit::CrossbarModel xbar;
+  xbar.rows = 32;
+  xbar.cols = 32;
+  xbar.device = tech::default_rram();
+  xbar.device.feature_nm = 130;
+  xbar.cell = tech::CellType::k1T1R;
+  xbar.interconnect_node_nm = 45;
+
+  const auto cmos = tech::cmos_tech(130);
+  circuit::DecoderModel row_dec{32, circuit::DecoderKind::kComputationOriented,
+                                cmos};
+  circuit::DecoderModel col_dec = row_dec;
+
+  const double estimate =
+      xbar.area() + row_dec.ppa().area + col_dec.ppa().area;
+  const double layout = 3420.0 * um2;  // 45 um x 76 um (paper Fig. 6)
+  const double coefficient = layout / estimate;
+
+  util::Table table("Fig. 6: area model vs 130 nm layout (32x32 1T1R)");
+  table.set_header({"Quantity", "Value"});
+  table.add_row({"Crossbar cells (um^2)", util::Table::num(xbar.area() / um2, 1)});
+  table.add_row(
+      {"Decoders (um^2)",
+       util::Table::num((row_dec.ppa().area + col_dec.ppa().area) / um2, 1)});
+  table.add_row({"Model estimate (um^2)", util::Table::num(estimate / um2, 1)});
+  table.add_row({"Layout reference (um^2)", util::Table::num(layout / um2, 1)});
+  table.add_row({"Layout-fill coefficient", util::Table::num(coefficient, 3)});
+  table.print();
+
+  bench::paper_note(
+      "Fig. 6: layout 3420 um^2 vs estimate 2251 um^2 -> fill coefficient "
+      "~1.52 (the layout keeps extra routing space); MNSIM applies the "
+      "coefficient to area estimates, and users can substitute their own.");
+
+  util::CsvWriter csv;
+  csv.set_header({"estimate_um2", "layout_um2", "coefficient"});
+  csv.add_row(std::vector<double>{estimate / um2, layout / um2, coefficient});
+  bench::save_csv(csv, "fig6_area_validation.csv");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 7: the influence of computation parallelism degree on area and
+// latency, per crossbar size (2048x1024 layer, results normalized by each
+// size's maximum).
+//
+// The paper's shape: as the parallelism degree falls, latency rises with
+// a similar trend for every crossbar size, but the area reduction varies
+// — large crossbars have few units, so the non-read-circuit peripherals
+// (per-row DACs, neurons, buffers) cap the gain from sharing ADCs.
+#include <cstdio>
+
+#include "arch/accelerator.hpp"
+#include "bench_common.hpp"
+#include "nn/topologies.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace mnsim;
+using namespace mnsim::units;
+
+int main() {
+  auto net = nn::make_large_bank_layer();
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.interconnect_node_nm = 28;
+
+  const std::vector<int> sizes = {64, 128, 256, 512};
+  const std::vector<int> degrees = {1, 2, 4, 8, 16, 32, 64, 128, 0};
+
+  util::CsvWriter csv;
+  csv.set_header({"size", "parallelism", "norm_area", "norm_latency",
+                  "area_mm2", "latency_us"});
+
+  util::Table table(
+      "Fig. 7: normalized area / latency vs parallelism degree");
+  table.set_header({"Crossbar", "Parallelism", "Area (norm)",
+                    "Latency (norm)"});
+
+  for (int size : sizes) {
+    cfg.crossbar_size = size;
+    struct Row {
+      int p;
+      double area;
+      double latency;
+    };
+    std::vector<Row> rows;
+    double max_area = 0.0;
+    double max_latency = 0.0;
+    for (int p : degrees) {
+      if (p > size) continue;
+      if (p == 0 && size <= 128) continue;  // aliases the p == size row
+      cfg.parallelism = p;
+      const auto rep = arch::simulate_accelerator(net, cfg);
+      rows.push_back({p, rep.area, rep.pipeline_cycle});
+      max_area = std::max(max_area, rep.area);
+      max_latency = std::max(max_latency, rep.pipeline_cycle);
+    }
+    for (const auto& r : rows) {
+      const int effective = r.p == 0 ? size : r.p;
+      table.add_row({std::to_string(size), std::to_string(effective),
+                     util::Table::num(r.area / max_area, 3),
+                     util::Table::num(r.latency / max_latency, 3)});
+      csv.add_row(std::vector<double>{double(size), double(effective),
+                                      r.area / max_area,
+                                      r.latency / max_latency, r.area / mm2,
+                                      r.latency / us});
+    }
+  }
+  table.print();
+  bench::paper_note(
+      "Fig. 7: lowering the parallelism degree raises normalized latency "
+      "with a similar trend for all crossbar sizes, while the normalized "
+      "area floor is higher for large crossbars (fewer units -> peripheral "
+      "area dominates, limiting the gain of sharing read circuits).");
+  bench::save_csv(csv, "fig7_parallelism.csv");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 9: the pentagon (radar) comparison of the four optimal designs —
+// reciprocal area, energy efficiency, reciprocal power, speed and
+// accuracy, normalized by the maximum across the compared designs — for
+// (a) the large computation bank and (b) the deep CNN (VGG-16).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dse/report.hpp"
+#include "nn/topologies.hpp"
+#include "util/table.hpp"
+
+using namespace mnsim;
+
+namespace {
+
+void run_case(const char* title, const nn::Network& net,
+              const dse::DesignSpace& space, double constraint,
+              const char* csv_name) {
+  arch::AcceleratorConfig base;
+  base.cmos_node_nm = 45;
+  const auto result = dse::explore(net, base, space, constraint);
+
+  std::vector<std::pair<std::string, dse::EvaluatedDesign>> named;
+  const std::pair<std::string, dse::Objective> objectives[] = {
+      {"Area-opt", dse::Objective::kArea},
+      {"Energy-opt", dse::Objective::kEnergy},
+      {"Latency-opt", dse::Objective::kLatency},
+      {"Accuracy-opt", dse::Objective::kAccuracy},
+  };
+  for (const auto& [label, obj] : objectives) {
+    auto best = result.best(obj);
+    if (!best) {
+      std::printf("%s: no feasible design for %s\n", title, label.c_str());
+      return;
+    }
+    named.emplace_back(label, *best);
+  }
+  // The paper's trade-off analysis: a compromised design balancing all
+  // performance factors.
+  if (auto comp = result.compromise()) named.emplace_back("Compromise", *comp);
+  const auto radar = dse::normalized_radar(named);
+
+  util::Table table(title);
+  table.set_header({"Design", "1/Area", "Energy Eff.", "1/Power", "Speed",
+                    "Accuracy"});
+  util::CsvWriter csv;
+  csv.set_header({"design", "inv_area", "energy_eff", "inv_power", "speed",
+                  "accuracy"});
+  for (const auto& e : radar) {
+    table.add_row({e.label, util::Table::num(e.reciprocal_area, 3),
+                   util::Table::num(e.energy_efficiency, 3),
+                   util::Table::num(e.reciprocal_power, 3),
+                   util::Table::num(e.speed, 3),
+                   util::Table::num(e.accuracy, 3)});
+    csv.add_row({e.label, std::to_string(e.reciprocal_area),
+                 std::to_string(e.energy_efficiency),
+                 std::to_string(e.reciprocal_power), std::to_string(e.speed),
+                 std::to_string(e.accuracy)});
+  }
+  table.print();
+  bench::save_csv(csv, csv_name);
+}
+
+}  // namespace
+
+int main() {
+  run_case("Fig. 9a: optimal designs, large computation bank",
+           nn::make_large_bank_layer(), dse::DesignSpace::paper_default(),
+           0.25, "fig9a_radar_large_bank.csv");
+  run_case("Fig. 9b: optimal designs, deep CNN (VGG-16)", nn::make_vgg16(),
+           dse::DesignSpace::paper_cnn(), 0.50, "fig9b_radar_vgg16.csv");
+  bench::paper_note(
+      "Fig. 9: each single-objective optimum scores near 1.0 on its own "
+      "axis and much lower on others (a); the whole-network CNN case "
+      "shows smaller differences between optimal designs (b).");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// google-benchmark microbenchmarks of MNSIM's core kernels: the
+// behavior-level accuracy model, a full computation-unit simulation, a
+// whole-accelerator simulation, and the circuit-level MNA solve (small
+// sizes) — the raw numbers behind the Table III speedup.
+#include <benchmark/benchmark.h>
+
+#include "accuracy/voltage_error.hpp"
+#include "arch/accelerator.hpp"
+#include "nn/topologies.hpp"
+#include "spice/crossbar_netlist.hpp"
+#include "tech/interconnect.hpp"
+
+using namespace mnsim;
+
+static void BM_AccuracyModel(benchmark::State& state) {
+  accuracy::CrossbarErrorInputs in;
+  in.rows = static_cast<int>(state.range(0));
+  in.cols = in.rows;
+  in.device = tech::default_rram();
+  in.segment_resistance = tech::interconnect_tech(45).segment_resistance;
+  in.sense_resistance = 60.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(accuracy::estimate_voltage_error(in));
+}
+BENCHMARK(BM_AccuracyModel)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+static void BM_UnitSimulation(benchmark::State& state) {
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.crossbar_size = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        arch::simulate_unit(cfg.crossbar_size, cfg.crossbar_size, 8, 4, cfg));
+}
+BENCHMARK(BM_UnitSimulation)->Arg(64)->Arg(256);
+
+static void BM_AcceleratorSimulation_Vgg16(benchmark::State& state) {
+  auto net = nn::make_vgg16();
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.crossbar_size = 128;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(arch::simulate_accelerator(net, cfg));
+}
+BENCHMARK(BM_AcceleratorSimulation_Vgg16);
+
+static void BM_CircuitLevelSolve(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  auto device = tech::default_rram();
+  auto spec = spice::CrossbarSpec::uniform(
+      size, size, device, tech::interconnect_tech(45).segment_resistance,
+      60.0, device.r_min);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(spice::solve_crossbar(spec));
+}
+BENCHMARK(BM_CircuitLevelSolve)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

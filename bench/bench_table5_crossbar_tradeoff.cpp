@@ -1,0 +1,55 @@
+// Table V: the trade-off between area, energy and computing accuracy as a
+// function of crossbar size (2048x1024 layer, 45 nm interconnect,
+// full-parallel read-out).
+//
+// The paper's headline shape: error is U-shaped in crossbar size (large
+// arrays suffer interconnect IR drop, small arrays suffer the nonlinear
+// V-I deviation as the column parallel resistance rises), while area and
+// energy roughly double every time the crossbar halves (per-row
+// peripherals dominate).
+#include <cstdio>
+
+#include "arch/accelerator.hpp"
+#include "bench_common.hpp"
+#include "nn/topologies.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace mnsim;
+using namespace mnsim::units;
+
+int main() {
+  auto net = nn::make_large_bank_layer();
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.interconnect_node_nm = 45;
+  cfg.parallelism = 0;  // full parallel, as in the paper's Table V column set
+
+  util::Table table(
+      "Table V: area / energy / accuracy vs crossbar size (45 nm line)");
+  table.set_header(
+      {"Crossbar Size", "Error Rate (%)", "Area (mm^2)", "Energy (uJ)"});
+  util::CsvWriter csv;
+  csv.set_header({"size", "error_pct", "area_mm2", "energy_uj"});
+
+  for (int size : {256, 128, 64, 32, 16, 8}) {
+    cfg.crossbar_size = size;
+    const auto rep = arch::simulate_accelerator(net, cfg);
+    table.add_row({std::to_string(size),
+                   util::Table::num(100.0 * rep.max_error_rate, 2),
+                   util::Table::num(rep.area / mm2, 2),
+                   util::Table::num(rep.energy_per_sample / uJ, 2)});
+    csv.add_row(std::vector<double>{double(size), 100.0 * rep.max_error_rate,
+                                    rep.area / mm2,
+                                    rep.energy_per_sample / uJ});
+  }
+  table.print();
+  bench::paper_note(
+      "Table V: error 7.71/2.07/1.09/1.46/2.38/3.50 %, area 29.34/58.59/"
+      "117.11/234.10/468.32/936.81 mm^2, energy 3.74/5.94/10.35/19.21/"
+      "37.09/73.38 uJ for sizes 256..8. Shape: U-shaped error with the "
+      "minimum at an intermediate size; area and energy ~double per size "
+      "halving.");
+  bench::save_csv(csv, "table5_crossbar_tradeoff.csv");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Inverse design questions: instead of "best X under an error limit",
+// ask "best accuracy within an area and power budget", then inspect the
+// neighbourhood of the winner with the sensitivity analyzer and check how
+// long its arrays hold their programming (retention drift).
+//
+//   ./build/examples/budget_exploration [area_mm2] [power_w]
+#include <cstdio>
+#include <cstdlib>
+
+#include "accuracy/retention.hpp"
+#include "dse/sensitivity.hpp"
+#include "nn/stats.hpp"
+#include "nn/topologies.hpp"
+#include "tech/interconnect.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mnsim;
+  using namespace mnsim::units;
+
+  double area_budget_mm2 = 40.0;
+  double power_budget_w = 2.0;
+  if (argc > 1) area_budget_mm2 = std::atof(argv[1]);
+  if (argc > 2) power_budget_w = std::atof(argv[2]);
+
+  auto net = nn::make_large_bank_layer();
+  const auto stats = nn::characterize(net);
+  std::printf("workload: %s — %ld weights, %ld MACs/sample\n",
+              net.name.c_str(), stats.total_weights,
+              stats.total_macs_per_sample);
+
+  arch::AcceleratorConfig base;
+  base.cmos_node_nm = 45;
+
+  dse::Constraints budget;
+  budget.max_error = 0.25;
+  budget.max_area = area_budget_mm2 * mm2;
+  budget.max_power = power_budget_w;
+
+  const auto space = dse::DesignSpace::paper_default();
+  const auto result = dse::explore(net, base, space, budget);
+  std::printf("budget: <= %.0f mm^2, <= %.1f W, error <= 25%% -> %ld of "
+              "%zu designs feasible\n",
+              area_budget_mm2, power_budget_w, result.feasible_count,
+              result.designs.size());
+
+  const auto best = result.best(dse::Objective::kAccuracy);
+  if (!best) {
+    std::printf("no design fits the budget — relax it and retry\n");
+    return 1;
+  }
+  std::printf(
+      "most accurate design in budget: crossbar %d, p=%d, %d nm wires -> "
+      "%.2f mm^2, %.3f W, %.2f%% worst error, utilization %.2f\n",
+      best->point.crossbar_size,
+      best->point.parallelism == 0 ? best->point.crossbar_size
+                                   : best->point.parallelism,
+      best->point.interconnect_node, best->metrics.area / mm2,
+      best->metrics.power, 100 * best->metrics.max_error_rate,
+      nn::crossbar_utilization(net, best->point.crossbar_size));
+
+  // Local sensitivities around the winner.
+  const auto sens = dse::analyze_sensitivity(net, base, best->point);
+  util::Table table("Sensitivity around the chosen design");
+  table.set_header({"Knob", "dArea", "dEnergy", "dLatency", "dError"});
+  for (const auto& e : sens.entries) {
+    auto pct = [](double v) { return util::Table::num(100 * v, 1) + "%"; };
+    table.add_row({e.knob, pct(e.d_area), pct(e.d_energy),
+                   pct(e.d_latency), pct(e.d_error)});
+  }
+  table.print();
+
+  // Retention: how long until drift alone eats the error budget?
+  accuracy::CrossbarErrorInputs cell;
+  cell.rows = best->point.crossbar_size;
+  cell.cols = best->point.crossbar_size;
+  cell.device = base.device();
+  cell.segment_resistance =
+      tech::interconnect_tech(best->point.interconnect_node)
+          .segment_resistance;
+  cell.sense_resistance = base.sense_resistance;
+  for (auto [name, kind] :
+       {std::pair{"RRAM", tech::DeviceKind::kRram},
+        std::pair{"PCM", tech::DeviceKind::kPcm}}) {
+    const double interval = accuracy::retuning_interval(
+        cell, accuracy::drift_exponent(kind), 0.25);
+    if (interval >= 1e9)
+      std::printf("%s retention: drift never violates the budget within "
+                  "30 years\n",
+                  name);
+    else
+      std::printf("%s retention: reprogram every %.2e s (%.1f days)\n",
+                  name, interval, interval / 86400.0);
+  }
+  return 0;
+}

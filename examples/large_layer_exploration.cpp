@@ -1,0 +1,67 @@
+// Design-space exploration of a large fully-connected layer (the paper's
+// Sec. VII-C workload): sweep crossbar size, parallelism degree and
+// interconnect node under an error constraint, then print the optimum per
+// objective and the area-latency Pareto front.
+//
+//   ./build/examples/large_layer_exploration [error_constraint_percent]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dse/report.hpp"
+#include "nn/topologies.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mnsim;
+  using namespace mnsim::units;
+
+  double constraint = 0.25;
+  if (argc > 1) constraint = std::atof(argv[1]) / 100.0;
+
+  auto network = nn::make_large_bank_layer();
+  arch::AcceleratorConfig base;
+  base.cmos_node_nm = 45;
+
+  dse::DesignSpace space = dse::DesignSpace::paper_default();
+  std::printf("exploring %zu designs under error <= %.1f%%...\n",
+              space.enumerate().size(), 100.0 * constraint);
+  const auto result = dse::explore(network, base, space, constraint);
+  std::printf("%ld feasible designs\n", result.feasible_count);
+
+  std::fputs(
+      dse::format_optima_table(result, "Optimal designs per objective")
+          .c_str(),
+      stdout);
+
+  // The area-latency Pareto front (the knee points a designer would pick
+  // from).
+  util::Table front("Area-latency Pareto front");
+  front.set_header({"Crossbar", "Parallelism", "Line node",
+                    "Latency (us)", "Area (mm^2)"});
+  for (const auto& d : result.latency_area_pareto()) {
+    front.add_row({std::to_string(d.point.crossbar_size),
+                   std::to_string(d.point.parallelism == 0
+                                      ? d.point.crossbar_size
+                                      : d.point.parallelism),
+                   std::to_string(d.point.interconnect_node),
+                   util::Table::num(d.metrics.latency / us, 4),
+                   util::Table::num(d.metrics.area / mm2, 2)});
+  }
+  front.print();
+
+  // The paper's trade-off analysis: a compromised design balancing all
+  // performance factors at once.
+  if (auto comp = result.compromise()) {
+    std::printf(
+        "\ncompromise design: crossbar %d, parallelism %d, %d nm wires -> "
+        "%.1f mm^2, %.3f uJ, %.3f us, %.2f%% error\n",
+        comp->point.crossbar_size,
+        comp->point.parallelism == 0 ? comp->point.crossbar_size
+                                     : comp->point.parallelism,
+        comp->point.interconnect_node, comp->metrics.area / mm2,
+        comp->metrics.energy_per_sample / uJ, comp->metrics.latency / us,
+        100.0 * comp->metrics.max_error_rate);
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+// mnsim_cli — the standalone simulator front end.
+//
+// Usage:
+//   mnsim_cli <network.ini> [config.ini] [--dse [error%]] [--pipeline]
+//             [--dump-netlist <path>] [--nvsim <path>]
+//
+//   network.ini   network description (see nn/parser.hpp for the dialect)
+//   config.ini    accelerator configuration (paper Table-I keys)
+//   --dse         run the design-space exploration instead of a single
+//                 simulation (optional error constraint in percent,
+//                 default 25)
+//   --pipeline    additionally print the inter-layer pipeline analysis
+//   --floorplan   additionally print the physical floorplan estimate
+//   --json <path> write the machine-readable report
+//   --dump-netlist <path>  export a SPICE deck of the first bank's
+//                 worst-case crossbar
+//   --nvsim <path>  export the per-module performance models in
+//                 NVSim-exchange format
+//
+// With no arguments, simulates a built-in demo MLP under the defaults.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "arch/floorplan.hpp"
+#include "arch/pipeline.hpp"
+#include "circuit/neuron.hpp"
+#include "dse/report.hpp"
+#include "nn/parser.hpp"
+#include "nn/topologies.hpp"
+#include "sim/json_report.hpp"
+#include "sim/mnsim.hpp"
+#include "sim/nvsim_io.hpp"
+#include "spice/crossbar_netlist.hpp"
+#include "spice/export.hpp"
+#include "tech/interconnect.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace mnsim;
+using namespace mnsim::units;
+
+namespace {
+
+void run_dse(const nn::Network& net, const arch::AcceleratorConfig& base,
+             double constraint) {
+  const auto space = dse::DesignSpace::paper_default();
+  std::printf("exploring %zu designs, error <= %.1f%%...\n",
+              space.enumerate().size(), 100 * constraint);
+  const auto result = dse::explore(net, base, space, constraint);
+  std::printf("%ld feasible\n", result.feasible_count);
+  std::fputs(dse::format_optima_table(result, "Optimal designs").c_str(),
+             stdout);
+}
+
+void dump_netlist(const nn::Network& net,
+                  const arch::AcceleratorConfig& cfg,
+                  const std::string& path) {
+  const auto device = cfg.device();
+  const int size = cfg.crossbar_size;
+  auto spec = spice::CrossbarSpec::uniform(
+      size, size, device,
+      tech::interconnect_tech(cfg.interconnect_node_nm).segment_resistance,
+      cfg.sense_resistance, device.r_min);
+  auto nl = spice::build_crossbar_netlist(spec, nullptr);
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  f << spice::export_spice(nl, net.name + " worst-case crossbar");
+  std::printf("wrote SPICE deck to %s\n", path.c_str());
+}
+
+void dump_nvsim(const arch::AcceleratorConfig& cfg,
+                const std::string& path) {
+  const auto cmos = cfg.cmos();
+  std::vector<sim::NvsimModule> modules;
+  circuit::NeuronModel sigmoid{circuit::NeuronKind::kSigmoid,
+                               cfg.output_bits, cmos};
+  circuit::NeuronModel relu{circuit::NeuronKind::kRelu, cfg.output_bits,
+                            cmos};
+  circuit::NeuronModel ifn{circuit::NeuronKind::kIntegrateFire,
+                           cfg.output_bits, cmos};
+  modules.push_back({"Sigmoid", sigmoid.ppa()});
+  modules.push_back({"ReLU", relu.ppa()});
+  modules.push_back({"IntegrateFire", ifn.ppa()});
+  if (sim::save_nvsim_modules(path, modules))
+    std::printf("wrote NVSim module models to %s\n", path.c_str());
+  else
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    nn::Network net;
+    arch::AcceleratorConfig cfg;
+    bool want_dse = false;
+    bool want_pipeline = false;
+    bool want_floorplan = false;
+    double constraint = 0.25;
+    std::string netlist_path;
+    std::string nvsim_path;
+    std::string json_path;
+    int positional = 0;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--dse") {
+        want_dse = true;
+        if (i + 1 < argc && std::atof(argv[i + 1]) > 0)
+          constraint = std::atof(argv[++i]) / 100.0;
+      } else if (arg == "--pipeline") {
+        want_pipeline = true;
+      } else if (arg == "--floorplan") {
+        want_floorplan = true;
+      } else if (arg == "--json" && i + 1 < argc) {
+        json_path = argv[++i];
+      } else if (arg == "--dump-netlist" && i + 1 < argc) {
+        netlist_path = argv[++i];
+      } else if (arg == "--nvsim" && i + 1 < argc) {
+        nvsim_path = argv[++i];
+      } else if (positional == 0) {
+        net = nn::parse_network_file(arg);
+        ++positional;
+      } else if (positional == 1) {
+        cfg = sim::load_config(arg);
+        ++positional;
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        return 2;
+      }
+    }
+    if (positional == 0) {
+      std::printf("no network file given; using the built-in demo MLP\n");
+      net = nn::make_mlp({128, 128, 128});
+      net.name = "demo-mlp";
+    }
+
+    if (want_dse) {
+      run_dse(net, cfg, constraint);
+      return 0;
+    }
+
+    const auto report = sim::simulate(net, cfg);
+    std::fputs(sim::format_report(net, report).c_str(), stdout);
+
+    if (want_pipeline) {
+      const auto pipe = arch::analyze_pipeline(report);
+      util::Table t("Pipeline analysis");
+      t.set_header({"Metric", "Value"});
+      t.add_row({"Cycle time (us)", util::Table::num(pipe.cycle_time / us, 4)});
+      t.add_row({"Fill latency (us)",
+                 util::Table::num(pipe.fill_latency / us, 4)});
+      t.add_row({"Sample interval (us)",
+                 util::Table::num(pipe.sample_interval / us, 4)});
+      t.add_row({"Throughput (samples/s)",
+                 util::Table::sig(pipe.throughput, 5)});
+      t.add_row({"Bottleneck bank", std::to_string(pipe.bottleneck_bank)});
+      t.print();
+    }
+    if (want_floorplan) {
+      const auto plan = arch::estimate_floorplan(report);
+      util::Table t("Floorplan estimate (fill coefficient 1.5)");
+      t.set_header({"Metric", "Value"});
+      t.add_row({"Bounding box (mm x mm)",
+                 util::Table::num(plan.width / mm, 3) + " x " +
+                     util::Table::num(plan.height / mm, 3)});
+      t.add_row({"Bounding area (mm^2)", util::Table::num(plan.area / mm2, 3)});
+      t.add_row({"Utilization", util::Table::num(plan.utilization, 3)});
+      t.add_row({"Aspect ratio", util::Table::num(plan.aspect_ratio(), 3)});
+      t.add_row({"Inter-bank wire (mm)",
+                 util::Table::num(plan.interbank_wire_length / mm, 3)});
+      t.print();
+    }
+    if (!json_path.empty()) {
+      std::ofstream f(json_path);
+      if (f) {
+        f << sim::report_to_json(net, report);
+        std::printf("wrote JSON report to %s\n", json_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      }
+    }
+    if (!netlist_path.empty()) dump_netlist(net, cfg, netlist_path);
+    if (!nvsim_path.empty()) dump_nvsim(cfg, nvsim_path);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mnsim_cli: %s\n", e.what());
+    return 1;
+  }
+}

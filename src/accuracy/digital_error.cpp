@@ -1,0 +1,53 @@
+#include "accuracy/digital_error.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::accuracy {
+
+namespace {
+void check_k(int k) {
+  if (k < 2) throw std::invalid_argument("accuracy: k must be >= 2 levels");
+}
+}  // namespace
+
+long max_digital_deviation(int k, double eps) {
+  check_k(k);
+  if (eps < 0) eps = -eps;
+  return static_cast<long>(std::floor((k - 1.5) * eps + 0.5));
+}
+
+double max_error_rate(int k, double eps) {
+  return static_cast<double>(max_digital_deviation(k, eps)) / (k - 1);
+}
+
+double avg_digital_deviation(int k, double eps) {
+  check_k(k);
+  if (eps < 0) eps = -eps;
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) sum += std::floor(i * eps + 0.5);
+  return sum / k;
+}
+
+double avg_error_rate(int k, double eps) {
+  return avg_digital_deviation(k, eps) / (k - 1);
+}
+
+double propagate_error(double delta_prev, double eps_layer) {
+  if (delta_prev < 0 || eps_layer < 0)
+    throw std::invalid_argument("propagate_error: rates must be >= 0");
+  return (1.0 + delta_prev) * (1.0 + eps_layer) - 1.0;
+}
+
+std::vector<double> propagate_layers(const std::vector<double>& layer_eps) {
+  std::vector<double> out;
+  out.reserve(layer_eps.size());
+  double delta = 0.0;
+  for (double eps : layer_eps) {
+    delta = propagate_error(delta, eps);
+    out.push_back(delta);
+  }
+  return out;
+}
+
+}  // namespace mnsim::accuracy

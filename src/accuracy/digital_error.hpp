@@ -1,0 +1,38 @@
+// Behavior-level computing-accuracy model, digital part
+// (paper Sec. VI-C, Eq. 12-15).
+//
+// The analog output is linearly quantized into k levels by the read
+// circuits. An analog deviation rate eps shifts values across quantization
+// boundaries; the worst case sits just below the top boundary (Eq. 12-13)
+// and the average case sums the per-level deviations (Eq. 14). For
+// multi-layer networks the input fluctuation of the previous layer
+// compounds with the current layer's crossbar error (Eq. 15).
+#pragma once
+
+#include <vector>
+
+namespace mnsim::accuracy {
+
+// Eq. 12: floor((k - 1.5) * eps + 0.5).
+long max_digital_deviation(int k, double eps);
+
+// Eq. 13: max deviation normalized by the full scale k - 1.
+double max_error_rate(int k, double eps);
+
+// Eq. 14: mean over levels i of floor(i * eps + 0.5).
+double avg_digital_deviation(int k, double eps);
+
+// Eq. 14 normalized by the full scale k - 1.
+double avg_error_rate(int k, double eps);
+
+// Eq. 15: worst-case compounding of the previous layer's digital error
+// rate with this layer's analog error rate:
+//   (1 + delta_prev)(1 + eps_layer) - 1.
+double propagate_error(double delta_prev, double eps_layer);
+
+// Chains propagate_error across a whole network: returns the accumulated
+// digital error rate after each layer (the last entry is the accelerator
+// output error the case studies report).
+std::vector<double> propagate_layers(const std::vector<double>& layer_eps);
+
+}  // namespace mnsim::accuracy

@@ -1,0 +1,103 @@
+#include "accuracy/fit_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/crossbar_netlist.hpp"
+#include "tech/interconnect.hpp"
+
+namespace mnsim::accuracy {
+
+namespace {
+
+// Worst-case circuit-level error rate: all cells at r_min, interconnect
+// error of the farthest column against the ideal (wire-free) output,
+// with linear cells so the wire coefficient is isolated from the
+// nonlinearity term (the model treats the two additively).
+double spice_worst_interconnect_error(int size, double segment_resistance,
+                                      const tech::MemristorModel& device,
+                                      double sense_resistance) {
+  auto spec = spice::CrossbarSpec::uniform(size, size, device,
+                                           segment_resistance,
+                                           sense_resistance, device.r_min);
+  spec.linear_memristors = true;
+  const auto ideal = spice::ideal_column_outputs(spec);
+  const auto sol = spice::solve_crossbar(spec);
+  const double v_idl = ideal.back();
+  const double v_act = sol.column_output_voltage.back();
+  return std::fabs((v_idl - v_act) / v_idl);
+}
+
+}  // namespace
+
+AccuracyFit calibrate_against_spice(
+    const std::vector<int>& sizes, const std::vector<int>& interconnect_nodes,
+    const tech::MemristorModel& device, double sense_resistance) {
+  if (sizes.empty() || interconnect_nodes.empty())
+    throw std::invalid_argument("calibrate_against_spice: empty sweep");
+
+  struct Raw {
+    int size;
+    int node;
+    double r;
+    double eps_spice;
+  };
+  std::vector<Raw> raw;
+  for (int node : interconnect_nodes) {
+    const double r = tech::interconnect_tech(node).segment_resistance;
+    for (int size : sizes) {
+      raw.push_back({size, node,  r,
+                     spice_worst_interconnect_error(size, r, device,
+                                                    sense_resistance)});
+    }
+  }
+
+  // Each sample implies an effective segment count w through the Eq. 11
+  // divider eps = w r / (R + w r + Rs M)  =>  w = eps (R + Rs M)/(r (1-eps)).
+  // Fit w ~ alpha * (M^2 + N^2)/2 by least squares through the origin.
+  double num = 0.0;
+  double den = 0.0;
+  for (const auto& s : raw) {
+    const double basis = tech::effective_wire_segments(s.size, s.size, 1.0);
+    if (s.eps_spice >= 1.0) continue;  // saturated sample, uninformative
+    const double w_implied = s.eps_spice *
+                             (device.r_min + sense_resistance * s.size) /
+                             (s.r * (1.0 - s.eps_spice));
+    num += basis * w_implied;
+    den += basis * basis;
+  }
+  if (den <= 0)
+    throw std::runtime_error("calibrate_against_spice: degenerate fit");
+
+  AccuracyFit fit;
+  fit.alpha = num / den;
+
+  double ss = 0.0;
+  for (const auto& s : raw) {
+    FitSample out;
+    out.size = s.size;
+    out.interconnect_node = s.node;
+    out.spice_error = s.eps_spice;
+
+    CrossbarErrorInputs in;
+    in.rows = s.size;
+    in.cols = s.size;
+    in.device = device;
+    in.segment_resistance = s.r;
+    in.sense_resistance = sense_resistance;
+    in.wire_alpha = fit.alpha;
+    // Interconnect-only model error (linear cells), matching the sample.
+    const double w = tech::effective_wire_segments(s.size, s.size, fit.alpha);
+    out.model_error =
+        std::fabs(relative_output_error_linear(in, device.r_min, w));
+
+    const double resid = out.model_error - out.spice_error;
+    ss += resid * resid;
+    fit.max_abs = std::max(fit.max_abs, std::fabs(resid));
+    fit.samples.push_back(out);
+  }
+  fit.rmse = std::sqrt(ss / static_cast<double>(fit.samples.size()));
+  return fit;
+}
+
+}  // namespace mnsim::accuracy

@@ -1,0 +1,43 @@
+// Calibration of the behavior-level accuracy model against the
+// circuit-level baseline (the paper's Fig. 5 procedure).
+//
+// The paper simulates the output-voltage error of crossbars over M, N and
+// r in SPICE and fits the Eq. 11 relationship; the fitted curve's RMSE is
+// below 0.01. Here the "SPICE" samples come from spice::solve_crossbar
+// (the full nonlinear resistor network). The fitted quantity is the
+// shared-current wire coefficient alpha of
+// tech::effective_wire_segments: each circuit-level sample implies an
+// effective wire segment count through the Eq. 11 divider, and alpha is
+// the least-squares slope of implied segments against (M^2 + N^2)/2.
+#pragma once
+
+#include <vector>
+
+#include "accuracy/voltage_error.hpp"
+
+namespace mnsim::accuracy {
+
+struct FitSample {
+  int size = 0;               // square crossbar M = N
+  int interconnect_node = 0;  // nm
+  double model_error = 0.0;   // fitted-model worst-case |error rate|
+  double spice_error = 0.0;   // circuit-level worst-case |error rate|
+};
+
+struct AccuracyFit {
+  double alpha = tech::kSharedCurrentAlpha;  // fitted wire coefficient
+  double rmse = 0.0;     // error-rate residual of the fitted curve
+  double max_abs = 0.0;
+  std::vector<FitSample> samples;
+};
+
+// Runs the calibration sweep: for each (size, node) solves the worst-case
+// crossbar (all cells at r_min) circuit-level, fits alpha, then reports
+// per-sample fitted-model vs circuit-level error rates. Sizes much above
+// 128 make the circuit-level solve expensive; the defaults of the Fig. 5
+// bench sweep {8..128}.
+AccuracyFit calibrate_against_spice(
+    const std::vector<int>& sizes, const std::vector<int>& interconnect_nodes,
+    const tech::MemristorModel& device, double sense_resistance);
+
+}  // namespace mnsim::accuracy

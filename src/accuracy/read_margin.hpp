@@ -1,0 +1,43 @@
+// Sneak-path read-margin analysis for cross-point (0T1R) arrays.
+//
+// Without an access transistor, a memory-mode READ of one cell leaks
+// through the unselected cells (sneak paths), shrinking the margin
+// between reading a low-resistance and a high-resistance cell. 1T1R
+// arrays avoid the problem at the Eq. 7 area cost — the trade-off behind
+// MNSIM's Cell_Type knob. This module measures the margin circuit-level
+// on the standard half-select biasing scheme (selected row at v_read,
+// unselected rows/columns at v_read/2, selected column sensed) and
+// provides the classical one-resistor closed-form estimate.
+#pragma once
+
+#include "tech/memristor.hpp"
+
+namespace mnsim::accuracy {
+
+struct ReadMarginInputs {
+  int rows = 16;
+  int cols = 16;
+  tech::MemristorModel device;
+  double segment_resistance = 0.022;
+  double sense_resistance = 60.0;
+  // Resistance state of all unselected cells (worst case: r_min).
+  double background_resistance = 500.0;
+
+  void validate() const;
+};
+
+struct ReadMarginResult {
+  double v_read_lrs = 0.0;   // sense voltage, selected cell at r_min
+  double v_read_hrs = 0.0;   // sense voltage, selected cell at r_max
+  double margin = 0.0;       // (v_lrs - v_hrs) / v_lrs
+  double sneak_current_share = 0.0;  // unselected current / total (LRS)
+};
+
+// Circuit-level: builds the half-selected array and solves both states.
+ReadMarginResult read_margin_crosspoint(const ReadMarginInputs& inputs);
+
+// 1T1R reference: access devices cut the sneak paths, leaving the ideal
+// divider; the closed-form margin for comparison.
+ReadMarginResult read_margin_isolated(const ReadMarginInputs& inputs);
+
+}  // namespace mnsim::accuracy

@@ -1,0 +1,93 @@
+#include "accuracy/retention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::accuracy {
+
+double drift_exponent(tech::DeviceKind kind) {
+  switch (kind) {
+    case tech::DeviceKind::kPcm:
+      return 0.08;  // amorphous-phase relaxation
+    case tech::DeviceKind::kRram:
+      return 0.005;  // weak filament relaxation
+    case tech::DeviceKind::kSttMram:
+      return 0.0;  // bistable magnetization: no analog drift
+  }
+  throw std::logic_error("drift_exponent: unreachable");
+}
+
+double drift_factor(double nu, double elapsed, double reference_time) {
+  if (nu < 0) throw std::invalid_argument("drift_factor: nu must be >= 0");
+  if (!(reference_time > 0))
+    throw std::invalid_argument("drift_factor: reference time");
+  if (elapsed <= reference_time || nu == 0.0) return 1.0;
+  return std::pow(elapsed / reference_time, nu);
+}
+
+namespace {
+
+// Worst-case error with every programmed state inflated by the drift
+// factor: the scaled Eq. 11 kernel against the fresh ideal, worst column,
+// all cells at r_min; magnitudes of the (opposing) fresh nonlinearity and
+// the drift-plus-wire deviations bound as in estimate_voltage_error.
+double worst_error_at(const CrossbarErrorInputs& base, double drift) {
+  CrossbarErrorInputs in = base;
+  in.device.sigma = 0.0;
+  const double w =
+      tech::effective_wire_segments(in.rows, in.cols, in.wire_alpha);
+  const double signed_drifted = relative_output_error_scaled(
+      in, in.device.r_min, w, drift);
+  const double signed_fresh =
+      relative_output_error_scaled(in, in.device.r_min, w, 1.0);
+  const auto fresh = estimate_voltage_error(in);
+  return fresh.worst + std::fabs(signed_drifted - signed_fresh);
+}
+
+}  // namespace
+
+std::vector<RetentionPoint> retention_sweep(
+    const CrossbarErrorInputs& inputs, double nu,
+    const std::vector<double>& ages) {
+  inputs.validate();
+  std::vector<RetentionPoint> out;
+  out.reserve(ages.size());
+  for (double age : ages) {
+    RetentionPoint p;
+    p.elapsed = age;
+    p.drift = drift_factor(nu, age);
+    p.worst_error = worst_error_at(inputs, p.drift);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double retuning_interval(const CrossbarErrorInputs& inputs, double nu,
+                         double error_budget, double horizon) {
+  inputs.validate();
+  if (!(error_budget > 0))
+    throw std::invalid_argument("retuning_interval: error budget");
+  if (!(horizon > 1.0))
+    throw std::invalid_argument("retuning_interval: horizon");
+
+  if (worst_error_at(inputs, drift_factor(nu, 1.0)) > error_budget)
+    return 0.0;
+  if (worst_error_at(inputs, drift_factor(nu, horizon)) <= error_budget)
+    return horizon;
+
+  // Bisection in log-time.
+  double lo = 0.0;                  // log10(1 s)
+  double hi = std::log10(horizon);
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double err =
+        worst_error_at(inputs, drift_factor(nu, std::pow(10.0, mid)));
+    if (err <= error_budget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return std::pow(10.0, lo);
+}
+
+}  // namespace mnsim::accuracy

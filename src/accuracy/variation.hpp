@@ -1,0 +1,37 @@
+// Device-variation analysis (paper Sec. VI-D, Eq. 16).
+//
+// The closed form bounds the output error when every cell's resistance
+// deviates by up to +/- sigma; this module cross-checks the bound by
+// Monte-Carlo: per-cell resistances drawn uniformly from
+// [(1-sigma) R, (1+sigma) R], the full crossbar solved circuit-level, and
+// the far-column error measured against the variation-free ideal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accuracy/voltage_error.hpp"
+
+namespace mnsim::accuracy {
+
+struct VariationMcOptions {
+  int trials = 50;
+  std::uint32_t seed = 7;
+  // true: cells at r_min (the paper's worst case); false: harmonic mean.
+  bool worst_case_cells = true;
+};
+
+struct VariationMcResult {
+  double mean_error = 0.0;        // mean |relative far-column error|
+  double max_error = 0.0;         // worst trial
+  double closed_form_bound = 0.0; // Eq. 16 worst case
+  std::vector<double> samples;    // per-trial |error|
+};
+
+// Throws std::invalid_argument when sigma is zero (nothing to sample) or
+// options are degenerate. Cost: one circuit-level solve per trial — keep
+// rows/cols modest (<= 48) for interactive use.
+VariationMcResult variation_monte_carlo(const CrossbarErrorInputs& inputs,
+                                        const VariationMcOptions& options);
+
+}  // namespace mnsim::accuracy

@@ -1,0 +1,61 @@
+// Level-2: Computation Bank (paper Sec. III-B, Fig. 1c).
+//
+// One bank processes one neuromorphic layer: a grid of computation units
+// (block-tiled weight matrix; the units of a block-row form a synapse
+// sub-bank sharing inputs), an adder tree merging block-row results
+// (with shifters when a weight spans several cells), the optional pooling
+// module + pooling line buffer (CNN), the non-linear neuron modules, and
+// the output buffer (registers for FC, Eq. 6 line buffers for cascaded
+// conv layers).
+#pragma once
+
+#include <optional>
+
+#include "arch/computation_unit.hpp"
+#include "arch/mapper.hpp"
+#include "circuit/module.hpp"
+
+namespace mnsim::arch {
+
+struct BankReport {
+  LayerMapping mapping;
+  UnitReport unit;               // representative full unit
+  long iterations = 1;           // matrix-vector passes per input sample
+  long warmup_passes = 1;        // passes before the next bank can start
+                                 // (line-buffer fill for conv-to-conv,
+                                 // everything for conv-to-FC, 1 for FC)
+
+  circuit::Ppa units_total;      // all units (area/leakage; power averaged)
+  circuit::Ppa adder_tree, pooling, pooling_buffer, neurons, output_buffer;
+
+  double area = 0.0;             // [m^2]
+  double leakage_power = 0.0;    // [W]
+  double pass_latency = 0.0;     // one matrix-vector pass through the bank
+  double sample_latency = 0.0;   // iterations * pass (streamed)
+  double dynamic_energy_per_sample = 0.0;
+  double energy_per_sample = 0.0;  // dynamic + leakage * sample_latency
+
+  int neuron_count = 0;
+  int output_lanes = 0;          // simultaneous outputs after the tree
+
+  // Analog computing error rates of this bank's crossbars (Sec. VI).
+  double epsilon_worst = 0.0;
+  double epsilon_average = 0.0;
+
+  [[nodiscard]] double average_power() const {
+    return sample_latency > 0
+               ? energy_per_sample / sample_latency
+               : 0.0;
+  }
+};
+
+// Simulates the bank for `layer` (must be weighted). `attached_pooling`
+// is the pooling layer following it, if any; `next_weighted` (when given
+// and convolutional) sizes the Eq. 6 output line buffer.
+BankReport simulate_bank(const nn::Layer& layer,
+                         const nn::Layer* attached_pooling,
+                         const nn::Layer* next_weighted,
+                         const nn::Network& network,
+                         const AcceleratorConfig& config);
+
+}  // namespace mnsim::arch

@@ -1,0 +1,59 @@
+#include "arch/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::arch {
+
+FloorplanReport estimate_floorplan(const AcceleratorReport& report,
+                                   double fill_coefficient) {
+  if (report.banks.empty())
+    throw std::invalid_argument("estimate_floorplan: no banks");
+  if (!(fill_coefficient >= 1.0))
+    throw std::invalid_argument(
+        "estimate_floorplan: fill coefficient must be >= 1");
+
+  FloorplanReport plan;
+  double module_area = 0.0;
+
+  for (const auto& bank : report.banks) {
+    BankFootprint fp;
+    fp.grid_rows = bank.mapping.row_blocks;
+    fp.grid_cols = bank.mapping.col_blocks;
+
+    // Unit tile: square of the filled unit area (crossbars sit beside
+    // their peripherals inside the tile).
+    fp.unit.area = bank.unit.area * fill_coefficient;
+    fp.unit.width = std::sqrt(fp.unit.area);
+    fp.unit.height = fp.unit.width;
+
+    // The peripheral strip (adder trees, neurons, pooling, buffers) runs
+    // along the bottom of the unit grid.
+    const double peripheral_area =
+        (bank.adder_tree.area + bank.neurons.area + bank.pooling.area +
+         bank.pooling_buffer.area + bank.output_buffer.area) *
+        fill_coefficient;
+    fp.width = fp.grid_cols * fp.unit.width;
+    fp.peripheral_height = fp.width > 0 ? peripheral_area / fp.width : 0.0;
+    fp.height = fp.grid_rows * fp.unit.height + fp.peripheral_height;
+    fp.area = fp.width * fp.height;
+
+    module_area += bank.area * fill_coefficient;
+    plan.width += fp.width;
+    plan.height = std::max(plan.height, fp.height);
+    plan.banks.push_back(fp);
+  }
+
+  plan.area = plan.width * plan.height;
+  plan.utilization = plan.area > 0 ? module_area / plan.area : 0.0;
+
+  // Inter-bank routing: centre-to-centre of adjacent banks.
+  for (std::size_t b = 0; b + 1 < plan.banks.size(); ++b) {
+    plan.interbank_wire_length +=
+        0.5 * (plan.banks[b].width + plan.banks[b + 1].width);
+  }
+  return plan;
+}
+
+}  // namespace mnsim::arch

@@ -1,0 +1,50 @@
+// Physical floorplan estimation.
+//
+// MNSIM's area model sums module areas; a designer also needs the rough
+// physical shape: unit tiles arranged in the bank's block grid, banks
+// placed in a row (the cascaded dataflow of Fig. 1b), and the Fig. 6
+// layout-fill coefficient applied on top of the raw cell areas. The
+// estimates here feed back the inter-bank wire lengths used to sanity-
+// check that accelerator-level routing stays negligible next to the
+// array-level interconnect the accuracy model covers.
+#pragma once
+
+#include "arch/accelerator.hpp"
+
+namespace mnsim::arch {
+
+struct UnitFootprint {
+  double width = 0.0;   // [m]
+  double height = 0.0;  // [m]
+  double area = 0.0;    // [m^2] including the fill coefficient
+};
+
+struct BankFootprint {
+  UnitFootprint unit;
+  int grid_rows = 0;     // block rows of units (synapse sub-banks)
+  int grid_cols = 0;
+  double width = 0.0;    // [m]
+  double height = 0.0;   // [m] includes the peripheral strip
+  double area = 0.0;
+  double peripheral_height = 0.0;  // adder tree / neuron / buffer strip
+};
+
+struct FloorplanReport {
+  std::vector<BankFootprint> banks;
+  double width = 0.0;    // banks abut horizontally
+  double height = 0.0;   // tallest bank
+  double area = 0.0;     // bounding box
+  double utilization = 0.0;  // summed module area / bounding box
+  // Total inter-bank route length (bank centre to next bank centre).
+  double interbank_wire_length = 0.0;
+
+  [[nodiscard]] double aspect_ratio() const {
+    return height > 0 ? width / height : 0.0;
+  }
+};
+
+// `fill_coefficient` is the layout/estimate ratio of Fig. 6 (>= 1).
+FloorplanReport estimate_floorplan(const AcceleratorReport& report,
+                                   double fill_coefficient = 1.5);
+
+}  // namespace mnsim::arch

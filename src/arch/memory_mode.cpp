@@ -1,0 +1,73 @@
+#include "arch/memory_mode.hpp"
+
+#include "arch/computation_unit.hpp"
+#include "circuit/adc.hpp"
+#include "circuit/crossbar.hpp"
+#include "circuit/decoder.hpp"
+#include "circuit/write_circuit.hpp"
+
+namespace mnsim::arch {
+
+MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
+                                      int input_bits, int weight_bits) {
+  config.validate();
+  const auto cmos = config.cmos();
+  const auto device = config.device();
+  const int size = config.crossbar_size;
+
+  circuit::CrossbarModel xbar;
+  xbar.rows = size;
+  xbar.cols = size;
+  xbar.device = device;
+  xbar.cell = config.cell_type;
+  xbar.interconnect_node_nm = config.interconnect_node_nm;
+  xbar.sense_resistance = config.sense_resistance;
+
+  // READ: two memory-oriented decoders select the cell, then the sense
+  // amplifier converts (one multi-level read = one ADC conversion).
+  circuit::DecoderModel row_dec{size, circuit::DecoderKind::kMemoryOriented,
+                                cmos};
+  circuit::DecoderModel col_dec = row_dec;
+  circuit::AdcModel sense{config.adc_kind, device.level_bits,
+                          config.adc_clock, cmos};
+
+  MemoryModeReport rep;
+  rep.read_latency = row_dec.ppa().latency + col_dec.ppa().latency +
+                     device.read_latency + sense.conversion_latency();
+  rep.read_power = xbar.read_power() + row_dec.ppa().leakage_power +
+                   col_dec.ppa().leakage_power;
+  rep.read_energy = xbar.read_power() * rep.read_latency +
+                    sense.conversion_energy() +
+                    (row_dec.ppa().dynamic_power + col_dec.ppa().dynamic_power) *
+                        row_dec.ppa().latency;
+
+  // WRITE: one row at a time through the write drivers; the
+  // program-and-verify loop sets the pulse count.
+  circuit::WriteDriverModel driver{size, cmos, device};
+  circuit::ProgramVerifyModel verify;
+  verify.device = device;
+  rep.row_write_latency =
+      driver.ppa().latency - device.write_latency +  // select path only
+      verify.row_program_time(size);
+  // Average-case pulse energy across columns at the harmonic-mean state,
+  // with the expected pulses of a mid-range transition.
+  const double pulses =
+      verify.expected_pulses(0, device.levels() / 2);
+  rep.row_write_energy =
+      size * pulses *
+          driver.pulse_energy(device.harmonic_mean_resistance()) +
+      driver.ppa().dynamic_power * driver.ppa().latency;
+  rep.array_write_latency = size * rep.row_write_latency;
+  rep.array_write_energy = size * rep.row_write_energy;
+
+  // COMPUTE contrast: the full unit pass.
+  const UnitReport unit =
+      simulate_unit(size, size, input_bits, weight_bits, config);
+  rep.compute_latency = unit.pass_latency;
+  rep.compute_energy = unit.dynamic_energy_per_pass;
+  rep.cells_per_read = 1;
+  rep.cells_per_compute = static_cast<long>(size) * size;
+  return rep;
+}
+
+}  // namespace mnsim::arch

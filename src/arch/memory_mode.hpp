@@ -1,0 +1,45 @@
+// Memory-mode operation of a computation unit (paper Sec. II-C).
+//
+// The same crossbar also serves as a non-volatile memory: READ selects a
+// single cell through memory-oriented decoders; WRITE programs one row at
+// a time through the write drivers and the program-and-verify loop.
+// These models quantify the difference the paper emphasizes between the
+// memory-oriented and computation-oriented operation of the identical
+// array: READ touches one cell where COMPUTE activates all of them, and
+// the decoder gains a NOR stage in compute mode (Fig. 4).
+#pragma once
+
+#include "arch/params.hpp"
+#include "circuit/module.hpp"
+
+namespace mnsim::arch {
+
+struct MemoryModeReport {
+  // Single-cell READ.
+  double read_latency = 0.0;   // decode + cell settle + sense [s]
+  double read_energy = 0.0;    // [J]
+  double read_power = 0.0;     // [W] while reading
+
+  // One-row WRITE (all columns in parallel, program-and-verify).
+  double row_write_latency = 0.0;  // [s]
+  double row_write_energy = 0.0;   // [J]
+
+  // Whole-array programming (rows sequential).
+  double array_write_latency = 0.0;
+  double array_write_energy = 0.0;
+
+  // The compute pass of the same array, for contrast.
+  double compute_latency = 0.0;
+  double compute_energy = 0.0;
+
+  // Cells touched per operation — the paper's core observation.
+  long cells_per_read = 1;
+  long cells_per_compute = 0;
+};
+
+// Evaluates one crossbar of `config.crossbar_size` in both modes.
+MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
+                                      int input_bits = 8,
+                                      int weight_bits = 4);
+
+}  // namespace mnsim::arch

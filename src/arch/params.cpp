@@ -1,0 +1,111 @@
+#include "arch/params.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tech/interconnect.hpp"
+
+namespace mnsim::arch {
+
+tech::MemristorModel AcceleratorConfig::device() const {
+  tech::MemristorModel m = tech::memristor_by_name(memristor_model);
+  m.r_min = resistance_min;
+  m.r_max = resistance_max;
+  m.sigma = device_sigma;
+  m.validate();
+  return m;
+}
+
+tech::CmosTech AcceleratorConfig::cmos() const {
+  return tech::cmos_tech(cmos_node_nm);
+}
+
+int AcceleratorConfig::effective_parallelism(int columns) const {
+  if (columns <= 0)
+    throw std::invalid_argument("effective_parallelism: columns");
+  if (parallelism <= 0) return columns;  // 0 means all parallel (Table I)
+  return std::min(parallelism, columns);
+}
+
+circuit::NeuronKind AcceleratorConfig::neuron_for(nn::NetworkType type) {
+  switch (type) {
+    case nn::NetworkType::kAnn:
+      return circuit::NeuronKind::kSigmoid;
+    case nn::NetworkType::kSnn:
+      return circuit::NeuronKind::kIntegrateFire;
+    case nn::NetworkType::kCnn:
+      return circuit::NeuronKind::kRelu;
+  }
+  throw std::logic_error("neuron_for: unreachable");
+}
+
+AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
+  AcceleratorConfig c;
+  if (cfg.has("Interface_Number")) {
+    auto v = cfg.get_int_list("Interface_Number");
+    if (v.size() != 2)
+      throw util::ConfigError("Interface_Number needs [in, out]");
+    c.interface_in = static_cast<int>(v[0]);
+    c.interface_out = static_cast<int>(v[1]);
+  }
+  c.crossbar_size =
+      static_cast<int>(cfg.get_int_or("Crossbar_Size", c.crossbar_size));
+  c.pooling_size =
+      static_cast<int>(cfg.get_int_or("Pooling_Size", c.pooling_size));
+  c.weight_polarity =
+      static_cast<int>(cfg.get_int_or("Weight_Polarity", c.weight_polarity));
+  c.cmos_node_nm =
+      static_cast<int>(cfg.get_int_or("CMOS_Tech", c.cmos_node_nm));
+  c.interconnect_node_nm = static_cast<int>(
+      cfg.get_int_or("Interconnect_Tech", c.interconnect_node_nm));
+  c.parallelism =
+      static_cast<int>(cfg.get_int_or("Parallelism_Degree", c.parallelism));
+  if (cfg.has("Cell_Type")) {
+    const std::string cell = cfg.get_string("Cell_Type");
+    if (cell == "1T1R")
+      c.cell_type = tech::CellType::k1T1R;
+    else if (cell == "0T1R")
+      c.cell_type = tech::CellType::k0T1R;
+    else
+      throw util::ConfigError("Cell_Type must be 1T1R or 0T1R, got " + cell);
+  }
+  c.memristor_model = cfg.get_string_or("Memristor_Model", c.memristor_model);
+  if (cfg.has("Resistance_Range")) {
+    auto v = cfg.get_list("Resistance_Range");
+    if (v.size() != 2)
+      throw util::ConfigError("Resistance_Range needs [min, max]");
+    c.resistance_min = v[0];
+    c.resistance_max = v[1];
+  }
+  c.output_bits =
+      static_cast<int>(cfg.get_int_or("Output_Bits", c.output_bits));
+  c.sense_resistance =
+      cfg.get_double_or("Sense_Resistance", c.sense_resistance);
+  c.device_sigma = cfg.get_double_or("Device_Sigma", c.device_sigma);
+  c.pipelined = cfg.get_bool_or("Pipelined", c.pipelined);
+  c.validate();
+  return c;
+}
+
+void AcceleratorConfig::validate() const {
+  if (interface_in <= 0 || interface_out <= 0)
+    throw std::invalid_argument("AcceleratorConfig: interface ports");
+  if (crossbar_size < 2 || (crossbar_size & (crossbar_size - 1)) != 0)
+    throw std::invalid_argument(
+        "AcceleratorConfig: crossbar size must be a power of two >= 2");
+  if (pooling_size < 1)
+    throw std::invalid_argument("AcceleratorConfig: pooling size");
+  if (weight_polarity != 1 && weight_polarity != 2)
+    throw std::invalid_argument("AcceleratorConfig: weight polarity 1 or 2");
+  if (parallelism < 0)
+    throw std::invalid_argument("AcceleratorConfig: parallelism");
+  if (!(resistance_min > 0) || !(resistance_max > resistance_min))
+    throw std::invalid_argument("AcceleratorConfig: resistance range");
+  if (output_bits < 1 || output_bits > 14)
+    throw std::invalid_argument("AcceleratorConfig: output bits");
+  (void)cmos();                    // range check
+  (void)device();                  // device validation
+  (void)tech::interconnect_tech(interconnect_node_nm);
+}
+
+}  // namespace mnsim::arch

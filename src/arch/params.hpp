@@ -1,0 +1,73 @@
+// MNSIM configuration (paper Table I).
+//
+// Every design knob is classified into the three hierarchy levels:
+// Accelerator (Interface_Number, Network_Depth — the latter comes from
+// the nn::Network), Computation Bank (Network_Type, Network_Scale,
+// Crossbar_Size, Pooling_Size), and Computation Unit (Weight_Polarity,
+// CMOS_Tech, Cell_Type, Memristor_Model, Interconnect_Tech,
+// Parallelism_Degree, Resistance_Range). AcceleratorConfig carries them
+// all with the paper's defaults and can be populated from an INI-style
+// configuration file via from_config.
+#pragma once
+
+#include "circuit/adc.hpp"
+#include "circuit/neuron.hpp"
+#include "nn/network.hpp"
+#include "tech/cmos_tech.hpp"
+#include "tech/memristor.hpp"
+#include "util/config.hpp"
+
+namespace mnsim::arch {
+
+struct AcceleratorConfig {
+  // --- Accelerator level ---
+  int interface_in = 128;    // Interface_Number[0]: input bus lines
+  int interface_out = 128;   // Interface_Number[1]: output bus lines
+  double bus_clock = 200e6;
+
+  // --- Computation Bank level ---
+  int crossbar_size = 128;   // Crossbar_Size
+  int pooling_size = 2;      // Pooling_Size (CNN window)
+  bool pipelined = true;     // multi-layer accelerators pipeline by default
+
+  // --- Computation Unit level ---
+  int weight_polarity = 2;         // 1 = unsigned, 2 = signed weights
+  bool signed_two_crossbars = true;  // method (1) two crossbars vs
+                                     // method (2) doubled columns
+  int cmos_node_nm = 90;           // CMOS_Tech
+  tech::CellType cell_type = tech::CellType::k1T1R;  // Cell_Type
+  std::string memristor_model = "RRAM";              // Memristor_Model
+  int interconnect_node_nm = 28;   // Interconnect_Tech
+  int parallelism = 0;             // Parallelism_Degree; 0 = all parallel
+  double resistance_min = 500.0;   // Resistance_Range
+  double resistance_max = 500e3;
+  double sense_resistance = 60.0;
+  double device_sigma = 0.0;       // device variation (Sec. VI-D)
+
+  // Read/convert circuit choices (Sec. V-C).
+  circuit::AdcKind adc_kind = circuit::AdcKind::kMultiLevelSA;
+  double adc_clock = 50e6;
+  int output_bits = 8;  // read-circuit quantization (k = 2^output_bits)
+
+  // Returns the configured device with the resistance range and variation
+  // applied.
+  [[nodiscard]] tech::MemristorModel device() const;
+  [[nodiscard]] tech::CmosTech cmos() const;
+
+  // Effective parallelism for a crossbar with `columns` used columns.
+  [[nodiscard]] int effective_parallelism(int columns) const;
+
+  // Reference neuron for a network type (sigmoid / IF / ReLU; Sec. III-B.4).
+  static circuit::NeuronKind neuron_for(nn::NetworkType type);
+
+  // Reads the Table I keys from an INI config (keys spelled as the paper:
+  // Interface_Number = [128,128], Crossbar_Size = 128, Cell_Type = 1T1R,
+  // Memristor_Model = RRAM, Parallelism_Degree = 0, Resistance_Range =
+  // [500, 500k-less-the-suffix]...). Unknown keys are ignored so user
+  // configs can carry extra sections.
+  static AcceleratorConfig from_config(const util::Config& config);
+
+  void validate() const;
+};
+
+}  // namespace mnsim::arch

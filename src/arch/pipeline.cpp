@@ -1,0 +1,38 @@
+#include "arch/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mnsim::arch {
+
+PipelineReport analyze_pipeline(const AcceleratorReport& report) {
+  if (report.banks.empty())
+    throw std::invalid_argument("analyze_pipeline: no banks");
+
+  PipelineReport pipe;
+  pipe.utilization.reserve(report.banks.size());
+
+  double busiest = 0.0;
+  for (std::size_t b = 0; b < report.banks.size(); ++b) {
+    const auto& bank = report.banks[b];
+    pipe.cycle_time = std::max(pipe.cycle_time, bank.pass_latency);
+    const double work =
+        static_cast<double>(bank.iterations) * bank.pass_latency;
+    if (work > busiest) {
+      busiest = work;
+      pipe.bottleneck_bank = static_cast<int>(b);
+    }
+    pipe.fill_latency +=
+        static_cast<double>(bank.warmup_passes) * bank.pass_latency;
+  }
+  pipe.sample_interval = busiest;
+  pipe.throughput = busiest > 0 ? 1.0 / busiest : 0.0;
+  for (const auto& bank : report.banks) {
+    const double work =
+        static_cast<double>(bank.iterations) * bank.pass_latency;
+    pipe.utilization.push_back(busiest > 0 ? work / busiest : 0.0);
+  }
+  return pipe;
+}
+
+}  // namespace mnsim::arch

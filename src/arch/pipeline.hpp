@@ -1,0 +1,33 @@
+// Inter-layer pipeline analysis (paper Sec. III-B.5, VII-D and the
+// "inner-layer pipeline structure" future-work item).
+//
+// Multi-layer memristor accelerators pipeline across computation banks:
+// conv banks stream matrix-vector passes through the Eq. 6 line buffers,
+// so all banks work concurrently once warmed up. This module turns an
+// AcceleratorReport into pipeline metrics:
+//   * cycle time         — the slowest single pass (the paper's
+//                          "latency of each pipeline cycle"),
+//   * fill latency       — time until the first sample emerges (each bank
+//                          must run its warm-up passes before the next
+//                          can start),
+//   * sample interval    — steady-state time between output samples
+//                          (set by the bank with the most work), and
+//   * per-bank utilization.
+#pragma once
+
+#include "arch/accelerator.hpp"
+
+namespace mnsim::arch {
+
+struct PipelineReport {
+  double cycle_time = 0.0;       // max pass latency across banks [s]
+  double fill_latency = 0.0;     // first-sample latency [s]
+  double sample_interval = 0.0;  // steady-state seconds per sample
+  double throughput = 0.0;       // samples per second
+  int bottleneck_bank = -1;      // bank setting the sample interval
+  std::vector<double> utilization;  // per bank, in (0, 1]
+};
+
+PipelineReport analyze_pipeline(const AcceleratorReport& report);
+
+}  // namespace mnsim::arch

@@ -1,0 +1,41 @@
+// Discrete-event execution of the COMPUTE instruction stream.
+//
+// The analytic models (computation_bank / pipeline) predict latency and
+// throughput in closed form; this simulator cross-checks them by actually
+// scheduling every matrix-vector pass of one sample:
+//   * within a bank, passes execute back-to-back (one pass in flight),
+//   * across banks, pass k of bank b becomes ready once the upstream bank
+//     has produced enough outputs — the Eq. 6 line-buffer warm-up plus a
+//     proportional share of its remaining passes (streamed conv), or its
+//     entire sample (conv feeding an FC bank).
+// The result reports the sample makespan, per-bank busy times and
+// utilizations, and a bounded event timeline for inspection.
+#pragma once
+
+#include "arch/accelerator.hpp"
+
+namespace mnsim::arch {
+
+struct TraceEvent {
+  int bank = 0;
+  long pass = 0;
+  double start = 0.0;  // [s]
+  double end = 0.0;    // [s]
+};
+
+struct TraceSimResult {
+  double makespan = 0.0;               // one sample, pipelined dataflow [s]
+  double serial_makespan = 0.0;        // strictly layer-by-layer [s]
+  std::vector<double> bank_start;      // first pass start per bank
+  std::vector<double> bank_finish;     // last pass end per bank
+  std::vector<double> bank_busy;       // sum of pass latencies per bank
+  std::vector<double> bank_utilization;  // busy / (finish - start)
+  long total_passes = 0;
+  // The first `max_recorded_events` events, for inspection/plotting.
+  std::vector<TraceEvent> events;
+};
+
+TraceSimResult simulate_trace(const AcceleratorReport& report,
+                              long max_recorded_events = 256);
+
+}  // namespace mnsim::arch

@@ -1,0 +1,77 @@
+#include "arch/training.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::arch {
+
+void TrainingConfig::validate() const {
+  if (samples <= 0 || epochs <= 0 || batch_size <= 0)
+    throw std::invalid_argument("TrainingConfig: counts must be positive");
+  if (update_fraction <= 0 || update_fraction > 1)
+    throw std::invalid_argument("TrainingConfig: update fraction in (0, 1]");
+  if (pulses_per_update <= 0 || backward_cost_factor < 0)
+    throw std::invalid_argument("TrainingConfig: pulses / backward factor");
+}
+
+TrainingReport estimate_training(const nn::Network& network,
+                                 const AcceleratorConfig& config,
+                                 const TrainingConfig& training) {
+  training.validate();
+  const auto inference = simulate_accelerator(network, config);
+  const auto device = config.device();
+
+  TrainingReport rep;
+  const long total_samples =
+      training.samples * static_cast<long>(training.epochs);
+  const long batches =
+      (total_samples + training.batch_size - 1) / training.batch_size;
+
+  // Forward + backward analog work.
+  rep.compute_energy = inference.energy_per_sample *
+                       (1.0 + training.backward_cost_factor) *
+                       static_cast<double>(total_samples);
+  rep.compute_latency = inference.sample_latency *
+                        (1.0 + training.backward_cost_factor) *
+                        static_cast<double>(total_samples);
+
+  // Weight updates. The touched cells per update; each touch costs
+  // `pulses_per_update` pulses, and the polarity pair doubles the cells.
+  const double cells_per_weight_pair =
+      config.weight_polarity == 2 ? 2.0 : 1.0;
+  const double touched_per_update =
+      training.update_fraction *
+      static_cast<double>(network.total_weights()) * cells_per_weight_pair;
+  rep.weight_updates =
+      static_cast<long>(touched_per_update * static_cast<double>(batches));
+  rep.update_energy = static_cast<double>(rep.weight_updates) *
+                      training.pulses_per_update *
+                      device.write_pulse_energy();
+
+  // Writes are memory-style: one row of each crossbar at a time, but all
+  // crossbars program in parallel. Rows touched per crossbar per update:
+  const double rows_per_crossbar =
+      training.update_fraction * config.crossbar_size;
+  rep.update_latency = static_cast<double>(batches) * rows_per_crossbar *
+                       training.pulses_per_update * device.write_latency;
+
+  rep.total_energy = rep.compute_energy + rep.update_energy;
+  rep.total_latency = rep.compute_latency + rep.update_latency;
+
+  // Endurance: every touched cell sees pulses_per_update writes per batch.
+  const double writes_per_cell = training.update_fraction *
+                                 static_cast<double>(batches) *
+                                 training.pulses_per_update;
+  rep.endurance_fraction = writes_per_cell / device.endurance;
+  if (rep.endurance_fraction <= 0) {
+    rep.surviving_epochs = training.epochs;
+  } else {
+    const double epochs_at_budget =
+        training.epochs / rep.endurance_fraction;
+    rep.surviving_epochs = static_cast<long>(std::min<double>(
+        training.epochs, std::floor(epochs_at_budget)));
+  }
+  return rep;
+}
+
+}  // namespace mnsim::arch

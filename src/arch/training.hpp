@@ -1,0 +1,51 @@
+// On-chip training cost model (the paper's "on-chip training method"
+// future-work item).
+//
+// Inference-only mapping writes each weight once; training rewrites them
+// continuously, which reintroduces the high-writing-cost problem and the
+// endurance limitation the inference design avoids (paper Sec. II-B.1).
+// This model estimates, for SGD-style training of a mapped network:
+//   * forward cost       — one inference pass per sample,
+//   * backward cost      — the transposed matrix-vector products, charged
+//                          as a multiple of the forward analog work,
+//   * update cost        — programming pulses for the touched weights
+//                          (row-parallel writes, `pulses_per_update`
+//                          incremental pulses per touched cell), and
+//   * endurance          — programming cycles consumed per cell against
+//                          the device's endurance rating.
+#pragma once
+
+#include "arch/accelerator.hpp"
+
+namespace mnsim::arch {
+
+struct TrainingConfig {
+  long samples = 60000;       // samples per epoch
+  int epochs = 10;
+  long batch_size = 32;       // weight update once per batch
+  double update_fraction = 1.0;  // fraction of weights touched per update
+  int pulses_per_update = 1;  // incremental programming pulses per touch
+  double backward_cost_factor = 2.0;  // backward analog work vs forward
+
+  void validate() const;
+};
+
+struct TrainingReport {
+  long weight_updates = 0;        // total touched-cell programming events
+  double update_energy = 0.0;     // [J] programming energy
+  double update_latency = 0.0;    // [s] programming time (row-parallel)
+  double compute_energy = 0.0;    // [J] forward + backward passes
+  double compute_latency = 0.0;   // [s]
+  double total_energy = 0.0;      // [J]
+  double total_latency = 0.0;     // [s]
+  // Programming cycles consumed per cell relative to device endurance;
+  // > 1 means the device wears out before training finishes.
+  double endurance_fraction = 0.0;
+  long surviving_epochs = 0;      // epochs before the endurance budget
+};
+
+TrainingReport estimate_training(const nn::Network& network,
+                                 const AcceleratorConfig& config,
+                                 const TrainingConfig& training);
+
+}  // namespace mnsim::arch

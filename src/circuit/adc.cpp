@@ -1,0 +1,83 @@
+#include "circuit/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::circuit {
+
+int AdcModel::required_bits(int input_bits, int weight_bits, int rows,
+                            int algorithm_cap) {
+  // Exact accumulation of `rows` products needs
+  // input_bits + weight_bits + ceil(log2 rows) bits; neuromorphic
+  // computing is approximate, so the algorithm's quantization caps it.
+  int log_rows = 0;
+  while ((1 << log_rows) < rows) ++log_rows;
+  return std::min(input_bits + weight_bits + log_rows, algorithm_cap);
+}
+
+namespace {
+
+// Energy per conversion step (Walden figure of merit), by architecture,
+// at the 45 nm anchor.
+double fom_per_step(AdcKind kind) {
+  switch (kind) {
+    case AdcKind::kMultiLevelSA:
+      return 100e-15;  // variable-level SA, conservative
+    case AdcKind::kSar:
+      return 12e-15;   // asynchronous SAR class
+    case AdcKind::kFlash:
+      return 300e-15;  // fast but power/area hungry
+  }
+  throw std::logic_error("fom_per_step: unreachable");
+}
+
+// Equivalent gate count by architecture (area model).
+double gate_equivalents(AdcKind kind, int bits) {
+  switch (kind) {
+    case AdcKind::kMultiLevelSA:
+      return 1500.0 * bits;            // 8-bit: ~2400 um^2 at 45 nm
+    case AdcKind::kSar:
+      return 900.0 * bits;
+    case AdcKind::kFlash:
+      return 40.0 * (1 << bits);       // 2^bits comparators
+  }
+  throw std::logic_error("gate_equivalents: unreachable");
+}
+
+}  // namespace
+
+double AdcModel::conversion_latency() const {
+  switch (kind) {
+    case AdcKind::kMultiLevelSA:
+      return bits / sample_clock;  // one level comparison per clock
+    case AdcKind::kSar:
+      return bits / sample_clock;  // one bit decision per clock
+    case AdcKind::kFlash:
+      return 1.0 / sample_clock;   // single-cycle
+  }
+  throw std::logic_error("conversion_latency: unreachable");
+}
+
+double AdcModel::conversion_energy() const {
+  const double node_scale = tech.node_nm / 45.0;
+  const double v = tech.vdd / 1.0;
+  return fom_per_step(kind) * (1 << bits) * node_scale * v * v;
+}
+
+Ppa AdcModel::ppa() const {
+  Ppa p;
+  const double gates = gate_equivalents(kind, bits);
+  p.area = gates * tech.gate_area;
+  p.dynamic_power = conversion_energy() / conversion_latency();
+  p.leakage_power = 0.1 * gates * tech.gate_leakage;
+  p.latency = conversion_latency();
+  return p;
+}
+
+void AdcModel::validate() const {
+  if (bits < 1 || bits > 14) throw std::invalid_argument("AdcModel: bits");
+  if (sample_clock <= 0) throw std::invalid_argument("AdcModel: clock");
+}
+
+}  // namespace mnsim::circuit

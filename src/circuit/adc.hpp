@@ -1,0 +1,41 @@
+// Read circuits: ADCs / multilevel sensing amplifiers
+// (paper Sec. III-C.4, V-C).
+//
+// The reference design is a variable-level sensing amplifier clocked at
+// 50 MHz (bit-serial: one comparison level per clock, so an n-bit
+// conversion takes n cycles). A SAR model (Kull, JSSC'13 class) and a
+// flash model are provided as alternatives; users can also register fully
+// custom modules through sim::CustomModule.
+//
+// ADC precision is derived from the algorithm (paper Sec. V-C): it can be
+// configured directly, and `required_bits` implements the
+// input-bits + weight-bits + log2(rows) rule capped by the algorithm's
+// quantization (8 bits for the CNN case studies).
+#pragma once
+
+#include "circuit/module.hpp"
+#include "tech/cmos_tech.hpp"
+
+namespace mnsim::circuit {
+
+enum class AdcKind { kMultiLevelSA, kSar, kFlash };
+
+struct AdcModel {
+  AdcKind kind = AdcKind::kMultiLevelSA;
+  int bits = 8;
+  double sample_clock = 50e6;  // [Hz] comparison / bit clock
+  tech::CmosTech tech;
+
+  // Full-precision requirement for a crossbar column and the algorithm
+  // cap (paper: "the precision of ADC can also be 8-bit").
+  static int required_bits(int input_bits, int weight_bits, int rows,
+                           int algorithm_cap);
+
+  [[nodiscard]] double conversion_latency() const;  // [s] per sample
+  [[nodiscard]] double conversion_energy() const;   // [J] per sample
+  [[nodiscard]] Ppa ppa() const;
+
+  void validate() const;
+};
+
+}  // namespace mnsim::circuit

@@ -1,0 +1,82 @@
+#include "circuit/buffer.hpp"
+
+#include <stdexcept>
+
+namespace mnsim::circuit {
+
+namespace {
+constexpr double kRefCycle = 10e-9;
+}
+
+Ppa RegisterBankModel::ppa() const {
+  validate();
+  const double cells = static_cast<double>(words) * bits;
+  Ppa p;
+  p.area = cells * tech.reg_area;
+  // One word written per event.
+  p.dynamic_power = bits * tech.reg_energy / kRefCycle;
+  p.leakage_power = cells * tech.reg_leakage;
+  p.latency = 2 * tech.gate_delay;  // setup + clock-to-q
+  return p;
+}
+
+void RegisterBankModel::validate() const {
+  if (words <= 0 || bits <= 0)
+    throw std::invalid_argument("RegisterBankModel: words/bits");
+}
+
+int line_buffer_length(int next_map_width, int next_kernel_w,
+                       int next_kernel_h) {
+  if (next_map_width <= 0 || next_kernel_w <= 0 || next_kernel_h <= 0)
+    throw std::invalid_argument("line_buffer_length: arguments");
+  return next_map_width * (next_kernel_h - 1) + next_kernel_w;  // Eq. 6
+}
+
+Ppa LineBufferModel::ppa() const {
+  validate();
+  const double cells =
+      static_cast<double>(length) * bits * channels;
+  Ppa p;
+  p.area = cells * tech.reg_area;
+  // The whole chain shifts once per iteration.
+  p.dynamic_power = cells * tech.reg_energy / kRefCycle;
+  p.leakage_power = cells * tech.reg_leakage;
+  p.latency = 2 * tech.gate_delay;
+  return p;
+}
+
+void LineBufferModel::validate() const {
+  if (length <= 0 || bits <= 0 || channels <= 0)
+    throw std::invalid_argument("LineBufferModel: length/bits/channels");
+}
+
+long IoInterfaceModel::transfer_cycles() const {
+  return (sample_bits + wires - 1) / wires;
+}
+
+double IoInterfaceModel::transfer_latency() const {
+  return static_cast<double>(transfer_cycles()) / bus_clock;
+}
+
+Ppa IoInterfaceModel::ppa() const {
+  validate();
+  Ppa p;
+  // Sample buffer plus bus drivers.
+  const double buffer_cells = static_cast<double>(sample_bits);
+  const double driver_gates = 4.0 * wires;
+  p.area = buffer_cells * tech.reg_area + driver_gates * tech.gate_area;
+  p.dynamic_power =
+      (wires * tech.reg_energy + driver_gates * 0.5 * tech.gate_energy) *
+      bus_clock;
+  p.leakage_power =
+      buffer_cells * tech.reg_leakage + driver_gates * tech.gate_leakage;
+  p.latency = transfer_latency();
+  return p;
+}
+
+void IoInterfaceModel::validate() const {
+  if (wires <= 0 || sample_bits <= 0 || bus_clock <= 0)
+    throw std::invalid_argument("IoInterfaceModel: arguments");
+}
+
+}  // namespace mnsim::circuit

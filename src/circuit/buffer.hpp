@@ -1,0 +1,60 @@
+// Buffering and interface modules.
+//
+//  * Register banks — the fully-connected output buffer (one register per
+//    output neuron, paper Sec. III-B.5).
+//  * Line buffers — the shift-register structure shared by the pooling
+//    buffer (Fig. 1f) and the convolutional output buffer; the per-channel
+//    length follows paper Eq. 6: L = W_next * (h_next - 1) + w_next.
+//  * I/O interface — the accelerator-level input/output modules that
+//    stream a full sample over a limited number of bus lines
+//    (Interface_Number, paper Sec. III-A).
+#pragma once
+
+#include "circuit/module.hpp"
+#include "tech/cmos_tech.hpp"
+
+namespace mnsim::circuit {
+
+// Bank of `words` registers of `bits` each; energy charged per write.
+struct RegisterBankModel {
+  int words = 1;
+  int bits = 8;
+  tech::CmosTech tech;
+
+  [[nodiscard]] Ppa ppa() const;
+  void validate() const;
+};
+
+// Paper Eq. 6: single-channel line-buffer length for feeding a
+// w_next x h_next convolution over a W_next-wide output feature map.
+int line_buffer_length(int next_map_width, int next_kernel_w,
+                       int next_kernel_h);
+
+// Shift-register line buffer: `length` stages of `bits`; every stage
+// shifts each iteration, so dynamic power covers all stages.
+struct LineBufferModel {
+  int length = 1;
+  int bits = 8;
+  int channels = 1;
+  tech::CmosTech tech;
+
+  [[nodiscard]] Ppa ppa() const;
+  void validate() const;
+};
+
+// Accelerator I/O interface (input or output module): `wires` bus lines,
+// buffering a sample of `sample_bits` total; transfers take
+// ceil(sample_bits / wires) bus cycles at `bus_clock`.
+struct IoInterfaceModel {
+  int wires = 128;
+  long sample_bits = 128;
+  double bus_clock = 200e6;
+  tech::CmosTech tech;
+
+  [[nodiscard]] long transfer_cycles() const;
+  [[nodiscard]] double transfer_latency() const;
+  [[nodiscard]] Ppa ppa() const;
+  void validate() const;
+};
+
+}  // namespace mnsim::circuit

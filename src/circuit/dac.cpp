@@ -1,0 +1,45 @@
+#include "circuit/dac.hpp"
+
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mnsim::circuit {
+
+using namespace mnsim::units;
+
+int DacModel::gate_count() const {
+  // Resistor-string DAC: 2^bits taps with selection switches, plus input
+  // latch and output driver. Gate-equivalents calibrated so an 8-bit DAC
+  // at 45 nm lands near 1300 um^2 (the paper's per-row input circuitry
+  // dominates computation-unit area, which reproduces the area-vs-size
+  // doubling of Table V).
+  return 100 + 25 * (1 << bits);
+}
+
+double DacModel::conversion_energy() const {
+  // Energy figure-of-merit formulation: E = FoM * 2^bits per conversion.
+  constexpr double kFomPerStep = 25e-15;  // 25 fJ/step at 45 nm
+  const double node_scale = tech.node_nm / 45.0;
+  const double v = tech.vdd / 1.0;
+  return kFomPerStep * (1 << bits) * node_scale * v * v;
+}
+
+double DacModel::conversion_latency() const {
+  return 10 * ns * (tech.node_nm / 45.0);
+}
+
+Ppa DacModel::ppa() const {
+  Ppa p;
+  p.area = gate_count() * tech.gate_area;
+  p.dynamic_power = conversion_energy() / conversion_latency();
+  p.leakage_power = 0.1 * gate_count() * tech.gate_leakage;
+  p.latency = conversion_latency();
+  return p;
+}
+
+void DacModel::validate() const {
+  if (bits < 1 || bits > 16) throw std::invalid_argument("DacModel: bits");
+}
+
+}  // namespace mnsim::circuit

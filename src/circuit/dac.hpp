@@ -1,0 +1,27 @@
+// Input peripheral circuit: per-row DACs and input switches
+// (paper Sec. III-C.3).
+//
+// In the computing phase every crossbar row must be driven in the same
+// cycle, so the reference design instantiates one DAC per used row. The
+// input value is converted once per sample and then held for the whole
+// compute, so DAC energy is charged per conversion, not per read cycle.
+#pragma once
+
+#include "circuit/module.hpp"
+#include "tech/cmos_tech.hpp"
+
+namespace mnsim::circuit {
+
+struct DacModel {
+  int bits = 8;  // input signal precision
+  tech::CmosTech tech;
+
+  [[nodiscard]] int gate_count() const;
+  [[nodiscard]] double conversion_energy() const;  // [J] per conversion
+  [[nodiscard]] double conversion_latency() const; // [s]
+  [[nodiscard]] Ppa ppa() const;  // dynamic power at one conversion/latency
+
+  void validate() const;
+};
+
+}  // namespace mnsim::circuit

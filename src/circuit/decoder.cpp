@@ -1,0 +1,45 @@
+#include "circuit/decoder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::circuit {
+
+int DecoderModel::address_bits() const {
+  int bits = 0;
+  while ((1 << bits) < lines) ++bits;
+  return bits;
+}
+
+int DecoderModel::gate_count() const {
+  // Selector: a 2-level AND plane, ~2 gates per output line plus the
+  // address inverters; transfer gate per line; NOR per line when
+  // computation-oriented (Fig. 4b).
+  int gates = 2 * lines + 2 * address_bits() + lines;
+  if (kind == DecoderKind::kComputationOriented) gates += lines;
+  return gates;
+}
+
+Ppa DecoderModel::ppa() const {
+  Ppa p;
+  const int gates = gate_count();
+  p.area = gates * tech.gate_area;
+  // In compute mode only the control path toggles once per cycle; charge
+  // the selector plane at a conservative 25 % activity at the decode event
+  // over a 10 ns reference cycle.
+  constexpr double kActivity = 0.25;
+  constexpr double kCycle = 10e-9;
+  p.dynamic_power = gates * kActivity * tech.gate_energy / kCycle;
+  p.leakage_power = gates * tech.gate_leakage;
+  // Critical path: address tree depth plus the NOR and the transfer gate.
+  int depth = address_bits() + 2;
+  if (kind == DecoderKind::kComputationOriented) depth += 1;
+  p.latency = depth * tech.gate_delay;
+  return p;
+}
+
+void DecoderModel::validate() const {
+  if (lines <= 0) throw std::invalid_argument("DecoderModel: lines");
+}
+
+}  // namespace mnsim::circuit

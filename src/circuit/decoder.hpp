@@ -1,0 +1,36 @@
+// Address decoders (paper Sec. III-C.2, V-B, Fig. 4).
+//
+// Memory-oriented decoder: an address selector driving one transfer gate
+// per line — selects a single row/column for READ/WRITE.
+//
+// Computation-oriented decoder: the same selector with a NOR gate per
+// line between decoder and transfer gate; a global control signal pulled
+// high turns on *all* transfer gates so every cell participates in the
+// matrix-vector product (the key circuit difference between a memristor
+// memory and a memristor computing array).
+#pragma once
+
+#include "circuit/module.hpp"
+#include "tech/cmos_tech.hpp"
+
+namespace mnsim::circuit {
+
+enum class DecoderKind { kMemoryOriented, kComputationOriented };
+
+struct DecoderModel {
+  int lines = 128;  // rows (or columns) the decoder drives
+  DecoderKind kind = DecoderKind::kComputationOriented;
+  tech::CmosTech tech;
+
+  [[nodiscard]] int address_bits() const;
+
+  // Gate count of the selector tree + per-line transfer gates (+ per-line
+  // NOR for the computation-oriented variant).
+  [[nodiscard]] int gate_count() const;
+
+  [[nodiscard]] Ppa ppa() const;
+
+  void validate() const;
+};
+
+}  // namespace mnsim::circuit

@@ -1,0 +1,116 @@
+#include "circuit/logic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::circuit {
+
+namespace {
+
+// Activity-weighted dynamic power for a block of `gates` gates toggling
+// once per `cycle` with the given activity factor.
+double dyn_power(double gates, double activity, double cycle,
+                 const tech::CmosTech& tech) {
+  return gates * activity * tech.gate_energy / cycle;
+}
+
+constexpr double kRefCycle = 10e-9;  // reference activity window [s]
+
+Ppa gate_block(double gates, int depth, const tech::CmosTech& tech,
+               double activity = 0.5) {
+  Ppa p;
+  p.area = gates * tech.gate_area;
+  p.dynamic_power = dyn_power(gates, activity, kRefCycle, tech);
+  p.leakage_power = gates * tech.gate_leakage;
+  p.latency = depth * tech.gate_delay;
+  return p;
+}
+
+}  // namespace
+
+Ppa adder_ppa(int bits, const tech::CmosTech& tech) {
+  if (bits <= 0) throw std::invalid_argument("adder_ppa: bits");
+  // Full adder ~ 6 gate equivalents; ripple carry chain of 2 gate delays
+  // per bit.
+  return gate_block(6.0 * bits, 2 * bits, tech);
+}
+
+Ppa subtractor_ppa(int bits, const tech::CmosTech& tech) {
+  if (bits <= 0) throw std::invalid_argument("subtractor_ppa: bits");
+  return gate_block(7.0 * bits, 2 * bits + 1, tech);
+}
+
+Ppa shifter_ppa(int bits, int max_shift, const tech::CmosTech& tech) {
+  if (bits <= 0 || max_shift < 0)
+    throw std::invalid_argument("shifter_ppa: arguments");
+  int stages = 0;
+  while ((1 << stages) <= max_shift) ++stages;  // barrel stages
+  if (stages == 0) stages = 1;
+  return gate_block(2.0 * bits * stages, stages, tech, 0.3);
+}
+
+Ppa mux_ppa(int inputs, int bits, const tech::CmosTech& tech) {
+  if (inputs <= 0 || bits <= 0)
+    throw std::invalid_argument("mux_ppa: arguments");
+  int depth = 0;
+  while ((1 << depth) < inputs) ++depth;
+  const double gates = 1.5 * (inputs - 1 + 1) * bits;
+  return gate_block(gates, depth > 0 ? depth : 1, tech, 0.3);
+}
+
+Ppa counter_ppa(int bits, const tech::CmosTech& tech) {
+  if (bits <= 0) throw std::invalid_argument("counter_ppa: bits");
+  Ppa p = gate_block(4.0 * bits, 2, tech, 0.5);
+  p.area += bits * tech.reg_area;
+  p.dynamic_power += bits * tech.reg_energy / kRefCycle;
+  p.leakage_power += bits * tech.reg_leakage;
+  return p;
+}
+
+int AdderTreeModel::depth() const {
+  int d = 0;
+  while ((1 << d) < inputs) ++d;
+  return d;
+}
+
+Ppa AdderTreeModel::ppa() const {
+  validate();
+  Ppa p;
+  if (inputs <= 1) {
+    // A single operand needs no tree; optional shifter still applies.
+    if (shift_merge) p = shifter_ppa(bits, max_shift, tech);
+    return p;
+  }
+  // Level l (1-based from the leaves) holds inputs/2^l adders of width
+  // bits + l; we charge the exact per-level widths.
+  int remaining = inputs;
+  int level = 0;
+  double latency = 0.0;
+  while (remaining > 1) {
+    ++level;
+    const int adders = remaining / 2;
+    const Ppa a = adder_ppa(bits + level, tech);
+    p.area += adders * a.area;
+    p.dynamic_power += adders * a.dynamic_power;
+    p.leakage_power += adders * a.leakage_power;
+    latency += a.latency;
+    remaining = (remaining + 1) / 2;
+  }
+  p.latency = latency;
+  if (shift_merge) {
+    const Ppa s = shifter_ppa(bits, max_shift, tech);
+    p.area += inputs * s.area;
+    p.dynamic_power += inputs * s.dynamic_power;
+    p.leakage_power += inputs * s.leakage_power;
+    p.latency += s.latency;
+  }
+  return p;
+}
+
+void AdderTreeModel::validate() const {
+  if (inputs <= 0) throw std::invalid_argument("AdderTreeModel: inputs");
+  if (bits <= 0) throw std::invalid_argument("AdderTreeModel: bits");
+  if (max_shift < 0) throw std::invalid_argument("AdderTreeModel: max_shift");
+}
+
+}  // namespace mnsim::circuit

@@ -1,0 +1,38 @@
+// Non-linear neuron modules (paper Sec. III-B.4).
+//
+// The neuron function runs after the adder tree (and after pooling in
+// CNNs, which is sound because all the non-linear functions used are
+// monotone increasing). Reference designs:
+//   * sigmoid  — LUT-based (DNN reference),
+//   * ReLU     — comparator + mux (CNN reference),
+//   * integrate-and-fire — accumulator + threshold comparator (SNN).
+#pragma once
+
+#include "circuit/module.hpp"
+#include "tech/cmos_tech.hpp"
+
+namespace mnsim::circuit {
+
+enum class NeuronKind { kSigmoid, kRelu, kIntegrateFire };
+
+struct NeuronModel {
+  NeuronKind kind = NeuronKind::kSigmoid;
+  int bits = 8;
+  tech::CmosTech tech;
+
+  [[nodiscard]] Ppa ppa() const;
+  void validate() const;
+};
+
+// Spatial pooling module (paper Sec. III-B.3): max over a k x k window,
+// implemented as a comparator tree of k*k - 1 comparators.
+struct PoolingModel {
+  int window = 2;  // k
+  int bits = 8;
+  tech::CmosTech tech;
+
+  [[nodiscard]] Ppa ppa() const;
+  void validate() const;
+};
+
+}  // namespace mnsim::circuit

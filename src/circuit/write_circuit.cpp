@@ -1,0 +1,113 @@
+#include "circuit/write_circuit.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace mnsim::circuit {
+
+namespace {
+constexpr double kRefCycle = 10e-9;
+}
+
+Ppa WriteDriverModel::ppa() const {
+  validate();
+  // Per column: level shifter (~12 gates), write pass gate, polarity
+  // switch; shared pulse-timing control.
+  const double gates = 16.0 * columns + 60.0;
+  Ppa p;
+  p.area = gates * tech.gate_area;
+  p.dynamic_power = gates * 0.3 * tech.gate_energy / kRefCycle;
+  p.leakage_power = gates * tech.gate_leakage;
+  p.latency = 4 * tech.gate_delay + device.write_latency;
+  return p;
+}
+
+double WriteDriverModel::pulse_energy(double r_state) const {
+  validate();
+  if (!(r_state > 0))
+    throw std::invalid_argument("WriteDriverModel: r_state");
+  return device.v_write * device.v_write / r_state * device.write_latency;
+}
+
+void WriteDriverModel::validate() const {
+  if (columns <= 0) throw std::invalid_argument("WriteDriverModel: columns");
+  device.validate();
+}
+
+void ProgramVerifyModel::validate() const {
+  device.validate();
+  if (!(step_levels > 0))
+    throw std::invalid_argument("ProgramVerifyModel: step");
+  if (step_sigma < 0 || step_sigma >= 1)
+    throw std::invalid_argument("ProgramVerifyModel: step sigma in [0, 1)");
+  if (!(tolerance_levels > 0))
+    throw std::invalid_argument("ProgramVerifyModel: tolerance");
+  if (max_pulses <= 0)
+    throw std::invalid_argument("ProgramVerifyModel: max pulses");
+}
+
+double ProgramVerifyModel::expected_pulses(int from_level,
+                                           int to_level) const {
+  validate();
+  if (from_level < 0 || from_level >= device.levels() || to_level < 0 ||
+      to_level >= device.levels())
+    throw std::out_of_range("ProgramVerifyModel: level out of range");
+  const double distance = std::abs(to_level - from_level);
+  if (distance == 0) return 0.0;
+  // Travel pulses plus the landing retries: when a step can overshoot the
+  // tolerance window, each arrival succeeds with probability ~window /
+  // step spread; SET/RESET direction reversals double the retry cost.
+  const double travel = distance / step_levels;
+  const double spread = 2.0 * step_sigma * step_levels;
+  double retries = 0.0;
+  if (spread > 2.0 * tolerance_levels)
+    retries = spread / (2.0 * tolerance_levels) - 1.0;
+  return travel + 2.0 * retries;
+}
+
+double ProgramVerifyModel::row_program_time(int cells) const {
+  validate();
+  if (cells <= 0) throw std::invalid_argument("row_program_time: cells");
+  // Worst cell of the row dominates: the full-range transition plus a
+  // logarithmic order-statistics allowance for the parallel cells.
+  const double worst = expected_pulses(0, device.levels() - 1);
+  const double allowance = 1.0 + 0.1 * std::log2(static_cast<double>(cells));
+  // Each pulse is write + verify read.
+  return worst * allowance * (device.write_latency + device.read_latency);
+}
+
+ProgramVerifyModel::McResult ProgramVerifyModel::monte_carlo(
+    int from_level, int to_level, int trials, std::uint32_t seed) const {
+  validate();
+  if (trials <= 0)
+    throw std::invalid_argument("ProgramVerifyModel: trials");
+  if (from_level < 0 || from_level >= device.levels() || to_level < 0 ||
+      to_level >= device.levels())
+    throw std::out_of_range("ProgramVerifyModel: level out of range");
+
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> noise(-step_sigma, step_sigma);
+
+  McResult result;
+  long total_pulses = 0;
+  int converged = 0;
+  for (int t = 0; t < trials; ++t) {
+    double level = from_level;
+    int pulses = 0;
+    while (pulses < max_pulses &&
+           std::fabs(level - to_level) > tolerance_levels) {
+      const double direction = to_level > level ? 1.0 : -1.0;
+      level += direction * step_levels * (1.0 + noise(rng));
+      ++pulses;
+    }
+    total_pulses += pulses;
+    result.max_pulses_observed = std::max(result.max_pulses_observed, pulses);
+    if (std::fabs(level - to_level) <= tolerance_levels) ++converged;
+  }
+  result.mean_pulses = static_cast<double>(total_pulses) / trials;
+  result.success_rate = static_cast<double>(converged) / trials;
+  return result;
+}
+
+}  // namespace mnsim::circuit

@@ -1,0 +1,64 @@
+// Weight programming circuits and the program-and-verify loop.
+//
+// WRITE is memory-style (paper Sec. II-C): one row selected at a time,
+// per-column write drivers applying v_write pulses. Multi-level cells are
+// tuned by the standard program-and-verify loop (Alibart et al., the
+// paper's high-precision-tuning reference [48]): pulse, read back,
+// repeat until the conductance lands within tolerance of the target
+// level. Pulse-to-pulse step size is stochastic, so the pulse count is a
+// random variable; this module provides both a closed-form expectation
+// and a Monte-Carlo of the loop for cross-checking.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/module.hpp"
+#include "tech/cmos_tech.hpp"
+#include "tech/memristor.hpp"
+
+namespace mnsim::circuit {
+
+// Per-column write drivers plus the row-select path: level shifter (the
+// write voltage exceeds the logic supply) and pass gates.
+struct WriteDriverModel {
+  int columns = 128;
+  tech::CmosTech tech;
+  tech::MemristorModel device;
+
+  [[nodiscard]] Ppa ppa() const;
+  // Energy of one programming pulse into a cell at `r_state`.
+  [[nodiscard]] double pulse_energy(double r_state) const;
+  void validate() const;
+};
+
+struct ProgramVerifyModel {
+  tech::MemristorModel device;
+  // Nominal conductance step of one pulse, in levels.
+  double step_levels = 1.0;
+  // Multiplicative step noise: each pulse moves step * (1 + U(-s, +s)).
+  double step_sigma = 0.3;
+  // Acceptance window around the target, in levels.
+  double tolerance_levels = 0.5;
+  int max_pulses = 200;
+
+  // Expected pulses to tune from one level to another. First order: the
+  // distance in levels over the mean step, inflated by the retry
+  // probability the step noise induces at the boundary.
+  [[nodiscard]] double expected_pulses(int from_level, int to_level) const;
+
+  // Expected worst-case programming time for a full crossbar row written
+  // in parallel (the slowest cell of `cells` dominates).
+  [[nodiscard]] double row_program_time(int cells) const;
+
+  struct McResult {
+    double mean_pulses = 0.0;
+    int max_pulses_observed = 0;
+    double success_rate = 0.0;  // fraction converged within max_pulses
+  };
+  [[nodiscard]] McResult monte_carlo(int from_level, int to_level,
+                                     int trials, std::uint32_t seed) const;
+
+  void validate() const;
+};
+
+}  // namespace mnsim::circuit

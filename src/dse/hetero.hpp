@@ -1,0 +1,40 @@
+// Per-bank (heterogeneous) design-space exploration.
+//
+// The paper's CNN study fixes one crossbar size / parallelism /
+// interconnect node for the whole accelerator ("set as common variables
+// in the entire accelerator level", Sec. VII-D). Because the banks are
+// architecturally independent — they only couple through the Eq. 15
+// error accumulation and the shared pipeline cycle — each bank can take
+// its own design point, which later memristor simulators (MNSIM 2.0
+// class) exploit. This module implements that optimization:
+//
+//   minimize   sum_b objective(bank_b, point_b)
+//   subject to prod_b (1 + eps_b(point_b)) - 1 <= error constraint
+//
+// solved greedily: every bank starts at its unconstrained per-bank
+// optimum; while the propagated error exceeds the budget, the move with
+// the best error-reduction per objective-cost ratio is applied.
+#pragma once
+
+#include "arch/accelerator.hpp"
+#include "dse/explorer.hpp"
+
+namespace mnsim::dse {
+
+struct HeteroResult {
+  std::vector<DesignPoint> per_bank;     // one per weighted layer
+  arch::AcceleratorReport report;        // simulated with the choices
+  bool feasible = false;
+  long bank_evaluations = 0;             // work performed
+};
+
+// Optimizes each bank's point for `objective` under the accelerator-wide
+// worst-case error constraint. `base` supplies the non-swept parameters.
+// Returns feasible = false when even the most accurate choices violate
+// the constraint.
+HeteroResult optimize_per_bank(const nn::Network& network,
+                               const arch::AcceleratorConfig& base,
+                               const DesignSpace& space, Objective objective,
+                               double error_constraint);
+
+}  // namespace mnsim::dse

@@ -1,0 +1,93 @@
+#include "dse/report.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace mnsim::dse {
+
+using namespace mnsim::units;
+
+std::vector<RadarEntry> normalized_radar(
+    const std::vector<std::pair<std::string, EvaluatedDesign>>& designs) {
+  if (designs.empty())
+    throw std::invalid_argument("normalized_radar: no designs");
+  std::vector<RadarEntry> entries;
+  entries.reserve(designs.size());
+  for (const auto& [label, d] : designs) {
+    RadarEntry e;
+    e.label = label;
+    e.point = d.point;
+    e.reciprocal_area = 1.0 / d.metrics.area;
+    e.energy_efficiency = 1.0 / d.metrics.energy_per_sample;
+    e.reciprocal_power = 1.0 / d.metrics.power;
+    e.speed = 1.0 / d.metrics.latency;
+    e.accuracy = 1.0 - d.metrics.max_error_rate;
+    entries.push_back(e);
+  }
+  auto normalize = [&](double RadarEntry::*field) {
+    double max_v = 0.0;
+    for (const auto& e : entries) max_v = std::max(max_v, e.*field);
+    if (max_v <= 0) return;
+    for (auto& e : entries) e.*field /= max_v;
+  };
+  normalize(&RadarEntry::reciprocal_area);
+  normalize(&RadarEntry::energy_efficiency);
+  normalize(&RadarEntry::reciprocal_power);
+  normalize(&RadarEntry::speed);
+  // Accuracy is already in [0, 1]; the paper normalizes only the other
+  // four factors.
+  return entries;
+}
+
+std::string format_optima_table(const ExplorationResult& result,
+                                const std::string& title) {
+  util::Table table(title);
+  table.set_header({"Metric", "Area", "Energy", "Latency", "Accuracy"});
+
+  const Objective objectives[] = {Objective::kArea, Objective::kEnergy,
+                                  Objective::kLatency, Objective::kAccuracy};
+  std::vector<EvaluatedDesign> best;
+  for (Objective o : objectives) {
+    auto b = result.best(o);
+    if (!b)
+      throw std::runtime_error(
+          "format_optima_table: no feasible design under constraint");
+    best.push_back(*b);
+  }
+
+  auto row = [&](const std::string& name, auto getter, int digits) {
+    std::vector<std::string> cells = {name};
+    for (const auto& d : best) cells.push_back(util::Table::num(getter(d), digits));
+    table.add_row(std::move(cells));
+  };
+  row("Area (mm^2)",
+      [](const EvaluatedDesign& d) { return d.metrics.area / mm2; }, 2);
+  row("Energy per Sample (uJ)",
+      [](const EvaluatedDesign& d) { return d.metrics.energy_per_sample / uJ; },
+      3);
+  row("Latency (us)",
+      [](const EvaluatedDesign& d) { return d.metrics.latency / us; }, 4);
+  row("Error Rate of Output (%)",
+      [](const EvaluatedDesign& d) { return 100.0 * d.metrics.max_error_rate; },
+      2);
+  row("Power (W)",
+      [](const EvaluatedDesign& d) { return d.metrics.power; }, 3);
+  row("Crossbar Size",
+      [](const EvaluatedDesign& d) { return double(d.point.crossbar_size); },
+      0);
+  row("Line Tech Node (nm)",
+      [](const EvaluatedDesign& d) { return double(d.point.interconnect_node); },
+      0);
+  row("Parallelism Degree",
+      [](const EvaluatedDesign& d) {
+        return double(d.point.parallelism == 0 ? d.point.crossbar_size
+                                               : d.point.parallelism);
+      },
+      0);
+  return table.str();
+}
+
+}  // namespace mnsim::dse

@@ -1,0 +1,33 @@
+// Exploration reporting: the normalized five-axis comparison of Fig. 9
+// and table renderings of exploration results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+
+namespace mnsim::dse {
+
+// One pentagon of Fig. 9: reciprocal area, energy efficiency, reciprocal
+// power, speed (reciprocal latency), and accuracy, each normalized by the
+// maximum across the compared designs (so every axis is in (0, 1]).
+struct RadarEntry {
+  std::string label;
+  DesignPoint point;
+  double reciprocal_area = 0.0;
+  double energy_efficiency = 0.0;
+  double reciprocal_power = 0.0;
+  double speed = 0.0;
+  double accuracy = 0.0;
+};
+
+std::vector<RadarEntry> normalized_radar(
+    const std::vector<std::pair<std::string, EvaluatedDesign>>& designs);
+
+// Renders an exploration's per-objective optima as the paper's Table IV /
+// Table VI layout (one column per optimization target).
+std::string format_optima_table(const ExplorationResult& result,
+                                const std::string& title);
+
+}  // namespace mnsim::dse

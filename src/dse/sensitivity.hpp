@@ -1,0 +1,41 @@
+// One-at-a-time sensitivity analysis.
+//
+// Around a base design point, each swept knob (crossbar size,
+// parallelism, interconnect node) is moved one step in each direction
+// and the induced relative change of every metric is recorded — the
+// local elasticities a designer reads before committing to a full
+// exploration, and a quick sanity check that the models respond in the
+// expected directions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+
+namespace mnsim::dse {
+
+struct SensitivityEntry {
+  std::string knob;          // "crossbar_size", "parallelism", ...
+  DesignPoint varied_point;  // the neighbouring point evaluated
+  // Relative metric changes vs the base point: (varied - base) / base.
+  double d_area = 0.0;
+  double d_energy = 0.0;
+  double d_latency = 0.0;
+  double d_error = 0.0;
+};
+
+struct SensitivityReport {
+  DesignPoint base_point;
+  DesignMetrics base_metrics;
+  std::vector<SensitivityEntry> entries;
+};
+
+// Doubles/halves the crossbar size and parallelism and steps the
+// interconnect node through the sweep list around `point`. Neighbours
+// falling outside valid ranges are skipped.
+SensitivityReport analyze_sensitivity(const nn::Network& network,
+                                      const arch::AcceleratorConfig& base,
+                                      const DesignPoint& point);
+
+}  // namespace mnsim::dse

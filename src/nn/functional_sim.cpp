@@ -1,0 +1,371 @@
+#include "nn/functional_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace mnsim::nn {
+
+namespace {
+
+// Forward pass of an MLP in doubles with optional per-layer multiplicative
+// output perturbation; activations are clamped-ReLU re-normalized per
+// layer so both runs share scales.
+std::vector<double> forward(const std::vector<IntMatrix>& weights,
+                            const std::vector<double>& input,
+                            const std::vector<double>& layer_eps,
+                            std::mt19937* rng) {
+  std::vector<double> x = input;
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    const auto& w = weights[l];
+    std::vector<double> y(w.size(), 0.0);
+    for (std::size_t o = 0; o < w.size(); ++o) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < w[o].size(); ++i) acc += w[o][i] * x[i];
+      if (rng) {
+        std::uniform_real_distribution<double> err(-layer_eps[l],
+                                                   layer_eps[l]);
+        acc *= 1.0 + err(*rng);
+      }
+      y[o] = std::max(acc, 0.0);  // ReLU reference neuron
+    }
+    x = std::move(y);
+  }
+  return x;
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const Network& network,
+                                 const std::vector<double>& layer_eps,
+                                 const MonteCarloConfig& config) {
+  network.validate();
+  std::vector<const Layer*> fc;
+  for (const auto& l : network.layers) {
+    if (l.kind != LayerKind::kFullyConnected)
+      throw std::invalid_argument("run_monte_carlo: MLP networks only");
+    fc.push_back(&l);
+  }
+  if (layer_eps.size() != fc.size())
+    throw std::invalid_argument("run_monte_carlo: one eps per layer");
+  if (config.samples <= 0 || config.weight_draws <= 0)
+    throw std::invalid_argument("run_monte_carlo: sample counts");
+
+  std::mt19937 rng(config.seed);
+  const int k = 1 << config.signal_bits;
+
+  double deviation_sum = 0.0;
+  long deviation_count = 0;
+  double max_rate = 0.0;
+
+  for (int draw = 0; draw < config.weight_draws; ++draw) {
+    // Random signed weights quantized to the network's weight precision.
+    std::vector<IntMatrix> weights;
+    std::uniform_real_distribution<double> wdist(-1.0, 1.0);
+    for (const Layer* l : fc) {
+      Matrix w(static_cast<std::size_t>(l->out_features),
+               std::vector<double>(static_cast<std::size_t>(l->in_features)));
+      for (auto& row : w)
+        for (double& v : row) v = wdist(rng);
+      double scale = 1.0;
+      IntMatrix q = quantize_symmetric(w, network.weight_bits, &scale);
+      // Keep integer weights; activations carry the scale implicitly.
+      weights.push_back(std::move(q));
+    }
+
+    std::uniform_real_distribution<double> xdist(0.0, 1.0);
+    for (int s = 0; s < config.samples; ++s) {
+      std::vector<double> input(
+          static_cast<std::size_t>(fc.front()->in_features));
+      for (double& v : input) v = xdist(rng);
+
+      const auto ideal = forward(weights, input, layer_eps, nullptr);
+      const auto actual = forward(weights, input, layer_eps, &rng);
+
+      double max_out = 0.0;
+      for (double v : ideal) max_out = std::max(max_out, v);
+      if (max_out <= 0) continue;
+      const double lsb = max_out / (k - 1);
+      for (std::size_t o = 0; o < ideal.size(); ++o) {
+        const long qi = std::lround(ideal[o] / lsb);
+        const long qa = std::lround(std::min(actual[o], max_out) / lsb);
+        const double rate =
+            static_cast<double>(std::labs(qa - qi)) / (k - 1);
+        deviation_sum += rate;
+        ++deviation_count;
+        max_rate = std::max(max_rate, rate);
+      }
+    }
+  }
+
+  MonteCarloResult result;
+  if (deviation_count > 0)
+    result.avg_error_rate = deviation_sum / deviation_count;
+  result.max_error_rate = max_rate;
+  result.relative_accuracy = 1.0 - result.avg_error_rate;
+  return result;
+}
+
+namespace {
+
+// A feature map in channel-major layout.
+struct Tensor {
+  int channels = 0;
+  int height = 0;
+  int width = 0;
+  std::vector<double> data;
+
+  double& at(int c, int y, int x) {
+    return data[(static_cast<std::size_t>(c) * height + y) * width + x];
+  }
+  [[nodiscard]] double get(int c, int y, int x) const {
+    if (x < 0 || y < 0 || x >= width || y >= height) return 0.0;  // padding
+    return data[(static_cast<std::size_t>(c) * height + y) * width + x];
+  }
+  static Tensor zeros(int c, int h, int w) {
+    Tensor t;
+    t.channels = c;
+    t.height = h;
+    t.width = w;
+    t.data.assign(static_cast<std::size_t>(c) * h * w, 0.0);
+    return t;
+  }
+};
+
+// Per-layer integer weights: conv stored [out_ch][in_ch*k*k], FC stored
+// [out][in].
+struct NetWeights {
+  std::vector<IntMatrix> per_layer;
+};
+
+Tensor forward_network(const Network& net, const NetWeights& weights,
+                       const Tensor& input,
+                       const std::vector<double>& layer_eps,
+                       std::mt19937* rng) {
+  Tensor x = input;
+  std::size_t w_index = 0;
+  for (const auto& layer : net.layers) {
+    if (layer.kind == LayerKind::kPooling) {
+      const int p = layer.pool_size;
+      Tensor y = Tensor::zeros(x.channels, x.height / p, x.width / p);
+      for (int c = 0; c < y.channels; ++c)
+        for (int oy = 0; oy < y.height; ++oy)
+          for (int ox = 0; ox < y.width; ++ox) {
+            double m = -1e300;
+            for (int dy = 0; dy < p; ++dy)
+              for (int dx = 0; dx < p; ++dx)
+                m = std::max(m, x.get(c, oy * p + dy, ox * p + dx));
+            y.at(c, oy, ox) = m;
+          }
+      x = std::move(y);
+      continue;
+    }
+
+    const auto& w = weights.per_layer.at(w_index);
+    const double eps = layer_eps.at(w_index);
+    ++w_index;
+    std::uniform_real_distribution<double> err(-eps, eps);
+
+    if (layer.kind == LayerKind::kConvolution) {
+      const int k = layer.kernel;
+      const int pad = layer.padding;
+      Tensor y = Tensor::zeros(layer.out_channels, layer.out_height(),
+                               layer.out_width());
+      for (int oy = 0; oy < y.height; ++oy)
+        for (int ox = 0; ox < y.width; ++ox)
+          for (int oc = 0; oc < y.channels; ++oc) {
+            double acc = 0.0;
+            int row = 0;
+            for (int ic = 0; ic < layer.in_channels; ++ic)
+              for (int dy = 0; dy < k; ++dy)
+                for (int dx = 0; dx < k; ++dx)
+                  acc += w[oc][row++] *
+                         x.get(ic, oy * layer.stride + dy - pad,
+                               ox * layer.stride + dx - pad);
+            if (rng) acc *= 1.0 + err(*rng);
+            y.at(oc, oy, ox) = std::max(acc, 0.0);  // ReLU
+          }
+      x = std::move(y);
+    } else {
+      Tensor y = Tensor::zeros(static_cast<int>(w.size()), 1, 1);
+      for (std::size_t o = 0; o < w.size(); ++o) {
+        double acc = 0.0;
+        const std::size_t in =
+            std::min(w[o].size(), x.data.size());
+        for (std::size_t i = 0; i < in; ++i) acc += w[o][i] * x.data[i];
+        if (rng) acc *= 1.0 + err(*rng);
+        y.data[o] = std::max(acc, 0.0);
+      }
+      x = std::move(y);
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo_network(const Network& network,
+                                         const std::vector<double>& layer_eps,
+                                         const MonteCarloConfig& config) {
+  network.validate();
+  std::vector<const Layer*> weighted;
+  for (const auto& l : network.layers)
+    if (l.is_weighted()) weighted.push_back(&l);
+  if (layer_eps.size() != weighted.size())
+    throw std::invalid_argument(
+        "run_monte_carlo_network: one eps per weighted layer");
+  if (config.samples <= 0 || config.weight_draws <= 0)
+    throw std::invalid_argument("run_monte_carlo_network: sample counts");
+
+  const Layer& first = *weighted.front();
+  const bool conv_input = first.kind == LayerKind::kConvolution;
+  const int in_c = conv_input ? first.in_channels : first.in_features;
+  const int in_h = conv_input ? first.in_height : 1;
+  const int in_w = conv_input ? first.in_width : 1;
+
+  std::mt19937 rng(config.seed);
+  const int k = 1 << config.signal_bits;
+  double deviation_sum = 0.0;
+  long deviation_count = 0;
+  double max_rate = 0.0;
+
+  for (int draw = 0; draw < config.weight_draws; ++draw) {
+    NetWeights weights;
+    std::uniform_real_distribution<double> wdist(-1.0, 1.0);
+    for (const Layer* l : weighted) {
+      Matrix w(static_cast<std::size_t>(l->matrix_cols()),
+               std::vector<double>(
+                   static_cast<std::size_t>(l->matrix_rows())));
+      for (auto& row : w)
+        for (double& v : row) v = wdist(rng);
+      double scale = 1.0;
+      weights.per_layer.push_back(
+          quantize_symmetric(w, network.weight_bits, &scale));
+    }
+
+    std::uniform_real_distribution<double> xdist(0.0, 1.0);
+    for (int s = 0; s < config.samples; ++s) {
+      Tensor input = Tensor::zeros(in_c, in_h, in_w);
+      for (double& v : input.data) v = xdist(rng);
+
+      const Tensor ideal =
+          forward_network(network, weights, input, layer_eps, nullptr);
+      const Tensor actual =
+          forward_network(network, weights, input, layer_eps, &rng);
+
+      double max_out = 0.0;
+      for (double v : ideal.data) max_out = std::max(max_out, v);
+      if (max_out <= 0) continue;
+      const double lsb = max_out / (k - 1);
+      for (std::size_t o = 0; o < ideal.data.size(); ++o) {
+        const long qi = std::lround(ideal.data[o] / lsb);
+        const long qa =
+            std::lround(std::min(actual.data[o], max_out) / lsb);
+        const double rate =
+            static_cast<double>(std::labs(qa - qi)) / (k - 1);
+        deviation_sum += rate;
+        ++deviation_count;
+        max_rate = std::max(max_rate, rate);
+      }
+    }
+  }
+
+  MonteCarloResult result;
+  if (deviation_count > 0)
+    result.avg_error_rate = deviation_sum / deviation_count;
+  result.max_error_rate = max_rate;
+  result.relative_accuracy = 1.0 - result.avg_error_rate;
+  return result;
+}
+
+ElectricalLayerResult electrical_layer_outputs(
+    const IntMatrix& weights, const std::vector<int>& inputs, int weight_bits,
+    int input_bits, const tech::MemristorModel& device,
+    double segment_resistance, double sense_resistance) {
+  if (weights.empty() || weights.front().empty())
+    throw std::invalid_argument("electrical_layer_outputs: empty weights");
+  const int outputs = static_cast<int>(weights.size());
+  const int rows = static_cast<int>(weights.front().size());
+  if (static_cast<int>(inputs.size()) != rows)
+    throw std::invalid_argument("electrical_layer_outputs: input size");
+
+  const CellMatrices cells = weights_to_cells(weights, weight_bits, device);
+
+  // Crossbars are stored column-per-output: transpose the [out][in]
+  // weight layout into [row=in][col=out] cell matrices.
+  auto transpose = [&](const std::vector<std::vector<double>>& m) {
+    std::vector<std::vector<double>> t(
+        static_cast<std::size_t>(rows),
+        std::vector<double>(static_cast<std::size_t>(outputs)));
+    for (int o = 0; o < outputs; ++o)
+      for (int i = 0; i < rows; ++i) t[i][o] = m[o][i];
+    return t;
+  };
+
+  const int in_full_scale = (1 << input_bits) - 1;
+  std::vector<double> v_in(static_cast<std::size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    if (inputs[i] < 0 || inputs[i] > in_full_scale)
+      throw std::invalid_argument("electrical_layer_outputs: input code");
+    v_in[i] = device.v_read * inputs[i] / in_full_scale;
+  }
+
+  auto make_spec = [&](const std::vector<std::vector<double>>& cell_r) {
+    spice::CrossbarSpec spec;
+    spec.rows = rows;
+    spec.cols = outputs;
+    spec.device = device;
+    spec.segment_resistance = segment_resistance;
+    spec.sense_resistance = sense_resistance;
+    spec.input_voltages = v_in;
+    spec.cell_resistance = cell_r;
+    return spec;
+  };
+
+  const auto spec_pos = make_spec(transpose(cells.positive));
+  const auto spec_neg = make_spec(transpose(cells.negative));
+
+  const auto sol_pos = spice::solve_crossbar(spec_pos);
+  const auto sol_neg = spice::solve_crossbar(spec_neg);
+  const auto idl_pos = spice::ideal_column_outputs(spec_pos);
+  const auto idl_neg = spice::ideal_column_outputs(spec_neg);
+
+  // Fixed-point reference dot products.
+  ElectricalLayerResult result;
+  result.ideal.resize(static_cast<std::size_t>(outputs), 0.0);
+  for (int o = 0; o < outputs; ++o) {
+    double acc = 0.0;
+    for (int i = 0; i < rows; ++i)
+      acc += static_cast<double>(weights[o][i]) * inputs[i];
+    result.ideal[o] = acc;
+  }
+
+  // One global linear map from ideal voltage difference to the dot
+  // product (least squares through the origin), then apply it to the
+  // solved voltages: residuals are exactly the analog computing error.
+  double num = 0.0;
+  double den = 0.0;
+  for (int o = 0; o < outputs; ++o) {
+    const double dv = idl_pos[o] - idl_neg[o];
+    num += dv * result.ideal[o];
+    den += dv * dv;
+  }
+  const double map = den > 0 ? num / den : 0.0;
+
+  result.analog.resize(static_cast<std::size_t>(outputs), 0.0);
+  double err_sum = 0.0;
+  double full_scale = 1e-300;
+  for (int o = 0; o < outputs; ++o)
+    full_scale = std::max(full_scale, std::fabs(result.ideal[o]));
+  for (int o = 0; o < outputs; ++o) {
+    const double dv =
+        sol_pos.column_output_voltage[o] - sol_neg.column_output_voltage[o];
+    result.analog[o] = map * dv;
+    err_sum += std::fabs(result.analog[o] - result.ideal[o]) / full_scale;
+  }
+  result.mean_relative_error = err_sum / outputs;
+  return result;
+}
+
+}  // namespace mnsim::nn

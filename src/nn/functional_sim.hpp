@@ -1,0 +1,76 @@
+// Functional fixed-point inference with analog error injection.
+//
+// Cross-checks the analytic accuracy model empirically (paper Sec. VII-A:
+// "Average Relative Accuracy" of Table II and the JPEG autoencoder
+// validation): a fully-connected network is executed in fixed point
+// (the ideal reference of Sec. VI), then re-executed with each layer's
+// pre-quantization analog output perturbed by the crossbar error rate,
+// and the two runs are compared at the output.
+//
+// Two perturbation sources are supported:
+//  * `run_monte_carlo` — per-output relative error drawn uniformly from
+//    [-eps_layer, +eps_layer] (fast, any size), and
+//  * `electrical_layer_outputs` — one layer evaluated through the full
+//    circuit-level crossbar solve with the weights actually programmed as
+//    cell conductances (slow, used for small validation nets).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/quantization.hpp"
+#include "spice/crossbar_netlist.hpp"
+
+namespace mnsim::nn {
+
+struct MonteCarloConfig {
+  int samples = 100;          // input samples per weight draw
+  int weight_draws = 20;      // random weight matrices (paper: 20)
+  std::uint32_t seed = 42;
+  int signal_bits = 8;        // activation quantization
+};
+
+struct MonteCarloResult {
+  // 1 - mean(|actual - ideal|) / full_scale at the network output.
+  double relative_accuracy = 0.0;
+  // Largest observed per-output digital deviation, normalized.
+  double max_error_rate = 0.0;
+  // Mean observed per-output digital deviation, normalized (compare
+  // against accuracy::avg_error_rate of the propagated epsilon).
+  double avg_error_rate = 0.0;
+};
+
+// `layer_eps[i]` is the analog error rate of the i-th weighted layer
+// (from accuracy::estimate_voltage_error). The network must be fully
+// connected (MLP); throws otherwise.
+MonteCarloResult run_monte_carlo(const Network& network,
+                                 const std::vector<double>& layer_eps,
+                                 const MonteCarloConfig& config);
+
+// General variant supporting conv / pooling / FC networks: convolutions
+// execute pixel-by-pixel (each output pixel is one perturbed
+// matrix-vector pass, matching the accelerator's dataflow), max pooling
+// follows its attached conv bank. Keep input maps modest (<= 32x32) —
+// the functional conv is O(pixels * channels * k^2).
+MonteCarloResult run_monte_carlo_network(const Network& network,
+                                         const std::vector<double>& layer_eps,
+                                         const MonteCarloConfig& config);
+
+// Evaluates one FC layer electrically: programs the signed weights into
+// positive/negative cell matrices, drives the quantized inputs as DAC
+// voltages, solves both crossbars circuit-level, and returns the
+// subtracted, renormalized analog outputs alongside the ideal fixed-point
+// ones. `segment_resistance`/`sense_resistance` configure the arrays.
+struct ElectricalLayerResult {
+  std::vector<double> analog;  // reconstructed outputs (weight-scale units)
+  std::vector<double> ideal;   // fixed-point reference
+  double mean_relative_error = 0.0;
+};
+
+ElectricalLayerResult electrical_layer_outputs(
+    const IntMatrix& weights, const std::vector<int>& inputs, int weight_bits,
+    int input_bits, const tech::MemristorModel& device,
+    double segment_resistance, double sense_resistance);
+
+}  // namespace mnsim::nn

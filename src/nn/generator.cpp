@@ -1,0 +1,84 @@
+#include "nn/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace mnsim::nn {
+
+void GeneratorOptions::validate() const {
+  if (min_layers < 1 || max_layers < min_layers)
+    throw std::invalid_argument("GeneratorOptions: layer bounds");
+  if (min_width < 1 || max_width < min_width)
+    throw std::invalid_argument("GeneratorOptions: width bounds");
+}
+
+Network random_network(const GeneratorOptions& opt) {
+  opt.validate();
+  std::mt19937 rng(opt.seed);
+  std::uniform_int_distribution<int> layer_count(opt.min_layers,
+                                                 opt.max_layers);
+  auto width = [&] {
+    // Log-uniform widths so small and large layers both appear.
+    std::uniform_real_distribution<double> u(std::log(double(opt.min_width)),
+                                             std::log(double(opt.max_width)));
+    return std::max(opt.min_width,
+                    static_cast<int>(std::lround(std::exp(u(rng)))));
+  };
+
+  Network net;
+  net.input_bits = 8;
+  net.weight_bits = std::uniform_int_distribution<int>(2, 8)(rng);
+
+  const bool cnn = opt.allow_cnn &&
+                   std::uniform_int_distribution<int>(0, 1)(rng) == 1;
+  const int layers = layer_count(rng);
+
+  if (!cnn) {
+    net.name = "random-mlp";
+    net.type = NetworkType::kAnn;
+    int in = width();
+    for (int i = 0; i < layers; ++i) {
+      const int out = width();
+      net.layers.push_back(Layer::fully_connected(
+          "fc" + std::to_string(i + 1), in, out,
+          std::uniform_int_distribution<int>(0, 1)(rng) == 1));
+      in = out;
+    }
+    net.validate();
+    return net;
+  }
+
+  net.name = "random-cnn";
+  net.type = NetworkType::kCnn;
+  std::uniform_int_distribution<int> kernel_pick(0, 2);
+  const int kernels[] = {1, 3, 5};
+  int map = std::uniform_int_distribution<int>(16, 64)(rng);
+  int channels = std::uniform_int_distribution<int>(1, 8)(rng);
+
+  int conv_layers = std::max(1, layers - 1);
+  for (int i = 0; i < conv_layers; ++i) {
+    const int k = kernels[kernel_pick(rng)];
+    if (map < k) break;
+    const int out_ch = std::uniform_int_distribution<int>(4, 64)(rng);
+    const int pad = k / 2;
+    net.layers.push_back(Layer::convolution("conv" + std::to_string(i + 1),
+                                            channels, out_ch, k, map, map,
+                                            pad));
+    channels = out_ch;
+    if (map >= 8 && std::uniform_int_distribution<int>(0, 1)(rng) == 1) {
+      net.layers.push_back(Layer::pooling("pool" + std::to_string(i + 1), 2));
+      map /= 2;
+    }
+  }
+  const long flat = static_cast<long>(channels) * map * map;
+  const int head_in = static_cast<int>(std::min<long>(flat, 1 << 16));
+  net.layers.push_back(Layer::fully_connected(
+      "fc_head", std::max(head_in, 1),
+      std::uniform_int_distribution<int>(2, 100)(rng)));
+  net.validate();
+  return net;
+}
+
+}  // namespace mnsim::nn

@@ -1,0 +1,29 @@
+// Random workload generation for property/fuzz testing.
+//
+// Produces structurally valid random networks (seeded, deterministic):
+// MLP chains of random widths, or CNNs of random conv/pool stacks
+// followed by FC heads. Used by the property tests to sweep the mapping
+// and simulation invariants over shapes no hand-written test would pick.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/network.hpp"
+
+namespace mnsim::nn {
+
+struct GeneratorOptions {
+  std::uint32_t seed = 1;
+  int min_layers = 1;
+  int max_layers = 6;
+  int min_width = 1;
+  int max_width = 2048;
+  bool allow_cnn = true;
+
+  void validate() const;
+};
+
+// Always returns a network that passes Network::validate().
+Network random_network(const GeneratorOptions& options);
+
+}  // namespace mnsim::nn

@@ -1,0 +1,162 @@
+#include "nn/network.hpp"
+
+namespace mnsim::nn {
+
+Layer Layer::fully_connected(std::string name, int in, int out, bool bias) {
+  Layer l;
+  l.kind = LayerKind::kFullyConnected;
+  l.name = std::move(name);
+  l.in_features = in;
+  l.out_features = out;
+  l.has_bias = bias;
+  l.validate();
+  return l;
+}
+
+Layer Layer::convolution(std::string name, int in_channels, int out_channels,
+                         int kernel, int in_width, int in_height,
+                         int padding) {
+  Layer l;
+  l.kind = LayerKind::kConvolution;
+  l.name = std::move(name);
+  l.in_channels = in_channels;
+  l.out_channels = out_channels;
+  l.kernel = kernel;
+  l.in_width = in_width;
+  l.in_height = in_height;
+  l.padding = padding;
+  l.validate();
+  return l;
+}
+
+Layer Layer::pooling(std::string name, int window) {
+  Layer l;
+  l.kind = LayerKind::kPooling;
+  l.name = std::move(name);
+  l.pool_size = window;
+  l.validate();
+  return l;
+}
+
+int Layer::out_width() const {
+  if (kind == LayerKind::kConvolution)
+    return (in_width + 2 * padding - kernel) / stride + 1;
+  return in_width;
+}
+
+int Layer::out_height() const {
+  if (kind == LayerKind::kConvolution)
+    return (in_height + 2 * padding - kernel) / stride + 1;
+  return in_height;
+}
+
+long Layer::matrix_rows() const {
+  switch (kind) {
+    case LayerKind::kFullyConnected:
+      return in_features + (has_bias ? 1 : 0);
+    case LayerKind::kConvolution:
+      return static_cast<long>(in_channels) * kernel * kernel;
+    case LayerKind::kPooling:
+      return 0;
+  }
+  throw std::logic_error("matrix_rows: unreachable");
+}
+
+long Layer::matrix_cols() const {
+  switch (kind) {
+    case LayerKind::kFullyConnected:
+      return out_features;
+    case LayerKind::kConvolution:
+      return out_channels;
+    case LayerKind::kPooling:
+      return 0;
+  }
+  throw std::logic_error("matrix_cols: unreachable");
+}
+
+long Layer::compute_iterations() const {
+  if (kind == LayerKind::kConvolution)
+    return static_cast<long>(out_width()) * out_height();
+  return kind == LayerKind::kFullyConnected ? 1 : 0;
+}
+
+long Layer::output_count() const {
+  switch (kind) {
+    case LayerKind::kFullyConnected:
+      return out_features;
+    case LayerKind::kConvolution:
+      return static_cast<long>(out_channels) * out_width() * out_height();
+    case LayerKind::kPooling:
+      return 0;  // attached to the preceding bank; no own outputs here
+  }
+  throw std::logic_error("output_count: unreachable");
+}
+
+void Layer::validate() const {
+  switch (kind) {
+    case LayerKind::kFullyConnected:
+      if (in_features <= 0 || out_features <= 0)
+        throw std::invalid_argument("Layer '" + name + "': FC features");
+      break;
+    case LayerKind::kConvolution:
+      if (in_channels <= 0 || out_channels <= 0 || kernel <= 0)
+        throw std::invalid_argument("Layer '" + name + "': conv shape");
+      if (in_width < kernel - 2 * padding || in_height < kernel - 2 * padding)
+        throw std::invalid_argument("Layer '" + name +
+                                    "': kernel larger than input");
+      if (stride <= 0) throw std::invalid_argument("Layer: stride");
+      break;
+    case LayerKind::kPooling:
+      if (pool_size <= 0)
+        throw std::invalid_argument("Layer '" + name + "': pool size");
+      break;
+  }
+}
+
+int Network::depth() const {
+  int d = 0;
+  for (const auto& l : layers)
+    if (l.is_weighted()) ++d;
+  return d;
+}
+
+long Network::total_weights() const {
+  long total = 0;
+  for (const auto& l : layers)
+    if (l.is_weighted()) total += l.matrix_rows() * l.matrix_cols();
+  return total;
+}
+
+long Network::input_size() const {
+  for (const auto& l : layers) {
+    if (!l.is_weighted()) continue;
+    if (l.kind == LayerKind::kFullyConnected) return l.in_features;
+    return static_cast<long>(l.in_channels) * l.in_width * l.in_height;
+  }
+  return 0;
+}
+
+long Network::output_size() const {
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it)
+    if (it->is_weighted()) return it->output_count();
+  return 0;
+}
+
+void Network::validate() const {
+  if (layers.empty()) throw std::invalid_argument("Network: no layers");
+  if (depth() == 0)
+    throw std::invalid_argument("Network: no weighted (neuromorphic) layers");
+  if (input_bits < 1 || input_bits > 16 || weight_bits < 1 ||
+      weight_bits > 16)
+    throw std::invalid_argument("Network: precision bits");
+  bool first = true;
+  for (const auto& l : layers) {
+    l.validate();
+    if (l.kind == LayerKind::kPooling && first)
+      throw std::invalid_argument(
+          "Network: pooling before any weighted layer");
+    if (l.is_weighted()) first = false;
+  }
+}
+
+}  // namespace mnsim::nn

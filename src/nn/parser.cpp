@@ -1,0 +1,130 @@
+#include "nn/parser.hpp"
+
+#include <sstream>
+
+namespace mnsim::nn {
+
+namespace {
+
+NetworkType type_from_string(const std::string& s) {
+  if (s == "ANN" || s == "ann") return NetworkType::kAnn;
+  if (s == "SNN" || s == "snn") return NetworkType::kSnn;
+  if (s == "CNN" || s == "cnn") return NetworkType::kCnn;
+  throw util::ConfigError("network type must be ANN/SNN/CNN, got '" + s +
+                          "'");
+}
+
+const char* type_to_string(NetworkType t) {
+  switch (t) {
+    case NetworkType::kAnn:
+      return "ANN";
+    case NetworkType::kSnn:
+      return "SNN";
+    case NetworkType::kCnn:
+      return "CNN";
+  }
+  return "ANN";
+}
+
+Layer parse_layer(const util::Config& cfg, const std::string& prefix) {
+  const std::string kind = cfg.get_string(prefix + ".kind");
+  if (kind == "fc") {
+    return Layer::fully_connected(
+        cfg.get_string_or(prefix + ".name", prefix),
+        static_cast<int>(cfg.get_int(prefix + ".in")),
+        static_cast<int>(cfg.get_int(prefix + ".out")),
+        cfg.get_bool_or(prefix + ".bias", true));
+  }
+  if (kind == "conv") {
+    Layer l = Layer::convolution(
+        cfg.get_string_or(prefix + ".name", prefix),
+        static_cast<int>(cfg.get_int(prefix + ".in_channels")),
+        static_cast<int>(cfg.get_int(prefix + ".out_channels")),
+        static_cast<int>(cfg.get_int(prefix + ".kernel")),
+        static_cast<int>(cfg.get_int(prefix + ".in_width")),
+        static_cast<int>(cfg.get_int(prefix + ".in_height")),
+        static_cast<int>(cfg.get_int_or(prefix + ".padding", 0)));
+    l.stride = static_cast<int>(cfg.get_int_or(prefix + ".stride", 1));
+    l.validate();
+    return l;
+  }
+  if (kind == "pool") {
+    return Layer::pooling(
+        cfg.get_string_or(prefix + ".name", prefix),
+        static_cast<int>(cfg.get_int(prefix + ".window")));
+  }
+  throw util::ConfigError("layer kind must be fc/conv/pool, got '" + kind +
+                          "' in [" + prefix + "]");
+}
+
+}  // namespace
+
+Network parse_network(const util::Config& cfg) {
+  Network net;
+  net.name = cfg.get_string_or("network.name", "network");
+  net.type = type_from_string(cfg.get_string_or("network.type", "ANN"));
+  net.input_bits =
+      static_cast<int>(cfg.get_int_or("network.input_bits", 8));
+  net.weight_bits =
+      static_cast<int>(cfg.get_int_or("network.weight_bits", 4));
+
+  for (int index = 1;; ++index) {
+    const std::string prefix = "layer" + std::to_string(index);
+    if (!cfg.has(prefix + ".kind")) {
+      // Gaps are user errors: a later layerN+1 with a missing layerN
+      // would silently truncate the network.
+      const std::string next = "layer" + std::to_string(index + 1);
+      if (cfg.has(next + ".kind"))
+        throw util::ConfigError("network layers must be contiguous: [" +
+                                prefix + "] is missing but [" + next +
+                                "] exists");
+      break;
+    }
+    net.layers.push_back(parse_layer(cfg, prefix));
+  }
+  net.validate();
+  return net;
+}
+
+Network parse_network_file(const std::string& path) {
+  return parse_network(util::Config::load(path));
+}
+
+std::string write_network(const Network& net) {
+  std::ostringstream os;
+  os << "[network]\n";
+  os << "name = " << net.name << "\n";
+  os << "type = " << type_to_string(net.type) << "\n";
+  os << "input_bits = " << net.input_bits << "\n";
+  os << "weight_bits = " << net.weight_bits << "\n";
+  int index = 0;
+  for (const auto& l : net.layers) {
+    os << "\n[layer" << ++index << "]\n";
+    os << "name = " << l.name << "\n";
+    switch (l.kind) {
+      case LayerKind::kFullyConnected:
+        os << "kind = fc\n";
+        os << "in = " << l.in_features << "\n";
+        os << "out = " << l.out_features << "\n";
+        os << "bias = " << (l.has_bias ? "true" : "false") << "\n";
+        break;
+      case LayerKind::kConvolution:
+        os << "kind = conv\n";
+        os << "in_channels = " << l.in_channels << "\n";
+        os << "out_channels = " << l.out_channels << "\n";
+        os << "kernel = " << l.kernel << "\n";
+        os << "in_width = " << l.in_width << "\n";
+        os << "in_height = " << l.in_height << "\n";
+        os << "padding = " << l.padding << "\n";
+        os << "stride = " << l.stride << "\n";
+        break;
+      case LayerKind::kPooling:
+        os << "kind = pool\n";
+        os << "window = " << l.pool_size << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mnsim::nn

@@ -1,0 +1,58 @@
+#include "nn/stats.hpp"
+
+#include <stdexcept>
+
+namespace mnsim::nn {
+
+NetworkStats characterize(const Network& network) {
+  network.validate();
+  NetworkStats stats;
+  long conv_macs = 0;
+  for (const auto& layer : network.layers) {
+    if (!layer.is_weighted()) continue;
+    LayerStats ls;
+    ls.name = layer.name;
+    ls.kind = layer.kind;
+    ls.matrix_rows = layer.matrix_rows();
+    ls.matrix_cols = layer.matrix_cols();
+    ls.weights = ls.matrix_rows * ls.matrix_cols;
+    ls.iterations = layer.compute_iterations();
+    ls.macs_per_sample = ls.weights * ls.iterations;
+    stats.total_weights += ls.weights;
+    stats.total_macs_per_sample += ls.macs_per_sample;
+    if (layer.kind == LayerKind::kConvolution)
+      conv_macs += ls.macs_per_sample;
+    stats.layers.push_back(std::move(ls));
+  }
+  stats.conv_mac_share =
+      stats.total_macs_per_sample > 0
+          ? static_cast<double>(conv_macs) / stats.total_macs_per_sample
+          : 0.0;
+  stats.macs_per_weight =
+      stats.total_weights > 0
+          ? static_cast<double>(stats.total_macs_per_sample) /
+                stats.total_weights
+          : 0.0;
+  return stats;
+}
+
+double crossbar_utilization(const Network& network, int crossbar_size) {
+  if (crossbar_size <= 0)
+    throw std::invalid_argument("crossbar_utilization: crossbar size");
+  network.validate();
+  long stored = 0;
+  long allocated = 0;
+  for (const auto& layer : network.layers) {
+    if (!layer.is_weighted()) continue;
+    const long rows = layer.matrix_rows();
+    const long cols = layer.matrix_cols();
+    const long row_blocks = (rows + crossbar_size - 1) / crossbar_size;
+    const long col_blocks = (cols + crossbar_size - 1) / crossbar_size;
+    stored += rows * cols;
+    allocated += row_blocks * col_blocks * static_cast<long>(crossbar_size) *
+                 crossbar_size;
+  }
+  return allocated > 0 ? static_cast<double>(stored) / allocated : 0.0;
+}
+
+}  // namespace mnsim::nn

@@ -1,0 +1,42 @@
+// Workload characterization.
+//
+// Summarizes what a network demands from the accelerator before any
+// simulation: multiply-accumulate operations per sample, weight storage,
+// per-layer matrix shapes, and — given a crossbar size — how well the
+// block tiling utilizes the programmed arrays (padded cells hold no
+// weights but still occupy area). Backs capacity checks and the
+// examples' workload tables.
+#pragma once
+
+#include "nn/network.hpp"
+
+namespace mnsim::nn {
+
+struct LayerStats {
+  std::string name;
+  LayerKind kind = LayerKind::kFullyConnected;
+  long matrix_rows = 0;
+  long matrix_cols = 0;
+  long weights = 0;
+  long macs_per_sample = 0;  // rows * cols * compute iterations
+  long iterations = 0;
+};
+
+struct NetworkStats {
+  std::vector<LayerStats> layers;
+  long total_weights = 0;
+  long total_macs_per_sample = 0;
+  double conv_mac_share = 0.0;  // fraction of MACs in conv layers
+  // Arithmetic intensity: MACs per weight touched (high for conv layers,
+  // 1 for FC — the reuse structure that motivates weight-stationary
+  // crossbars).
+  double macs_per_weight = 0.0;
+};
+
+NetworkStats characterize(const Network& network);
+
+// Crossbar utilization of the block tiling at `crossbar_size`: weights
+// stored / cells allocated across all banks, in (0, 1].
+double crossbar_utilization(const Network& network, int crossbar_size);
+
+}  // namespace mnsim::nn

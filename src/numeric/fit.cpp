@@ -1,0 +1,52 @@
+#include "numeric/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::numeric {
+
+FitResult least_squares(const DenseMatrix& a, const std::vector<double>& y) {
+  if (a.rows() != y.size())
+    throw std::invalid_argument("least_squares: row count mismatch");
+  if (a.rows() < a.cols())
+    throw std::invalid_argument("least_squares: underdetermined system");
+
+  DenseMatrix at = a.transpose();
+  DenseMatrix ata = at * a;
+  std::vector<double> aty = at * y;
+  FitResult result;
+  result.coefficients = lu_solve(ata, aty);
+
+  std::vector<double> pred = a * result.coefficients;
+  double ss = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    double r = pred[i] - y[i];
+    ss += r * r;
+    result.max_abs = std::max(result.max_abs, std::fabs(r));
+  }
+  result.rmse = std::sqrt(ss / static_cast<double>(y.size()));
+  return result;
+}
+
+FitResult fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  DenseMatrix a(x.size(), 2);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = x[i];
+  }
+  return least_squares(a, y);
+}
+
+FitResult fit_basis(const std::vector<std::vector<double>>& rows,
+                    const std::vector<double>& y) {
+  if (rows.empty()) throw std::invalid_argument("fit_basis: no rows");
+  DenseMatrix a(rows.size(), rows.front().size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != a.cols())
+      throw std::invalid_argument("fit_basis: ragged rows");
+    for (std::size_t j = 0; j < a.cols(); ++j) a(i, j) = rows[i][j];
+  }
+  return least_squares(a, y);
+}
+
+}  // namespace mnsim::numeric

@@ -1,0 +1,31 @@
+// Linear least squares, used to calibrate the behavior-level accuracy model
+// against circuit-level ("SPICE") samples, reproducing the paper's Fig. 5
+// fitting procedure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace mnsim::numeric {
+
+struct FitResult {
+  std::vector<double> coefficients;
+  double rmse = 0.0;      // root mean squared residual
+  double max_abs = 0.0;   // worst residual
+};
+
+// Solves min ||A c - y||^2 via the normal equations (A is tall-skinny with
+// very few columns for our fits, so this is numerically adequate).
+FitResult least_squares(const DenseMatrix& a, const std::vector<double>& y);
+
+// Fits y ~= c0 + c1*x (returns {c0, c1}).
+FitResult fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+// Fits y ~= sum_j c_j * basis[j](row) where basis columns are supplied by
+// the caller row-major: rows x terms.
+FitResult fit_basis(const std::vector<std::vector<double>>& rows,
+                    const std::vector<double>& y);
+
+}  // namespace mnsim::numeric

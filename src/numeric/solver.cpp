@@ -1,0 +1,49 @@
+#include "numeric/solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::numeric {
+
+RootResult newton_bisect(const std::function<double(double)>& f, double lo,
+                         double hi, double tolerance,
+                         std::size_t max_iterations) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0, true};
+  if (fhi == 0.0) return {hi, 0, true};
+  if ((flo > 0) == (fhi > 0))
+    throw std::invalid_argument("newton_bisect: root not bracketed");
+
+  RootResult res;
+  double x = 0.5 * (lo + hi);
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    double fx = f(x);
+    res.iterations = it + 1;
+    if (std::fabs(fx) < tolerance || (hi - lo) < tolerance * std::fabs(x)) {
+      res.x = x;
+      res.converged = true;
+      return res;
+    }
+    // Maintain the bracket.
+    if ((fx > 0) == (flo > 0)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+      fhi = fx;
+    }
+    // Newton step from a secant-estimated derivative; fall back to
+    // bisection when the step leaves the bracket.
+    double h = 1e-7 * (std::fabs(x) + 1.0);
+    double dfx = (f(x + h) - fx) / h;
+    double next = (dfx != 0.0) ? x - fx / dfx : lo;
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    x = next;
+  }
+  res.x = x;
+  res.converged = false;
+  return res;
+}
+
+}  // namespace mnsim::numeric

@@ -1,0 +1,20 @@
+// Scalar root finding used by the nonlinear device models.
+#pragma once
+
+#include <functional>
+
+namespace mnsim::numeric {
+
+struct RootResult {
+  double x = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+// Newton-Raphson with bisection fallback on the bracket [lo, hi].
+// `f` must be continuous with f(lo) and f(hi) of opposite sign (or zero).
+RootResult newton_bisect(const std::function<double(double)>& f, double lo,
+                         double hi, double tolerance = 1e-12,
+                         std::size_t max_iterations = 200);
+
+}  // namespace mnsim::numeric

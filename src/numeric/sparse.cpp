@@ -1,0 +1,110 @@
+#include "numeric/sparse.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::numeric {
+
+void SparseBuilder::add(std::size_t row, std::size_t col, double value) {
+  if (row >= n_ || col >= n_)
+    throw std::out_of_range("SparseBuilder::add: index out of range");
+  entries_[{row, col}] += value;
+}
+
+CsrMatrix::CsrMatrix(const SparseBuilder& builder) : n_(builder.size()) {
+  row_start_.assign(n_ + 1, 0);
+  const auto& entries = builder.entries();
+  for (const auto& [key, value] : entries) {
+    (void)value;
+    ++row_start_[key.first + 1];
+  }
+  for (std::size_t i = 0; i < n_; ++i) row_start_[i + 1] += row_start_[i];
+  col_.resize(entries.size());
+  values_.resize(entries.size());
+  std::vector<std::size_t> cursor(row_start_.begin(), row_start_.end() - 1);
+  for (const auto& [key, value] : entries) {
+    std::size_t slot = cursor[key.first]++;
+    col_[slot] = key.second;
+    values_[slot] = value;
+  }
+}
+
+void CsrMatrix::multiply(const std::vector<double>& x,
+                         std::vector<double>& y) const {
+  if (x.size() != n_)
+    throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  y.assign(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k)
+      acc += values_[k] * x[col_[k]];
+    y[r] = acc;
+  }
+}
+
+std::vector<double> CsrMatrix::jacobi_diagonal() const {
+  std::vector<double> d(n_, 1.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
+      if (col_[k] == r && values_[k] != 0.0) d[r] = values_[k];
+    }
+  }
+  return d;
+}
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            double tolerance, std::size_t max_iterations) {
+  const std::size_t n = a.size();
+  if (b.size() != n)
+    throw std::invalid_argument("conjugate_gradient: size mismatch");
+  if (max_iterations == 0) max_iterations = 4 * n + 100;
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> diag = a.jacobi_diagonal();
+  std::vector<double> z(n), p(n), ap(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+  p = z;
+  double rz = dot(r, z);
+  const double b_norm = std::sqrt(dot(b, b));
+  const double stop = tolerance * (b_norm > 0 ? b_norm : 1.0);
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    result.residual_norm = std::sqrt(dot(r, r));
+    if (result.residual_norm <= stop) {
+      result.converged = true;
+      result.iterations = it;
+      return result;
+    }
+    a.multiply(p, ap);
+    double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+    double rz_next = dot(r, z);
+    double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    result.iterations = it + 1;
+  }
+  result.residual_norm = std::sqrt(dot(r, r));
+  result.converged = result.residual_norm <= stop;
+  return result;
+}
+
+}  // namespace mnsim::numeric

@@ -1,0 +1,69 @@
+// Sparse symmetric matrices for the MNA solver.
+//
+// A crossbar's resistor network has ~5 nonzeros per node, so the DC
+// operating point is solved with compressed-sparse-row storage and
+// conjugate gradients (the conductance matrix of a grounded resistive
+// network is symmetric positive definite).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace mnsim::numeric {
+
+// Coordinate-format builder; duplicate (row, col) entries accumulate.
+class SparseBuilder {
+ public:
+  explicit SparseBuilder(std::size_t n) : n_(n) {}
+
+  void add(std::size_t row, std::size_t col, double value);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const std::map<std::pair<std::size_t, std::size_t>, double>&
+  entries() const {
+    return entries_;
+  }
+
+ private:
+  std::size_t n_;
+  std::map<std::pair<std::size_t, std::size_t>, double> entries_;
+};
+
+// Immutable CSR matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  explicit CsrMatrix(const SparseBuilder& builder);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  // y = A x
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  // Diagonal (for Jacobi preconditioning); zero diagonal entries are
+  // returned as 1.0 so the preconditioner stays well-defined.
+  [[nodiscard]] std::vector<double> jacobi_diagonal() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> col_;
+  std::vector<double> values_;
+};
+
+struct CgResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+// Jacobi-preconditioned conjugate gradient for SPD systems.
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            double tolerance = 1e-10,
+                            std::size_t max_iterations = 0);
+
+}  // namespace mnsim::numeric

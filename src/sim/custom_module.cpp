@@ -1,0 +1,174 @@
+#include "sim/custom_module.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuit/adc.hpp"
+#include "circuit/buffer.hpp"
+#include "circuit/crossbar.hpp"
+#include "circuit/dac.hpp"
+#include "circuit/decoder.hpp"
+#include "circuit/logic.hpp"
+#include "circuit/neuron.hpp"
+#include "tech/cmos_tech.hpp"
+#include "util/units.hpp"
+
+namespace mnsim::sim {
+
+using namespace mnsim::units;
+
+double CustomModule::task_energy() const {
+  const double per_op = energy_per_op >= 0
+                            ? energy_per_op
+                            : ppa.dynamic_power * ppa.latency;
+  return per_op * ops_per_task * count;
+}
+
+CustomModule& CustomAcceleratorSpec::add(std::string module_name,
+                                         circuit::Ppa ppa, long count,
+                                         double ops_per_task, bool critical) {
+  CustomModule m;
+  m.name = std::move(module_name);
+  m.ppa = ppa;
+  m.count = count;
+  m.ops_per_task = ops_per_task;
+  m.on_critical_path = critical;
+  modules.push_back(std::move(m));
+  return modules.back();
+}
+
+void CustomAcceleratorSpec::validate() const {
+  if (modules.empty())
+    throw std::invalid_argument("CustomAcceleratorSpec: no modules");
+  for (const auto& m : modules) {
+    if (m.count <= 0 || m.ops_per_task < 0)
+      throw std::invalid_argument("CustomAcceleratorSpec: module '" +
+                                  m.name + "' counts");
+  }
+  if (pipeline_stages < 1)
+    throw std::invalid_argument("CustomAcceleratorSpec: pipeline stages");
+  if (pipeline_stages > 1 && !(cycle_time > 0))
+    throw std::invalid_argument(
+        "CustomAcceleratorSpec: pipelined design needs a cycle time");
+}
+
+CustomReport simulate_custom(const CustomAcceleratorSpec& spec) {
+  spec.validate();
+  CustomReport rep;
+  double chain_latency = 0.0;
+  for (const auto& m : spec.modules) {
+    rep.area += m.ppa.area * m.count;
+    rep.leakage_power += m.ppa.leakage_power * m.count;
+    rep.energy_per_task += m.task_energy();
+    if (m.on_critical_path) chain_latency += m.ppa.latency;
+  }
+  rep.latency = spec.pipeline_stages > 1
+                    ? spec.pipeline_stages * spec.cycle_time *
+                          spec.task_cycles
+                    : chain_latency * spec.task_cycles;
+  rep.energy_per_task += rep.leakage_power * rep.latency;
+  rep.power = rep.latency > 0 ? rep.energy_per_task / rep.latency : 0.0;
+  return rep;
+}
+
+CustomAcceleratorSpec build_prime_ff_subarray() {
+  // PRIME (Sec. VII-E.1): 65 nm CMOS, RRAM, crossbar 256, 6-bit
+  // fixed-point I/O, 8-bit signed weights on 4-bit cells -> four cells
+  // per weight -> four crossbars; adders, sigmoid neurons and pooling
+  // move inside the reconfigurable units.
+  const auto cmos = tech::cmos_tech(65);
+  auto device = tech::default_rram();
+  device.level_bits = 4;
+
+  CustomAcceleratorSpec spec;
+  spec.name = "PRIME FF-subarray";
+
+  circuit::CrossbarModel xbar;
+  xbar.rows = 256;
+  xbar.cols = 256;
+  xbar.device = device;
+  xbar.interconnect_node_nm = 65;
+  spec.add("rram crossbar", xbar.compute_ppa(), 4, 1.0, true);
+
+  circuit::DecoderModel dec{256, circuit::DecoderKind::kComputationOriented,
+                            cmos};
+  spec.add("wordline decoder", dec.ppa(), 4, 1.0, true);
+
+  circuit::DacModel dac{6, cmos};
+  spec.add("input DAC", dac.ppa(), 256, 1.0, true);
+
+  // PRIME reads through fast flash-style 6-bit SAs, 16 per crossbar pair
+  // -> 16 sequential column groups per 256-column readout.
+  circuit::AdcModel sa{circuit::AdcKind::kFlash, 6, 50e6, cmos};
+  const double read_groups = 16.0;
+  auto& adc = spec.add("6-bit SA", sa.ppa(), 2 * 16, read_groups, true);
+  adc.ppa.latency *= read_groups;  // sequential groups on the path
+
+  spec.add("column mux", circuit::mux_ppa(16, 1, cmos), 2 * 16, read_groups);
+  spec.add("subtract/add units", circuit::subtractor_ppa(6, cmos), 32,
+           read_groups, true);
+  circuit::NeuronModel sigmoid{circuit::NeuronKind::kSigmoid, 6, cmos};
+  spec.add("sigmoid units", sigmoid.ppa(), 32, 8.0, true);
+  circuit::PoolingModel pool{2, 6, cmos};
+  spec.add("pooling units", pool.ppa(), 8, 4.0);
+  circuit::RegisterBankModel out{256, 6, cmos};
+  spec.add("output latch", out.ppa(), 1, read_groups, true);
+  return spec;
+}
+
+CustomAcceleratorSpec build_isaac_tile() {
+  // ISAAC (Sec. VII-E.2): 32 nm CMOS, 96 128x128 crossbars per tile, a
+  // 22-cycle inner pipeline at 100 ns, and the S&H / eDRAM / DAC / ADC
+  // imported from the original publication's per-module figures (the
+  // same substitution the paper performs).
+  const auto cmos = tech::cmos_tech(32);
+  auto device = tech::default_rram();
+  device.level_bits = 2;  // ISAAC stores 2 bits per cell
+
+  CustomAcceleratorSpec spec;
+  spec.name = "ISAAC tile";
+  spec.pipeline_stages = 22;
+  spec.cycle_time = 100 * ns;
+  spec.task_cycles = 1.0;
+
+  // Every datapath module is active in each of the 22 inner-pipeline
+  // cycles of a task, so per-task energy charges 22 activations of one
+  // 100 ns cycle.
+  circuit::CrossbarModel xbar;
+  xbar.rows = 128;
+  xbar.cols = 128;
+  xbar.device = device;
+  xbar.interconnect_node_nm = 32;
+  circuit::Ppa xbar_ppa = xbar.compute_ppa();
+  xbar_ppa.latency = spec.cycle_time;  // conducts for the full cycle
+  spec.add("rram crossbar", xbar_ppa, 96, 22.0);
+
+  // Imported modules (published figures): area, per-op energy.
+  auto imported = [](double area_mm2, double power_w, double latency_s) {
+    circuit::Ppa p;
+    p.area = area_mm2 * mm2;
+    p.dynamic_power = power_w;
+    p.latency = latency_s;
+    p.leakage_power = 0.05 * power_w;
+    return p;
+  };
+  // 8-bit 1.28 GS/s SAR ADC (Kull, JSSC'13): 3.1 mW, ~0.0015 mm^2.
+  spec.add("ADC (imported)", imported(0.0015, 3.1e-3, 100 * ns), 96, 22.0);
+  // 1-bit DACs on every row (128 per crossbar), negligible each.
+  spec.add("DAC array (imported)", imported(0.00025, 0.5e-3, 100 * ns), 96,
+           22.0);
+  // Sample-and-hold (O'Halloran, JSSC'04 class): 10 nW, tiny.
+  spec.add("S&H (imported)", imported(0.00004, 1e-8, 100 * ns), 96, 22.0);
+  // 64 KB eDRAM buffer + bus: 20.7 mW read power, 0.083 mm^2.
+  spec.add("eDRAM buffer (imported)", imported(0.083, 20.7e-3, 100 * ns), 1,
+           22.0);
+  // Shift-and-add, sigmoid, output registers from MNSIM's own models.
+  spec.add("shift&add", circuit::shifter_ppa(16, 8, cmos), 48, 22.0);
+  circuit::NeuronModel sigmoid{circuit::NeuronKind::kSigmoid, 8, cmos};
+  spec.add("sigmoid units", sigmoid.ppa(), 2, 22.0);
+  circuit::RegisterBankModel out{2048, 8, cmos};
+  spec.add("output register", out.ppa(), 1, 22.0);
+  return spec;
+}
+
+}  // namespace mnsim::sim

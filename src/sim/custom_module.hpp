@@ -1,0 +1,69 @@
+// Customized designs (paper Sec. III-E, VII-E).
+//
+// Users whose accelerator deviates from the reference hierarchy describe
+// it as a bag of modules — each with a performance quadruple, an
+// instance count, and a per-task activation count — plus an optional
+// inner pipeline (ISAAC's 22-stage tile). Module quadruples can come from
+// MNSIM's own circuit models, from an NVSim-format file (nvsim_io.hpp),
+// or from published numbers (how the paper imported ISAAC's S&H, eDRAM
+// and DAC/ADC). build_prime_ff_subarray and build_isaac_tile assemble the
+// two Sec. VII-E case studies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/module.hpp"
+
+namespace mnsim::sim {
+
+struct CustomModule {
+  std::string name;
+  circuit::Ppa ppa;           // one instance; latency = one activation
+  long count = 1;             // instances
+  double ops_per_task = 1.0;  // activations of each instance per task
+  bool on_critical_path = false;
+  // When >= 0 this energy per activation overrides ppa.dynamic_power *
+  // ppa.latency (for modules imported as energy figures).
+  double energy_per_op = -1.0;
+
+  [[nodiscard]] double task_energy() const;
+};
+
+struct CustomAcceleratorSpec {
+  std::string name;
+  std::vector<CustomModule> modules;
+  // Inner pipeline: when stages > 1 the task latency is
+  // stages * cycle_time * task_cycles (ISAAC style); otherwise the
+  // critical-path modules chain.
+  int pipeline_stages = 1;
+  double cycle_time = 0.0;
+  double task_cycles = 1.0;
+
+  CustomModule& add(std::string name, circuit::Ppa ppa, long count = 1,
+                    double ops_per_task = 1.0, bool critical = false);
+  void validate() const;
+};
+
+struct CustomReport {
+  double area = 0.0;
+  double leakage_power = 0.0;
+  double latency = 0.0;          // one task [s]
+  double energy_per_task = 0.0;  // dynamic + leakage * latency [J]
+  double power = 0.0;
+};
+
+CustomReport simulate_custom(const CustomAcceleratorSpec& spec);
+
+// Sec. VII-E.1: a PRIME full-function subarray — four 256x256 RRAM
+// crossbars, 6-bit input/output, 4-bit cells (four cells per 8-bit signed
+// weight), 65 nm CMOS, with the adders / neurons / pooling moved inside
+// the reconfigurable units. The task is one 256x256 DNN layer.
+CustomAcceleratorSpec build_prime_ff_subarray();
+
+// Sec. VII-E.2: an ISAAC tile — 96 128x128 crossbars, 32 nm CMOS, with
+// the S&H, eDRAM buffer and custom DAC/ADC imported as published module
+// figures and a 22-cycle inner pipeline. The task fills all crossbars.
+CustomAcceleratorSpec build_isaac_tile();
+
+}  // namespace mnsim::sim

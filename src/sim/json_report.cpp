@@ -1,0 +1,218 @@
+#include "sim/json_report.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mnsim::sim {
+
+namespace {
+
+std::string num(double v) {
+  // Shortest round-trip-exact representation.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string report_to_json(const nn::Network& network,
+                           const arch::AcceleratorReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"network\": {\"name\": " << quote(network.name)
+     << ", \"depth\": " << network.depth()
+     << ", \"weights\": " << network.total_weights() << "},\n";
+  os << "  \"totals\": {"
+     << "\"area\": " << num(report.area)
+     << ", \"power\": " << num(report.power)
+     << ", \"leakage_power\": " << num(report.leakage_power)
+     << ", \"energy_per_sample\": " << num(report.energy_per_sample)
+     << ", \"sample_latency\": " << num(report.sample_latency)
+     << ", \"pipeline_cycle\": " << num(report.pipeline_cycle)
+     << ", \"max_error_rate\": " << num(report.max_error_rate)
+     << ", \"avg_error_rate\": " << num(report.avg_error_rate)
+     << ", \"relative_accuracy\": " << num(report.relative_accuracy)
+     << ", \"total_units\": " << report.total_units
+     << ", \"total_crossbars\": " << report.total_crossbars << "},\n";
+
+  auto item = [&](const char* name, const arch::BreakdownItem& it,
+                  bool last = false) {
+    os << "    " << quote(name) << ": {\"area\": " << num(it.area)
+       << ", \"energy\": " << num(it.energy) << "}" << (last ? "\n" : ",\n");
+  };
+  os << "  \"breakdown\": {\n";
+  item("crossbars", report.breakdown.crossbars);
+  item("input_dacs", report.breakdown.input_dacs);
+  item("read_circuits", report.breakdown.read_circuits);
+  item("decoders", report.breakdown.decoders);
+  item("digital", report.breakdown.digital);
+  item("adder_trees", report.breakdown.adder_trees);
+  item("neurons", report.breakdown.neurons);
+  item("pooling", report.breakdown.pooling);
+  item("buffers", report.breakdown.buffers);
+  item("interfaces", report.breakdown.interfaces, true);
+  os << "  },\n";
+
+  os << "  \"banks\": [\n";
+  for (std::size_t b = 0; b < report.banks.size(); ++b) {
+    const auto& bank = report.banks[b];
+    os << "    {\"units\": " << bank.mapping.unit_count
+       << ", \"area\": " << num(bank.area)
+       << ", \"energy_per_sample\": " << num(bank.energy_per_sample)
+       << ", \"pass_latency\": " << num(bank.pass_latency)
+       << ", \"iterations\": " << bank.iterations
+       << ", \"epsilon_worst\": " << num(bank.epsilon_worst)
+       << ", \"epsilon_average\": " << num(bank.epsilon_average) << "}"
+       << (b + 1 < report.banks.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  void parse(std::map<std::string, double>& out) {
+    skip_ws();
+    value("", out);
+    skip_ws();
+    if (pos_ != text_.size())
+      throw std::runtime_error("json: trailing characters");
+  }
+
+ private:
+  void value(const std::string& path, std::map<std::string, double>& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("json: truncated");
+    const char c = text_[pos_];
+    if (c == '{') {
+      object(path, out);
+    } else if (c == '[') {
+      array(path, out);
+    } else if (c == '"') {
+      (void)string();
+    } else if (c == 't' || c == 'f' || c == 'n') {
+      literal();
+    } else {
+      out[path] = number();
+    }
+  }
+
+  void object(const std::string& path, std::map<std::string, double>& out) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = string();
+      skip_ws();
+      expect(':');
+      value(path.empty() ? key : path + "." + key, out);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  void array(const std::string& path, std::map<std::string, double>& out) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    int index = 0;
+    while (true) {
+      value(path + "." + std::to_string(index++), out);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string s;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      s += text_[pos_++];
+    }
+    expect('"');
+    return s;
+  }
+
+  double number() {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) throw std::runtime_error("json: expected number");
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  void literal() {
+    for (const char* word : {"true", "false", "null"}) {
+      const std::size_t len = std::string(word).size();
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        return;
+      }
+    }
+    throw std::runtime_error("json: bad literal");
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) throw std::runtime_error("json: truncated");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      throw std::runtime_error(std::string("json: expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::map<std::string, double> parse_json_numbers(const std::string& json) {
+  std::map<std::string, double> out;
+  JsonScanner scanner(json);
+  scanner.parse(out);
+  return out;
+}
+
+}  // namespace mnsim::sim

@@ -1,0 +1,92 @@
+#include "sim/mnsim.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace mnsim::sim {
+
+using namespace mnsim::units;
+
+arch::AcceleratorConfig load_config(const std::string& path) {
+  return arch::AcceleratorConfig::from_config(util::Config::load(path));
+}
+
+arch::AcceleratorReport simulate(const nn::Network& network,
+                                 const arch::AcceleratorConfig& config) {
+  return arch::simulate_accelerator(network, config);
+}
+
+std::string format_report(const nn::Network& network,
+                          const arch::AcceleratorReport& report) {
+  std::ostringstream os;
+  os << "MNSIM report: " << network.name << " (" << network.depth()
+     << " computation banks, " << report.total_units << " units, "
+     << report.total_crossbars << " crossbars)\n";
+
+  util::Table totals("Accelerator totals");
+  totals.set_header({"Metric", "Value"});
+  totals.add_row({"Area (mm^2)", util::Table::num(report.area / mm2, 3)});
+  totals.add_row({"Power (W)", util::Table::num(report.power, 4)});
+  totals.add_row(
+      {"Leakage (W)", util::Table::num(report.leakage_power, 4)});
+  totals.add_row({"Energy per sample (uJ)",
+                  util::Table::num(report.energy_per_sample / uJ, 4)});
+  totals.add_row({"Sample latency (us)",
+                  util::Table::num(report.sample_latency / us, 4)});
+  totals.add_row({"Pipeline cycle (us)",
+                  util::Table::num(report.pipeline_cycle / us, 4)});
+  totals.add_row({"Worst-case error (%)",
+                  util::Table::num(100 * report.max_error_rate, 3)});
+  totals.add_row({"Average error (%)",
+                  util::Table::num(100 * report.avg_error_rate, 3)});
+  totals.add_row({"Relative accuracy (%)",
+                  util::Table::num(100 * report.relative_accuracy, 2)});
+  os << totals.str();
+
+  util::Table modules("Module-class breakdown (area / dynamic energy)");
+  modules.set_header({"Module class", "Area (mm^2)", "Area share",
+                      "Energy (uJ)", "Energy share"});
+  const auto total = report.breakdown.total();
+  auto module_row = [&](const char* name, const arch::BreakdownItem& item) {
+    modules.add_row(
+        {name, util::Table::num(item.area / mm2, 4),
+         util::Table::num(total.area > 0 ? 100 * item.area / total.area : 0,
+                          1) +
+             "%",
+         util::Table::num(item.energy / uJ, 5),
+         util::Table::num(
+             total.energy > 0 ? 100 * item.energy / total.energy : 0, 1) +
+             "%"});
+  };
+  module_row("Memristor crossbars", report.breakdown.crossbars);
+  module_row("Input DACs", report.breakdown.input_dacs);
+  module_row("Read circuits (MUX+sub+ADC)", report.breakdown.read_circuits);
+  module_row("Decoders", report.breakdown.decoders);
+  module_row("Control/digital", report.breakdown.digital);
+  module_row("Adder trees", report.breakdown.adder_trees);
+  module_row("Neurons", report.breakdown.neurons);
+  module_row("Pooling (+buffer)", report.breakdown.pooling);
+  module_row("Output buffers", report.breakdown.buffers);
+  module_row("I/O interfaces", report.breakdown.interfaces);
+  os << modules.str();
+
+  util::Table banks("Per-bank breakdown");
+  banks.set_header({"Bank", "Units", "Area (mm^2)", "Energy (uJ)",
+                    "Pass latency (us)", "Iterations", "Worst eps (%)"});
+  int index = 0;
+  for (const auto& b : report.banks) {
+    banks.add_row({std::to_string(index++),
+                   std::to_string(b.mapping.unit_count),
+                   util::Table::num(b.area / mm2, 3),
+                   util::Table::num(b.energy_per_sample / uJ, 4),
+                   util::Table::num(b.pass_latency / us, 4),
+                   std::to_string(b.iterations),
+                   util::Table::num(100 * b.epsilon_worst, 3)});
+  }
+  os << banks.str();
+  return os.str();
+}
+
+}  // namespace mnsim::sim

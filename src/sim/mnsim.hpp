@@ -1,0 +1,30 @@
+// MNSIM platform front end (paper Sec. IV, Fig. 3).
+//
+// The software flow: read the Table-I configuration, generate the module
+// hierarchy for the target network, simulate bottom-up (unit -> bank ->
+// accelerator), and report area / power / latency / computing accuracy.
+// This header is the one most applications need; the lower-level headers
+// expose every model individually for customization.
+#pragma once
+
+#include <string>
+
+#include "arch/accelerator.hpp"
+#include "nn/topologies.hpp"
+
+namespace mnsim::sim {
+
+// Loads an INI configuration file into an AcceleratorConfig (Table I keys;
+// see arch::AcceleratorConfig::from_config).
+arch::AcceleratorConfig load_config(const std::string& path);
+
+// The full simulation flow for a network under a configuration.
+arch::AcceleratorReport simulate(const nn::Network& network,
+                                 const arch::AcceleratorConfig& config);
+
+// Human-readable report: accelerator totals followed by the per-bank
+// breakdown (area/power/latency/error per computation bank).
+std::string format_report(const nn::Network& network,
+                          const arch::AcceleratorReport& report);
+
+}  // namespace mnsim::sim

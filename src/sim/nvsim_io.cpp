@@ -1,0 +1,102 @@
+#include "sim/nvsim_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/config.hpp"
+#include "util/units.hpp"
+
+namespace mnsim::sim {
+
+using namespace mnsim::units;
+
+std::string write_nvsim_module(const NvsimModule& module) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "-ModuleName: %s\n"
+                "-Area (um^2): %.6g\n"
+                "-DynamicPower (mW): %.6g\n"
+                "-LeakagePower (uW): %.6g\n"
+                "-Latency (ns): %.6g\n",
+                module.name.c_str(), module.ppa.area / um2,
+                module.ppa.dynamic_power / mW,
+                module.ppa.leakage_power / uW, module.ppa.latency / ns);
+  return buf;
+}
+
+std::vector<NvsimModule> read_nvsim_modules(const std::string& text) {
+  std::vector<NvsimModule> modules;
+  std::istringstream in(text);
+  std::string line;
+  NvsimModule current;
+  bool open = false;
+
+  auto flush = [&] {
+    if (open) modules.push_back(current);
+    current = NvsimModule{};
+    open = false;
+  };
+
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = util::trim(line);
+    if (line.empty()) continue;
+    if (line.front() != '-')
+      throw std::runtime_error("nvsim line " + std::to_string(line_no) +
+                               ": expected '-Key: value'");
+    const auto colon = line.find(':');
+    if (colon == std::string::npos)
+      throw std::runtime_error("nvsim line " + std::to_string(line_no) +
+                               ": missing ':'");
+    const std::string key = util::trim(line.substr(1, colon - 1));
+    const std::string value = util::trim(line.substr(colon + 1));
+    if (key == "ModuleName") {
+      flush();
+      current.name = value;
+      open = true;
+      continue;
+    }
+    if (!open)
+      throw std::runtime_error("nvsim line " + std::to_string(line_no) +
+                               ": field before ModuleName");
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str())
+      throw std::runtime_error("nvsim line " + std::to_string(line_no) +
+                               ": non-numeric value '" + value + "'");
+    if (key == "Area (um^2)")
+      current.ppa.area = v * um2;
+    else if (key == "DynamicPower (mW)")
+      current.ppa.dynamic_power = v * mW;
+    else if (key == "LeakagePower (uW)")
+      current.ppa.leakage_power = v * uW;
+    else if (key == "Latency (ns)")
+      current.ppa.latency = v * ns;
+    else
+      throw std::runtime_error("nvsim line " + std::to_string(line_no) +
+                               ": unknown key '" + key + "'");
+  }
+  flush();
+  return modules;
+}
+
+bool save_nvsim_modules(const std::string& path,
+                        const std::vector<NvsimModule>& modules) {
+  std::ofstream f(path);
+  if (!f) return false;
+  for (const auto& m : modules) f << write_nvsim_module(m) << "\n";
+  return static_cast<bool>(f);
+}
+
+std::vector<NvsimModule> load_nvsim_modules(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open nvsim file: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return read_nvsim_modules(os.str());
+}
+
+}  // namespace mnsim::sim

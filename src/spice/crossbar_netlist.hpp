@@ -1,0 +1,66 @@
+// Crossbar network construction for circuit-level simulation.
+//
+// Builds the full resistor network of an M x N crossbar (paper Sec. VI):
+// M*N memristor cells, 2*M*N interconnect segments (r along every row and
+// column), N column sense resistors, and M input sources — the network a
+// circuit-level simulator must solve where the behavior-level model uses
+// Eq. 9-11. Row m is driven from the left; column n is sensed at the
+// bottom; the worst-case column of the paper's analysis is the one
+// farthest from the drivers (largest n).
+#pragma once
+
+#include <vector>
+
+#include "spice/mna.hpp"
+#include "spice/netlist.hpp"
+#include "tech/memristor.hpp"
+
+namespace mnsim::spice {
+
+struct CrossbarSpec {
+  int rows = 32;
+  int cols = 32;
+  tech::MemristorModel device;
+  double segment_resistance = 0.022; // r between neighbouring cells [ohm]
+  double sense_resistance = 60.0;    // column load R_s [ohm]
+  std::vector<double> input_voltages;              // size rows
+  std::vector<std::vector<double>> cell_resistance; // [rows][cols]
+  bool linear_memristors = false;    // ablation: ideal linear cells
+  bool ideal_wires = false;          // ablation: r = 0 (drop wire segments)
+  // When > 0, a grounded capacitor of this value is attached to every
+  // wire tap node — the full RC interconnect the behavior model drops
+  // (paper Sec. VI-B); used by the transient solver / RC ablation.
+  double segment_capacitance = 0.0;
+
+  // Convenience: every input at the device read voltage, every cell at
+  // `r_state` (pass device.r_min for the paper's worst case).
+  static CrossbarSpec uniform(int rows, int cols,
+                              const tech::MemristorModel& device,
+                              double segment_resistance,
+                              double sense_resistance, double r_state);
+
+  void validate() const;
+};
+
+struct CrossbarSolution {
+  DcResult dc;
+  std::vector<NodeId> column_output_nodes;   // sense node per column
+  std::vector<double> column_output_voltage; // V at each sense resistor
+  double total_power = 0.0;                  // delivered by the sources
+};
+
+// Builds the netlist. If `out_column_nodes` is non-null it receives the
+// sense-node id of each column.
+Netlist build_crossbar_netlist(const CrossbarSpec& spec,
+                               std::vector<NodeId>* out_column_nodes);
+
+// Builds and solves the DC operating point.
+CrossbarSolution solve_crossbar(const CrossbarSpec& spec,
+                                const DcOptions& options = {});
+
+// The ideal (wire-free, linear-cell) column outputs from the voltage
+// divider Eq. 9 generalized to per-cell states: the analytic reference
+// the error rate is measured against.
+std::vector<double> ideal_column_outputs(const CrossbarSpec& spec);
+
+}  // namespace mnsim::spice

@@ -1,0 +1,35 @@
+#include "spice/delay.hpp"
+
+#include <cmath>
+
+namespace mnsim::spice {
+
+double crossbar_elmore_tau(const CrossbarSpec& spec,
+                           double segment_capacitance) {
+  spec.validate();
+  // Harmonic-mean column resistance as the source impedance seen by the
+  // line, in series with the ladder of (rows + cols) RC segments plus the
+  // sense resistor. Elmore: tau = sum_k R_upstream(k) * C_k.
+  double r_cell_avg = spec.device.harmonic_mean_resistance();
+  const double r_par =
+      (r_cell_avg + (spec.rows + spec.cols) * spec.segment_resistance) /
+      spec.rows;
+  const int segments = spec.rows + spec.cols;
+  double tau = 0.0;
+  double upstream = r_par + spec.sense_resistance;
+  for (int k = 0; k < segments; ++k) {
+    upstream += spec.segment_resistance;
+    tau += upstream * segment_capacitance;
+  }
+  return tau;
+}
+
+double crossbar_settling_latency(const CrossbarSpec& spec,
+                                 double segment_capacitance,
+                                 int output_bits) {
+  const double tau = crossbar_elmore_tau(spec, segment_capacitance);
+  const double settle = std::log(std::pow(2.0, output_bits + 1)) * tau;
+  return spec.device.read_latency + settle;
+}
+
+}  // namespace mnsim::spice

@@ -1,0 +1,26 @@
+// Circuit-level latency estimation.
+//
+// The behavior-level model ignores wire capacitance (paper Sec. VI-B);
+// the circuit-level baseline keeps it for latency: the settling time of a
+// crossbar column is estimated from the Elmore delay of the distributed
+// RC line loaded by the column's parallel resistance, settled to within
+// half an LSB of the output precision.
+#pragma once
+
+#include "spice/crossbar_netlist.hpp"
+
+namespace mnsim::spice {
+
+// Elmore time constant of the worst-case (farthest) column [s].
+// `segment_capacitance` is the wire capacitance between neighbouring
+// cells; the cells themselves contribute their parallel resistance as the
+// driver impedance.
+double crossbar_elmore_tau(const CrossbarSpec& spec,
+                           double segment_capacitance);
+
+// Settling latency to `output_bits` precision: ln(2^bits) time constants
+// plus the device read latency.
+double crossbar_settling_latency(const CrossbarSpec& spec,
+                                 double segment_capacitance, int output_bits);
+
+}  // namespace mnsim::spice

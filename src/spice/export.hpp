@@ -1,0 +1,19 @@
+// SPICE netlist text export (paper Sec. IV-A: "MNSIM can generate the
+// netlist file for circuit-level simulators like SPICE").
+//
+// Memristors are emitted as behavioral current sources implementing the
+// same sinh V-I law the internal solver uses, so the exported deck and
+// the in-process solve describe the identical circuit.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace mnsim::spice {
+
+// Renders a .sp deck: title, element cards, .op, .end.
+std::string export_spice(const Netlist& netlist,
+                         const std::string& title = "mnsim netlist");
+
+}  // namespace mnsim::spice

@@ -1,0 +1,172 @@
+#include "spice/import.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/config.hpp"
+
+namespace mnsim::spice {
+
+namespace {
+
+struct Card {
+  char kind;  // R / C / V / B
+  std::string name;
+  std::string a;
+  std::string b;
+  std::string rest;
+};
+
+int parse_node(const std::string& token, int line_no) {
+  if (token == "0") return kGround;
+  if (token.size() > 1 && token[0] == 'n') {
+    char* end = nullptr;
+    const long id = std::strtol(token.c_str() + 1, &end, 10);
+    if (*end == '\0' && id > 0) return static_cast<int>(id);
+  }
+  throw std::runtime_error("spice import line " + std::to_string(line_no) +
+                           ": bad node '" + token + "'");
+}
+
+double parse_value(const std::string& token, int line_no) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str())
+    throw std::runtime_error("spice import line " + std::to_string(line_no) +
+                             ": bad value '" + token + "'");
+  return v;
+}
+
+}  // namespace
+
+Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
+  std::istringstream in(deck);
+  std::string line;
+  int line_no = 0;
+
+  struct PendingMemristor {
+    int a;
+    int b;
+    double coef;
+    double vt;
+    std::string name;
+  };
+  struct PendingResistor {
+    int a;
+    int b;
+    double ohms;
+    std::string name;
+  };
+  struct PendingCapacitor {
+    int a;
+    int b;
+    double farads;
+    std::string name;
+  };
+  struct PendingSource {
+    int node;
+    double volts;
+    std::string name;
+  };
+  std::vector<PendingResistor> resistors;
+  std::vector<PendingCapacitor> capacitors;
+  std::vector<PendingSource> sources;
+  std::vector<PendingMemristor> memristors;
+  int max_node = 0;
+  double vt = 0.0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = util::trim(line);
+    if (line.empty() || line[0] == '*') continue;
+    if (line[0] == '.') continue;  // .op / .end
+
+    std::istringstream ls(line);
+    std::string head;
+    std::string na;
+    std::string nb;
+    ls >> head >> na >> nb;
+    if (head.empty() || na.empty() || nb.empty())
+      throw std::runtime_error("spice import line " +
+                               std::to_string(line_no) + ": short card");
+    const char kind = head[0];
+    const std::string name = head.substr(1);
+
+    if (kind == 'R' || kind == 'C') {
+      std::string value;
+      ls >> value;
+      const int a = parse_node(na, line_no);
+      const int b = parse_node(nb, line_no);
+      max_node = std::max({max_node, a, b});
+      if (kind == 'R')
+        resistors.push_back({a, b, parse_value(value, line_no), name});
+      else
+        capacitors.push_back({a, b, parse_value(value, line_no), name});
+    } else if (kind == 'V') {
+      std::string dc;
+      std::string value;
+      ls >> dc >> value;
+      if (dc != "DC")
+        throw std::runtime_error("spice import line " +
+                                 std::to_string(line_no) +
+                                 ": only DC sources supported");
+      if (nb != "0")
+        throw std::runtime_error("spice import line " +
+                                 std::to_string(line_no) +
+                                 ": sources must be grounded");
+      const int node = parse_node(na, line_no);
+      max_node = std::max(max_node, node);
+      sources.push_back({node, parse_value(value, line_no), name});
+    } else if (kind == 'B') {
+      // I=<coef>*sinh(V(nA,nB)/<vt>)
+      std::string expr;
+      ls >> expr;
+      if (expr.rfind("I=", 0) != 0)
+        throw std::runtime_error("spice import line " +
+                                 std::to_string(line_no) +
+                                 ": behavioral card without I=");
+      const auto star = expr.find('*');
+      const auto slash = expr.rfind('/');
+      const auto close = expr.rfind(')');
+      if (star == std::string::npos || slash == std::string::npos ||
+          close == std::string::npos || slash > close)
+        throw std::runtime_error("spice import line " +
+                                 std::to_string(line_no) +
+                                 ": unrecognized sinh expression");
+      const double coef =
+          parse_value(expr.substr(2, star - 2), line_no);
+      const double this_vt =
+          parse_value(expr.substr(slash + 1, close - slash - 1), line_no);
+      if (vt == 0.0) vt = this_vt;
+      const int a = parse_node(na, line_no);
+      const int b = parse_node(nb, line_no);
+      max_node = std::max({max_node, a, b});
+      memristors.push_back({a, b, coef, this_vt, name});
+    } else {
+      throw std::runtime_error("spice import line " +
+                               std::to_string(line_no) +
+                               ": unsupported element '" + head + "'");
+    }
+  }
+
+  if (vt > 0.0) device.nonlinearity_vt = vt;
+  Netlist nl(device);
+  for (int n = 0; n < max_node; ++n) (void)nl.add_node();
+  for (const auto& r : resistors) nl.add_resistor(r.a, r.b, r.ohms, r.name);
+  for (const auto& c : capacitors)
+    nl.add_capacitor(c.a, c.b, c.farads, c.name);
+  for (const auto& s : sources) nl.add_source(s.node, s.volts, s.name);
+  for (const auto& m : memristors) {
+    // I = (vt / r_state) sinh(V / vt)  =>  r_state = vt / coef.
+    if (!(m.coef > 0))
+      throw std::runtime_error("spice import: non-positive sinh coefficient");
+    nl.add_memristor(m.a, m.b, m.vt / m.coef, m.name);
+  }
+  nl.validate();
+  return nl;
+}
+
+}  // namespace mnsim::spice

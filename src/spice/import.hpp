@@ -1,0 +1,21 @@
+// SPICE deck import — the inverse of export.hpp for the dialect MNSIM
+// emits (R/C/V cards plus the behavioral sinh memristor B-sources).
+// Enables round-trip testing and re-loading archived decks for solving.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace mnsim::spice {
+
+// Parses a deck produced by export_spice (or hand-written in the same
+// subset: comment lines starting with '*', one element card per line,
+// node names "0" or "n<k>", ".op"/".end" directives). The memristor
+// nonlinearity scale is recovered from the B-source expressions; when the
+// deck holds no memristors the supplied `device` is kept as-is. Throws
+// std::runtime_error on cards outside the subset.
+Netlist import_spice(const std::string& deck,
+                     tech::MemristorModel device = tech::default_rram());
+
+}  // namespace mnsim::spice

@@ -1,0 +1,155 @@
+#include "spice/mna.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/sparse.hpp"
+#include "spice/mna_internal.hpp"
+
+namespace mnsim::spice {
+
+namespace internal {
+
+Indexer build_indexer(const Netlist& nl) {
+  const int nodes = nl.node_count() + 1;  // include ground slot
+  Indexer ix;
+  ix.unknown_of_node.assign(nodes, -2);
+  ix.pinned_voltage.assign(nodes, 0.0);
+  ix.unknown_of_node[kGround] = -1;
+  for (const auto& s : nl.sources()) {
+    ix.unknown_of_node[s.node] = -1;
+    ix.pinned_voltage[s.node] = s.volts;
+  }
+  for (int n = 1; n < nodes; ++n) {
+    if (ix.unknown_of_node[n] == -2)
+      ix.unknown_of_node[n] = ix.unknown_count++;
+  }
+  return ix;
+}
+
+// Stamps a conductance g between nodes a and b, with an optional parallel
+// current source i flowing a -> b (companion model), into (A, rhs).
+void stamp(const Indexer& ix, numeric::SparseBuilder& a,
+           std::vector<double>& rhs, NodeId na, NodeId nb, double g,
+           double i_src) {
+  const int ua = ix.unknown_of_node[na];
+  const int ub = ix.unknown_of_node[nb];
+  const double va = ua < 0 ? ix.pinned_voltage[na] : 0.0;
+  const double vb = ub < 0 ? ix.pinned_voltage[nb] : 0.0;
+  if (ua >= 0) {
+    a.add(ua, ua, g);
+    rhs[ua] -= i_src;
+    if (ub >= 0)
+      a.add(ua, ub, -g);
+    else
+      rhs[ua] += g * vb;
+  }
+  if (ub >= 0) {
+    a.add(ub, ub, g);
+    rhs[ub] += i_src;
+    if (ua >= 0)
+      a.add(ub, ua, -g);
+    else
+      rhs[ub] += g * va;
+  }
+}
+
+}  // namespace internal
+
+using internal::build_indexer;
+using internal::Indexer;
+using internal::stamp;
+
+DcResult solve_dc(const Netlist& nl, const DcOptions& opt) {
+  nl.validate();
+  const Indexer ix = build_indexer(nl);
+  const int nodes = nl.node_count() + 1;
+
+  DcResult result;
+  result.node_voltages.assign(nodes, 0.0);
+  for (int n = 0; n < nodes; ++n) {
+    if (ix.unknown_of_node[n] < 0) result.node_voltages[n] =
+        ix.pinned_voltage[n];
+  }
+
+  const auto& dev = nl.device();
+  const bool nonlinear = !nl.linear_memristors() && !nl.memristors().empty();
+  const int max_iter = nonlinear ? opt.max_newton_iterations : 1;
+
+  for (int it = 0; it < max_iter; ++it) {
+    numeric::SparseBuilder builder(static_cast<std::size_t>(ix.unknown_count));
+    std::vector<double> rhs(static_cast<std::size_t>(ix.unknown_count), 0.0);
+
+    for (const auto& r : nl.resistors())
+      stamp(ix, builder, rhs, r.a, r.b, 1.0 / r.ohms, 0.0);
+
+    for (const auto& m : nl.memristors()) {
+      if (nl.linear_memristors()) {
+        stamp(ix, builder, rhs, m.a, m.b, 1.0 / m.r_state, 0.0);
+        continue;
+      }
+      // Companion model around the previous iterate v0:
+      //   I(v) ~= I(v0) + g_d (v - v0), g_d = dI/dV(v0)
+      // stamped as conductance g_d plus current source I(v0) - g_d v0.
+      const double v0 =
+          result.node_voltages[m.a] - result.node_voltages[m.b];
+      const double a_coef = dev.nonlinearity_vt / m.r_state;
+      const double i0 = a_coef * std::sinh(v0 / dev.nonlinearity_vt);
+      const double gd = std::cosh(v0 / dev.nonlinearity_vt) / m.r_state;
+      stamp(ix, builder, rhs, m.a, m.b, gd, i0 - gd * v0);
+    }
+
+    numeric::CsrMatrix a(builder);
+    auto cg = numeric::conjugate_gradient(a, rhs, opt.cg_tolerance);
+    if (!cg.converged)
+      throw std::runtime_error("solve_dc: conjugate gradient stalled");
+
+    double max_delta = 0.0;
+    for (int n = 1; n < nodes; ++n) {
+      const int u = ix.unknown_of_node[n];
+      if (u < 0) continue;
+      max_delta =
+          std::max(max_delta, std::fabs(cg.x[u] - result.node_voltages[n]));
+      result.node_voltages[n] = cg.x[u];
+    }
+    result.newton_iterations = it + 1;
+    if (!nonlinear || max_delta < opt.newton_tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  if (!nonlinear) result.converged = true;
+  return result;
+}
+
+double memristor_current(const Netlist& nl, const MemristorElement& m,
+                         const DcResult& dc) {
+  const double v = dc.voltage(m.a) - dc.voltage(m.b);
+  if (nl.linear_memristors()) return v / m.r_state;
+  return nl.device().current(m.r_state, v);
+}
+
+double total_source_power(const Netlist& nl, const DcResult& dc) {
+  // P = sum over sources of V * I(source). The source current equals the
+  // sum of element currents leaving the pinned node.
+  double power = 0.0;
+  for (const auto& s : nl.sources()) {
+    double i_out = 0.0;
+    for (const auto& r : nl.resistors()) {
+      if (r.a == s.node)
+        i_out += (dc.voltage(r.a) - dc.voltage(r.b)) / r.ohms;
+      else if (r.b == s.node)
+        i_out += (dc.voltage(r.b) - dc.voltage(r.a)) / r.ohms;
+    }
+    for (const auto& m : nl.memristors()) {
+      if (m.a == s.node)
+        i_out += memristor_current(nl, m, dc);
+      else if (m.b == s.node)
+        i_out -= memristor_current(nl, m, dc);
+    }
+    power += s.volts * i_out;
+  }
+  return power;
+}
+
+}  // namespace mnsim::spice

@@ -1,0 +1,48 @@
+// Modified nodal analysis with Newton iteration.
+//
+// Solves the DC operating point of a Netlist: node voltages of the
+// resistive network with nonlinear memristors. Grounded ideal voltage
+// sources pin their nodes, so the unknowns are the free node voltages and
+// the system is the (symmetric positive definite) reduced conductance
+// matrix — solved with Jacobi-preconditioned conjugate gradients. The
+// nonlinear elements are Newton-linearized with the standard companion
+// model (conductance = dI/dV at the previous iterate, plus an equivalent
+// current source).
+//
+// This is the same equation system a general-purpose SPICE solves for
+// this circuit class; it is the repository's stand-in for the paper's
+// HSPICE baseline (DESIGN.md, substitution table).
+#pragma once
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace mnsim::spice {
+
+struct DcOptions {
+  double newton_tolerance = 1e-9;   // max |dV| between iterations [V]
+  int max_newton_iterations = 60;
+  double cg_tolerance = 1e-12;
+};
+
+struct DcResult {
+  std::vector<double> node_voltages;  // index = NodeId (0 = ground = 0 V)
+  int newton_iterations = 0;
+  bool converged = false;
+
+  [[nodiscard]] double voltage(NodeId n) const { return node_voltages[n]; }
+};
+
+DcResult solve_dc(const Netlist& netlist, const DcOptions& options = {});
+
+// Current through a memristor element at the solved operating point
+// (positive a -> b); honours the netlist's linear_memristors flag.
+double memristor_current(const Netlist& netlist, const MemristorElement& m,
+                         const DcResult& dc);
+
+// Total power delivered by all voltage sources at the operating point
+// (equals the total dissipation of the resistive network).
+double total_source_power(const Netlist& netlist, const DcResult& dc);
+
+}  // namespace mnsim::spice

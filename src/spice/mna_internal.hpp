@@ -1,0 +1,28 @@
+// Shared internals of the MNA solvers (DC and transient): node indexing
+// for pinned/free nodes and symmetric conductance stamping with companion
+// current sources. Not part of the public API.
+#pragma once
+
+#include <vector>
+
+#include "numeric/sparse.hpp"
+#include "spice/netlist.hpp"
+
+namespace mnsim::spice::internal {
+
+struct Indexer {
+  // Maps node id -> unknown index, or -1 for ground / pinned nodes.
+  std::vector<int> unknown_of_node;
+  std::vector<double> pinned_voltage;  // by node id (0 where free)
+  int unknown_count = 0;
+};
+
+Indexer build_indexer(const Netlist& netlist);
+
+// Stamps a conductance g between nodes a and b, with an optional parallel
+// current source i_src flowing a -> b (companion model), into (A, rhs).
+void stamp(const Indexer& indexer, numeric::SparseBuilder& matrix,
+           std::vector<double>& rhs, NodeId a, NodeId b, double g,
+           double i_src);
+
+}  // namespace mnsim::spice::internal

@@ -1,0 +1,60 @@
+#include "spice/netlist.hpp"
+
+#include <stdexcept>
+
+namespace mnsim::spice {
+
+NodeId Netlist::add_node() { return next_node_++; }
+
+void Netlist::check_node(NodeId n) const {
+  if (n < 0 || n >= next_node_)
+    throw std::invalid_argument("Netlist: node id " + std::to_string(n) +
+                                " not allocated");
+}
+
+void Netlist::add_resistor(NodeId a, NodeId b, double ohms,
+                           std::string name) {
+  check_node(a);
+  check_node(b);
+  if (!(ohms > 0)) throw std::invalid_argument("Netlist: resistance <= 0");
+  if (a == b) throw std::invalid_argument("Netlist: resistor shorted");
+  resistors_.push_back({a, b, ohms, std::move(name)});
+}
+
+void Netlist::add_memristor(NodeId a, NodeId b, double r_state,
+                            std::string name) {
+  check_node(a);
+  check_node(b);
+  if (!(r_state > 0))
+    throw std::invalid_argument("Netlist: memristor state <= 0");
+  if (a == b) throw std::invalid_argument("Netlist: memristor shorted");
+  memristors_.push_back({a, b, r_state, std::move(name)});
+}
+
+void Netlist::add_source(NodeId node, double volts, std::string name) {
+  check_node(node);
+  if (node == kGround)
+    throw std::invalid_argument("Netlist: source on ground node");
+  sources_.push_back({node, volts, std::move(name)});
+}
+
+void Netlist::add_capacitor(NodeId a, NodeId b, double farads,
+                            std::string name) {
+  check_node(a);
+  check_node(b);
+  if (!(farads > 0)) throw std::invalid_argument("Netlist: capacitance <= 0");
+  capacitors_.push_back({a, b, farads, std::move(name)});
+}
+
+void Netlist::validate() const {
+  // Construction already validates; re-check source uniqueness here.
+  std::vector<bool> pinned(static_cast<std::size_t>(next_node_), false);
+  for (const auto& s : sources_) {
+    if (pinned[static_cast<std::size_t>(s.node)])
+      throw std::invalid_argument("Netlist: node " + std::to_string(s.node) +
+                                  " pinned by two sources");
+    pinned[static_cast<std::size_t>(s.node)] = true;
+  }
+}
+
+}  // namespace mnsim::spice

@@ -1,0 +1,103 @@
+// Circuit netlist data model for the circuit-level ("SPICE") baseline.
+//
+// MNSIM's validation (paper Sec. VII-A/B, Fig. 5, Tables II/III) compares
+// the behavior-level models against a circuit-level simulation of the
+// crossbar resistor network. This substrate represents exactly that
+// circuit class: linear resistors, nonlinear memristor elements
+// (I = A*sinh(V/v_t), the same device law tech::MemristorModel uses),
+// ideal grounded voltage sources, and (for RC ablations and export)
+// grounded capacitors — solved for the DC operating point by
+// Newton-iterated modified nodal analysis in mna.hpp.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tech/memristor.hpp"
+
+namespace mnsim::spice {
+
+// Node 0 is ground; add_node() allocates 1, 2, ...
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double ohms = 0.0;
+  std::string name;
+};
+
+struct MemristorElement {
+  NodeId a = kGround;      // current flows a -> b for positive v(a)-v(b)
+  NodeId b = kGround;
+  double r_state = 1e3;    // programmed (linear-limit) resistance
+  std::string name;
+};
+
+struct VoltageSource {
+  NodeId node = kGround;   // ideal source from `node` to ground
+  double volts = 0.0;
+  std::string name;
+};
+
+struct Capacitor {
+  NodeId a = kGround;
+  NodeId b = kGround;
+  double farads = 0.0;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  // The shared nonlinear device law for all memristor elements.
+  explicit Netlist(tech::MemristorModel device = tech::default_rram())
+      : device_(std::move(device)) {}
+
+  NodeId add_node();
+  [[nodiscard]] int node_count() const { return next_node_ - 1; }
+
+  void add_resistor(NodeId a, NodeId b, double ohms, std::string name = {});
+  void add_memristor(NodeId a, NodeId b, double r_state,
+                     std::string name = {});
+  void add_source(NodeId node, double volts, std::string name = {});
+  void add_capacitor(NodeId a, NodeId b, double farads,
+                     std::string name = {});
+
+  // Treat memristors as linear resistors at their programmed state
+  // (disables the Newton loop; used for the nonlinearity ablation).
+  void set_linear_memristors(bool linear) { linear_memristors_ = linear; }
+  [[nodiscard]] bool linear_memristors() const { return linear_memristors_; }
+
+  [[nodiscard]] const tech::MemristorModel& device() const { return device_; }
+  [[nodiscard]] const std::vector<Resistor>& resistors() const {
+    return resistors_;
+  }
+  [[nodiscard]] const std::vector<MemristorElement>& memristors() const {
+    return memristors_;
+  }
+  [[nodiscard]] const std::vector<VoltageSource>& sources() const {
+    return sources_;
+  }
+  [[nodiscard]] const std::vector<Capacitor>& capacitors() const {
+    return capacitors_;
+  }
+
+  // Throws std::invalid_argument on dangling node ids or non-positive
+  // element values.
+  void validate() const;
+
+ private:
+  void check_node(NodeId n) const;
+
+  tech::MemristorModel device_;
+  NodeId next_node_ = 1;
+  bool linear_memristors_ = false;
+  std::vector<Resistor> resistors_;
+  std::vector<MemristorElement> memristors_;
+  std::vector<VoltageSource> sources_;
+  std::vector<Capacitor> capacitors_;
+};
+
+}  // namespace mnsim::spice

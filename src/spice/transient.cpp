@@ -1,0 +1,126 @@
+#include "spice/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/sparse.hpp"
+#include "spice/mna_internal.hpp"
+
+namespace mnsim::spice {
+
+double TransientResult::settling_time(std::size_t probe,
+                                      double tolerance) const {
+  if (probe >= probe_voltages.size())
+    throw std::out_of_range("TransientResult::settling_time: probe");
+  const auto& v = probe_voltages[probe];
+  if (v.empty()) return 0.0;
+  const double final_v = v.back();
+  const double band = tolerance * std::fabs(final_v) + 1e-15;
+  // Walk backwards: the settling time is the first instant after the last
+  // excursion outside the band.
+  for (std::size_t i = v.size(); i-- > 0;) {
+    if (std::fabs(v[i] - final_v) > band)
+      return i + 1 < time.size() ? time[i + 1] : time.back();
+  }
+  return time.front();
+}
+
+TransientResult solve_transient(const Netlist& nl,
+                                const std::vector<NodeId>& probes,
+                                const TransientOptions& opt) {
+  nl.validate();
+  if (!(opt.time_step > 0) || !(opt.end_time > 0))
+    throw std::invalid_argument("solve_transient: time step / end time");
+  const internal::Indexer ix = internal::build_indexer(nl);
+  const int nodes = nl.node_count() + 1;
+  for (NodeId p : probes) {
+    if (p < 0 || p >= nodes)
+      throw std::invalid_argument("solve_transient: probe node");
+  }
+
+  const auto& dev = nl.device();
+  const double dt = opt.time_step;
+  const long steps = static_cast<long>(std::ceil(opt.end_time / dt));
+
+  // v holds the full node-voltage vector of the previous accepted step;
+  // initial condition: everything at zero, sources step at t = 0+.
+  std::vector<double> v(static_cast<std::size_t>(nodes), 0.0);
+
+  TransientResult result;
+  result.converged = true;
+  result.time.reserve(static_cast<std::size_t>(steps) + 1);
+  result.probe_voltages.assign(probes.size(), {});
+  auto record = [&](double t) {
+    result.time.push_back(t);
+    for (std::size_t i = 0; i < probes.size(); ++i)
+      result.probe_voltages[i].push_back(v[probes[i]]);
+  };
+  record(0.0);
+
+  // After t = 0 the pinned nodes hold their DC values.
+  std::vector<double> v_next = v;
+  for (int n = 0; n < nodes; ++n) {
+    if (ix.unknown_of_node[n] < 0) v_next[n] = ix.pinned_voltage[n];
+  }
+
+  for (long step = 1; step <= steps; ++step) {
+    // Newton iterations for this time point, starting from the previous
+    // point's solution.
+    bool step_converged = nl.memristors().empty() || nl.linear_memristors();
+    const int newton_max =
+        step_converged ? 1 : opt.max_newton_iterations;
+    for (int it = 0; it < newton_max; ++it) {
+      numeric::SparseBuilder builder(
+          static_cast<std::size_t>(ix.unknown_count));
+      std::vector<double> rhs(static_cast<std::size_t>(ix.unknown_count),
+                              0.0);
+
+      for (const auto& r : nl.resistors())
+        internal::stamp(ix, builder, rhs, r.a, r.b, 1.0 / r.ohms, 0.0);
+
+      for (const auto& m : nl.memristors()) {
+        if (nl.linear_memristors()) {
+          internal::stamp(ix, builder, rhs, m.a, m.b, 1.0 / m.r_state, 0.0);
+          continue;
+        }
+        const double v0 = v_next[m.a] - v_next[m.b];
+        const double i0 =
+            (dev.nonlinearity_vt / m.r_state) *
+            std::sinh(v0 / dev.nonlinearity_vt);
+        const double gd = std::cosh(v0 / dev.nonlinearity_vt) / m.r_state;
+        internal::stamp(ix, builder, rhs, m.a, m.b, gd, i0 - gd * v0);
+      }
+
+      // Backward-Euler capacitor companion: G = C/dt with a history
+      // current source -(C/dt) * v_prev flowing a -> b.
+      for (const auto& c : nl.capacitors()) {
+        const double g = c.farads / dt;
+        const double v_prev = v[c.a] - v[c.b];
+        internal::stamp(ix, builder, rhs, c.a, c.b, g, -g * v_prev);
+      }
+
+      numeric::CsrMatrix a(builder);
+      auto cg = numeric::conjugate_gradient(a, rhs, opt.cg_tolerance);
+      if (!cg.converged)
+        throw std::runtime_error("solve_transient: conjugate gradient stalled");
+
+      double max_delta = 0.0;
+      for (int n = 1; n < nodes; ++n) {
+        const int u = ix.unknown_of_node[n];
+        if (u < 0) continue;
+        max_delta = std::max(max_delta, std::fabs(cg.x[u] - v_next[n]));
+        v_next[n] = cg.x[u];
+      }
+      if (max_delta < opt.newton_tolerance) {
+        step_converged = true;
+        break;
+      }
+    }
+    if (!step_converged) result.converged = false;
+    v = v_next;
+    record(static_cast<double>(step) * dt);
+  }
+  return result;
+}
+
+}  // namespace mnsim::spice

@@ -1,0 +1,48 @@
+// Transient (time-domain) circuit simulation.
+//
+// The behavior-level platform ignores wire capacitance (paper Sec. VI-B,
+// approximation 2) and estimates settling with a fixed multiple of the
+// Elmore time constant. This backward-Euler transient solver keeps the
+// capacitors and integrates the full nonlinear network through a compute
+// cycle (step inputs at t = 0), providing the ground truth for both
+// approximations: the RC-ablation bench compares Elmore latency, the
+// 6-tau behavior estimate, and the measured settling time.
+//
+// Integration: backward Euler with the standard capacitor companion model
+// (G = C/dt in parallel with a history current source), Newton-iterated
+// per step for the nonlinear memristors.
+#pragma once
+
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace mnsim::spice {
+
+struct TransientOptions {
+  double time_step = 1e-12;    // dt [s]
+  double end_time = 1e-9;      // total simulated time [s]
+  double newton_tolerance = 1e-9;
+  int max_newton_iterations = 40;
+  double cg_tolerance = 1e-12;
+};
+
+struct TransientResult {
+  std::vector<double> time;                        // sample instants
+  std::vector<std::vector<double>> probe_voltages; // [probe][step]
+  bool converged = false;                          // every step converged
+
+  // First instant after which the probe stays within `tolerance`
+  // (relative) of its final value; returns end_time when it never
+  // settles within the window.
+  [[nodiscard]] double settling_time(std::size_t probe,
+                                     double tolerance = 0.01) const;
+};
+
+// Integrates from all-zero initial conditions with the sources stepping
+// to their DC values at t = 0. `probes` selects the recorded nodes.
+TransientResult solve_transient(const Netlist& netlist,
+                                const std::vector<NodeId>& probes,
+                                const TransientOptions& options = {});
+
+}  // namespace mnsim::spice

@@ -1,0 +1,78 @@
+#include "tech/cmos_tech.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace mnsim::tech {
+
+using namespace mnsim::units;
+
+namespace {
+
+// Supply voltage by node, piecewise from the ITRS roadmap; interpolated
+// logarithmically between anchors for non-listed nodes.
+double vdd_for(int node_nm) {
+  struct Anchor {
+    int node;
+    double vdd;
+  };
+  static constexpr Anchor anchors[] = {{250, 2.5}, {180, 1.8}, {130, 1.3},
+                                       {90, 1.2},  {65, 1.1},  {45, 1.0},
+                                       {32, 0.9},  {28, 0.9},  {16, 0.8}};
+  if (node_nm >= anchors[0].node) return anchors[0].vdd;
+  for (std::size_t i = 1; i < std::size(anchors); ++i) {
+    if (node_nm >= anchors[i].node) {
+      const auto& hi = anchors[i - 1];
+      const auto& lo = anchors[i];
+      double t = std::log(static_cast<double>(node_nm) / lo.node) /
+                 std::log(static_cast<double>(hi.node) / lo.node);
+      return lo.vdd + t * (hi.vdd - lo.vdd);
+    }
+  }
+  return anchors[std::size(anchors) - 1].vdd;
+}
+
+}  // namespace
+
+CmosTech cmos_tech(int node_nm) {
+  if (node_nm < 16 || node_nm > 250) {
+    throw std::invalid_argument("cmos_tech: node " + std::to_string(node_nm) +
+                                " nm outside supported range [16, 250]");
+  }
+  // 45 nm anchors (CACTI/PTM-class magnitudes).
+  constexpr double kGateDelay45 = 20 * ps;   // FO4-ish minimum gate delay
+  constexpr double kGateEnergy45 = 1.0 * fF; // C*V^2 with ~1 fF switched cap
+  constexpr double kGateLeak45 = 20 * nW;
+  constexpr double kGateArea45 = 100.0;      // in F^2
+  constexpr double kRegArea45 = 650.0;       // in F^2
+  constexpr double kRegEnergy45 = 4.0;       // in gate-energy units
+  constexpr double kSramArea45 = 146.0;      // in F^2
+
+  CmosTech t;
+  t.node_nm = node_nm;
+  t.feature_size = node_nm * nm;
+  t.vdd = vdd_for(node_nm);
+
+  const double s = node_nm / 45.0;          // linear scale factor
+  const double v = t.vdd / 1.0;             // voltage scale vs 45 nm
+  const double f2 = t.feature_size * t.feature_size;
+
+  t.gate_delay = kGateDelay45 * s;
+  t.gate_energy = kGateEnergy45 * s * v * v;  // CV^2, C ~ F
+  t.gate_leakage = kGateLeak45 * s * v;
+  t.gate_area = kGateArea45 * f2;
+  t.reg_area = kRegArea45 * f2;
+  t.reg_energy = kRegEnergy45 * t.gate_energy;
+  t.reg_leakage = 4.0 * t.gate_leakage;
+  t.sram_bit_area = kSramArea45 * f2;
+  return t;
+}
+
+const std::vector<int>& standard_cmos_nodes() {
+  static const std::vector<int> nodes = {130, 90, 65, 45, 32, 28};
+  return nodes;
+}
+
+}  // namespace mnsim::tech

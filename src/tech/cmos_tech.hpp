@@ -1,0 +1,38 @@
+// CMOS technology parameters.
+//
+// MNSIM consumes per-node scalar parameters for its transistor-based
+// modules (decoders, adders, neurons, buffers, ...). The authors pull
+// these from CACTI, NVSim and the Predictive Technology Model; we embed a
+// table anchored at 45 nm and derived with the published first-order
+// scaling laws (area ~ F^2, delay ~ F, switching energy ~ F * Vdd^2),
+// which is the granularity the paper's experiments actually exercise.
+#pragma once
+
+#include <vector>
+
+namespace mnsim::tech {
+
+struct CmosTech {
+  int node_nm = 45;         // feature size F in nanometres
+  double feature_size = 0;  // F in metres
+  double vdd = 0;           // supply voltage [V]
+  double gate_delay = 0;    // FO4-class delay of a minimum gate [s]
+  double gate_energy = 0;   // switching energy of a minimum 2-input gate [J]
+  double gate_leakage = 0;  // static power of a minimum 2-input gate [W]
+  double gate_area = 0;     // layout area of a minimum 2-input gate [m^2]
+  double reg_area = 0;      // area of one register bit (DFF) [m^2]
+  double reg_energy = 0;    // clocking energy of one register bit [J]
+  double reg_leakage = 0;   // leakage of one register bit [W]
+  double sram_bit_area = 0; // area of one SRAM bit [m^2] (buffers)
+};
+
+// Returns the technology parameters for a node (nm). Supported nodes are
+// the ones the paper uses (130, 90, 65, 45, 32, 28); other values in
+// [16, 250] are derived from the same scaling laws. Throws
+// std::invalid_argument outside that range.
+CmosTech cmos_tech(int node_nm);
+
+// Nodes the paper's experiments touch, largest first.
+const std::vector<int>& standard_cmos_nodes();
+
+}  // namespace mnsim::tech

@@ -1,0 +1,41 @@
+#include "tech/interconnect.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace mnsim::tech {
+
+using namespace mnsim::units;
+
+InterconnectTech interconnect_tech(int node_nm) {
+  if (node_nm < 10 || node_nm > 180) {
+    throw std::invalid_argument("interconnect_tech: node " +
+                                std::to_string(node_nm) +
+                                " nm outside supported range [10, 180]");
+  }
+  // Calibration anchor: 45 nm copper, segment length of one cell pitch.
+  // The anchor value is chosen so the worst-case voltage error of a
+  // 256x256 crossbar lands in the band the paper reports (~8 % at 45 nm
+  // and ~18 % at 28 nm; Tables IV/V). Resistance grows as the inverse of
+  // the wire cross-section when the node shrinks.
+  constexpr double kR45 = 0.022;       // ohm per segment at 45 nm
+  constexpr double kC45 = 0.06 * fF;   // per segment at 45 nm
+
+  const double s = 45.0 / node_nm;
+  InterconnectTech t;
+  t.node_nm = node_nm;
+  t.segment_resistance = kR45 * s * s;
+  t.segment_capacitance = kC45 / s;
+  return t;
+}
+
+double effective_wire_segments(int rows, int cols, double alpha) {
+  if (rows <= 0 || cols <= 0)
+    throw std::invalid_argument("effective_wire_segments: rows/cols");
+  return alpha * 0.5 *
+         (static_cast<double>(rows) * rows + static_cast<double>(cols) * cols);
+}
+
+}  // namespace mnsim::tech

@@ -1,0 +1,40 @@
+// Interconnect (crossbar wire) technology.
+//
+// The accuracy model (paper Sec. VI) reduces each wire segment between
+// neighbouring crossbar cells to a lumped resistance r; the circuit-level
+// simulator can additionally attach the per-segment capacitance for the
+// RC-delay ablation. Resistance per segment scales as the inverse wire
+// cross-section (~node^-2); capacitance per segment is roughly
+// length-proportional (~node).
+#pragma once
+
+namespace mnsim::tech {
+
+struct InterconnectTech {
+  int node_nm = 45;
+  double segment_resistance = 0;   // r between neighbouring cells [ohm]
+  double segment_capacitance = 0;  // per-segment wire capacitance [F]
+};
+
+// Parameters for an interconnect technology node (nm). The paper sweeps
+// {18, 22, 28, 36, 45} and extends to 90 for the CNN study; any node in
+// [10, 180] is accepted. Throws std::invalid_argument outside that range.
+InterconnectTech interconnect_tech(int node_nm);
+
+// The paper's interconnect sweep for the large-bank case study.
+inline constexpr int kInterconnectSweep[] = {18, 22, 28, 36, 45};
+
+// Shared-current wire model. In a crossbar every row wire carries the
+// current of all columns and every column wire accumulates the current of
+// all rows, so the worst-case column sees an effective series wire
+// resistance of roughly alpha * (M^2 + N^2)/2 segments referenced to a
+// single cell's current (not the (M+N) of a lone cell path). The
+// coefficient alpha is calibrated against the circuit-level solver by the
+// Fig. 5 fitting procedure (accuracy::calibrate_against_spice); 0.90 is
+// the fitted default for the reference device.
+inline constexpr double kSharedCurrentAlpha = 0.90;
+
+double effective_wire_segments(int rows, int cols,
+                               double alpha = kSharedCurrentAlpha);
+
+}  // namespace mnsim::tech

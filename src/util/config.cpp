@@ -1,0 +1,163 @@
+#include "util/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mnsim::util {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments; '#' and ';' start a comment anywhere outside a value
+    // list (we keep it simple: anywhere).
+    auto cut = line.find_first_of("#;");
+    if (cut != std::string::npos) line.erase(cut);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("config line " + std::to_string(line_no) +
+                        ": expected 'key = value', got '" + line + "'");
+    }
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw ConfigError("config line " + std::to_string(line_no) +
+                        ": empty key");
+    }
+    if (!section.empty()) key = section + "." + key;
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ConfigError("cannot open config file: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse(os.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  entries_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  auto v = find(key);
+  if (!v) throw ConfigError("missing config key: " + key);
+  return *v;
+}
+
+std::string Config::get_string_or(const std::string& key,
+                                  std::string fallback) const {
+  auto v = find(key);
+  return v ? *v : std::move(fallback);
+}
+
+namespace {
+
+double to_double(const std::string& key, const std::string& v) {
+  const char* begin = v.c_str();
+  char* end = nullptr;
+  double d = std::strtod(begin, &end);
+  if (end == begin || trim(end).size() != 0) {
+    throw ConfigError("config key '" + key + "': '" + v +
+                      "' is not a number");
+  }
+  return d;
+}
+
+}  // namespace
+
+double Config::get_double(const std::string& key) const {
+  return to_double(key, get_string(key));
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  auto v = find(key);
+  return v ? to_double(key, *v) : fallback;
+}
+
+long Config::get_int(const std::string& key) const {
+  double d = get_double(key);
+  long l = static_cast<long>(d);
+  if (static_cast<double>(l) != d) {
+    throw ConfigError("config key '" + key + "' is not an integer");
+  }
+  return l;
+}
+
+long Config::get_int_or(const std::string& key, long fallback) const {
+  return has(key) ? get_int(key) : fallback;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  std::string v = get_string(key);
+  for (auto& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ConfigError("config key '" + key + "': '" + v + "' is not a bool");
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  return has(key) ? get_bool(key) : fallback;
+}
+
+std::vector<double> Config::get_list(const std::string& key) const {
+  std::string v = get_string(key);
+  if (!v.empty() && v.front() == '[' && v.back() == ']')
+    v = v.substr(1, v.size() - 2);
+  std::vector<double> out;
+  std::istringstream in(v);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    out.push_back(to_double(key, item));
+  }
+  return out;
+}
+
+std::vector<long> Config::get_int_list(const std::string& key) const {
+  std::vector<long> out;
+  for (double d : get_list(key)) {
+    long l = static_cast<long>(d);
+    if (static_cast<double>(l) != d) {
+      throw ConfigError("config key '" + key + "' has a non-integer element");
+    }
+    out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace mnsim::util

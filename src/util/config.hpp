@@ -1,0 +1,69 @@
+// INI-style configuration file support.
+//
+// MNSIM's inputs (paper Table I) arrive as a configuration file of
+// `key = value` lines with optional `[section]` headers, `#`/`;` comments,
+// and list values `[a, b, c]`. This parser is deliberately small and
+// dependency-free; arch/params.cpp maps the parsed keys onto the typed
+// MnsimConfig structure.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mnsim::util {
+
+// Thrown on malformed files or ill-typed accesses so configuration errors
+// surface at load time rather than as silent defaults.
+class ConfigError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parse from text / load from a file. Later duplicate keys override
+  // earlier ones (ini convention). Keys are stored as "section.key";
+  // keys before any section header are stored bare.
+  static Config parse(const std::string& text);
+  static Config load(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  // Typed getters. The non-optional forms throw ConfigError when the key
+  // is missing; the `_or` forms return the fallback.
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] std::string get_string_or(const std::string& key,
+                                          std::string fallback) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] double get_double_or(const std::string& key,
+                                     double fallback) const;
+  [[nodiscard]] long get_int(const std::string& key) const;
+  [[nodiscard]] long get_int_or(const std::string& key, long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const;
+  [[nodiscard]] bool get_bool_or(const std::string& key, bool fallback) const;
+
+  // List values: "[a, b, c]" or "a, b, c".
+  [[nodiscard]] std::vector<double> get_list(const std::string& key) const;
+  [[nodiscard]] std::vector<long> get_int_list(const std::string& key) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> entries_;
+};
+
+// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+}  // namespace mnsim::util

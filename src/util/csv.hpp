@@ -1,0 +1,27 @@
+// Minimal CSV writer: the benchmark harnesses dump each reproduced figure's
+// data series alongside the printed table so plots can be regenerated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mnsim::util {
+
+class CsvWriter {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(const std::vector<double>& row);
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::string str() const;
+
+  // Writes to `path`; returns false (without throwing) if the file cannot
+  // be opened, so benches can still print to stdout on read-only systems.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mnsim::util

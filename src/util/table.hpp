@@ -1,0 +1,39 @@
+// ASCII table printer used by the benchmark harnesses to reproduce the
+// paper's tables with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mnsim::util {
+
+// A simple column-aligned text table. Rows may be added as pre-formatted
+// strings or as doubles (formatted with a per-table precision).
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  // Header row; defines the column count. Subsequent rows are padded or
+  // truncated to this width.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Format helper: fixed notation with `digits` decimals.
+  static std::string num(double v, int digits = 3);
+  // Format helper: significant-digit notation suited to spans of magnitudes.
+  static std::string sig(double v, int digits = 4);
+
+  // Render the full table (title, rule, header, rule, rows, rule).
+  [[nodiscard]] std::string str() const;
+
+  // Convenience: render to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mnsim::util

@@ -1,0 +1,47 @@
+// Unit helpers used throughout MNSIM.
+//
+// All internal quantities are SI: metres, seconds, watts, joules, ohms,
+// volts, amperes, farads. These constexpr factors make call sites read as
+// the paper does ("90nm CMOS", "50MHz ADC", "500k ohm") without ad-hoc
+// magic multipliers scattered through the models.
+#pragma once
+
+namespace mnsim::units {
+
+// Length.
+inline constexpr double nm = 1e-9;
+inline constexpr double um = 1e-6;
+inline constexpr double mm = 1e-3;
+
+// Area.
+inline constexpr double nm2 = nm * nm;
+inline constexpr double um2 = um * um;
+inline constexpr double mm2 = mm * mm;
+
+// Time.
+inline constexpr double ps = 1e-12;
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+
+// Frequency.
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// Power / energy.
+inline constexpr double nW = 1e-9;
+inline constexpr double uW = 1e-6;
+inline constexpr double mW = 1e-3;
+inline constexpr double pJ = 1e-12;
+inline constexpr double nJ = 1e-9;
+inline constexpr double uJ = 1e-6;
+inline constexpr double mJ = 1e-3;
+
+// Resistance / capacitance.
+inline constexpr double kOhm = 1e3;
+inline constexpr double MOhm = 1e6;
+inline constexpr double fF = 1e-15;
+inline constexpr double pF = 1e-12;
+
+}  // namespace mnsim::units

@@ -1,0 +1,105 @@
+#include "accuracy/digital_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mnsim::accuracy {
+namespace {
+
+TEST(DigitalError, PaperExampleK64Eps10Percent) {
+  // Paper Sec. VI-C: k = 64, eps = 10 % -> MaxDigitalDeviation = 6, i.e.
+  // the maximum value 63 can be wrongly read as 57.
+  EXPECT_EQ(max_digital_deviation(64, 0.10), 6);
+  EXPECT_NEAR(max_error_rate(64, 0.10), 6.0 / 63.0, 1e-12);
+}
+
+TEST(DigitalError, Equation12Floors) {
+  EXPECT_EQ(max_digital_deviation(256, 0.0), 0);
+  EXPECT_EQ(max_digital_deviation(256, 0.01), 3);  // floor(254.5*0.01+0.5)
+  EXPECT_EQ(max_digital_deviation(2, 0.5), 0);     // floor(0.5*0.5+0.5)
+}
+
+TEST(DigitalError, NegativeEpsTreatedAsMagnitude) {
+  EXPECT_EQ(max_digital_deviation(64, -0.10), 6);
+  EXPECT_DOUBLE_EQ(avg_digital_deviation(64, -0.10),
+                   avg_digital_deviation(64, 0.10));
+}
+
+TEST(DigitalError, AverageDeviationFormula) {
+  // k = 4, eps = 0.5: per-level deviations floor(i*0.5+0.5) = 0,1,1,2.
+  EXPECT_DOUBLE_EQ(avg_digital_deviation(4, 0.5), (0 + 1 + 1 + 2) / 4.0);
+  EXPECT_DOUBLE_EQ(avg_error_rate(4, 0.5), 1.0 / 3.0);
+}
+
+TEST(DigitalError, AverageBelowMax) {
+  for (double eps : {0.01, 0.05, 0.1, 0.2}) {
+    for (int k : {16, 64, 256}) {
+      EXPECT_LE(avg_error_rate(k, eps), max_error_rate(k, eps) + 1e-12)
+          << "k=" << k << " eps=" << eps;
+    }
+  }
+}
+
+TEST(DigitalError, ZeroEpsilonIsExact) {
+  EXPECT_EQ(max_digital_deviation(256, 0.0), 0);
+  EXPECT_DOUBLE_EQ(avg_error_rate(256, 0.0), 0.0);
+}
+
+TEST(DigitalError, InvalidKThrows) {
+  EXPECT_THROW(max_digital_deviation(1, 0.1), std::invalid_argument);
+  EXPECT_THROW(avg_digital_deviation(0, 0.1), std::invalid_argument);
+}
+
+TEST(Propagation, Equation15Compounds) {
+  // (1 + 0.02)(1 + 0.03) - 1 = 0.0506.
+  EXPECT_NEAR(propagate_error(0.02, 0.03), 0.0506, 1e-12);
+  EXPECT_DOUBLE_EQ(propagate_error(0.0, 0.0), 0.0);
+}
+
+TEST(Propagation, NegativeRatesThrow) {
+  EXPECT_THROW(propagate_error(-0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(propagate_error(0.0, -0.1), std::invalid_argument);
+}
+
+TEST(Propagation, LayerChainMatchesClosedForm) {
+  std::vector<double> eps = {0.01, 0.02, 0.03};
+  auto chain = propagate_layers(eps);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_NEAR(chain[0], 0.01, 1e-12);
+  EXPECT_NEAR(chain[2], 1.01 * 1.02 * 1.03 - 1.0, 1e-12);
+  // Monotone non-decreasing.
+  EXPECT_LE(chain[0], chain[1]);
+  EXPECT_LE(chain[1], chain[2]);
+}
+
+TEST(Propagation, SixteenLayerVggStyleAccumulation) {
+  // Per-layer ~2.3 % compounds to ~44 % over 16 layers (paper Table VI
+  // ballpark).
+  std::vector<double> eps(16, 0.023);
+  const double total = propagate_layers(eps).back();
+  EXPECT_NEAR(total, std::pow(1.023, 16) - 1.0, 1e-9);
+  EXPECT_GT(total, 0.40);
+  EXPECT_LT(total, 0.50);
+}
+
+// Parameterized sweep: digital error rates are monotone in eps.
+class DigitalMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitalMonotone, ErrorRatesMonotoneInEps) {
+  const int k = GetParam();
+  double prev_max = -1.0;
+  double prev_avg = -1.0;
+  for (double eps = 0.0; eps <= 0.3; eps += 0.01) {
+    EXPECT_GE(max_error_rate(k, eps), prev_max);
+    EXPECT_GE(avg_error_rate(k, eps) + 1e-12, prev_avg);
+    prev_max = max_error_rate(k, eps);
+    prev_avg = avg_error_rate(k, eps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DigitalMonotone,
+                         ::testing::Values(4, 16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace mnsim::accuracy

@@ -1,0 +1,48 @@
+#include "accuracy/fit_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnsim::accuracy {
+namespace {
+
+TEST(AccuracyFit, SmallSweepRecoversWireCoefficient) {
+  // The Fig. 5 procedure on a reduced sweep: the fitted shared-current
+  // coefficient should land near the shipped default and the fitted curve
+  // should track the circuit-level samples within the paper's RMSE claim
+  // (< 0.01 in error-rate units; we allow 0.02 for the reduced sweep).
+  auto fit = calibrate_against_spice({8, 16, 32}, {45, 28},
+                                     tech::default_rram(), 60.0);
+  EXPECT_GT(fit.alpha, 0.5);
+  EXPECT_LT(fit.alpha, 1.5);
+  EXPECT_LT(fit.rmse, 0.02);
+  EXPECT_EQ(fit.samples.size(), 6u);
+  for (const auto& s : fit.samples) {
+    EXPECT_GE(s.spice_error, 0.0);
+    EXPECT_GE(s.model_error, 0.0);
+    EXPECT_LT(s.spice_error, 1.0);
+  }
+}
+
+TEST(AccuracyFit, ShippedAlphaCloseToFitted) {
+  auto fit = calibrate_against_spice({16, 32, 64}, {45},
+                                     tech::default_rram(), 60.0);
+  EXPECT_NEAR(fit.alpha, tech::kSharedCurrentAlpha, 0.25);
+}
+
+TEST(AccuracyFit, CoarserWiresGiveSmallerErrors) {
+  auto fit = calibrate_against_spice({32}, {90, 45, 28},
+                                     tech::default_rram(), 60.0);
+  ASSERT_EQ(fit.samples.size(), 3u);
+  EXPECT_LT(fit.samples[0].spice_error, fit.samples[1].spice_error);
+  EXPECT_LT(fit.samples[1].spice_error, fit.samples[2].spice_error);
+}
+
+TEST(AccuracyFit, EmptySweepThrows) {
+  EXPECT_THROW(calibrate_against_spice({}, {45}, tech::default_rram(), 60.0),
+               std::invalid_argument);
+  EXPECT_THROW(calibrate_against_spice({8}, {}, tech::default_rram(), 60.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::accuracy

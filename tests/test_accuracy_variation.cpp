@@ -1,0 +1,71 @@
+#include "accuracy/variation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnsim::accuracy {
+namespace {
+
+CrossbarErrorInputs make(double sigma) {
+  CrossbarErrorInputs in;
+  in.rows = 12;
+  in.cols = 12;
+  in.device = tech::default_rram();
+  in.device.sigma = sigma;
+  in.segment_resistance = 0.022;
+  in.sense_resistance = 60.0;
+  return in;
+}
+
+VariationMcOptions fast() {
+  VariationMcOptions o;
+  o.trials = 15;
+  return o;
+}
+
+TEST(VariationMc, MeanBelowClosedFormBound) {
+  // Eq. 16 is a worst-case bound: the Monte-Carlo mean (uniform
+  // deviations) must stay below it.
+  auto r = variation_monte_carlo(make(0.2), fast());
+  EXPECT_GT(r.closed_form_bound, 0.0);
+  EXPECT_LT(r.mean_error, r.closed_form_bound);
+  EXPECT_GE(r.max_error, r.mean_error);
+  EXPECT_EQ(r.samples.size(), 15u);
+}
+
+TEST(VariationMc, LargerSigmaLargerSpread) {
+  auto small = variation_monte_carlo(make(0.05), fast());
+  auto large = variation_monte_carlo(make(0.3), fast());
+  EXPECT_GT(large.closed_form_bound, small.closed_form_bound);
+  EXPECT_GT(large.max_error, small.max_error);
+}
+
+TEST(VariationMc, DeterministicForSeed) {
+  auto a = variation_monte_carlo(make(0.2), fast());
+  auto b = variation_monte_carlo(make(0.2), fast());
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+  VariationMcOptions other = fast();
+  other.seed = 1234;
+  auto c = variation_monte_carlo(make(0.2), other);
+  EXPECT_NE(a.samples.front(), c.samples.front());
+}
+
+TEST(VariationMc, AverageCaseCellsSupported) {
+  VariationMcOptions o = fast();
+  o.worst_case_cells = false;
+  auto r = variation_monte_carlo(make(0.2), o);
+  EXPECT_GT(r.closed_form_bound, 0.0);
+  EXPECT_GT(r.mean_error, 0.0);
+}
+
+TEST(VariationMc, RejectsZeroSigmaAndBadTrials) {
+  EXPECT_THROW(variation_monte_carlo(make(0.0), fast()),
+               std::invalid_argument);
+  auto o = fast();
+  o.trials = 0;
+  EXPECT_THROW(variation_monte_carlo(make(0.2), o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::accuracy

@@ -1,0 +1,127 @@
+#include "accuracy/voltage_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mnsim::accuracy {
+namespace {
+
+CrossbarErrorInputs make(int size, int node_r_scale = 1) {
+  CrossbarErrorInputs in;
+  in.rows = size;
+  in.cols = size;
+  in.device = tech::default_rram();
+  in.segment_resistance = 0.022 * node_r_scale;
+  in.sense_resistance = 60.0;
+  return in;
+}
+
+TEST(VoltageError, BoundsAndSanity) {
+  for (int size : {8, 32, 128, 256}) {
+    auto e = estimate_voltage_error(make(size));
+    EXPECT_GE(e.worst, 0.0);
+    EXPECT_LT(e.worst, 1.0);
+    EXPECT_GE(e.average, 0.0);
+    EXPECT_LT(e.average, 1.0);
+    EXPECT_GT(e.cell_operating_voltage, 0.0);
+    EXPECT_LT(e.cell_operating_voltage, make(size).device.v_read);
+  }
+}
+
+TEST(VoltageError, InterconnectTermGrowsWithSize) {
+  double prev = 0.0;
+  for (int size : {16, 32, 64, 128, 256}) {
+    auto e = estimate_voltage_error(make(size));
+    EXPECT_GT(e.interconnect_term, prev) << "size " << size;
+    prev = e.interconnect_term;
+  }
+}
+
+TEST(VoltageError, NonlinearTermIsNegativeAndGrowsForSmallArrays) {
+  auto e8 = estimate_voltage_error(make(8));
+  auto e128 = estimate_voltage_error(make(128));
+  EXPECT_LT(e8.nonlinear_term, 0.0);
+  EXPECT_LT(e128.nonlinear_term, 0.0);
+  EXPECT_GT(std::fabs(e8.nonlinear_term), std::fabs(e128.nonlinear_term));
+}
+
+TEST(VoltageError, UShapeAcrossCrossbarSizes) {
+  // Paper Table V: the error is large at 256, dips at intermediate sizes
+  // and rises again for small crossbars.
+  const double e256 = estimate_voltage_error(make(256)).worst;
+  const double e64 = estimate_voltage_error(make(64)).worst;
+  const double e32 = estimate_voltage_error(make(32)).worst;
+  const double e8 = estimate_voltage_error(make(8)).worst;
+  EXPECT_GT(e256, e64);
+  EXPECT_GT(e8, e32);
+  EXPECT_LT(std::min(e64, e32), e256);
+  EXPECT_LT(std::min(e64, e32), e8);
+}
+
+TEST(VoltageError, FinerInterconnectIsWorse) {
+  // 28 nm wires have ~2.6x the per-segment resistance of 45 nm.
+  auto coarse = estimate_voltage_error(make(256, 1));
+  auto in = make(256);
+  in.segment_resistance = 0.022 * (45.0 / 28.0) * (45.0 / 28.0);
+  auto fine = estimate_voltage_error(in);
+  EXPECT_GT(fine.worst, 1.5 * coarse.worst);
+}
+
+TEST(VoltageError, PaperBandsAt45And28nm) {
+  // Calibration anchors (paper Tables IV/V): 256-crossbar worst error
+  // ~8 % at 45 nm and ~18 % at 28 nm wires.
+  EXPECT_NEAR(estimate_voltage_error(make(256)).worst, 0.077, 0.02);
+  auto in = make(256);
+  in.segment_resistance = 0.022 * (45.0 / 28.0) * (45.0 / 28.0);
+  EXPECT_NEAR(estimate_voltage_error(in).worst, 0.18, 0.04);
+}
+
+TEST(VoltageError, VariationWorsensWorstCase) {
+  auto base = estimate_voltage_error(make(128));
+  auto in = make(128);
+  in.device.sigma = 0.2;
+  auto varied = estimate_voltage_error(in);
+  EXPECT_GT(varied.worst, base.worst);
+}
+
+TEST(VoltageError, ZeroWireZeroNonlinearityIsExact) {
+  auto in = make(64);
+  in.segment_resistance = 0.0;
+  in.device.nonlinearity_vt = 1e6;  // essentially linear
+  auto e = estimate_voltage_error(in);
+  EXPECT_NEAR(e.worst, 0.0, 1e-6);
+  EXPECT_NEAR(e.average, 0.0, 1e-6);
+}
+
+TEST(RelativeOutputError, SignConventions) {
+  auto in = make(32);
+  // Pure interconnect (linear kernel) lowers the output: positive error.
+  EXPECT_GT(relative_output_error_linear(in, in.device.r_min, 500.0), 0.0);
+  // Pure nonlinearity (no wires) raises the output: negative error.
+  EXPECT_LT(relative_output_error(in, in.device.r_min, 0.0, 0), 0.0);
+}
+
+TEST(RelativeOutputError, SigmaDirectionShiftsError) {
+  auto in = make(32);
+  in.device.sigma = 0.15;
+  const double up = relative_output_error(in, in.device.r_min, 100.0, +1);
+  const double none = relative_output_error(in, in.device.r_min, 100.0, 0);
+  const double down = relative_output_error(in, in.device.r_min, 100.0, -1);
+  EXPECT_GT(up, none);    // higher resistance -> lower output -> bigger err
+  EXPECT_LT(down, none);
+}
+
+TEST(VoltageError, ValidationErrors) {
+  auto in = make(0);
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+  in = make(8);
+  in.sense_resistance = 0;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+  in = make(8);
+  in.segment_resistance = -1;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::accuracy

@@ -1,0 +1,81 @@
+#include "arch/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/topologies.hpp"
+
+namespace mnsim::arch {
+namespace {
+
+TEST(Controller, InferenceTraceOneComputePerPass) {
+  AcceleratorConfig cfg;
+  auto mlp = nn::make_mlp({128, 128, 128});
+  auto trace = generate_inference_trace(mlp, cfg);
+  EXPECT_EQ(trace.size(), 2u);  // one COMPUTE per FC bank
+  for (const auto& i : trace) {
+    EXPECT_EQ(i.opcode, Opcode::kCompute);
+    EXPECT_EQ(i.unit, -1);
+  }
+  EXPECT_EQ(trace[0].bank, 0);
+  EXPECT_EQ(trace[1].bank, 1);
+}
+
+TEST(Controller, ConvTraceHasOneComputePerPixel) {
+  AcceleratorConfig cfg;
+  auto vgg = nn::make_vgg16();
+  auto trace = generate_inference_trace(vgg, cfg);
+  long expected = 0;
+  for (const auto& l : vgg.layers)
+    if (l.is_weighted()) expected += l.compute_iterations();
+  EXPECT_EQ(static_cast<long>(trace.size()), expected);
+}
+
+TEST(Controller, ProgramTraceCoversEveryUnit) {
+  AcceleratorConfig cfg;
+  cfg.crossbar_size = 256;
+  auto net = nn::make_large_bank_layer();
+  auto trace = generate_program_trace(net, cfg);
+  EXPECT_EQ(trace.size(), 36u);
+  for (const auto& i : trace) {
+    EXPECT_EQ(i.opcode, Opcode::kWrite);
+    EXPECT_GT(i.length, 0);
+  }
+}
+
+TEST(Controller, ProgramLatencyPositiveAndScalesWithNetwork) {
+  AcceleratorConfig cfg;
+  auto small = generate_program_trace(nn::make_mlp({64, 64}), cfg);
+  auto large = generate_program_trace(nn::make_mlp({1024, 1024}), cfg);
+  EXPECT_GT(program_latency(large, cfg), program_latency(small, cfg));
+  EXPECT_GT(program_latency(small, cfg), 0.0);
+}
+
+TEST(Controller, ComputeInstructionsDontProgram) {
+  AcceleratorConfig cfg;
+  auto trace = generate_inference_trace(nn::make_mlp({64, 64}), cfg);
+  EXPECT_DOUBLE_EQ(program_latency(trace, cfg), 0.0);
+}
+
+TEST(Controller, InstructionToString) {
+  Instruction i;
+  i.opcode = Opcode::kWrite;
+  i.bank = 2;
+  i.unit = 5;
+  i.length = 100;
+  const std::string s = i.to_string();
+  EXPECT_NE(s.find("WRITE"), std::string::npos);
+  EXPECT_NE(s.find("bank=2"), std::string::npos);
+  EXPECT_NE(s.find("unit=5"), std::string::npos);
+}
+
+TEST(Controller, HardwareQuadrupleSane) {
+  AcceleratorConfig cfg;
+  auto p = controller_ppa(cfg);
+  EXPECT_GT(p.area, 0.0);
+  EXPECT_GT(p.dynamic_power, 0.0);
+  EXPECT_GT(p.leakage_power, 0.0);
+  EXPECT_GT(p.latency, 0.0);
+}
+
+}  // namespace
+}  // namespace mnsim::arch

@@ -1,0 +1,79 @@
+#include "arch/floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/topologies.hpp"
+
+namespace mnsim::arch {
+namespace {
+
+AcceleratorConfig base() {
+  AcceleratorConfig c;
+  c.cmos_node_nm = 45;
+  c.crossbar_size = 256;
+  c.interconnect_node_nm = 45;
+  return c;
+}
+
+TEST(Floorplan, BoundsContainModuleArea) {
+  auto net = nn::make_large_bank_layer();
+  auto rep = simulate_accelerator(net, base());
+  auto plan = estimate_floorplan(rep, 1.5);
+  EXPECT_GT(plan.area, 1.5 * rep.area * 0.5);  // at least half utilized
+  EXPECT_GT(plan.utilization, 0.3);
+  EXPECT_LE(plan.utilization, 1.0 + 1e-9);
+  EXPECT_GT(plan.width, 0.0);
+  EXPECT_GT(plan.height, 0.0);
+}
+
+TEST(Floorplan, UnitGridMatchesMapping) {
+  auto net = nn::make_large_bank_layer();
+  auto rep = simulate_accelerator(net, base());
+  auto plan = estimate_floorplan(rep);
+  ASSERT_EQ(plan.banks.size(), 1u);
+  EXPECT_EQ(plan.banks[0].grid_rows, rep.banks[0].mapping.row_blocks);
+  EXPECT_EQ(plan.banks[0].grid_cols, rep.banks[0].mapping.col_blocks);
+  EXPECT_NEAR(plan.banks[0].width,
+              plan.banks[0].grid_cols * plan.banks[0].unit.width, 1e-12);
+}
+
+TEST(Floorplan, FillCoefficientScalesArea) {
+  auto net = nn::make_mlp({256, 256});
+  auto rep = simulate_accelerator(net, base());
+  auto tight = estimate_floorplan(rep, 1.0);
+  auto loose = estimate_floorplan(rep, 2.0);
+  EXPECT_NEAR(loose.banks[0].unit.area / tight.banks[0].unit.area, 2.0,
+              1e-9);
+  EXPECT_GT(loose.area, tight.area);
+}
+
+TEST(Floorplan, MultiBankLayoutAccumulatesWidthAndWire) {
+  auto net = nn::make_mlp({512, 512, 512, 512});
+  auto rep = simulate_accelerator(net, base());
+  auto plan = estimate_floorplan(rep);
+  ASSERT_EQ(plan.banks.size(), 3u);
+  double width = 0.0;
+  for (const auto& b : plan.banks) width += b.width;
+  EXPECT_NEAR(plan.width, width, 1e-12);
+  EXPECT_GT(plan.interbank_wire_length, 0.0);
+  EXPECT_LT(plan.interbank_wire_length, plan.width);
+}
+
+TEST(Floorplan, PeripheralStripPresent) {
+  auto net = nn::make_large_bank_layer();
+  auto rep = simulate_accelerator(net, base());
+  auto plan = estimate_floorplan(rep);
+  EXPECT_GT(plan.banks[0].peripheral_height, 0.0);
+  EXPECT_LT(plan.banks[0].peripheral_height, plan.banks[0].height);
+}
+
+TEST(Floorplan, Validation) {
+  AcceleratorReport empty;
+  EXPECT_THROW(estimate_floorplan(empty), std::invalid_argument);
+  auto net = nn::make_mlp({64, 64});
+  auto rep = simulate_accelerator(net, base());
+  EXPECT_THROW(estimate_floorplan(rep, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::arch

@@ -1,0 +1,119 @@
+#include "arch/memory_mode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "accuracy/read_margin.hpp"
+
+namespace mnsim::arch {
+namespace {
+
+AcceleratorConfig base() {
+  AcceleratorConfig c;
+  c.cmos_node_nm = 45;
+  c.crossbar_size = 128;
+  c.interconnect_node_nm = 45;
+  return c;
+}
+
+TEST(MemoryMode, ComputeActivatesAllCellsReadOne) {
+  auto rep = simulate_memory_mode(base());
+  EXPECT_EQ(rep.cells_per_read, 1);
+  EXPECT_EQ(rep.cells_per_compute, 128l * 128l);
+}
+
+TEST(MemoryMode, ComputePassCostsFarMoreThanOneRead) {
+  // The Sec. II-C contrast: one compute pass moves 128x128 MACs, one READ
+  // moves one word — but the compute pass costs much less than 16k reads.
+  auto rep = simulate_memory_mode(base());
+  EXPECT_GT(rep.compute_energy, rep.read_energy);
+  EXPECT_LT(rep.compute_energy, 16384.0 * rep.read_energy);
+}
+
+TEST(MemoryMode, WritingIsTheExpensiveOperation) {
+  auto rep = simulate_memory_mode(base());
+  // Programming a row (program-and-verify) dwarfs a read.
+  EXPECT_GT(rep.row_write_latency, 10.0 * rep.read_latency);
+  EXPECT_GT(rep.row_write_energy, rep.read_energy);
+  // And the whole-array write is rows x the row cost.
+  EXPECT_NEAR(rep.array_write_latency, 128.0 * rep.row_write_latency,
+              1e-12);
+}
+
+TEST(MemoryMode, MetricsPositive) {
+  auto rep = simulate_memory_mode(base());
+  EXPECT_GT(rep.read_latency, 0.0);
+  EXPECT_GT(rep.read_energy, 0.0);
+  EXPECT_GT(rep.read_power, 0.0);
+  EXPECT_GT(rep.compute_latency, 0.0);
+}
+
+TEST(MemoryMode, DeviceChoiceMovesWriteCost) {
+  // PCM: slower pulses, fewer levels; RRAM: fast pulses, 8x the levels.
+  // Both land within the same order of magnitude for a row write, and
+  // PCM's higher write voltage into higher resistance changes the energy.
+  auto cfg = base();
+  auto rram = simulate_memory_mode(cfg);
+  cfg.memristor_model = "PCM";
+  cfg.resistance_min = 5e3;
+  cfg.resistance_max = 1e6;
+  auto pcm = simulate_memory_mode(cfg);
+  EXPECT_GT(pcm.row_write_latency, 0.1 * rram.row_write_latency);
+  EXPECT_LT(pcm.row_write_latency, 10.0 * rram.row_write_latency);
+  EXPECT_NE(pcm.row_write_energy, rram.row_write_energy);
+}
+
+}  // namespace
+}  // namespace mnsim::arch
+
+namespace mnsim::accuracy {
+namespace {
+
+ReadMarginInputs margin_inputs(int size) {
+  ReadMarginInputs in;
+  in.rows = size;
+  in.cols = size;
+  in.device = tech::default_rram();
+  return in;
+}
+
+TEST(ReadMargin, IsolatedArrayHasNearFullMargin) {
+  auto r = read_margin_isolated(margin_inputs(32));
+  EXPECT_GT(r.margin, 0.85);  // r_max/r_min = 1000x
+  EXPECT_DOUBLE_EQ(r.sneak_current_share, 0.0);
+  EXPECT_GT(r.v_read_lrs, r.v_read_hrs);
+}
+
+TEST(ReadMargin, CrosspointLosesMarginToSneakPaths) {
+  auto xp = read_margin_crosspoint(margin_inputs(32));
+  auto iso = read_margin_isolated(margin_inputs(32));
+  EXPECT_LT(xp.margin, iso.margin);
+  EXPECT_GT(xp.sneak_current_share, 0.1);
+  EXPECT_GT(xp.margin, 0.0);
+}
+
+TEST(ReadMargin, SneakWorsensWithArraySize) {
+  auto small = read_margin_crosspoint(margin_inputs(8));
+  auto large = read_margin_crosspoint(margin_inputs(64));
+  EXPECT_GT(large.sneak_current_share, small.sneak_current_share);
+  EXPECT_LT(large.margin, small.margin);
+}
+
+TEST(ReadMargin, HighResistanceBackgroundHelps) {
+  auto worst = margin_inputs(32);
+  worst.background_resistance = worst.device.r_min;
+  auto best = margin_inputs(32);
+  best.background_resistance = best.device.r_max;
+  EXPECT_GT(read_margin_crosspoint(best).margin,
+            read_margin_crosspoint(worst).margin);
+}
+
+TEST(ReadMargin, Validation) {
+  auto in = margin_inputs(0);
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+  in = margin_inputs(8);
+  in.background_resistance = -1;
+  EXPECT_THROW(in.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::accuracy

@@ -1,0 +1,119 @@
+#include "arch/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnsim::arch {
+namespace {
+
+TEST(Params, DefaultsMatchTableI) {
+  AcceleratorConfig c;
+  EXPECT_EQ(c.interface_in, 128);
+  EXPECT_EQ(c.interface_out, 128);
+  EXPECT_EQ(c.crossbar_size, 128);
+  EXPECT_EQ(c.pooling_size, 2);
+  EXPECT_EQ(c.weight_polarity, 2);
+  EXPECT_EQ(c.cmos_node_nm, 90);
+  EXPECT_EQ(c.cell_type, tech::CellType::k1T1R);
+  EXPECT_EQ(c.memristor_model, "RRAM");
+  EXPECT_EQ(c.interconnect_node_nm, 28);
+  EXPECT_EQ(c.parallelism, 0);  // 0 means all parallel
+  EXPECT_DOUBLE_EQ(c.resistance_min, 500.0);
+  EXPECT_DOUBLE_EQ(c.resistance_max, 500e3);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Params, FromConfigReadsPaperKeys) {
+  auto cfg = util::Config::parse(
+      "Interface_Number = [64, 256]\n"
+      "Crossbar_Size = 256\n"
+      "Pooling_Size = 3\n"
+      "Weight_Polarity = 1\n"
+      "CMOS_Tech = 45\n"
+      "Cell_Type = 0T1R\n"
+      "Memristor_Model = PCM\n"
+      "Interconnect_Tech = 22\n"
+      "Parallelism_Degree = 16\n"
+      "Resistance_Range = [5e3, 1e6]\n"
+      "Output_Bits = 6\n");
+  auto c = AcceleratorConfig::from_config(cfg);
+  EXPECT_EQ(c.interface_in, 64);
+  EXPECT_EQ(c.interface_out, 256);
+  EXPECT_EQ(c.crossbar_size, 256);
+  EXPECT_EQ(c.pooling_size, 3);
+  EXPECT_EQ(c.weight_polarity, 1);
+  EXPECT_EQ(c.cmos_node_nm, 45);
+  EXPECT_EQ(c.cell_type, tech::CellType::k0T1R);
+  EXPECT_EQ(c.memristor_model, "PCM");
+  EXPECT_EQ(c.interconnect_node_nm, 22);
+  EXPECT_EQ(c.parallelism, 16);
+  EXPECT_DOUBLE_EQ(c.resistance_min, 5e3);
+  EXPECT_EQ(c.output_bits, 6);
+}
+
+TEST(Params, FromConfigDefaultsWhenAbsent) {
+  auto c = AcceleratorConfig::from_config(util::Config::parse(""));
+  EXPECT_EQ(c.crossbar_size, 128);
+}
+
+TEST(Params, FromConfigRejectsBadValues) {
+  EXPECT_THROW(AcceleratorConfig::from_config(
+                   util::Config::parse("Cell_Type = 2T2R\n")),
+               util::ConfigError);
+  EXPECT_THROW(AcceleratorConfig::from_config(
+                   util::Config::parse("Interface_Number = [128]\n")),
+               util::ConfigError);
+  EXPECT_THROW(AcceleratorConfig::from_config(
+                   util::Config::parse("Resistance_Range = [5]\n")),
+               util::ConfigError);
+}
+
+TEST(Params, DeviceAppliesRangeAndSigma) {
+  AcceleratorConfig c;
+  c.resistance_min = 1e3;
+  c.resistance_max = 1e6;
+  c.device_sigma = 0.1;
+  auto d = c.device();
+  EXPECT_DOUBLE_EQ(d.r_min, 1e3);
+  EXPECT_DOUBLE_EQ(d.r_max, 1e6);
+  EXPECT_DOUBLE_EQ(d.sigma, 0.1);
+}
+
+TEST(Params, EffectiveParallelism) {
+  AcceleratorConfig c;
+  c.parallelism = 0;
+  EXPECT_EQ(c.effective_parallelism(128), 128);  // all parallel
+  c.parallelism = 16;
+  EXPECT_EQ(c.effective_parallelism(128), 16);
+  EXPECT_EQ(c.effective_parallelism(8), 8);  // capped by columns
+  EXPECT_THROW((void)c.effective_parallelism(0), std::invalid_argument);
+}
+
+TEST(Params, NeuronMappingFollowsPaper) {
+  EXPECT_EQ(AcceleratorConfig::neuron_for(nn::NetworkType::kAnn),
+            circuit::NeuronKind::kSigmoid);
+  EXPECT_EQ(AcceleratorConfig::neuron_for(nn::NetworkType::kSnn),
+            circuit::NeuronKind::kIntegrateFire);
+  EXPECT_EQ(AcceleratorConfig::neuron_for(nn::NetworkType::kCnn),
+            circuit::NeuronKind::kRelu);
+}
+
+TEST(Params, ValidationErrors) {
+  AcceleratorConfig c;
+  c.crossbar_size = 100;  // not a power of two
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = AcceleratorConfig{};
+  c.weight_polarity = 3;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = AcceleratorConfig{};
+  c.resistance_max = c.resistance_min;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = AcceleratorConfig{};
+  c.cmos_node_nm = 3;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = AcceleratorConfig{};
+  c.memristor_model = "unknown";
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::arch

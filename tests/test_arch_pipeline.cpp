@@ -1,0 +1,95 @@
+#include "arch/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/topologies.hpp"
+
+namespace mnsim::arch {
+namespace {
+
+AcceleratorConfig base() {
+  AcceleratorConfig c;
+  c.cmos_node_nm = 45;
+  c.crossbar_size = 128;
+  c.interconnect_node_nm = 45;
+  return c;
+}
+
+TEST(Pipeline, CycleTimeMatchesAcceleratorReport) {
+  auto net = nn::make_vgg16();
+  auto rep = simulate_accelerator(net, base());
+  auto pipe = analyze_pipeline(rep);
+  EXPECT_DOUBLE_EQ(pipe.cycle_time, rep.pipeline_cycle);
+}
+
+TEST(Pipeline, BottleneckHasFullUtilization) {
+  auto net = nn::make_vgg16();
+  auto rep = simulate_accelerator(net, base());
+  auto pipe = analyze_pipeline(rep);
+  ASSERT_GE(pipe.bottleneck_bank, 0);
+  ASSERT_EQ(pipe.utilization.size(), rep.banks.size());
+  EXPECT_DOUBLE_EQ(
+      pipe.utilization[static_cast<std::size_t>(pipe.bottleneck_bank)], 1.0);
+  for (double u : pipe.utilization) {
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(Pipeline, ThroughputIsInverseBottleneckWork) {
+  auto net = nn::make_vgg16();
+  auto rep = simulate_accelerator(net, base());
+  auto pipe = analyze_pipeline(rep);
+  const auto& bank =
+      rep.banks[static_cast<std::size_t>(pipe.bottleneck_bank)];
+  EXPECT_NEAR(pipe.sample_interval,
+              bank.iterations * bank.pass_latency, 1e-12);
+  EXPECT_NEAR(pipe.throughput * pipe.sample_interval, 1.0, 1e-9);
+}
+
+TEST(Pipeline, EarlyConvLayersDominateVgg) {
+  // VGG's 224x224 conv banks run 50k passes; FC banks run one. The
+  // bottleneck must be one of the first conv blocks.
+  auto net = nn::make_vgg16();
+  auto rep = simulate_accelerator(net, base());
+  auto pipe = analyze_pipeline(rep);
+  EXPECT_LT(pipe.bottleneck_bank, 4);
+}
+
+TEST(Pipeline, FillLatencyBelowFullSampleLatency) {
+  // Warm-up only needs the line-buffer fills, far less than a whole
+  // sample through every bank.
+  auto net = nn::make_vgg16();
+  auto rep = simulate_accelerator(net, base());
+  auto pipe = analyze_pipeline(rep);
+  EXPECT_GT(pipe.fill_latency, 0.0);
+  EXPECT_LT(pipe.fill_latency, rep.sample_latency);
+}
+
+TEST(Pipeline, FcNetworksHaveUnitWarmup) {
+  auto net = nn::make_mlp({128, 128, 128});
+  auto rep = simulate_accelerator(net, base());
+  for (const auto& b : rep.banks) EXPECT_EQ(b.warmup_passes, 1);
+  auto pipe = analyze_pipeline(rep);
+  // Every FC bank runs once per sample: equal work, all utilization 1.
+  for (double u : pipe.utilization) EXPECT_DOUBLE_EQ(u, 1.0);
+}
+
+TEST(Pipeline, ConvToFcRequiresFullFeatureMap) {
+  auto net = nn::make_vgg16();
+  auto rep = simulate_accelerator(net, base());
+  // Bank 12 (conv5_3) feeds fc6: warm-up equals its full iteration count.
+  const auto& last_conv = rep.banks[12];
+  EXPECT_EQ(last_conv.warmup_passes, last_conv.iterations);
+  // Conv-to-conv banks only need the line-buffer fill.
+  const auto& first_conv = rep.banks[0];
+  EXPECT_LT(first_conv.warmup_passes, first_conv.iterations);
+}
+
+TEST(Pipeline, EmptyReportThrows) {
+  AcceleratorReport empty;
+  EXPECT_THROW(analyze_pipeline(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::arch

@@ -1,0 +1,128 @@
+#include "arch/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/topologies.hpp"
+
+namespace mnsim::arch {
+namespace {
+
+AcceleratorConfig base() {
+  AcceleratorConfig c;
+  c.cmos_node_nm = 45;
+  c.crossbar_size = 128;
+  return c;
+}
+
+TrainingConfig small_run() {
+  TrainingConfig t;
+  t.samples = 1000;
+  t.epochs = 2;
+  t.batch_size = 10;
+  return t;
+}
+
+TEST(Training, CostsArePositiveAndCompose) {
+  auto net = nn::make_mlp({128, 128});
+  auto rep = estimate_training(net, base(), small_run());
+  EXPECT_GT(rep.weight_updates, 0);
+  EXPECT_GT(rep.update_energy, 0.0);
+  EXPECT_GT(rep.update_latency, 0.0);
+  EXPECT_GT(rep.compute_energy, 0.0);
+  EXPECT_NEAR(rep.total_energy, rep.compute_energy + rep.update_energy,
+              1e-18);
+  EXPECT_NEAR(rep.total_latency, rep.compute_latency + rep.update_latency,
+              1e-18);
+}
+
+TEST(Training, BackwardFactorScalesComputeOnly) {
+  auto net = nn::make_mlp({128, 128});
+  auto t = small_run();
+  t.backward_cost_factor = 0.0;
+  auto fwd_only = estimate_training(net, base(), t);
+  t.backward_cost_factor = 2.0;
+  auto full = estimate_training(net, base(), t);
+  EXPECT_NEAR(full.compute_energy, 3.0 * fwd_only.compute_energy, 1e-15);
+  EXPECT_DOUBLE_EQ(full.update_energy, fwd_only.update_energy);
+}
+
+TEST(Training, SparseUpdatesCutWriteCost) {
+  auto net = nn::make_mlp({256, 256});
+  auto t = small_run();
+  t.update_fraction = 1.0;
+  auto dense = estimate_training(net, base(), t);
+  t.update_fraction = 0.1;
+  auto sparse = estimate_training(net, base(), t);
+  EXPECT_NEAR(static_cast<double>(sparse.weight_updates),
+              0.1 * static_cast<double>(dense.weight_updates),
+              0.02 * dense.weight_updates);
+  EXPECT_LT(sparse.update_energy, dense.update_energy);
+  EXPECT_LT(sparse.endurance_fraction, dense.endurance_fraction);
+}
+
+TEST(Training, EnduranceConsumptionScalesWithBatches) {
+  auto net = nn::make_mlp({128, 128});
+  auto t = small_run();
+  auto few = estimate_training(net, base(), t);
+  t.batch_size = 1;  // 10x more updates
+  auto many = estimate_training(net, base(), t);
+  EXPECT_NEAR(many.endurance_fraction, 10.0 * few.endurance_fraction,
+              0.01 * many.endurance_fraction);
+}
+
+TEST(Training, DeviceWearsOutUnderExtremeTraining) {
+  auto net = nn::make_mlp({64, 64});
+  auto cfg = base();
+  cfg.resistance_min = 5e3;
+  cfg.resistance_max = 1e6;
+  cfg.memristor_model = "PCM";  // 1e8 endurance
+  TrainingConfig t;
+  t.samples = 100000000;  // 1e8 samples
+  t.epochs = 10;
+  t.batch_size = 1;       // update every sample
+  auto rep = estimate_training(net, cfg, t);
+  EXPECT_GT(rep.endurance_fraction, 1.0);
+  EXPECT_LT(rep.surviving_epochs, 10);
+}
+
+TEST(Training, InferenceOnlyMappingAvoidsWearProblem) {
+  // The Sec. II-B.1 argument: inference writes once; even an aggressive
+  // per-sample-update run consumes endurance ~linearly in batches, while
+  // inference consumes a single write.
+  auto net = nn::make_mlp({128, 128});
+  TrainingConfig t = small_run();
+  auto rep = estimate_training(net, base(), t);
+  // 200 batches at pulses=1: 200 writes of 1e9 endurance.
+  EXPECT_NEAR(rep.endurance_fraction, 200.0 / 1e9,
+              0.01 * rep.endurance_fraction);
+  EXPECT_EQ(rep.surviving_epochs, 2);
+}
+
+TEST(Training, Validation) {
+  TrainingConfig t;
+  t.samples = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = TrainingConfig{};
+  t.update_fraction = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = TrainingConfig{};
+  t.update_fraction = 1.5;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = TrainingConfig{};
+  t.pulses_per_update = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(Training, WritePulseEnergyModel) {
+  auto rram = tech::default_rram();
+  // v_write^2 / R_harm * pulse width.
+  const double expected = rram.v_write * rram.v_write /
+                          rram.harmonic_mean_resistance() *
+                          rram.write_latency;
+  EXPECT_NEAR(rram.write_pulse_energy(), expected, 1e-18);
+  auto pcm = tech::default_pcm();
+  EXPECT_GT(pcm.write_pulse_energy(), 0.0);
+}
+
+}  // namespace
+}  // namespace mnsim::arch

@@ -1,0 +1,100 @@
+#include "circuit/write_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnsim::circuit {
+namespace {
+
+const tech::CmosTech kCmos = tech::cmos_tech(45);
+
+TEST(WriteDriver, QuadrupleSaneAndScales) {
+  WriteDriverModel d{128, kCmos, tech::default_rram()};
+  auto p = d.ppa();
+  EXPECT_GT(p.area, 0.0);
+  EXPECT_GT(p.dynamic_power, 0.0);
+  EXPECT_GT(p.latency, d.device.write_latency);
+  WriteDriverModel wide{256, kCmos, tech::default_rram()};
+  EXPECT_GT(wide.ppa().area, 1.5 * p.area);
+}
+
+TEST(WriteDriver, PulseEnergyScalesInverseResistance) {
+  WriteDriverModel d{64, kCmos, tech::default_rram()};
+  EXPECT_NEAR(d.pulse_energy(500.0) / d.pulse_energy(5000.0), 10.0, 1e-9);
+  EXPECT_THROW((void)d.pulse_energy(0.0), std::invalid_argument);
+}
+
+TEST(WriteDriver, Validation) {
+  WriteDriverModel d{0, kCmos, tech::default_rram()};
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+ProgramVerifyModel make_pv(double sigma = 0.3) {
+  ProgramVerifyModel pv;
+  pv.device = tech::default_rram();
+  pv.step_sigma = sigma;
+  return pv;
+}
+
+TEST(ProgramVerify, ZeroDistanceNeedsNoPulses) {
+  EXPECT_DOUBLE_EQ(make_pv().expected_pulses(5, 5), 0.0);
+}
+
+TEST(ProgramVerify, ExpectedPulsesGrowWithDistance) {
+  auto pv = make_pv();
+  EXPECT_LT(pv.expected_pulses(0, 10), pv.expected_pulses(0, 100));
+  EXPECT_DOUBLE_EQ(pv.expected_pulses(0, 10), pv.expected_pulses(10, 0));
+}
+
+TEST(ProgramVerify, MonteCarloMatchesExpectation) {
+  auto pv = make_pv(0.2);
+  const auto mc = pv.monte_carlo(0, 64, 500, 99);
+  EXPECT_GT(mc.success_rate, 0.99);
+  const double expected = pv.expected_pulses(0, 64);
+  EXPECT_NEAR(mc.mean_pulses, expected, 0.25 * expected);
+  EXPECT_GE(mc.max_pulses_observed, mc.mean_pulses);
+}
+
+TEST(ProgramVerify, NoisierStepsNeedMorePulses) {
+  // With a tight tolerance, noisy steps overshoot and retry.
+  auto tight = make_pv(0.6);
+  tight.tolerance_levels = 0.25;
+  auto clean = make_pv(0.0);
+  clean.tolerance_levels = 0.25;
+  const auto noisy_mc = tight.monte_carlo(0, 32, 400, 7);
+  const auto clean_mc = clean.monte_carlo(0, 32, 400, 7);
+  EXPECT_GT(noisy_mc.mean_pulses, clean_mc.mean_pulses);
+  EXPECT_GT(tight.expected_pulses(0, 32), clean.expected_pulses(0, 32));
+}
+
+TEST(ProgramVerify, RowProgramTimeTradesPulseSpeedAgainstLevelCount) {
+  // PCM pulses are ~7x slower but its 4-bit cell needs ~8x fewer pulses
+  // than the 7-bit RRAM for a full-range transition, so the two roughly
+  // cancel; per pulse, PCM stays strictly slower.
+  auto rram = make_pv();
+  auto pcm = make_pv();
+  pcm.device = tech::default_pcm();
+  const double rram_per_pulse =
+      rram.row_program_time(128) / rram.expected_pulses(0, 127);
+  const double pcm_per_pulse =
+      pcm.row_program_time(128) / pcm.expected_pulses(0, 15);
+  EXPECT_GT(pcm_per_pulse, rram_per_pulse);
+  // More parallel cells only adds the order-statistics allowance.
+  EXPECT_GT(rram.row_program_time(256), rram.row_program_time(16));
+}
+
+TEST(ProgramVerify, Validation) {
+  auto pv = make_pv();
+  pv.step_levels = 0;
+  EXPECT_THROW(pv.validate(), std::invalid_argument);
+  pv = make_pv();
+  pv.step_sigma = 1.0;
+  EXPECT_THROW(pv.validate(), std::invalid_argument);
+  pv = make_pv();
+  EXPECT_THROW((void)pv.expected_pulses(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)pv.expected_pulses(0, 1 << 10), std::out_of_range);
+  EXPECT_THROW((void)pv.monte_carlo(0, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)pv.row_program_time(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::circuit

@@ -1,0 +1,120 @@
+#include "dse/hetero.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/topologies.hpp"
+
+namespace mnsim::dse {
+namespace {
+
+arch::AcceleratorConfig base() {
+  arch::AcceleratorConfig c;
+  c.cmos_node_nm = 45;
+  return c;
+}
+
+DesignSpace small_space() {
+  DesignSpace s;
+  s.crossbar_sizes = {32, 64, 128, 256};
+  s.parallelism_degrees = {16, 0};
+  s.interconnect_nodes = {28, 45, 90};
+  return s;
+}
+
+TEST(Hetero, ChoosesOnePointPerBank) {
+  auto net = nn::make_mlp({512, 512, 512});
+  auto result = optimize_per_bank(net, base(), small_space(),
+                                  Objective::kEnergy, 0.25);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.per_bank.size(), 2u);
+  EXPECT_EQ(result.report.banks.size(), 2u);
+  EXPECT_GT(result.bank_evaluations, 0);
+}
+
+TEST(Hetero, MeetsTheErrorConstraint) {
+  auto net = nn::make_vgg16();
+  auto result = optimize_per_bank(net, base(), small_space(),
+                                  Objective::kEnergy, 0.40);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.report.max_error_rate, 0.40);
+}
+
+TEST(Hetero, BeatsOrMatchesUniformOnTheObjective) {
+  // Per-bank freedom is a superset of uniform designs, and the greedy
+  // starts at the per-bank optima, so it should never lose to the best
+  // uniform feasible design by more than numerical noise.
+  auto net = nn::make_vgg16();
+  const double constraint = 0.40;
+  auto hetero = optimize_per_bank(net, base(), small_space(),
+                                  Objective::kEnergy, constraint);
+  ASSERT_TRUE(hetero.feasible);
+
+  auto uniform = explore(net, base(), small_space(), constraint);
+  auto uniform_best = uniform.best(Objective::kEnergy);
+  ASSERT_TRUE(uniform_best.has_value());
+  EXPECT_LE(hetero.report.energy_per_sample,
+            1.02 * uniform_best->metrics.energy_per_sample);
+}
+
+TEST(Hetero, MixedPointsAppearWhenLayersDiffer) {
+  // VGG has tiny (27-row) and huge (25088-row) layers: their optimal
+  // crossbar sizes should not coincide everywhere.
+  auto net = nn::make_vgg16();
+  auto result = optimize_per_bank(net, base(), small_space(),
+                                  Objective::kArea, 0.50);
+  ASSERT_TRUE(result.feasible);
+  bool mixed = false;
+  for (const auto& p : result.per_bank) {
+    if (p.crossbar_size != result.per_bank.front().crossbar_size ||
+        p.interconnect_node != result.per_bank.front().interconnect_node)
+      mixed = true;
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(Hetero, TightBudgetForcesAccurateChoices) {
+  auto net = nn::make_mlp({512, 512, 512, 512, 512});
+  auto loose = optimize_per_bank(net, base(), small_space(),
+                                 Objective::kArea, 0.30);
+  auto tight = optimize_per_bank(net, base(), small_space(),
+                                 Objective::kArea, 0.02);
+  ASSERT_TRUE(loose.feasible);
+  if (tight.feasible) {
+    EXPECT_LE(tight.report.max_error_rate, 0.02);
+    EXPECT_GE(tight.report.area, loose.report.area);  // accuracy costs area
+  }
+}
+
+TEST(Hetero, InfeasibleBudgetReported) {
+  auto net = nn::make_vgg16();
+  auto result = optimize_per_bank(net, base(), small_space(),
+                                  Objective::kArea, 1e-6);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Hetero, InvalidConstraintThrows) {
+  auto net = nn::make_mlp({64, 64});
+  EXPECT_THROW(optimize_per_bank(net, base(), small_space(),
+                                 Objective::kArea, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Hetero, HeterogeneousSimulationValidatesConfigCount) {
+  auto net = nn::make_mlp({64, 64, 64});  // 2 banks
+  std::vector<arch::AcceleratorConfig> configs(3, base());
+  EXPECT_THROW(arch::simulate_accelerator(net, configs),
+               std::invalid_argument);
+  EXPECT_THROW(
+      arch::simulate_accelerator(net, std::vector<arch::AcceleratorConfig>{}),
+      std::invalid_argument);
+  configs.resize(2);
+  configs[1].crossbar_size = 64;
+  auto rep = arch::simulate_accelerator(net, configs);
+  EXPECT_EQ(rep.banks.size(), 2u);
+  // The two banks really used different crossbar sizes.
+  EXPECT_NE(rep.banks[0].mapping.unit_count,
+            rep.banks[1].mapping.unit_count);
+}
+
+}  // namespace
+}  // namespace mnsim::dse

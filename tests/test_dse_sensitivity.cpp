@@ -1,0 +1,69 @@
+#include "dse/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/topologies.hpp"
+
+namespace mnsim::dse {
+namespace {
+
+arch::AcceleratorConfig base() {
+  arch::AcceleratorConfig c;
+  c.cmos_node_nm = 45;
+  return c;
+}
+
+TEST(Sensitivity, ProbesAllKnobsAroundInteriorPoint) {
+  auto net = nn::make_large_bank_layer();
+  DesignPoint p{128, 16, 28};
+  auto rep = analyze_sensitivity(net, base(), p);
+  EXPECT_EQ(rep.base_point.crossbar_size, 128);
+  // Interior point: both directions of all three knobs -> 6 entries.
+  EXPECT_EQ(rep.entries.size(), 6u);
+}
+
+TEST(Sensitivity, DirectionsMatchTheModels) {
+  auto net = nn::make_large_bank_layer();
+  DesignPoint p{128, 16, 28};
+  auto rep = analyze_sensitivity(net, base(), p);
+  for (const auto& e : rep.entries) {
+    if (e.knob == "crossbar_size/2") {
+      EXPECT_GT(e.d_area, 0.0);   // smaller crossbars cost area
+      EXPECT_LT(e.d_error, 0.0);  // but reduce the wire error
+    } else if (e.knob == "parallelism/2") {
+      EXPECT_LT(e.d_area, 0.0);   // fewer ADCs
+      EXPECT_GT(e.d_latency, 0.0);  // more read cycles
+    } else if (e.knob == "parallelism*2") {
+      EXPECT_GT(e.d_area, 0.0);
+      EXPECT_LT(e.d_latency, 0.0);
+    } else if (e.knob == "interconnect_finer") {
+      EXPECT_GT(e.d_error, 0.0);  // finer wires are more resistive
+    } else if (e.knob == "interconnect_coarser") {
+      EXPECT_LT(e.d_error, 0.0);
+    }
+  }
+}
+
+TEST(Sensitivity, BoundaryPointsSkipInvalidNeighbours) {
+  auto net = nn::make_mlp({64, 64});
+  // Full parallel: no parallelism*2 step; finest node: no finer step.
+  DesignPoint p{4, 0, 18};
+  auto rep = analyze_sensitivity(net, base(), p);
+  for (const auto& e : rep.entries) {
+    EXPECT_NE(e.knob, "crossbar_size/2");  // 4 is the floor
+    EXPECT_NE(e.knob, "parallelism*2");
+    EXPECT_NE(e.knob, "interconnect_finer");
+  }
+  EXPECT_FALSE(rep.entries.empty());
+}
+
+TEST(Sensitivity, BaseMetricsPopulated) {
+  auto net = nn::make_mlp({256, 256});
+  auto rep = analyze_sensitivity(net, base(), {128, 0, 45});
+  EXPECT_GT(rep.base_metrics.area, 0.0);
+  EXPECT_GT(rep.base_metrics.latency, 0.0);
+  EXPECT_GE(rep.base_metrics.max_error_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace mnsim::dse

@@ -1,0 +1,101 @@
+#include "nn/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.hpp"
+#include "nn/parser.hpp"
+
+namespace mnsim::nn {
+namespace {
+
+TEST(Generator, ProducesValidNetworks) {
+  for (std::uint32_t seed = 1; seed <= 30; ++seed) {
+    GeneratorOptions opt;
+    opt.seed = seed;
+    auto net = random_network(opt);
+    EXPECT_NO_THROW(net.validate()) << "seed " << seed;
+    EXPECT_GE(net.depth(), 1) << "seed " << seed;
+    EXPECT_GT(net.total_weights(), 0) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  GeneratorOptions opt;
+  opt.seed = 77;
+  auto a = random_network(opt);
+  auto b = random_network(opt);
+  EXPECT_EQ(a.layers.size(), b.layers.size());
+  EXPECT_EQ(a.total_weights(), b.total_weights());
+  opt.seed = 78;
+  auto c = random_network(opt);
+  EXPECT_TRUE(a.layers.size() != c.layers.size() ||
+              a.total_weights() != c.total_weights());
+}
+
+TEST(Generator, RespectsBounds) {
+  GeneratorOptions opt;
+  opt.allow_cnn = false;
+  opt.min_layers = 2;
+  opt.max_layers = 3;
+  opt.min_width = 10;
+  opt.max_width = 20;
+  for (std::uint32_t seed = 1; seed <= 10; ++seed) {
+    opt.seed = seed;
+    auto net = random_network(opt);
+    EXPECT_GE(net.depth(), 2);
+    EXPECT_LE(net.depth(), 3);
+    for (const auto& l : net.layers) {
+      EXPECT_GE(l.in_features, 10);
+      EXPECT_LE(l.in_features, 20);
+    }
+  }
+}
+
+TEST(Generator, InvalidOptionsThrow) {
+  GeneratorOptions opt;
+  opt.min_layers = 0;
+  EXPECT_THROW(random_network(opt), std::invalid_argument);
+  opt = GeneratorOptions{};
+  opt.max_width = 0;
+  EXPECT_THROW(random_network(opt), std::invalid_argument);
+}
+
+// Fuzz property: every generated network maps, simulates with positive
+// metrics, fits its weights in the mapped crossbars, and survives a
+// description round-trip.
+class GeneratedNetworkFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedNetworkFuzz, SimulatesAndRoundTrips) {
+  GeneratorOptions opt;
+  opt.seed = static_cast<std::uint32_t>(GetParam());
+  opt.max_width = 1024;
+  auto net = random_network(opt);
+
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.crossbar_size = 128;
+  auto rep = arch::simulate_accelerator(net, cfg);
+  EXPECT_GT(rep.area, 0.0);
+  EXPECT_GT(rep.energy_per_sample, 0.0);
+  EXPECT_GT(rep.sample_latency, 0.0);
+  EXPECT_GE(rep.max_error_rate, 0.0);
+  EXPECT_LT(rep.max_error_rate, 1.0);
+
+  long capacity = 0;
+  for (const auto& b : rep.banks) {
+    capacity += b.mapping.unit_count * 128l * 128l;
+    EXPECT_GE(b.mapping.rows_used_edge, 1);
+    EXPECT_GE(b.mapping.cols_used_edge, 1);
+  }
+  EXPECT_GE(capacity, net.total_weights());
+
+  auto round = parse_network(util::Config::parse(write_network(net)));
+  EXPECT_EQ(round.total_weights(), net.total_weights());
+  EXPECT_EQ(round.depth(), net.depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedNetworkFuzz,
+                         ::testing::Range(100, 140));
+
+}  // namespace
+}  // namespace mnsim::nn

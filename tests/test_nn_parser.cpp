@@ -1,0 +1,121 @@
+#include "nn/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/topologies.hpp"
+
+namespace mnsim::nn {
+namespace {
+
+const char* kCnnText = R"(
+[network]
+name = tiny-cnn
+type = CNN
+input_bits = 8
+weight_bits = 4
+
+[layer1]
+kind = conv
+in_channels = 3
+out_channels = 16
+kernel = 3
+in_width = 32
+in_height = 32
+padding = 1
+
+[layer2]
+kind = pool
+window = 2
+
+[layer3]
+kind = fc
+in = 4096
+out = 10
+)";
+
+TEST(Parser, ParsesCnnDescription) {
+  auto net = parse_network(util::Config::parse(kCnnText));
+  EXPECT_EQ(net.name, "tiny-cnn");
+  EXPECT_EQ(net.type, NetworkType::kCnn);
+  EXPECT_EQ(net.layers.size(), 3u);
+  EXPECT_EQ(net.depth(), 2);
+  EXPECT_EQ(net.layers[0].kind, LayerKind::kConvolution);
+  EXPECT_EQ(net.layers[0].out_width(), 32);
+  EXPECT_EQ(net.layers[1].kind, LayerKind::kPooling);
+  EXPECT_EQ(net.layers[2].in_features, 4096);
+  EXPECT_EQ(net.weight_bits, 4);
+}
+
+TEST(Parser, DefaultsApplied) {
+  auto net = parse_network(util::Config::parse(
+      "[layer1]\nkind = fc\nin = 8\nout = 4\n"));
+  EXPECT_EQ(net.name, "network");
+  EXPECT_EQ(net.type, NetworkType::kAnn);
+  EXPECT_EQ(net.input_bits, 8);
+  EXPECT_TRUE(net.layers[0].has_bias);
+}
+
+TEST(Parser, StrideAndNoBias) {
+  auto net = parse_network(util::Config::parse(
+      "[layer1]\nkind = conv\nin_channels = 3\nout_channels = 96\n"
+      "kernel = 11\nin_width = 227\nin_height = 227\nstride = 4\n"
+      "[layer2]\nkind = fc\nin = 10\nout = 10\nbias = false\n"));
+  EXPECT_EQ(net.layers[0].stride, 4);
+  EXPECT_EQ(net.layers[0].out_width(), 55);
+  EXPECT_FALSE(net.layers[1].has_bias);
+}
+
+TEST(Parser, GapsInLayerNumberingThrow) {
+  EXPECT_THROW(parse_network(util::Config::parse(
+                   "[layer1]\nkind = fc\nin = 4\nout = 4\n"
+                   "[layer3]\nkind = fc\nin = 4\nout = 4\n")),
+               util::ConfigError);
+}
+
+TEST(Parser, UnknownKindAndTypeThrow) {
+  EXPECT_THROW(parse_network(util::Config::parse(
+                   "[layer1]\nkind = lstm\n")),
+               util::ConfigError);
+  EXPECT_THROW(parse_network(util::Config::parse(
+                   "[network]\ntype = GAN\n[layer1]\nkind = fc\nin = 4\n"
+                   "out = 4\n")),
+               util::ConfigError);
+}
+
+TEST(Parser, MissingRequiredFieldThrows) {
+  EXPECT_THROW(
+      parse_network(util::Config::parse("[layer1]\nkind = fc\nin = 4\n")),
+      util::ConfigError);
+}
+
+TEST(Parser, EmptyNetworkThrows) {
+  EXPECT_THROW(parse_network(util::Config::parse("")),
+               std::invalid_argument);
+}
+
+TEST(Parser, RoundTripPreservesStructure) {
+  auto original = make_vgg16();
+  const std::string text = write_network(original);
+  auto parsed = parse_network(util::Config::parse(text));
+  ASSERT_EQ(parsed.layers.size(), original.layers.size());
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.type, original.type);
+  EXPECT_EQ(parsed.depth(), original.depth());
+  EXPECT_EQ(parsed.total_weights(), original.total_weights());
+  for (std::size_t i = 0; i < parsed.layers.size(); ++i) {
+    EXPECT_EQ(parsed.layers[i].kind, original.layers[i].kind) << i;
+    EXPECT_EQ(parsed.layers[i].matrix_rows(),
+              original.layers[i].matrix_rows())
+        << i;
+  }
+}
+
+TEST(Parser, RoundTripMlp) {
+  auto original = make_autoencoder_64_16_64();
+  auto parsed = parse_network(util::Config::parse(write_network(original)));
+  EXPECT_EQ(parsed.input_size(), 64);
+  EXPECT_EQ(parsed.output_size(), 64);
+}
+
+}  // namespace
+}  // namespace mnsim::nn

@@ -1,0 +1,106 @@
+#include "nn/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/functional_sim.hpp"
+#include "nn/topologies.hpp"
+
+namespace mnsim::nn {
+namespace {
+
+TEST(Stats, MlpCharacterization) {
+  auto net = make_mlp({64, 32, 10});
+  auto s = characterize(net);
+  ASSERT_EQ(s.layers.size(), 2u);
+  EXPECT_EQ(s.layers[0].weights, 65l * 32);  // + bias row
+  EXPECT_EQ(s.layers[0].macs_per_sample, s.layers[0].weights);
+  EXPECT_DOUBLE_EQ(s.conv_mac_share, 0.0);
+  EXPECT_DOUBLE_EQ(s.macs_per_weight, 1.0);  // FC: each weight used once
+}
+
+TEST(Stats, Vgg16ConvDominatesMacs) {
+  auto s = characterize(make_vgg16());
+  EXPECT_EQ(s.layers.size(), 16u);
+  // Conv layers hold ~11 % of weights but ~99 % of the MACs.
+  EXPECT_GT(s.conv_mac_share, 0.95);
+  EXPECT_GT(s.macs_per_weight, 50.0);
+  // VGG-16 runs ~15.5 GMACs per 224x224 sample.
+  EXPECT_GT(s.total_macs_per_sample, 14l * 1000 * 1000 * 1000);
+  EXPECT_LT(s.total_macs_per_sample, 17l * 1000 * 1000 * 1000);
+}
+
+TEST(Stats, UtilizationPerfectWhenShapesDivide) {
+  auto net = make_mlp({128, 128});
+  net.layers[0].has_bias = false;
+  EXPECT_DOUBLE_EQ(crossbar_utilization(net, 128), 1.0);
+  // The bias row forces a second block row at size 128.
+  auto biased = make_mlp({128, 128});
+  EXPECT_NEAR(crossbar_utilization(biased, 128), 129.0 / 256.0, 1e-9);
+}
+
+TEST(Stats, SmallerCrossbarsWasteLess) {
+  auto net = make_vgg16();
+  EXPECT_GT(crossbar_utilization(net, 32), crossbar_utilization(net, 512));
+  EXPECT_THROW(crossbar_utilization(net, 0), std::invalid_argument);
+}
+
+TEST(MonteCarloNetwork, CnnZeroEpsIsExact) {
+  Network net;
+  net.type = NetworkType::kCnn;
+  net.name = "tiny";
+  net.layers.push_back(Layer::convolution("c1", 1, 4, 3, 8, 8, 1));
+  net.layers.push_back(Layer::pooling("p1", 2));
+  net.layers.push_back(Layer::fully_connected("fc", 64, 10));
+  net.validate();
+
+  MonteCarloConfig mc;
+  mc.samples = 5;
+  mc.weight_draws = 2;
+  auto r = run_monte_carlo_network(net, {0.0, 0.0}, mc);
+  EXPECT_DOUBLE_EQ(r.avg_error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(r.relative_accuracy, 1.0);
+}
+
+TEST(MonteCarloNetwork, CnnErrorPropagates) {
+  Network net;
+  net.type = NetworkType::kCnn;
+  net.layers.push_back(Layer::convolution("c1", 1, 4, 3, 8, 8, 1));
+  net.layers.push_back(Layer::convolution("c2", 4, 4, 3, 8, 8, 1));
+  net.layers.push_back(Layer::fully_connected("fc", 256, 10));
+  net.validate();
+
+  MonteCarloConfig mc;
+  mc.samples = 5;
+  mc.weight_draws = 2;
+  auto small = run_monte_carlo_network(net, {0.01, 0.01, 0.01}, mc);
+  auto large = run_monte_carlo_network(net, {0.08, 0.08, 0.08}, mc);
+  EXPECT_GT(large.avg_error_rate, small.avg_error_rate);
+  EXPECT_GT(large.avg_error_rate, 0.0);
+}
+
+TEST(MonteCarloNetwork, MatchesMlpPathOnMlps) {
+  auto net = make_autoencoder_64_16_64();
+  MonteCarloConfig mc;
+  mc.samples = 10;
+  mc.weight_draws = 2;
+  auto general = run_monte_carlo_network(net, {0.05, 0.05}, mc);
+  auto mlp = run_monte_carlo(net, {0.05, 0.05}, mc);
+  // Different code paths and RNG streams; distributions must agree
+  // roughly.
+  EXPECT_NEAR(general.avg_error_rate, mlp.avg_error_rate,
+              0.5 * std::max(general.avg_error_rate, mlp.avg_error_rate) +
+                  1e-4);
+}
+
+TEST(MonteCarloNetwork, Validation) {
+  auto net = make_autoencoder_64_16_64();
+  MonteCarloConfig mc;
+  EXPECT_THROW(run_monte_carlo_network(net, {0.1}, mc),
+               std::invalid_argument);
+  mc.samples = 0;
+  EXPECT_THROW(run_monte_carlo_network(net, {0.1, 0.1}, mc),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::nn

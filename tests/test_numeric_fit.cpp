@@ -1,0 +1,70 @@
+#include "numeric/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace mnsim::numeric {
+namespace {
+
+TEST(FitLine, ExactLineRecovered) {
+  std::vector<double> x = {0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.0 + 0.5 * v);
+  auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-10);
+  EXPECT_NEAR(fit.coefficients[1], 0.5, 1e-10);
+  EXPECT_NEAR(fit.rmse, 0.0, 1e-10);
+}
+
+TEST(FitLine, NoisyLineHasSmallResidual) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i * 0.1);
+    y.push_back(1.0 - 0.3 * x.back() + noise(rng));
+  }
+  auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.coefficients[1], -0.3, 0.01);
+  EXPECT_LT(fit.rmse, 0.02);
+  EXPECT_GE(fit.max_abs, fit.rmse);
+}
+
+TEST(FitBasis, QuadraticBasisRecovered) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    double x = i * 0.25;
+    rows.push_back({1.0, x, x * x});
+    y.push_back(3.0 - x + 0.25 * x * x);
+  }
+  auto fit = fit_basis(rows, y);
+  EXPECT_NEAR(fit.coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], -1.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2], 0.25, 1e-9);
+}
+
+TEST(FitBasis, RaggedRowsThrow) {
+  EXPECT_THROW(fit_basis({{1.0, 2.0}, {1.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(FitBasis, EmptyThrows) {
+  EXPECT_THROW(fit_basis({}, {}), std::invalid_argument);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  DenseMatrix a(1, 2, 1.0);
+  EXPECT_THROW(least_squares(a, {1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, RowMismatchThrows) {
+  DenseMatrix a(3, 1, 1.0);
+  EXPECT_THROW(least_squares(a, {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::numeric

@@ -1,0 +1,53 @@
+#include "numeric/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mnsim::numeric {
+namespace {
+
+TEST(NewtonBisect, FindsLinearRoot) {
+  auto r = newton_bisect([](double x) { return 2.0 * x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.5, 1e-10);
+}
+
+TEST(NewtonBisect, FindsTranscendentalRoot) {
+  // x = cos(x): root ~ 0.7390851
+  auto r = newton_bisect([](double x) { return x - std::cos(x); }, 0.0, 2.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 0.7390851332151607, 1e-8);
+}
+
+TEST(NewtonBisect, SinhStyleDeviceEquation) {
+  // The memristor operating point kernel: find V with
+  // (Vin - V)/R = I0 sinh(V/vt).
+  const double vin = 0.05;
+  const double r_load = 60.0;
+  const double r_cell = 500.0;
+  const double vt = 0.05;
+  auto f = [&](double v) {
+    return (vin - v) / r_load - (vt / r_cell) * std::sinh(v / vt);
+  };
+  auto res = newton_bisect(f, 0.0, vin);
+  EXPECT_TRUE(res.converged);
+  EXPECT_GT(res.x, 0.0);
+  EXPECT_LT(res.x, vin);
+  EXPECT_NEAR(f(res.x), 0.0, 1e-10);
+}
+
+TEST(NewtonBisect, EndpointRootsReturnedImmediately) {
+  auto r = newton_bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.x, 0.0);
+}
+
+TEST(NewtonBisect, UnbracketedThrows) {
+  EXPECT_THROW(
+      newton_bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mnsim::numeric

@@ -1,0 +1,123 @@
+#include "numeric/sparse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/dense.hpp"
+
+namespace mnsim::numeric {
+namespace {
+
+TEST(SparseBuilder, AccumulatesDuplicates) {
+  SparseBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  CsrMatrix m(b);
+  std::vector<double> y;
+  m.multiply({1.0, 0.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(SparseBuilder, OutOfRangeThrows) {
+  SparseBuilder b(2);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  SparseBuilder b(3);
+  b.add(0, 0, 2.0);
+  b.add(0, 2, -1.0);
+  b.add(1, 1, 3.0);
+  b.add(2, 0, -1.0);
+  b.add(2, 2, 4.0);
+  CsrMatrix m(b);
+  EXPECT_EQ(m.nnz(), 5u);
+  std::vector<double> y;
+  m.multiply({1.0, 2.0, 3.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 11.0);
+}
+
+TEST(CsrMatrix, SizeMismatchThrows) {
+  SparseBuilder b(2);
+  b.add(0, 0, 1.0);
+  CsrMatrix m(b);
+  std::vector<double> y;
+  EXPECT_THROW(m.multiply({1.0}, y), std::invalid_argument);
+}
+
+TEST(ConjugateGradient, SolvesSmallSpd) {
+  // A = [[4,1],[1,3]], b = [1,2].
+  SparseBuilder b(2);
+  b.add(0, 0, 4.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 3.0);
+  auto r = conjugate_gradient(CsrMatrix(b), {1.0, 2.0});
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x[0], 1.0 / 11.0, 1e-8);
+  EXPECT_NEAR(r.x[1], 7.0 / 11.0, 1e-8);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZero) {
+  SparseBuilder b(3);
+  for (int i = 0; i < 3; ++i) b.add(i, i, 1.0);
+  auto r = conjugate_gradient(CsrMatrix(b), {0.0, 0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  for (double v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// Property: CG on random SPD (Laplacian-like) systems matches dense LU.
+class CgVsLu : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgVsLu, MatchesDenseSolution) {
+  const int n = GetParam();
+  std::mt19937 rng(99u + n);
+  std::uniform_real_distribution<double> dist(0.1, 2.0);
+
+  // Grounded resistor chain with random extra couplings: SPD.
+  SparseBuilder sb(n);
+  DenseMatrix dm(n, n);
+  auto couple = [&](int i, int j, double g) {
+    sb.add(i, i, g);
+    dm(i, i) += g;
+    if (j >= 0) {
+      sb.add(j, j, g);
+      dm(j, j) += g;
+      sb.add(i, j, -g);
+      sb.add(j, i, -g);
+      dm(i, j) -= g;
+      dm(j, i) -= g;
+    }
+  };
+  for (int i = 0; i < n; ++i) couple(i, -1, dist(rng));  // to ground
+  for (int i = 0; i + 1 < n; ++i) couple(i, i + 1, dist(rng));
+  for (int i = 0; i + 7 < n; i += 5) couple(i, i + 7, dist(rng));
+
+  std::vector<double> b(n);
+  for (double& v : b) v = dist(rng) - 1.0;
+
+  auto cg = conjugate_gradient(CsrMatrix(sb), b, 1e-12);
+  ASSERT_TRUE(cg.converged);
+  auto lu = lu_solve(dm, b);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(cg.x[i], lu[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CgVsLu,
+                         ::testing::Values(2, 5, 10, 25, 50, 100, 200));
+
+TEST(ConjugateGradient, JacobiDiagonalDefaultsToOne) {
+  SparseBuilder b(2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  CsrMatrix m(b);
+  auto d = m.jacobi_diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+}
+
+}  // namespace
+}  // namespace mnsim::numeric

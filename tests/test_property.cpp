@@ -1,0 +1,227 @@
+// Property-based sweeps: invariants that must hold across the whole
+// configuration grid, checked with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "arch/accelerator.hpp"
+#include "dse/explorer.hpp"
+#include "nn/topologies.hpp"
+
+namespace mnsim {
+namespace {
+
+// ---- invariants of a single unit over (size, parallelism, node) -------------
+
+using UnitParam = std::tuple<int, int, int>;  // size, parallelism, cmos node
+
+class UnitInvariants : public ::testing::TestWithParam<UnitParam> {};
+
+TEST_P(UnitInvariants, QuadrupleIsSaneEverywhere) {
+  const auto [size, p, node] = GetParam();
+  arch::AcceleratorConfig cfg;
+  cfg.crossbar_size = size;
+  cfg.parallelism = p;
+  cfg.cmos_node_nm = node;
+  auto r = arch::simulate_unit(size, size, 8, 4, cfg);
+  EXPECT_GT(r.area, 0.0);
+  EXPECT_GT(r.pass_latency, 0.0);
+  EXPECT_GT(r.dynamic_energy_per_pass, 0.0);
+  EXPECT_GE(r.leakage_power, 0.0);
+  EXPECT_EQ(r.read_cycles,
+            (size + r.lanes - 1) / r.lanes);
+  // The pass can never be faster than one ADC conversion.
+  EXPECT_GE(r.pass_latency, r.cycle_latency);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UnitInvariants,
+    ::testing::Combine(::testing::Values(16, 64, 256),
+                       ::testing::Values(0, 1, 8),
+                       ::testing::Values(130, 45, 28)));
+
+// ---- invariants of the full accelerator over crossbar sizes ------------------
+
+class AcceleratorSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcceleratorSizeSweep, WeightsAlwaysFitAndMetricsPositive) {
+  const int size = GetParam();
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.crossbar_size = size;
+  auto net = nn::make_mlp({300, 200, 100});
+  auto rep = arch::simulate_accelerator(net, cfg);
+  // Capacity invariant: the mapped crossbars can hold every weight.
+  long capacity = 0;
+  for (const auto& b : rep.banks)
+    capacity += b.mapping.unit_count * static_cast<long>(size) * size;
+  EXPECT_GE(capacity, net.total_weights());
+  EXPECT_GT(rep.area, 0.0);
+  EXPECT_GT(rep.energy_per_sample, 0.0);
+  EXPECT_GT(rep.sample_latency, 0.0);
+  EXPECT_GE(rep.max_error_rate, 0.0);
+  EXPECT_LE(rep.relative_accuracy, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AcceleratorSizeSweep,
+                         ::testing::Values(16, 32, 64, 128, 256, 512));
+
+// ---- monotonicity properties ---------------------------------------------------
+
+TEST(Monotonicity, AreaDecreasesWithCrossbarSize) {
+  // Per-row peripherals dominate: halving the crossbar roughly doubles
+  // the area (Table V trend).
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  auto net = nn::make_large_bank_layer();
+  double prev = 0.0;
+  for (int size : {8, 16, 32, 64, 128, 256}) {
+    cfg.crossbar_size = size;
+    auto rep = arch::simulate_accelerator(net, cfg);
+    if (prev > 0.0) {
+      EXPECT_LT(rep.area, prev) << "size " << size;
+      EXPECT_GT(rep.area, 0.4 * prev) << "size " << size;
+    }
+    prev = rep.area;
+  }
+}
+
+TEST(Monotonicity, LatencyDecreasesAreaIncreasesWithParallelism) {
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.crossbar_size = 256;
+  auto net = nn::make_large_bank_layer();
+  double prev_latency = 1e18;
+  double prev_area = 0.0;
+  for (int p : {1, 2, 4, 8, 16, 32, 64, 128, 0}) {
+    cfg.parallelism = p;
+    auto rep = arch::simulate_accelerator(net, cfg);
+    EXPECT_LE(rep.pipeline_cycle, prev_latency) << "p " << p;
+    EXPECT_GT(rep.area, prev_area) << "p " << p;
+    prev_latency = rep.pipeline_cycle;
+    prev_area = rep.area;
+  }
+}
+
+TEST(Monotonicity, ErrorGrowsWithFinerInterconnect) {
+  arch::AcceleratorConfig cfg;
+  cfg.cmos_node_nm = 45;
+  cfg.crossbar_size = 256;
+  auto net = nn::make_large_bank_layer();
+  double prev = 0.0;
+  for (int node : {90, 45, 36, 28, 22, 18}) {
+    cfg.interconnect_node_nm = node;
+    auto rep = arch::simulate_accelerator(net, cfg);
+    EXPECT_GE(rep.epsilon_worst, prev) << "node " << node;
+    prev = rep.epsilon_worst;
+  }
+}
+
+TEST(Monotonicity, CoarserCmosIsBiggerAndSlower) {
+  auto net = nn::make_mlp({256, 256});
+  arch::AcceleratorConfig cfg;
+  cfg.crossbar_size = 128;
+  cfg.cmos_node_nm = 45;
+  auto fine = arch::simulate_accelerator(net, cfg);
+  cfg.cmos_node_nm = 130;
+  auto coarse = arch::simulate_accelerator(net, cfg);
+  EXPECT_GT(coarse.area, fine.area);
+  EXPECT_GT(coarse.sample_latency, fine.sample_latency);
+}
+
+TEST(Monotonicity, CellTypeAffectsOnlyArrayArea) {
+  auto net = nn::make_mlp({256, 256});
+  arch::AcceleratorConfig cfg;
+  cfg.cell_type = tech::CellType::k1T1R;
+  auto mos = arch::simulate_accelerator(net, cfg);
+  cfg.cell_type = tech::CellType::k0T1R;
+  auto xpoint = arch::simulate_accelerator(net, cfg);
+  EXPECT_LT(xpoint.area, mos.area);          // 4F^2 < 3(W/L+1)F^2
+  EXPECT_DOUBLE_EQ(xpoint.max_error_rate, mos.max_error_rate);
+}
+
+// ---- DSE objective consistency --------------------------------------------------
+
+class ObjectiveSweep : public ::testing::TestWithParam<dse::Objective> {};
+
+TEST_P(ObjectiveSweep, BestFeasibleDominatesSampledPoints) {
+  auto net = nn::make_large_bank_layer();
+  arch::AcceleratorConfig base;
+  base.cmos_node_nm = 45;
+  dse::DesignSpace space;
+  space.crossbar_sizes = {64, 256};
+  space.parallelism_degrees = {1, 0};
+  space.interconnect_nodes = {28, 45};
+  auto result = dse::explore(net, base, space, 0.3);
+  auto best = result.best(GetParam());
+  ASSERT_TRUE(best.has_value());
+  for (const auto& d : result.designs) {
+    if (!d.feasible) continue;
+    EXPECT_LE(best->metrics.objective_value(GetParam()),
+              d.metrics.objective_value(GetParam()) + 1e-15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Objectives, ObjectiveSweep,
+                         ::testing::Values(dse::Objective::kArea,
+                                           dse::Objective::kEnergy,
+                                           dse::Objective::kLatency,
+                                           dse::Objective::kAccuracy,
+                                           dse::Objective::kPower));
+
+// ---- random-configuration fuzz --------------------------------------------------
+
+class RandomConfigFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConfigFuzz, EveryValidConfigSimulatesSanely) {
+  std::mt19937 rng(static_cast<std::uint32_t>(GetParam()));
+  auto pick = [&](std::initializer_list<int> values) {
+    std::vector<int> v(values);
+    return v[std::uniform_int_distribution<std::size_t>(0, v.size() - 1)(
+        rng)];
+  };
+  arch::AcceleratorConfig cfg;
+  cfg.crossbar_size = pick({8, 16, 32, 64, 128, 256, 512});
+  cfg.parallelism = pick({0, 1, 2, 7, 16, 100});
+  cfg.cmos_node_nm = pick({130, 90, 65, 45, 32, 28});
+  cfg.interconnect_node_nm = pick({18, 22, 28, 36, 45, 90});
+  cfg.weight_polarity = pick({1, 2});
+  cfg.signed_two_crossbars = pick({0, 1}) == 1;
+  cfg.cell_type =
+      pick({0, 1}) == 1 ? tech::CellType::k1T1R : tech::CellType::k0T1R;
+  cfg.output_bits = pick({4, 6, 8, 10});
+  const int device = pick({0, 1, 2});
+  if (device == 1) {
+    cfg.memristor_model = "PCM";
+    cfg.resistance_min = 5e3;
+    cfg.resistance_max = 1e6;
+  } else if (device == 2) {
+    cfg.memristor_model = "STT-MRAM";
+    cfg.resistance_min = 2e3;
+    cfg.resistance_max = 5e3;
+  }
+  cfg.device_sigma = pick({0, 1}) == 1 ? 0.1 : 0.0;
+  ASSERT_NO_THROW(cfg.validate());
+
+  auto net = nn::make_mlp({pick({16, 100, 500}), pick({16, 200})});
+  const auto rep = arch::simulate_accelerator(net, cfg);
+  EXPECT_GT(rep.area, 0.0);
+  EXPECT_GT(rep.energy_per_sample, 0.0);
+  EXPECT_GT(rep.sample_latency, 0.0);
+  EXPECT_GT(rep.pipeline_cycle, 0.0);
+  EXPECT_GE(rep.leakage_power, 0.0);
+  EXPECT_GE(rep.max_error_rate, 0.0);
+  EXPECT_LE(rep.max_error_rate, 1.0);
+  EXPECT_GE(rep.relative_accuracy, 0.0);
+  EXPECT_LE(rep.relative_accuracy, 1.0);
+  // Energy accounting is internally consistent.
+  EXPECT_NEAR(rep.power, rep.energy_per_sample / rep.sample_latency,
+              1e-9 * rep.power);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigFuzz,
+                         ::testing::Range(1000, 1030));
+
+}  // namespace
+}  // namespace mnsim

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "sim/custom_module.hpp"
+#include "sim/mnsim.hpp"
+#include "sim/nvsim_io.hpp"
+
+namespace mnsim::sim {
+namespace {
+
+TEST(Mnsim, LoadConfigAndSimulate) {
+  const std::string path = "/tmp/mnsim_test_config.ini";
+  {
+    std::ofstream f(path);
+    f << "Crossbar_Size = 64\nCMOS_Tech = 45\nParallelism_Degree = 8\n";
+  }
+  auto cfg = load_config(path);
+  EXPECT_EQ(cfg.crossbar_size, 64);
+  EXPECT_EQ(cfg.parallelism, 8);
+  auto net = nn::make_autoencoder_64_16_64();
+  auto rep = simulate(net, cfg);
+  EXPECT_EQ(rep.banks.size(), 2u);
+}
+
+TEST(Mnsim, FormatReportContainsSections) {
+  auto net = nn::make_autoencoder_64_16_64();
+  arch::AcceleratorConfig cfg;
+  auto rep = simulate(net, cfg);
+  const std::string s = format_report(net, rep);
+  EXPECT_NE(s.find("Accelerator totals"), std::string::npos);
+  EXPECT_NE(s.find("Per-bank breakdown"), std::string::npos);
+  EXPECT_NE(s.find("jpeg-autoencoder"), std::string::npos);
+  EXPECT_NE(s.find("Relative accuracy"), std::string::npos);
+}
+
+TEST(Mnsim, FormatReportIncludesModuleBreakdown) {
+  auto net = nn::make_autoencoder_64_16_64();
+  arch::AcceleratorConfig cfg;
+  auto rep = simulate(net, cfg);
+  const std::string s = format_report(net, rep);
+  EXPECT_NE(s.find("Module-class breakdown"), std::string::npos);
+  EXPECT_NE(s.find("Input DACs"), std::string::npos);
+  EXPECT_NE(s.find("Read circuits (MUX+sub+ADC)"), std::string::npos);
+  EXPECT_NE(s.find("Memristor crossbars"), std::string::npos);
+  EXPECT_NE(s.find("I/O interfaces"), std::string::npos);
+  // Shares are rendered as percentages.
+  EXPECT_NE(s.find("%"), std::string::npos);
+}
+
+TEST(CustomModule, TaskEnergyFromPowerOrOverride) {
+  CustomModule m;
+  m.ppa.dynamic_power = 2.0;
+  m.ppa.latency = 3.0;
+  m.count = 2;
+  m.ops_per_task = 5.0;
+  EXPECT_DOUBLE_EQ(m.task_energy(), 2.0 * 3.0 * 5.0 * 2.0);
+  m.energy_per_op = 1.5;
+  EXPECT_DOUBLE_EQ(m.task_energy(), 1.5 * 5.0 * 2.0);
+}
+
+TEST(CustomAccelerator, ChainedCriticalPath) {
+  CustomAcceleratorSpec spec;
+  spec.name = "test";
+  circuit::Ppa a{1.0, 1.0, 0.5, 2e-9};
+  circuit::Ppa b{2.0, 1.0, 0.5, 3e-9};
+  spec.add("a", a, 1, 1.0, true);
+  spec.add("b", b, 2, 1.0, false);
+  auto rep = simulate_custom(spec);
+  EXPECT_DOUBLE_EQ(rep.area, 5.0);
+  EXPECT_DOUBLE_EQ(rep.leakage_power, 1.5);
+  EXPECT_DOUBLE_EQ(rep.latency, 2e-9);  // only 'a' on critical path
+  EXPECT_GT(rep.energy_per_task, 0.0);
+}
+
+TEST(CustomAccelerator, PipelinedLatency) {
+  CustomAcceleratorSpec spec;
+  spec.add("m", circuit::Ppa{1.0, 1.0, 0.0, 1e-9});
+  spec.pipeline_stages = 22;
+  spec.cycle_time = 100e-9;
+  auto rep = simulate_custom(spec);
+  EXPECT_DOUBLE_EQ(rep.latency, 22 * 100e-9);  // the ISAAC inner pipeline
+}
+
+TEST(CustomAccelerator, Validation) {
+  CustomAcceleratorSpec empty;
+  EXPECT_THROW(simulate_custom(empty), std::invalid_argument);
+  CustomAcceleratorSpec bad;
+  bad.add("m", circuit::Ppa{}, 0);
+  EXPECT_THROW(simulate_custom(bad), std::invalid_argument);
+  CustomAcceleratorSpec no_cycle;
+  no_cycle.add("m", circuit::Ppa{});
+  no_cycle.pipeline_stages = 4;
+  EXPECT_THROW(simulate_custom(no_cycle), std::invalid_argument);
+}
+
+TEST(Prime, SubarraySimulates) {
+  auto spec = build_prime_ff_subarray();
+  auto rep = simulate_custom(spec);
+  EXPECT_GT(rep.area, 0.0);
+  EXPECT_LT(rep.area, 5e-6);  // sub-5 mm^2 subarray
+  EXPECT_GT(rep.latency, 0.0);
+  EXPECT_LT(rep.latency, 10e-6);
+  EXPECT_GT(rep.energy_per_task, 0.0);
+}
+
+TEST(Isaac, TileSimulates) {
+  auto spec = build_isaac_tile();
+  auto rep = simulate_custom(spec);
+  EXPECT_NEAR(rep.latency, 2.2e-6, 1e-9);  // 22 x 100 ns (paper value)
+  EXPECT_GT(rep.area, 0.1e-6);
+  EXPECT_LT(rep.area, 1.0e-6);  // ISAAC tile ~0.37 mm^2
+  EXPECT_GT(rep.energy_per_task, 0.0);
+}
+
+TEST(NvsimIo, RoundTrip) {
+  NvsimModule m;
+  m.name = "Sigmoid";
+  m.ppa = {605.2e-12, 0.21e-3, 12.5e-6, 1.2e-9};
+  const std::string text = write_nvsim_module(m);
+  auto parsed = read_nvsim_modules(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].name, "Sigmoid");
+  EXPECT_NEAR(parsed[0].ppa.area, m.ppa.area, 1e-18);
+  EXPECT_NEAR(parsed[0].ppa.dynamic_power, m.ppa.dynamic_power, 1e-9);
+  EXPECT_NEAR(parsed[0].ppa.latency, m.ppa.latency, 1e-15);
+}
+
+TEST(NvsimIo, MultipleModules) {
+  NvsimModule a{"A", {1e-12, 1e-3, 1e-6, 1e-9}};
+  NvsimModule b{"B", {2e-12, 2e-3, 2e-6, 2e-9}};
+  auto text = write_nvsim_module(a) + "\n" + write_nvsim_module(b);
+  auto parsed = read_nvsim_modules(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1].name, "B");
+}
+
+TEST(NvsimIo, MalformedInputThrows) {
+  EXPECT_THROW(read_nvsim_modules("garbage\n"), std::runtime_error);
+  EXPECT_THROW(read_nvsim_modules("-Area (um^2): 5\n"), std::runtime_error);
+  EXPECT_THROW(read_nvsim_modules("-ModuleName: X\n-Area (um^2): abc\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_nvsim_modules("-ModuleName: X\n-Unknown: 1\n"),
+               std::runtime_error);
+}
+
+TEST(NvsimIo, FileRoundTrip) {
+  NvsimModule m{"Adder", {3e-12, 0.5e-3, 2e-6, 0.4e-9}};
+  const std::string path = "/tmp/mnsim_nvsim_test.txt";
+  ASSERT_TRUE(save_nvsim_modules(path, {m}));
+  auto loaded = load_nvsim_modules(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].name, "Adder");
+  EXPECT_THROW(load_nvsim_modules("/nonexistent/file"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mnsim::sim

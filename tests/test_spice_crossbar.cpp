@@ -1,0 +1,130 @@
+#include "spice/crossbar_netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/delay.hpp"
+
+namespace mnsim::spice {
+namespace {
+
+CrossbarSpec uniform(int size, double r_state,
+                     double segment_resistance = 0.022) {
+  return CrossbarSpec::uniform(size, size, tech::default_rram(),
+                               segment_resistance, 60.0, r_state);
+}
+
+TEST(CrossbarSpec, UniformFactoryShapes) {
+  auto spec = uniform(8, 1000.0);
+  EXPECT_EQ(spec.input_voltages.size(), 8u);
+  EXPECT_EQ(spec.cell_resistance.size(), 8u);
+  EXPECT_EQ(spec.cell_resistance[0].size(), 8u);
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(CrossbarSpec, ValidationCatchesShapeErrors) {
+  auto spec = uniform(4, 1000.0);
+  spec.input_voltages.pop_back();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = uniform(4, 1000.0);
+  spec.cell_resistance[2][1] = -5.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = uniform(4, 1000.0);
+  spec.segment_resistance = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(IdealOutputs, MatchEquation1And2) {
+  // Uniform cells: v_out = v_in * (M g) / (g_s + M g), the Eq. 9 divider.
+  auto spec = uniform(16, 2000.0);
+  auto out = ideal_column_outputs(spec);
+  ASSERT_EQ(out.size(), 16u);
+  const double g = 1.0 / 2000.0;
+  const double gs = 1.0 / spec.sense_resistance;
+  const double expected = spec.device.v_read * 16.0 * g / (gs + 16.0 * g);
+  for (double v : out) EXPECT_NEAR(v, expected, 1e-12);
+}
+
+TEST(IdealOutputs, PerColumnStatesHonoured) {
+  auto spec = uniform(4, 1000.0);
+  for (int i = 0; i < 4; ++i) spec.cell_resistance[i][2] = 500e3;
+  auto out = ideal_column_outputs(spec);
+  EXPECT_LT(out[2], out[0]);  // high-resistance column outputs less
+}
+
+TEST(SolveCrossbar, ApproachesIdealWithTinyWiresLinearCells) {
+  auto spec = uniform(12, 5000.0, 1e-6);
+  spec.linear_memristors = true;
+  auto sol = solve_crossbar(spec);
+  auto ideal = ideal_column_outputs(spec);
+  for (std::size_t j = 0; j < ideal.size(); ++j)
+    EXPECT_NEAR(sol.column_output_voltage[j], ideal[j],
+                1e-4 * ideal[j]);
+}
+
+TEST(SolveCrossbar, IdealWiresFlagMatchesIdealOutputs) {
+  auto spec = uniform(10, 3000.0);
+  spec.ideal_wires = true;
+  spec.linear_memristors = true;
+  auto sol = solve_crossbar(spec);
+  auto ideal = ideal_column_outputs(spec);
+  for (std::size_t j = 0; j < ideal.size(); ++j)
+    EXPECT_NEAR(sol.column_output_voltage[j], ideal[j], 1e-3 * ideal[j]);
+}
+
+TEST(SolveCrossbar, FarColumnSuffersMostIrDrop) {
+  auto spec = uniform(24, 500.0, 0.5);  // exaggerated wires
+  spec.linear_memristors = true;
+  auto sol = solve_crossbar(spec);
+  EXPECT_LT(sol.column_output_voltage.back(),
+            sol.column_output_voltage.front());
+}
+
+TEST(SolveCrossbar, ErrorGrowsWithSize) {
+  double prev = 0.0;
+  for (int size : {8, 16, 32}) {
+    auto spec = uniform(size, 500.0, 0.1);
+    spec.linear_memristors = true;
+    auto sol = solve_crossbar(spec);
+    auto ideal = ideal_column_outputs(spec);
+    const double err =
+        (ideal.back() - sol.column_output_voltage.back()) / ideal.back();
+    EXPECT_GT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(SolveCrossbar, TotalPowerPositiveAndScalesWithSize) {
+  auto s8 = solve_crossbar(uniform(8, 1000.0));
+  auto s16 = solve_crossbar(uniform(16, 1000.0));
+  EXPECT_GT(s8.total_power, 0.0);
+  EXPECT_GT(s16.total_power, 2.0 * s8.total_power);
+}
+
+TEST(SolveCrossbar, NewtonConvergesOnNonlinearArray) {
+  auto spec = uniform(8, 500.0);
+  auto sol = solve_crossbar(spec);
+  EXPECT_TRUE(sol.dc.converged);
+  EXPECT_GE(sol.dc.newton_iterations, 2);
+  EXPECT_LE(sol.dc.newton_iterations, 20);
+}
+
+TEST(Delay, ElmoreTauPositiveAndMonotonic) {
+  const double c = 0.06e-15;
+  const double tau8 = crossbar_elmore_tau(uniform(8, 1000.0), c);
+  const double tau64 = crossbar_elmore_tau(uniform(64, 1000.0), c);
+  EXPECT_GT(tau8, 0.0);
+  EXPECT_GT(tau64, tau8);
+}
+
+TEST(Delay, SettlingLatencyIncludesDeviceRead) {
+  auto spec = uniform(16, 1000.0);
+  const double lat = crossbar_settling_latency(spec, 0.06e-15, 8);
+  EXPECT_GT(lat, spec.device.read_latency);
+  // More output bits -> longer settle.
+  EXPECT_GT(crossbar_settling_latency(spec, 0.06e-15, 12), lat);
+}
+
+}  // namespace
+}  // namespace mnsim::spice

@@ -1,0 +1,78 @@
+#include "spice/import.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/crossbar_netlist.hpp"
+#include "spice/export.hpp"
+#include "spice/mna.hpp"
+
+namespace mnsim::spice {
+namespace {
+
+TEST(Import, RoundTripSmallNetlist) {
+  auto device = tech::default_rram();
+  Netlist original(device);
+  NodeId in = original.add_node();
+  NodeId mid = original.add_node();
+  original.add_source(in, device.v_read, "in");
+  original.add_resistor(in, mid, 150.0, "series");
+  original.add_memristor(mid, kGround, 800.0, "cell");
+  original.add_capacitor(mid, kGround, 2e-15, "cw");
+
+  auto imported = import_spice(export_spice(original));
+  EXPECT_EQ(imported.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(imported.resistors()[0].ohms, 150.0);
+  ASSERT_EQ(imported.memristors().size(), 1u);
+  EXPECT_NEAR(imported.memristors()[0].r_state, 800.0, 1e-6);
+  EXPECT_NEAR(imported.device().nonlinearity_vt, device.nonlinearity_vt,
+              1e-12);
+  EXPECT_EQ(imported.capacitors().size(), 1u);
+  EXPECT_EQ(imported.sources().size(), 1u);
+}
+
+TEST(Import, RoundTripSolvesIdentically) {
+  auto device = tech::default_rram();
+  auto spec = CrossbarSpec::uniform(6, 6, device, 0.022, 60.0,
+                                    device.r_min);
+  std::vector<NodeId> columns;
+  Netlist original = build_crossbar_netlist(spec, &columns);
+  auto imported = import_spice(export_spice(original));
+
+  auto dc_a = solve_dc(original);
+  auto dc_b = solve_dc(imported);
+  ASSERT_EQ(dc_a.node_voltages.size(), dc_b.node_voltages.size());
+  for (std::size_t n = 0; n < dc_a.node_voltages.size(); ++n)
+    EXPECT_NEAR(dc_a.node_voltages[n], dc_b.node_voltages[n], 1e-12);
+}
+
+TEST(Import, LinearDeckHasNoMemristors) {
+  Netlist original;
+  NodeId n = original.add_node();
+  original.add_source(n, 1.0);
+  original.add_memristor(n, kGround, 5e3, "cell");
+  original.set_linear_memristors(true);
+  auto imported = import_spice(export_spice(original));
+  // Linear export writes the memristor as a plain resistor.
+  EXPECT_EQ(imported.memristors().size(), 0u);
+  EXPECT_EQ(imported.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(imported.resistors()[0].ohms, 5e3);
+}
+
+TEST(Import, CommentsAndDirectivesIgnored) {
+  auto nl = import_spice("* title line\nRx n1 0 100\nVs n1 0 DC 1\n.op\n.end\n");
+  EXPECT_EQ(nl.resistors().size(), 1u);
+  EXPECT_EQ(nl.sources().size(), 1u);
+}
+
+TEST(Import, RejectsUnsupportedCards) {
+  EXPECT_THROW(import_spice("Lcoil n1 0 1e-9\n"), std::runtime_error);
+  EXPECT_THROW(import_spice("Rx n1\n"), std::runtime_error);
+  EXPECT_THROW(import_spice("Rx nA 0 100\n"), std::runtime_error);
+  EXPECT_THROW(import_spice("Rx n1 0 abc\n"), std::runtime_error);
+  EXPECT_THROW(import_spice("Vs n1 0 AC 1\n"), std::runtime_error);
+  EXPECT_THROW(import_spice("Vs n1 n2 DC 1\n"), std::runtime_error);
+  EXPECT_THROW(import_spice("Bx n1 0 V=1\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mnsim::spice

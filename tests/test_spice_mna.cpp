@@ -1,0 +1,150 @@
+#include "spice/mna.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/solver.hpp"
+
+namespace mnsim::spice {
+namespace {
+
+TEST(Mna, VoltageDividerExact) {
+  Netlist nl;
+  NodeId top = nl.add_node();
+  NodeId mid = nl.add_node();
+  nl.add_source(top, 1.0);
+  nl.add_resistor(top, mid, 100.0);
+  nl.add_resistor(mid, kGround, 300.0);
+  auto dc = solve_dc(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.voltage(mid), 0.75, 1e-10);
+  EXPECT_NEAR(dc.voltage(top), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dc.voltage(kGround), 0.0);
+}
+
+TEST(Mna, ResistorLadderMatchesAnalytic) {
+  // 1 V into N equal series resistors to ground: linear voltage profile.
+  constexpr int kStages = 10;
+  Netlist nl;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < kStages; ++i) nodes.push_back(nl.add_node());
+  nl.add_source(nodes[0], 1.0);
+  for (int i = 0; i + 1 < kStages; ++i)
+    nl.add_resistor(nodes[i], nodes[i + 1], 50.0);
+  nl.add_resistor(nodes.back(), kGround, 50.0);
+  auto dc = solve_dc(nl);
+  ASSERT_TRUE(dc.converged);
+  for (int i = 0; i < kStages; ++i)
+    EXPECT_NEAR(dc.voltage(nodes[i]),
+                1.0 * (kStages - i) / kStages, 1e-9);
+}
+
+TEST(Mna, TwoSourcesSuperpose) {
+  // Star: two sources into a common node through equal resistors plus a
+  // ground leg -> common node at (V1 + V2)/3.
+  Netlist nl;
+  NodeId a = nl.add_node();
+  NodeId b = nl.add_node();
+  NodeId mid = nl.add_node();
+  nl.add_source(a, 0.9);
+  nl.add_source(b, 0.3);
+  nl.add_resistor(a, mid, 1000.0);
+  nl.add_resistor(b, mid, 1000.0);
+  nl.add_resistor(mid, kGround, 1000.0);
+  auto dc = solve_dc(nl);
+  EXPECT_NEAR(dc.voltage(mid), (0.9 + 0.3) / 3.0, 1e-10);
+}
+
+TEST(Mna, NonlinearMemristorMatchesScalarNewton) {
+  // Source -> series resistor -> memristor to ground. Compare the MNA
+  // operating point against an independent scalar root-find.
+  auto device = tech::default_rram();
+  Netlist nl(device);
+  NodeId in = nl.add_node();
+  NodeId mid = nl.add_node();
+  const double vin = device.v_read;
+  const double r_series = 200.0;
+  const double r_state = 800.0;
+  nl.add_source(in, vin);
+  nl.add_resistor(in, mid, r_series);
+  nl.add_memristor(mid, kGround, r_state);
+
+  auto dc = solve_dc(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_GT(dc.newton_iterations, 1);
+
+  auto f = [&](double v) {
+    return (vin - v) / r_series - device.current(r_state, v);
+  };
+  auto root = numeric::newton_bisect(f, 0.0, vin);
+  ASSERT_TRUE(root.converged);
+  EXPECT_NEAR(dc.voltage(mid), root.x, 1e-8);
+}
+
+TEST(Mna, LinearFlagUsesProgrammedResistance) {
+  auto device = tech::default_rram();
+  Netlist nl(device);
+  NodeId in = nl.add_node();
+  NodeId mid = nl.add_node();
+  nl.add_source(in, device.v_read);
+  nl.add_resistor(in, mid, 500.0);
+  nl.add_memristor(mid, kGround, 500.0);
+  nl.set_linear_memristors(true);
+  auto dc = solve_dc(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_EQ(dc.newton_iterations, 1);
+  EXPECT_NEAR(dc.voltage(mid), device.v_read / 2.0, 1e-10);
+}
+
+TEST(Mna, NonlinearCellConductsMoreThanLinear) {
+  auto device = tech::default_rram();
+  auto run = [&](bool linear) {
+    Netlist nl(device);
+    NodeId in = nl.add_node();
+    NodeId mid = nl.add_node();
+    nl.add_source(in, device.v_read);
+    nl.add_resistor(in, mid, 500.0);
+    nl.add_memristor(mid, kGround, 500.0);
+    nl.set_linear_memristors(linear);
+    return solve_dc(nl).voltage(mid);
+  };
+  // sinh conducts more at voltage: the cell node sits lower.
+  EXPECT_LT(run(false), run(true));
+}
+
+TEST(Mna, SourcePowerEqualsDissipation) {
+  Netlist nl;
+  NodeId in = nl.add_node();
+  NodeId mid = nl.add_node();
+  nl.add_source(in, 1.0);
+  nl.add_resistor(in, mid, 100.0);
+  nl.add_resistor(mid, kGround, 100.0);
+  auto dc = solve_dc(nl);
+  // P = V^2 / R_total = 1 / 200.
+  EXPECT_NEAR(total_source_power(nl, dc), 1.0 / 200.0, 1e-12);
+}
+
+TEST(Mna, MemristorCurrentSignConvention) {
+  auto device = tech::default_rram();
+  Netlist nl(device);
+  NodeId in = nl.add_node();
+  nl.add_source(in, device.v_read);
+  nl.add_memristor(in, kGround, 1e3, "m");
+  auto dc = solve_dc(nl);
+  EXPECT_GT(memristor_current(nl, nl.memristors()[0], dc), 0.0);
+}
+
+TEST(Mna, FloatingNetlistStillSolves) {
+  // A node connected only through resistors to a pinned node.
+  Netlist nl;
+  NodeId a = nl.add_node();
+  NodeId b = nl.add_node();
+  nl.add_source(a, 0.5);
+  nl.add_resistor(a, b, 1.0);
+  nl.add_resistor(b, kGround, 1.0);
+  EXPECT_NO_THROW(solve_dc(nl));
+}
+
+}  // namespace
+}  // namespace mnsim::spice

@@ -1,0 +1,127 @@
+#include "spice/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/crossbar_netlist.hpp"
+#include "spice/delay.hpp"
+#include "spice/mna.hpp"
+
+namespace mnsim::spice {
+namespace {
+
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+  // 1 kOhm into 1 pF: v(t) = V (1 - exp(-t/tau)), tau = 1 ns.
+  Netlist nl;
+  NodeId in = nl.add_node();
+  NodeId out = nl.add_node();
+  nl.add_source(in, 1.0);
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, kGround, 1e-12);
+
+  TransientOptions opt;
+  opt.time_step = 10e-12;
+  opt.end_time = 5e-9;
+  auto res = solve_transient(nl, {out}, opt);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.time.size(), res.probe_voltages[0].size());
+
+  const double tau = 1e-9;
+  for (std::size_t i = 0; i < res.time.size(); ++i) {
+    const double expected = 1.0 - std::exp(-res.time[i] / tau);
+    // Backward Euler is first order; allow a few percent at dt = tau/100.
+    EXPECT_NEAR(res.probe_voltages[0][i], expected, 0.03) << "t=" << res.time[i];
+  }
+}
+
+TEST(Transient, SettlingTimeNearLogTolTau) {
+  Netlist nl;
+  NodeId in = nl.add_node();
+  NodeId out = nl.add_node();
+  nl.add_source(in, 1.0);
+  nl.add_resistor(in, out, 1e3);
+  nl.add_capacitor(out, kGround, 1e-12);
+  TransientOptions opt;
+  opt.time_step = 5e-12;
+  opt.end_time = 10e-9;
+  auto res = solve_transient(nl, {out}, opt);
+  // Settle to 1 %: t = tau * ln(100) ~ 4.6 ns.
+  EXPECT_NEAR(res.settling_time(0, 0.01), 4.6e-9, 0.5e-9);
+}
+
+TEST(Transient, FinalValueMatchesDcOperatingPoint) {
+  // Nonlinear: memristor + series resistor + cap; the transient must
+  // converge to the DC solution.
+  auto device = tech::default_rram();
+  Netlist nl(device);
+  NodeId in = nl.add_node();
+  NodeId mid = nl.add_node();
+  nl.add_source(in, device.v_read);
+  nl.add_resistor(in, mid, 300.0);
+  nl.add_memristor(mid, kGround, 700.0);
+  nl.add_capacitor(mid, kGround, 1e-13);
+
+  auto dc = solve_dc(nl);
+  TransientOptions opt;
+  opt.time_step = 2e-12;
+  opt.end_time = 2e-9;
+  auto res = solve_transient(nl, {mid}, opt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.probe_voltages[0].back(), dc.voltage(mid),
+              1e-3 * dc.voltage(mid));
+}
+
+TEST(Transient, PureResistiveSettlesImmediately) {
+  Netlist nl;
+  NodeId in = nl.add_node();
+  NodeId out = nl.add_node();
+  nl.add_source(in, 0.5);
+  nl.add_resistor(in, out, 100.0);
+  nl.add_resistor(out, kGround, 100.0);
+  TransientOptions opt;
+  opt.time_step = 1e-12;
+  opt.end_time = 1e-11;
+  auto res = solve_transient(nl, {out}, opt);
+  EXPECT_NEAR(res.probe_voltages[0][1], 0.25, 1e-9);  // first step already
+  // The t = 0 sample is the pre-step zero state, so settling completes at
+  // the first integration step.
+  EXPECT_DOUBLE_EQ(res.settling_time(0), res.time[1]);
+}
+
+TEST(Transient, CrossbarSettlesNearElmorePrediction) {
+  // A small crossbar with exaggerated wire RC: the transient settling
+  // time must land within a small factor of the Elmore-based estimate.
+  auto device = tech::default_rram();
+  auto spec = CrossbarSpec::uniform(8, 8, device, 5.0, 60.0, device.r_min);
+  spec.segment_capacitance = 50e-15;
+  spec.linear_memristors = true;
+
+  std::vector<NodeId> columns;
+  Netlist nl = build_crossbar_netlist(spec, &columns);
+  TransientOptions opt;
+  opt.time_step = 20e-12;
+  opt.end_time = 40e-9;
+  auto res = solve_transient(nl, {columns.back()}, opt);
+  ASSERT_TRUE(res.converged);
+  const double measured = res.settling_time(0, 0.01);
+  const double tau = crossbar_elmore_tau(spec, spec.segment_capacitance);
+  EXPECT_GT(measured, 0.1 * tau * std::log(100.0));
+  EXPECT_LT(measured, 5.0 * tau * std::log(100.0));
+}
+
+TEST(Transient, InvalidArgumentsThrow) {
+  Netlist nl;
+  NodeId n = nl.add_node();
+  nl.add_source(n, 1.0);
+  TransientOptions opt;
+  opt.time_step = 0.0;
+  EXPECT_THROW(solve_transient(nl, {n}, opt), std::invalid_argument);
+  opt = TransientOptions{};
+  EXPECT_THROW(solve_transient(nl, {99}, opt), std::invalid_argument);
+  auto res = solve_transient(nl, {n}, TransientOptions{});
+  EXPECT_THROW((void)res.settling_time(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mnsim::spice

@@ -1,0 +1,68 @@
+#include "tech/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnsim::tech {
+namespace {
+
+TEST(Interconnect, Anchor45) {
+  auto t = interconnect_tech(45);
+  EXPECT_EQ(t.node_nm, 45);
+  EXPECT_NEAR(t.segment_resistance, 0.022, 1e-12);
+  EXPECT_GT(t.segment_capacitance, 0.0);
+}
+
+TEST(Interconnect, ResistanceScalesInverseQuadratically) {
+  const double r45 = interconnect_tech(45).segment_resistance;
+  for (int node : kInterconnectSweep) {
+    const double expected = r45 * (45.0 / node) * (45.0 / node);
+    EXPECT_NEAR(interconnect_tech(node).segment_resistance, expected, 1e-12)
+        << "node " << node;
+  }
+}
+
+TEST(Interconnect, CapacitanceScalesLinearly) {
+  const double c45 = interconnect_tech(45).segment_capacitance;
+  const double c90 = interconnect_tech(90).segment_capacitance;
+  EXPECT_NEAR(c90 / c45, 2.0, 1e-9);
+}
+
+TEST(Interconnect, FinerNodeHasHigherResistance) {
+  double prev = 0.0;
+  for (int node : {90, 45, 36, 28, 22, 18}) {
+    const double r = interconnect_tech(node).segment_resistance;
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Interconnect, OutOfRangeThrows) {
+  EXPECT_THROW(interconnect_tech(5), std::invalid_argument);
+  EXPECT_THROW(interconnect_tech(200), std::invalid_argument);
+}
+
+TEST(EffectiveWireSegments, QuadraticForm) {
+  // w = alpha (M^2 + N^2)/2.
+  EXPECT_DOUBLE_EQ(effective_wire_segments(10, 10, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(effective_wire_segments(10, 20, 1.0), 250.0);
+  EXPECT_DOUBLE_EQ(effective_wire_segments(16, 16, 0.5), 128.0);
+}
+
+TEST(EffectiveWireSegments, DefaultAlphaApplied) {
+  EXPECT_DOUBLE_EQ(effective_wire_segments(8, 8),
+                   kSharedCurrentAlpha * 64.0);
+}
+
+TEST(EffectiveWireSegments, InvalidShapeThrows) {
+  EXPECT_THROW(effective_wire_segments(0, 4), std::invalid_argument);
+  EXPECT_THROW(effective_wire_segments(4, -1), std::invalid_argument);
+}
+
+TEST(EffectiveWireSegments, GrowsFasterThanLinear) {
+  const double w64 = effective_wire_segments(64, 64);
+  const double w128 = effective_wire_segments(128, 128);
+  EXPECT_NEAR(w128 / w64, 4.0, 1e-9);  // quadratic in size
+}
+
+}  // namespace
+}  // namespace mnsim::tech

@@ -1,0 +1,146 @@
+#include "tech/memristor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mnsim::tech {
+namespace {
+
+TEST(Memristor, DefaultRramMatchesTableI) {
+  auto m = default_rram();
+  EXPECT_DOUBLE_EQ(m.r_min, 500.0);
+  EXPECT_DOUBLE_EQ(m.r_max, 500e3);
+  EXPECT_EQ(m.level_bits, 7);  // the 7-bit reference device
+  EXPECT_EQ(m.levels(), 128);
+}
+
+TEST(Memristor, LevelsSpanResistanceRange) {
+  auto m = default_rram();
+  EXPECT_DOUBLE_EQ(m.resistance_for_level(0), m.r_max);
+  EXPECT_DOUBLE_EQ(m.resistance_for_level(m.levels() - 1), m.r_min);
+  // Levels are linear in conductance: midpoint conductance is the mean.
+  const double g_mid = 1.0 / m.resistance_for_level(m.levels() / 2);
+  EXPECT_NEAR(g_mid, 0.5 * (1.0 / m.r_min + 1.0 / m.r_max),
+              0.01 * (1.0 / m.r_min));
+}
+
+TEST(Memristor, LevelRoundTrip) {
+  auto m = default_rram();
+  for (int level : {0, 1, 13, 64, 127}) {
+    const double g = 1.0 / m.resistance_for_level(level);
+    EXPECT_EQ(m.level_for_conductance(g), level);
+  }
+}
+
+TEST(Memristor, LevelForConductanceClamps) {
+  auto m = default_rram();
+  EXPECT_EQ(m.level_for_conductance(0.0), 0);
+  EXPECT_EQ(m.level_for_conductance(1.0), m.levels() - 1);
+}
+
+TEST(Memristor, LevelOutOfRangeThrows) {
+  auto m = default_rram();
+  EXPECT_THROW((void)m.resistance_for_level(-1), std::out_of_range);
+  EXPECT_THROW((void)m.resistance_for_level(m.levels()), std::out_of_range);
+}
+
+TEST(Memristor, HarmonicMeanRule) {
+  auto m = default_rram();
+  // Paper Sec. V-A: harmonic mean of r_min and r_max.
+  EXPECT_NEAR(m.harmonic_mean_resistance(),
+              2.0 / (1.0 / 500.0 + 1.0 / 500e3), 1e-9);
+}
+
+TEST(Memristor, ChordResistanceDropsWithVoltage) {
+  auto m = default_rram();
+  const double r0 = m.actual_resistance(1000.0, 1e-6);
+  EXPECT_NEAR(r0, 1000.0, 1e-3);  // linear limit
+  const double r_hi = m.actual_resistance(1000.0, 0.05);
+  EXPECT_LT(r_hi, 1000.0);  // sinh conducts more at voltage
+  EXPECT_GT(r_hi, 500.0);
+  // Monotone decreasing in |v|.
+  double prev = 1000.0;
+  for (double v : {0.01, 0.02, 0.03, 0.04, 0.05}) {
+    const double r = m.actual_resistance(1000.0, v);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+  // Symmetric in sign.
+  EXPECT_DOUBLE_EQ(m.actual_resistance(1000.0, 0.03),
+                   m.actual_resistance(1000.0, -0.03));
+}
+
+TEST(Memristor, CurrentMatchesChordResistance) {
+  auto m = default_rram();
+  const double v = 0.04;
+  const double i = m.current(2000.0, v);
+  EXPECT_NEAR(v / i, m.actual_resistance(2000.0, v), 1e-9);
+}
+
+TEST(Memristor, VariationScalesChordResistance) {
+  auto m = default_rram();
+  m.sigma = 0.2;
+  const double base = m.actual_resistance(1000.0, 0.02);
+  EXPECT_NEAR(m.varied_resistance(1000.0, 0.02, +1), base * 1.2, 1e-9);
+  EXPECT_NEAR(m.varied_resistance(1000.0, 0.02, -1), base * 0.8, 1e-9);
+}
+
+TEST(Memristor, ValidationRejectsBadModels) {
+  auto m = default_rram();
+  m.r_min = -1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = default_rram();
+  m.r_max = m.r_min;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = default_rram();
+  m.level_bits = 12;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = default_rram();
+  m.sigma = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Memristor, ByNameLookup) {
+  EXPECT_EQ(memristor_by_name("RRAM").kind, DeviceKind::kRram);
+  EXPECT_EQ(memristor_by_name("pcm").kind, DeviceKind::kPcm);
+  EXPECT_THROW(memristor_by_name("FeFET"), std::invalid_argument);
+}
+
+TEST(Memristor, PcmIsCoarserAndSlower) {
+  auto pcm = default_pcm();
+  auto rram = default_rram();
+  EXPECT_LT(pcm.level_bits, rram.level_bits);
+  EXPECT_GT(pcm.write_latency, rram.write_latency);
+}
+
+TEST(Memristor, SttMramIsBinaryLinearAndDurable) {
+  auto stt = default_stt_mram();
+  EXPECT_EQ(stt.level_bits, 1);
+  EXPECT_EQ(stt.levels(), 2);
+  EXPECT_DOUBLE_EQ(stt.resistance_for_level(0), stt.r_max);
+  EXPECT_DOUBLE_EQ(stt.resistance_for_level(1), stt.r_min);
+  // Near-ohmic at read bias: chord deviation below 0.5 %.
+  const double r = stt.actual_resistance(stt.r_min, stt.v_read);
+  EXPECT_NEAR(r, stt.r_min, 0.005 * stt.r_min);
+  // Endurance orders of magnitude above RRAM; writes far faster.
+  auto rram = default_rram();
+  EXPECT_GT(stt.endurance, 1e3 * rram.endurance);
+  EXPECT_LT(stt.write_latency, rram.write_latency);
+  EXPECT_EQ(memristor_by_name("STT-MRAM").kind, DeviceKind::kSttMram);
+}
+
+TEST(CellArea, Equation7And8) {
+  auto m = default_rram();
+  m.feature_nm = 45;
+  const double f2 = 45e-9 * 45e-9;
+  // Eq. 8: cross-point 4F^2.
+  EXPECT_NEAR(cell_area(m, CellType::k0T1R), 4.0 * f2, 1e-24);
+  // Eq. 7: MOS-accessed 3(W/L + 1)F^2.
+  EXPECT_NEAR(cell_area(m, CellType::k1T1R),
+              3.0 * (m.transistor_wl + 1.0) * f2, 1e-24);
+  EXPECT_GT(cell_area(m, CellType::k1T1R), cell_area(m, CellType::k0T1R));
+}
+
+}  // namespace
+}  // namespace mnsim::tech

@@ -1,0 +1,90 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mnsim::util {
+namespace {
+
+TEST(Config, ParsesKeyValuePairs) {
+  auto cfg = Config::parse("a = 1\nb = hello\n");
+  EXPECT_EQ(cfg.get_int("a"), 1);
+  EXPECT_EQ(cfg.get_string("b"), "hello");
+}
+
+TEST(Config, SectionsPrefixKeys) {
+  auto cfg = Config::parse("[bank]\nCrossbar_Size = 128\n[unit]\nx = 2\n");
+  EXPECT_EQ(cfg.get_int("bank.Crossbar_Size"), 128);
+  EXPECT_EQ(cfg.get_int("unit.x"), 2);
+  EXPECT_FALSE(cfg.has("Crossbar_Size"));
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  auto cfg = Config::parse("# comment\n\na = 3 ; trailing\n; full line\n");
+  EXPECT_EQ(cfg.get_int("a"), 3);
+  EXPECT_EQ(cfg.entries().size(), 1u);
+}
+
+TEST(Config, LaterDuplicateWins) {
+  auto cfg = Config::parse("a = 1\na = 2\n");
+  EXPECT_EQ(cfg.get_int("a"), 2);
+}
+
+TEST(Config, ListsParseWithAndWithoutBrackets) {
+  auto cfg = Config::parse("x = [128, 128]\ny = 1, 2.5, 3\n");
+  EXPECT_EQ(cfg.get_int_list("x"), (std::vector<long>{128, 128}));
+  auto y = cfg.get_list("y");
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[1], 2.5);
+}
+
+TEST(Config, ScientificNotationValues) {
+  auto cfg = Config::parse("r = 5e2\nrange = [500, 500e3]\n");
+  EXPECT_DOUBLE_EQ(cfg.get_double("r"), 500.0);
+  EXPECT_DOUBLE_EQ(cfg.get_list("range")[1], 500e3);
+}
+
+TEST(Config, BooleansAcceptCommonSpellings) {
+  auto cfg = Config::parse("a=true\nb=0\nc=YES\nd=off\n");
+  EXPECT_TRUE(cfg.get_bool("a"));
+  EXPECT_FALSE(cfg.get_bool("b"));
+  EXPECT_TRUE(cfg.get_bool("c"));
+  EXPECT_FALSE(cfg.get_bool("d"));
+}
+
+TEST(Config, MissingKeyThrows) {
+  Config cfg;
+  EXPECT_THROW((void)cfg.get_string("nope"), ConfigError);
+  EXPECT_THROW((void)cfg.get_double("nope"), ConfigError);
+}
+
+TEST(Config, FallbacksReturned) {
+  Config cfg;
+  EXPECT_EQ(cfg.get_int_or("nope", 7), 7);
+  EXPECT_EQ(cfg.get_string_or("nope", "dflt"), "dflt");
+  EXPECT_TRUE(cfg.get_bool_or("nope", true));
+}
+
+TEST(Config, TypeErrorsThrow) {
+  auto cfg = Config::parse("a = xyz\nb = 1.5\nc = maybe\n");
+  EXPECT_THROW((void)cfg.get_double("a"), ConfigError);
+  EXPECT_THROW((void)cfg.get_int("b"), ConfigError);
+  EXPECT_THROW((void)cfg.get_bool("c"), ConfigError);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("just a line without equals\n"), ConfigError);
+  EXPECT_THROW(Config::parse("= value\n"), ConfigError);
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  EXPECT_THROW(Config::load("/nonexistent/path/cfg.ini"), ConfigError);
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+}  // namespace
+}  // namespace mnsim::util

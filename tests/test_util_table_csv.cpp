@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mnsim::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("a "), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Table, PadsShortRowsToHeaderWidth) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.str().find("only"), std::string::npos);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t;
+  t.set_header({"name", "v"});
+  t.add_row({"long-name-here", "1"});
+  t.add_row({"x", "2"});
+  const std::string s = t.str();
+  // Both value columns start at the same offset on their lines.
+  auto line_with = [&](const std::string& needle) {
+    auto pos = s.find(needle);
+    auto start = s.rfind('\n', pos);
+    return s.substr(start + 1, s.find('\n', pos) - start - 1);
+  };
+  EXPECT_EQ(line_with("long-name-here").find(" | "),
+            line_with("x ").find(" | "));
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(Table::sig(12345.6, 3), "1.23e+04");
+}
+
+TEST(Csv, RendersHeaderAndRows) {
+  CsvWriter w;
+  w.set_header({"x", "y"});
+  w.add_row(std::vector<double>{1.0, 2.5});
+  w.add_row(std::vector<std::string>{"a", "b"});
+  EXPECT_EQ(w.str(), "x,y\n1,2.5\na,b\n");
+}
+
+TEST(Csv, WriteToUnwritablePathReturnsFalse) {
+  CsvWriter w;
+  w.add_row(std::vector<double>{1.0});
+  EXPECT_FALSE(w.write("/nonexistent-dir/x.csv"));
+}
+
+TEST(Csv, WriteRoundTrip) {
+  CsvWriter w;
+  w.set_header({"a"});
+  w.add_row(std::vector<double>{42});
+  const std::string path = "/tmp/mnsim_csv_test.csv";
+  ASSERT_TRUE(w.write(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), "a\n42\n");
+}
+
+}  // namespace
+}  // namespace mnsim::util

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nonlinearity.dir/bench_ablation_nonlinearity.cpp.o"
+  "CMakeFiles/bench_ablation_nonlinearity.dir/bench_ablation_nonlinearity.cpp.o.d"
+  "bench_ablation_nonlinearity"
+  "bench_ablation_nonlinearity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nonlinearity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

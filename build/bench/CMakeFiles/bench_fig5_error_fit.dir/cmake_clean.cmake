@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_error_fit.dir/bench_fig5_error_fit.cpp.o"
+  "CMakeFiles/bench_fig5_error_fit.dir/bench_fig5_error_fit.cpp.o.d"
+  "bench_fig5_error_fit"
+  "bench_fig5_error_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_error_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

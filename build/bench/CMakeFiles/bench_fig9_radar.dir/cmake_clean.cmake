@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_radar.dir/bench_fig9_radar.cpp.o"
+  "CMakeFiles/bench_fig9_radar.dir/bench_fig9_radar.cpp.o.d"
+  "bench_fig9_radar"
+  "bench_fig9_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_mode.dir/bench_memory_mode.cpp.o"
+  "CMakeFiles/bench_memory_mode.dir/bench_memory_mode.cpp.o.d"
+  "bench_memory_mode"
+  "bench_memory_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_large_bank_dse.
+# This may be replaced when dependencies are built.

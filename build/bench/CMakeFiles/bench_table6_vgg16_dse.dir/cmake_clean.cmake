@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_vgg16_dse.dir/bench_table6_vgg16_dse.cpp.o"
+  "CMakeFiles/bench_table6_vgg16_dse.dir/bench_table6_vgg16_dse.cpp.o.d"
+  "bench_table6_vgg16_dse"
+  "bench_table6_vgg16_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_vgg16_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_prime_isaac.dir/bench_table7_prime_isaac.cpp.o"
+  "CMakeFiles/bench_table7_prime_isaac.dir/bench_table7_prime_isaac.cpp.o.d"
+  "bench_table7_prime_isaac"
+  "bench_table7_prime_isaac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_prime_isaac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_prime_isaac.
+# This may be replaced when dependencies are built.

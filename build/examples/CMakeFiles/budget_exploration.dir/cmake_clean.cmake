@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_exploration.dir/budget_exploration.cpp.o"
+  "CMakeFiles/budget_exploration.dir/budget_exploration.cpp.o.d"
+  "budget_exploration"
+  "budget_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

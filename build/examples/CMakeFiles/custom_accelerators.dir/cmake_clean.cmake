@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_accelerators.dir/custom_accelerators.cpp.o"
+  "CMakeFiles/custom_accelerators.dir/custom_accelerators.cpp.o.d"
+  "custom_accelerators"
+  "custom_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_layer_exploration.dir/large_layer_exploration.cpp.o"
+  "CMakeFiles/large_layer_exploration.dir/large_layer_exploration.cpp.o.d"
+  "large_layer_exploration"
+  "large_layer_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_layer_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

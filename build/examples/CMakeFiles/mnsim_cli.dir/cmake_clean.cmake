@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnsim_cli.dir/mnsim_cli.cpp.o"
+  "CMakeFiles/mnsim_cli.dir/mnsim_cli.cpp.o.d"
+  "mnsim_cli"
+  "mnsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

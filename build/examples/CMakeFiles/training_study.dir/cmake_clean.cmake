@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_study.dir/training_study.cpp.o"
+  "CMakeFiles/training_study.dir/training_study.cpp.o.d"
+  "training_study"
+  "training_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

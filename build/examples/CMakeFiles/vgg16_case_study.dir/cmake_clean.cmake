@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg16_case_study.dir/vgg16_case_study.cpp.o"
+  "CMakeFiles/vgg16_case_study.dir/vgg16_case_study.cpp.o.d"
+  "vgg16_case_study"
+  "vgg16_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg16_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accuracy/digital_error.cpp" "src/CMakeFiles/mnsim.dir/accuracy/digital_error.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/accuracy/digital_error.cpp.o.d"
+  "/root/repo/src/accuracy/fit_model.cpp" "src/CMakeFiles/mnsim.dir/accuracy/fit_model.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/accuracy/fit_model.cpp.o.d"
+  "/root/repo/src/accuracy/noise.cpp" "src/CMakeFiles/mnsim.dir/accuracy/noise.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/accuracy/noise.cpp.o.d"
+  "/root/repo/src/accuracy/read_margin.cpp" "src/CMakeFiles/mnsim.dir/accuracy/read_margin.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/accuracy/read_margin.cpp.o.d"
+  "/root/repo/src/accuracy/retention.cpp" "src/CMakeFiles/mnsim.dir/accuracy/retention.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/accuracy/retention.cpp.o.d"
+  "/root/repo/src/accuracy/variation.cpp" "src/CMakeFiles/mnsim.dir/accuracy/variation.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/accuracy/variation.cpp.o.d"
+  "/root/repo/src/accuracy/voltage_error.cpp" "src/CMakeFiles/mnsim.dir/accuracy/voltage_error.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/accuracy/voltage_error.cpp.o.d"
+  "/root/repo/src/arch/accelerator.cpp" "src/CMakeFiles/mnsim.dir/arch/accelerator.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/accelerator.cpp.o.d"
+  "/root/repo/src/arch/computation_bank.cpp" "src/CMakeFiles/mnsim.dir/arch/computation_bank.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/computation_bank.cpp.o.d"
+  "/root/repo/src/arch/computation_unit.cpp" "src/CMakeFiles/mnsim.dir/arch/computation_unit.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/computation_unit.cpp.o.d"
+  "/root/repo/src/arch/controller.cpp" "src/CMakeFiles/mnsim.dir/arch/controller.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/controller.cpp.o.d"
+  "/root/repo/src/arch/floorplan.cpp" "src/CMakeFiles/mnsim.dir/arch/floorplan.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/floorplan.cpp.o.d"
+  "/root/repo/src/arch/mapper.cpp" "src/CMakeFiles/mnsim.dir/arch/mapper.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/mapper.cpp.o.d"
+  "/root/repo/src/arch/memory_mode.cpp" "src/CMakeFiles/mnsim.dir/arch/memory_mode.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/memory_mode.cpp.o.d"
+  "/root/repo/src/arch/params.cpp" "src/CMakeFiles/mnsim.dir/arch/params.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/params.cpp.o.d"
+  "/root/repo/src/arch/pipeline.cpp" "src/CMakeFiles/mnsim.dir/arch/pipeline.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/pipeline.cpp.o.d"
+  "/root/repo/src/arch/trace_sim.cpp" "src/CMakeFiles/mnsim.dir/arch/trace_sim.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/trace_sim.cpp.o.d"
+  "/root/repo/src/arch/training.cpp" "src/CMakeFiles/mnsim.dir/arch/training.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/arch/training.cpp.o.d"
+  "/root/repo/src/circuit/adc.cpp" "src/CMakeFiles/mnsim.dir/circuit/adc.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/adc.cpp.o.d"
+  "/root/repo/src/circuit/buffer.cpp" "src/CMakeFiles/mnsim.dir/circuit/buffer.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/buffer.cpp.o.d"
+  "/root/repo/src/circuit/crossbar.cpp" "src/CMakeFiles/mnsim.dir/circuit/crossbar.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/crossbar.cpp.o.d"
+  "/root/repo/src/circuit/dac.cpp" "src/CMakeFiles/mnsim.dir/circuit/dac.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/dac.cpp.o.d"
+  "/root/repo/src/circuit/decoder.cpp" "src/CMakeFiles/mnsim.dir/circuit/decoder.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/decoder.cpp.o.d"
+  "/root/repo/src/circuit/logic.cpp" "src/CMakeFiles/mnsim.dir/circuit/logic.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/logic.cpp.o.d"
+  "/root/repo/src/circuit/neuron.cpp" "src/CMakeFiles/mnsim.dir/circuit/neuron.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/neuron.cpp.o.d"
+  "/root/repo/src/circuit/write_circuit.cpp" "src/CMakeFiles/mnsim.dir/circuit/write_circuit.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/circuit/write_circuit.cpp.o.d"
+  "/root/repo/src/dse/explorer.cpp" "src/CMakeFiles/mnsim.dir/dse/explorer.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/dse/explorer.cpp.o.d"
+  "/root/repo/src/dse/hetero.cpp" "src/CMakeFiles/mnsim.dir/dse/hetero.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/dse/hetero.cpp.o.d"
+  "/root/repo/src/dse/report.cpp" "src/CMakeFiles/mnsim.dir/dse/report.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/dse/report.cpp.o.d"
+  "/root/repo/src/dse/sensitivity.cpp" "src/CMakeFiles/mnsim.dir/dse/sensitivity.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/dse/sensitivity.cpp.o.d"
+  "/root/repo/src/dse/space.cpp" "src/CMakeFiles/mnsim.dir/dse/space.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/dse/space.cpp.o.d"
+  "/root/repo/src/nn/functional_sim.cpp" "src/CMakeFiles/mnsim.dir/nn/functional_sim.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/nn/functional_sim.cpp.o.d"
+  "/root/repo/src/nn/generator.cpp" "src/CMakeFiles/mnsim.dir/nn/generator.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/nn/generator.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/mnsim.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/parser.cpp" "src/CMakeFiles/mnsim.dir/nn/parser.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/nn/parser.cpp.o.d"
+  "/root/repo/src/nn/quantization.cpp" "src/CMakeFiles/mnsim.dir/nn/quantization.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/nn/quantization.cpp.o.d"
+  "/root/repo/src/nn/stats.cpp" "src/CMakeFiles/mnsim.dir/nn/stats.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/nn/stats.cpp.o.d"
+  "/root/repo/src/nn/topologies.cpp" "src/CMakeFiles/mnsim.dir/nn/topologies.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/nn/topologies.cpp.o.d"
+  "/root/repo/src/numeric/dense.cpp" "src/CMakeFiles/mnsim.dir/numeric/dense.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/numeric/dense.cpp.o.d"
+  "/root/repo/src/numeric/fit.cpp" "src/CMakeFiles/mnsim.dir/numeric/fit.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/numeric/fit.cpp.o.d"
+  "/root/repo/src/numeric/solver.cpp" "src/CMakeFiles/mnsim.dir/numeric/solver.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/numeric/solver.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "src/CMakeFiles/mnsim.dir/numeric/sparse.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/numeric/sparse.cpp.o.d"
+  "/root/repo/src/sim/custom_module.cpp" "src/CMakeFiles/mnsim.dir/sim/custom_module.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/sim/custom_module.cpp.o.d"
+  "/root/repo/src/sim/json_report.cpp" "src/CMakeFiles/mnsim.dir/sim/json_report.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/sim/json_report.cpp.o.d"
+  "/root/repo/src/sim/mnsim.cpp" "src/CMakeFiles/mnsim.dir/sim/mnsim.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/sim/mnsim.cpp.o.d"
+  "/root/repo/src/sim/nvsim_io.cpp" "src/CMakeFiles/mnsim.dir/sim/nvsim_io.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/sim/nvsim_io.cpp.o.d"
+  "/root/repo/src/spice/crossbar_netlist.cpp" "src/CMakeFiles/mnsim.dir/spice/crossbar_netlist.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/spice/crossbar_netlist.cpp.o.d"
+  "/root/repo/src/spice/delay.cpp" "src/CMakeFiles/mnsim.dir/spice/delay.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/spice/delay.cpp.o.d"
+  "/root/repo/src/spice/export.cpp" "src/CMakeFiles/mnsim.dir/spice/export.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/spice/export.cpp.o.d"
+  "/root/repo/src/spice/import.cpp" "src/CMakeFiles/mnsim.dir/spice/import.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/spice/import.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/CMakeFiles/mnsim.dir/spice/mna.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/spice/mna.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/CMakeFiles/mnsim.dir/spice/netlist.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/transient.cpp" "src/CMakeFiles/mnsim.dir/spice/transient.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/spice/transient.cpp.o.d"
+  "/root/repo/src/tech/cmos_tech.cpp" "src/CMakeFiles/mnsim.dir/tech/cmos_tech.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/tech/cmos_tech.cpp.o.d"
+  "/root/repo/src/tech/interconnect.cpp" "src/CMakeFiles/mnsim.dir/tech/interconnect.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/tech/interconnect.cpp.o.d"
+  "/root/repo/src/tech/memristor.cpp" "src/CMakeFiles/mnsim.dir/tech/memristor.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/tech/memristor.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/mnsim.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/mnsim.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mnsim.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mnsim.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

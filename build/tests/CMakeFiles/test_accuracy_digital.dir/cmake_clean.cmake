@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy_digital.dir/test_accuracy_digital.cpp.o"
+  "CMakeFiles/test_accuracy_digital.dir/test_accuracy_digital.cpp.o.d"
+  "test_accuracy_digital"
+  "test_accuracy_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy_fit.dir/test_accuracy_fit.cpp.o"
+  "CMakeFiles/test_accuracy_fit.dir/test_accuracy_fit.cpp.o.d"
+  "test_accuracy_fit"
+  "test_accuracy_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy_noise.dir/test_accuracy_noise.cpp.o"
+  "CMakeFiles/test_accuracy_noise.dir/test_accuracy_noise.cpp.o.d"
+  "test_accuracy_noise"
+  "test_accuracy_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy_retention.dir/test_accuracy_retention.cpp.o"
+  "CMakeFiles/test_accuracy_retention.dir/test_accuracy_retention.cpp.o.d"
+  "test_accuracy_retention"
+  "test_accuracy_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy_variation.dir/test_accuracy_variation.cpp.o"
+  "CMakeFiles/test_accuracy_variation.dir/test_accuracy_variation.cpp.o.d"
+  "test_accuracy_variation"
+  "test_accuracy_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

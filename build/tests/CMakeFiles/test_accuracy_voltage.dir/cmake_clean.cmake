@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_accuracy_voltage.dir/test_accuracy_voltage.cpp.o"
+  "CMakeFiles/test_accuracy_voltage.dir/test_accuracy_voltage.cpp.o.d"
+  "test_accuracy_voltage"
+  "test_accuracy_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_accuracy_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

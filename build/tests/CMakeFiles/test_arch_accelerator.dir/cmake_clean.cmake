@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_accelerator.dir/test_arch_accelerator.cpp.o"
+  "CMakeFiles/test_arch_accelerator.dir/test_arch_accelerator.cpp.o.d"
+  "test_arch_accelerator"
+  "test_arch_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

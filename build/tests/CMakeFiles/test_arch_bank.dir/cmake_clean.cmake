@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_bank.dir/test_arch_bank.cpp.o"
+  "CMakeFiles/test_arch_bank.dir/test_arch_bank.cpp.o.d"
+  "test_arch_bank"
+  "test_arch_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

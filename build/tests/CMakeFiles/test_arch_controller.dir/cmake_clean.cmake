@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_controller.dir/test_arch_controller.cpp.o"
+  "CMakeFiles/test_arch_controller.dir/test_arch_controller.cpp.o.d"
+  "test_arch_controller"
+  "test_arch_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_floorplan.dir/test_arch_floorplan.cpp.o"
+  "CMakeFiles/test_arch_floorplan.dir/test_arch_floorplan.cpp.o.d"
+  "test_arch_floorplan"
+  "test_arch_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

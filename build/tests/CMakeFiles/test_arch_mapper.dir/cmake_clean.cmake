@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_mapper.dir/test_arch_mapper.cpp.o"
+  "CMakeFiles/test_arch_mapper.dir/test_arch_mapper.cpp.o.d"
+  "test_arch_mapper"
+  "test_arch_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

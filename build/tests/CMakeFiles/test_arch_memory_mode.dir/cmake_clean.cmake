@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_memory_mode.dir/test_arch_memory_mode.cpp.o"
+  "CMakeFiles/test_arch_memory_mode.dir/test_arch_memory_mode.cpp.o.d"
+  "test_arch_memory_mode"
+  "test_arch_memory_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_memory_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

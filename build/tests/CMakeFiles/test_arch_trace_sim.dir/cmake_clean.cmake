@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_trace_sim.dir/test_arch_trace_sim.cpp.o"
+  "CMakeFiles/test_arch_trace_sim.dir/test_arch_trace_sim.cpp.o.d"
+  "test_arch_trace_sim"
+  "test_arch_trace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_trace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_training.dir/test_arch_training.cpp.o"
+  "CMakeFiles/test_arch_training.dir/test_arch_training.cpp.o.d"
+  "test_arch_training"
+  "test_arch_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

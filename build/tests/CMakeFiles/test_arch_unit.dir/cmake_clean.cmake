@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_unit.dir/test_arch_unit.cpp.o"
+  "CMakeFiles/test_arch_unit.dir/test_arch_unit.cpp.o.d"
+  "test_arch_unit"
+  "test_arch_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

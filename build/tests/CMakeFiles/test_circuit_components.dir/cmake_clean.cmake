@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_components.dir/test_circuit_components.cpp.o"
+  "CMakeFiles/test_circuit_components.dir/test_circuit_components.cpp.o.d"
+  "test_circuit_components"
+  "test_circuit_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_crossbar.dir/test_circuit_crossbar.cpp.o"
+  "CMakeFiles/test_circuit_crossbar.dir/test_circuit_crossbar.cpp.o.d"
+  "test_circuit_crossbar"
+  "test_circuit_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_write.dir/test_circuit_write.cpp.o"
+  "CMakeFiles/test_circuit_write.dir/test_circuit_write.cpp.o.d"
+  "test_circuit_write"
+  "test_circuit_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_functional.dir/test_nn_functional.cpp.o"
+  "CMakeFiles/test_nn_functional.dir/test_nn_functional.cpp.o.d"
+  "test_nn_functional"
+  "test_nn_functional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_parser.dir/test_nn_parser.cpp.o"
+  "CMakeFiles/test_nn_parser.dir/test_nn_parser.cpp.o.d"
+  "test_nn_parser"
+  "test_nn_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_quantization.dir/test_nn_quantization.cpp.o"
+  "CMakeFiles/test_nn_quantization.dir/test_nn_quantization.cpp.o.d"
+  "test_nn_quantization"
+  "test_nn_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

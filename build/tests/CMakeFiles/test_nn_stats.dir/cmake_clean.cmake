@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_stats.dir/test_nn_stats.cpp.o"
+  "CMakeFiles/test_nn_stats.dir/test_nn_stats.cpp.o.d"
+  "test_nn_stats"
+  "test_nn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

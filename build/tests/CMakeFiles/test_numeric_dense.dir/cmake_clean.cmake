@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_dense.dir/test_numeric_dense.cpp.o"
+  "CMakeFiles/test_numeric_dense.dir/test_numeric_dense.cpp.o.d"
+  "test_numeric_dense"
+  "test_numeric_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

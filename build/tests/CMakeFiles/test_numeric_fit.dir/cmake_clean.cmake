@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_fit.dir/test_numeric_fit.cpp.o"
+  "CMakeFiles/test_numeric_fit.dir/test_numeric_fit.cpp.o.d"
+  "test_numeric_fit"
+  "test_numeric_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric_sparse.dir/test_numeric_sparse.cpp.o"
+  "CMakeFiles/test_numeric_sparse.dir/test_numeric_sparse.cpp.o.d"
+  "test_numeric_sparse"
+  "test_numeric_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_crossbar.dir/test_spice_crossbar.cpp.o"
+  "CMakeFiles/test_spice_crossbar.dir/test_spice_crossbar.cpp.o.d"
+  "test_spice_crossbar"
+  "test_spice_crossbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_crossbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

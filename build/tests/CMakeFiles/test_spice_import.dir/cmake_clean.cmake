@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_import.dir/test_spice_import.cpp.o"
+  "CMakeFiles/test_spice_import.dir/test_spice_import.cpp.o.d"
+  "test_spice_import"
+  "test_spice_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice_mna.dir/test_spice_mna.cpp.o"
+  "CMakeFiles/test_spice_mna.dir/test_spice_mna.cpp.o.d"
+  "test_spice_mna"
+  "test_spice_mna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice_mna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

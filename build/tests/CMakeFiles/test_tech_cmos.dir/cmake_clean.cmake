@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_cmos.dir/test_tech_cmos.cpp.o"
+  "CMakeFiles/test_tech_cmos.dir/test_tech_cmos.cpp.o.d"
+  "test_tech_cmos"
+  "test_tech_cmos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_cmos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

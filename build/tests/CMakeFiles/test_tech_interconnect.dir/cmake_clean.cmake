@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_interconnect.dir/test_tech_interconnect.cpp.o"
+  "CMakeFiles/test_tech_interconnect.dir/test_tech_interconnect.cpp.o.d"
+  "test_tech_interconnect"
+  "test_tech_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

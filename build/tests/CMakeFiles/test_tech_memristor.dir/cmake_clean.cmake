@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_memristor.dir/test_tech_memristor.cpp.o"
+  "CMakeFiles/test_tech_memristor.dir/test_tech_memristor.cpp.o.d"
+  "test_tech_memristor"
+  "test_tech_memristor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_memristor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

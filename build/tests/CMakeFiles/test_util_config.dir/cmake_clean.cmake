@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_config.dir/test_util_config.cpp.o"
+  "CMakeFiles/test_util_config.dir/test_util_config.cpp.o.d"
+  "test_util_config"
+  "test_util_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

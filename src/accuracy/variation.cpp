@@ -26,6 +26,7 @@ VariationMcResult variation_monte_carlo(const CrossbarErrorInputs& in,
   const double v_idl = spice::ideal_column_outputs(spec).back();
 
   VariationMcResult result;
+  result.seed = opt.seed;
   // Closed form (Eq. 16): the worse of the two deviation directions on
   // top of the wire + nonlinearity error.
   const double w =

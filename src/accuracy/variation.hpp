@@ -26,6 +26,7 @@ struct VariationMcResult {
   double max_error = 0.0;         // worst trial
   double closed_form_bound = 0.0; // Eq. 16 worst case
   std::vector<double> samples;    // per-trial |error|
+  std::uint32_t seed = 0;         // RNG seed the trials used (echoed)
 };
 
 // Throws std::invalid_argument when sigma is zero (nothing to sample) or

@@ -119,9 +119,11 @@ AcceleratorReport simulate_accelerator(
     rep.total_units += bank.mapping.unit_count;
     eps_worst.push_back(bank.epsilon_worst);
     eps_avg.push_back(bank.epsilon_average);
+    rep.solver.absorb(bank.solver);
     accumulate_breakdown(rep.breakdown, bank);
     rep.banks.push_back(std::move(bank));
   }
+  rep.fault_config = per_bank_configs.front().fault;
 
   // Accelerator I/O interfaces (Sec. III-A).
   circuit::IoInterfaceModel io_in;

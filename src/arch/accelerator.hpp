@@ -63,6 +63,13 @@ struct AcceleratorReport {
   long total_units = 0;
 
   AcceleratorBreakdown breakdown;
+
+  // Robustness: the fault configuration the run used (seed included, for
+  // exact reproducibility) and the aggregated circuit-solver diagnostics
+  // of every bank — degraded solves (CG retries, LU fallbacks, damped
+  // Newton steps) are reported, never silent.
+  fault::FaultConfig fault_config;
+  spice::SolverDiagnostics solver;
 };
 
 AcceleratorReport simulate_accelerator(const nn::Network& network,

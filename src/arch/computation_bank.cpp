@@ -7,6 +7,8 @@
 #include "circuit/buffer.hpp"
 #include "circuit/logic.hpp"
 #include "circuit/neuron.hpp"
+#include "fault/fault_model.hpp"
+#include "spice/crossbar_netlist.hpp"
 #include "tech/interconnect.hpp"
 
 namespace mnsim::arch {
@@ -198,6 +200,35 @@ BankReport simulate_bank(const nn::Layer& layer,
   const auto eps = accuracy::estimate_voltage_error(err);
   rep.epsilon_worst = eps.worst;
   rep.epsilon_average = eps.average;
+
+  // Hard-defect composition (src/fault): the defect-induced output
+  // deviation of this bank's crossbar geometry adds to the soft-error
+  // chain; optionally cross-validated with a defect-injected
+  // circuit-level solve whose diagnostics ride up the report.
+  if (config.fault.enabled()) {
+    const auto fe = fault::estimate_fault_error(err, config.fault);
+    rep.epsilon_worst = fe.combined_worst;
+    rep.epsilon_average = fe.combined_average;
+    rep.solver.faults_injected += fe.faults_injected;
+
+    if (config.fault.circuit_check) {
+      // A bounded sub-array keeps the validation solve tractable inside
+      // DSE sweeps while still exercising the defect classes.
+      const int check_rows =
+          std::min(err.rows, config.fault.circuit_check_size);
+      const int check_cols =
+          std::min(err.cols, config.fault.circuit_check_size);
+      auto spec = spice::CrossbarSpec::uniform(
+          check_rows, check_cols, err.device, err.segment_resistance,
+          err.sense_resistance, err.device.r_min);
+      const auto map = fault::generate_defect_map(
+          check_rows, check_cols, config.fault, err.device);
+      fault::apply_to_spec(map, spec);
+      const auto sol =
+          spice::solve_crossbar(spec, config.solver_options());
+      rep.solver.absorb(sol.dc.diagnostics);
+    }
+  }
   return rep;
 }
 

@@ -38,9 +38,16 @@ struct BankReport {
   int neuron_count = 0;
   int output_lanes = 0;          // simultaneous outputs after the tree
 
-  // Analog computing error rates of this bank's crossbars (Sec. VI).
+  // Analog computing error rates of this bank's crossbars (Sec. VI),
+  // including the hard-defect contribution when fault injection is on.
   double epsilon_worst = 0.0;
   double epsilon_average = 0.0;
+
+  // Fault-injection bookkeeping and circuit-level solver diagnostics for
+  // this bank (faults_injected counts the bank's defect map; the solver
+  // counters are nonzero only when fault.circuit_check ran a
+  // defect-injected circuit-level solve).
+  spice::SolverDiagnostics solver;
 
   [[nodiscard]] double average_power() const {
     return sample_latency > 0

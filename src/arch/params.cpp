@@ -20,6 +20,16 @@ tech::CmosTech AcceleratorConfig::cmos() const {
   return tech::cmos_tech(cmos_node_nm);
 }
 
+spice::DcOptions AcceleratorConfig::solver_options() const {
+  spice::DcOptions opt;
+  opt.cg_tolerance = solver_cg_tolerance;
+  opt.cg_max_iterations =
+      static_cast<std::size_t>(std::max<long>(solver_cg_max_iterations, 0));
+  opt.allow_cg_retry = solver_allow_fallback;
+  opt.allow_dense_fallback = solver_allow_fallback;
+  return opt;
+}
+
 int AcceleratorConfig::effective_parallelism(int columns) const {
   if (columns <= 0)
     throw std::invalid_argument("effective_parallelism: columns");
@@ -83,6 +93,33 @@ AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
       cfg.get_double_or("Sense_Resistance", c.sense_resistance);
   c.device_sigma = cfg.get_double_or("Device_Sigma", c.device_sigma);
   c.pipelined = cfg.get_bool_or("Pipelined", c.pipelined);
+
+  // [fault] section (docs/ROBUSTNESS.md).
+  c.fault.stuck_at_zero_rate = cfg.get_double_or(
+      "fault.Stuck_At_0_Rate", c.fault.stuck_at_zero_rate);
+  c.fault.stuck_at_one_rate = cfg.get_double_or(
+      "fault.Stuck_At_1_Rate", c.fault.stuck_at_one_rate);
+  c.fault.broken_wordline_rate = cfg.get_double_or(
+      "fault.Wordline_Defect_Rate", c.fault.broken_wordline_rate);
+  c.fault.broken_bitline_rate = cfg.get_double_or(
+      "fault.Bitline_Defect_Rate", c.fault.broken_bitline_rate);
+  c.fault.retention_time =
+      cfg.get_double_or("fault.Retention_Time", c.fault.retention_time);
+  c.fault.seed = static_cast<std::uint32_t>(
+      cfg.get_int_or("fault.Seed", static_cast<long>(c.fault.seed)));
+  c.fault.circuit_check =
+      cfg.get_bool_or("fault.Circuit_Check", c.fault.circuit_check);
+  c.fault.circuit_check_size = static_cast<int>(
+      cfg.get_int_or("fault.Circuit_Check_Size", c.fault.circuit_check_size));
+
+  // [solver] section (docs/ROBUSTNESS.md).
+  c.solver_cg_tolerance =
+      cfg.get_double_or("solver.CG_Tolerance", c.solver_cg_tolerance);
+  c.solver_cg_max_iterations = cfg.get_int_or("solver.CG_Max_Iterations",
+                                              c.solver_cg_max_iterations);
+  c.solver_allow_fallback =
+      cfg.get_bool_or("solver.Allow_Fallback", c.solver_allow_fallback);
+
   c.validate();
   return c;
 }
@@ -103,6 +140,9 @@ void AcceleratorConfig::validate() const {
     throw std::invalid_argument("AcceleratorConfig: resistance range");
   if (output_bits < 1 || output_bits > 14)
     throw std::invalid_argument("AcceleratorConfig: output bits");
+  if (!(solver_cg_tolerance > 0) || solver_cg_max_iterations < 0)
+    throw std::invalid_argument("AcceleratorConfig: solver options");
+  fault.validate();
   (void)cmos();                    // range check
   (void)device();                  // device validation
   (void)tech::interconnect_tech(interconnect_node_nm);

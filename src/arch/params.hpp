@@ -12,7 +12,9 @@
 
 #include "circuit/adc.hpp"
 #include "circuit/neuron.hpp"
+#include "fault/fault_model.hpp"
 #include "nn/network.hpp"
+#include "spice/mna.hpp"
 #include "tech/cmos_tech.hpp"
 #include "tech/memristor.hpp"
 #include "util/config.hpp"
@@ -48,6 +50,22 @@ struct AcceleratorConfig {
   circuit::AdcKind adc_kind = circuit::AdcKind::kMultiLevelSA;
   double adc_clock = 50e6;
   int output_bits = 8;  // read-circuit quantization (k = 2^output_bits)
+
+  // Hard-defect injection ([fault] section; docs/ROBUSTNESS.md). When any
+  // rate is nonzero the per-bank accuracy composes the fault deviation,
+  // and circuit_check additionally runs a defect-injected circuit-level
+  // solve whose diagnostics land in the report.
+  fault::FaultConfig fault;
+
+  // Circuit-level solver knobs ([solver] section): tolerance/budget of
+  // the inner CG and whether the graceful-degradation ladder (warm
+  // retry -> dense LU) may engage.
+  double solver_cg_tolerance = 1e-12;
+  long solver_cg_max_iterations = 0;  // 0 = auto
+  bool solver_allow_fallback = true;
+
+  // DC-solve options derived from the solver knobs above.
+  [[nodiscard]] spice::DcOptions solver_options() const;
 
   // Returns the configured device with the resistance range and variation
   // applied.

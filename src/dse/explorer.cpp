@@ -56,6 +56,9 @@ EvaluatedDesign evaluate_design(const nn::Network& network,
   out.metrics.power = report.power;
   out.metrics.max_error_rate = report.max_error_rate;
   out.metrics.avg_error_rate = report.avg_error_rate;
+  out.metrics.solver_fallbacks =
+      report.solver.cg_retries + report.solver.lu_fallbacks;
+  out.metrics.faults_injected = report.solver.faults_injected;
   out.feasible = constraints.admits(out.metrics);
   return out;
 }
@@ -68,8 +71,21 @@ ExplorationResult explore(const nn::Network& network,
   ExplorationResult result;
   result.error_constraint = constraints.max_error;
   for (const DesignPoint& point : space.enumerate()) {
-    result.designs.push_back(
-        evaluate_design(network, base, point, constraints));
+    // A pathological point (solver failure, invalid derived geometry)
+    // must not abort the sweep: record it as failed-infeasible and
+    // continue so every other design still gets evaluated.
+    try {
+      result.designs.push_back(
+          evaluate_design(network, base, point, constraints));
+    } catch (const std::exception& e) {
+      EvaluatedDesign failed;
+      failed.point = point;
+      failed.feasible = false;
+      failed.evaluated = false;
+      failed.failure = e.what();
+      result.designs.push_back(std::move(failed));
+      ++result.failed_count;
+    }
     if (result.designs.back().feasible) ++result.feasible_count;
   }
   return result;

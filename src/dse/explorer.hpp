@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "arch/accelerator.hpp"
@@ -24,6 +25,8 @@ struct DesignMetrics {
   double power = 0.0;             // [W]
   double max_error_rate = 0.0;    // worst-case digital error (Eq. 13)
   double avg_error_rate = 0.0;    // average digital error (Eq. 14)
+  int solver_fallbacks = 0;       // degraded circuit solves (CG retry + LU)
+  int faults_injected = 0;        // hard defects injected by the fault model
 
   [[nodiscard]] double objective_value(Objective objective) const;
 };
@@ -45,12 +48,15 @@ struct EvaluatedDesign {
   DesignPoint point;
   DesignMetrics metrics;
   bool feasible = false;  // meets all constraints
+  bool evaluated = true;  // false when simulation threw (see `failure`)
+  std::string failure;    // diagnostic message of the failed evaluation
 };
 
 struct ExplorationResult {
   std::vector<EvaluatedDesign> designs;
   double error_constraint = 0.25;
   long feasible_count = 0;
+  long failed_count = 0;  // points whose simulation threw (kept, infeasible)
 
   // Best feasible design for one objective; ties broken by area.
   // Returns nullopt when nothing is feasible.

@@ -11,8 +11,10 @@ namespace {
 
 // Forward pass of an MLP in doubles with optional per-layer multiplicative
 // output perturbation; activations are clamped-ReLU re-normalized per
-// layer so both runs share scales.
-std::vector<double> forward(const std::vector<IntMatrix>& weights,
+// layer so both runs share scales. Works on integer or double weight
+// matrices (the faulted path rewrites weights into doubles).
+template <typename MatrixT>
+std::vector<double> forward(const std::vector<MatrixT>& weights,
                             const std::vector<double>& input,
                             const std::vector<double>& layer_eps,
                             std::mt19937* rng) {
@@ -104,6 +106,104 @@ MonteCarloResult run_monte_carlo(const Network& network,
     result.avg_error_rate = deviation_sum / deviation_count;
   result.max_error_rate = max_rate;
   result.relative_accuracy = 1.0 - result.avg_error_rate;
+  result.seed = config.seed;
+  return result;
+}
+
+MonteCarloResult run_monte_carlo_faulted(const Network& network,
+                                         const std::vector<double>& layer_eps,
+                                         const MonteCarloConfig& config,
+                                         const fault::FaultConfig& faults) {
+  network.validate();
+  faults.validate();
+  std::vector<const Layer*> fc;
+  for (const auto& l : network.layers) {
+    if (l.kind != LayerKind::kFullyConnected)
+      throw std::invalid_argument("run_monte_carlo_faulted: MLP only");
+    fc.push_back(&l);
+  }
+  if (layer_eps.size() != fc.size())
+    throw std::invalid_argument("run_monte_carlo_faulted: one eps per layer");
+  if (config.samples <= 0 || config.weight_draws <= 0)
+    throw std::invalid_argument("run_monte_carlo_faulted: sample counts");
+
+  const auto device = tech::default_rram();
+
+  // One defect map per layer and cell polarity, decorrelated under the
+  // configured fault seed. Drawn once: the defects are a property of the
+  // physical arrays, not of the Monte-Carlo weight draw.
+  std::vector<fault::DefectMap> pos_maps, neg_maps;
+  int faults_injected = 0;
+  for (std::size_t l = 0; l < fc.size(); ++l) {
+    pos_maps.push_back(fault::generate_defect_map(
+        fc[l]->in_features, fc[l]->out_features, faults, device,
+        static_cast<std::uint32_t>(2 * l)));
+    neg_maps.push_back(fault::generate_defect_map(
+        fc[l]->in_features, fc[l]->out_features, faults, device,
+        static_cast<std::uint32_t>(2 * l + 1)));
+    faults_injected +=
+        pos_maps.back().fault_count() + neg_maps.back().fault_count();
+  }
+
+  std::mt19937 rng(config.seed);
+  const int k = 1 << config.signal_bits;
+  double deviation_sum = 0.0;
+  long deviation_count = 0;
+  double max_rate = 0.0;
+
+  for (int draw = 0; draw < config.weight_draws; ++draw) {
+    std::vector<Matrix> clean, faulted;
+    std::uniform_real_distribution<double> wdist(-1.0, 1.0);
+    for (std::size_t l = 0; l < fc.size(); ++l) {
+      Matrix w(static_cast<std::size_t>(fc[l]->out_features),
+               std::vector<double>(
+                   static_cast<std::size_t>(fc[l]->in_features)));
+      for (auto& row : w)
+        for (double& v : row) v = wdist(rng);
+      double scale = 1.0;
+      const IntMatrix q = quantize_symmetric(w, network.weight_bits, &scale);
+      Matrix qd(q.size());
+      for (std::size_t o = 0; o < q.size(); ++o)
+        qd[o].assign(q[o].begin(), q[o].end());
+      clean.push_back(qd);
+      fault::apply_to_signed_weights(pos_maps[l], neg_maps[l],
+                                     network.weight_bits, qd);
+      faulted.push_back(std::move(qd));
+    }
+
+    std::uniform_real_distribution<double> xdist(0.0, 1.0);
+    for (int s = 0; s < config.samples; ++s) {
+      std::vector<double> input(
+          static_cast<std::size_t>(fc.front()->in_features));
+      for (double& v : input) v = xdist(rng);
+
+      const auto ideal = forward(clean, input, layer_eps, nullptr);
+      const auto actual = forward(faulted, input, layer_eps, &rng);
+
+      double max_out = 0.0;
+      for (double v : ideal) max_out = std::max(max_out, v);
+      if (max_out <= 0) continue;
+      const double lsb = max_out / (k - 1);
+      for (std::size_t o = 0; o < ideal.size(); ++o) {
+        const long qi = std::lround(ideal[o] / lsb);
+        const long qa = std::lround(
+            std::clamp(actual[o], 0.0, max_out) / lsb);
+        const double rate =
+            static_cast<double>(std::labs(qa - qi)) / (k - 1);
+        deviation_sum += rate;
+        ++deviation_count;
+        max_rate = std::max(max_rate, rate);
+      }
+    }
+  }
+
+  MonteCarloResult result;
+  if (deviation_count > 0)
+    result.avg_error_rate = deviation_sum / deviation_count;
+  result.max_error_rate = max_rate;
+  result.relative_accuracy = 1.0 - result.avg_error_rate;
+  result.seed = config.seed;
+  result.faults_injected = faults_injected;
   return result;
 }
 
@@ -276,6 +376,7 @@ MonteCarloResult run_monte_carlo_network(const Network& network,
     result.avg_error_rate = deviation_sum / deviation_count;
   result.max_error_rate = max_rate;
   result.relative_accuracy = 1.0 - result.avg_error_rate;
+  result.seed = config.seed;
   return result;
 }
 

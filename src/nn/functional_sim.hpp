@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_model.hpp"
 #include "nn/network.hpp"
 #include "nn/quantization.hpp"
 #include "spice/crossbar_netlist.hpp"
@@ -39,6 +40,10 @@ struct MonteCarloResult {
   // Mean observed per-output digital deviation, normalized (compare
   // against accuracy::avg_error_rate of the propagated epsilon).
   double avg_error_rate = 0.0;
+  // Echo of the RNG seed the run used, for exact reproducibility.
+  std::uint32_t seed = 0;
+  // Hard defects applied across all layers (run_monte_carlo_faulted).
+  int faults_injected = 0;
 };
 
 // `layer_eps[i]` is the analog error rate of the i-th weighted layer
@@ -56,6 +61,18 @@ MonteCarloResult run_monte_carlo(const Network& network,
 MonteCarloResult run_monte_carlo_network(const Network& network,
                                          const std::vector<double>& layer_eps,
                                          const MonteCarloConfig& config);
+
+// Fault-injected variant of run_monte_carlo (MLP networks): each weighted
+// layer gets two seed-deterministic defect maps (positive / negative cell
+// array) drawn from `faults`, the effective weights are rewritten through
+// fault::apply_to_signed_weights, and the perturbed run additionally
+// carries the per-layer analog error like run_monte_carlo. The ideal
+// reference stays defect-free, so the result measures the end-to-end
+// inference accuracy loss caused by the defects (+ analog error).
+MonteCarloResult run_monte_carlo_faulted(const Network& network,
+                                         const std::vector<double>& layer_eps,
+                                         const MonteCarloConfig& config,
+                                         const fault::FaultConfig& faults);
 
 // Evaluates one FC layer electrically: programs the signed weights into
 // positive/negative cell matrices, drives the quantized inputs as DAC

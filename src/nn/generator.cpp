@@ -36,7 +36,9 @@ Network random_network(const GeneratorOptions& opt) {
   const int layers = layer_count(rng);
 
   if (!cnn) {
-    net.name = "random-mlp";
+    // Seed in the name: any report built from this network records the
+    // exact generator draw it came from.
+    net.name = "random-mlp-seed" + std::to_string(opt.seed);
     net.type = NetworkType::kAnn;
     int in = width();
     for (int i = 0; i < layers; ++i) {
@@ -50,7 +52,7 @@ Network random_network(const GeneratorOptions& opt) {
     return net;
   }
 
-  net.name = "random-cnn";
+  net.name = "random-cnn-seed" + std::to_string(opt.seed);
   net.type = NetworkType::kCnn;
   std::uniform_int_distribution<int> kernel_pick(0, 2);
   const int kernels[] = {1, 3, 5};

@@ -1,0 +1,114 @@
+#include "numeric/resilient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/dense.hpp"
+
+namespace mnsim::numeric {
+
+namespace {
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+void fill_residual(const CsrMatrix& a, const std::vector<double>& b,
+                   ResilientSolveReport& report) {
+  if (report.x.size() != a.size()) {
+    report.residual_norm = norm2(b);
+  } else {
+    std::vector<double> ax;
+    a.multiply(report.x, ax);
+    for (std::size_t i = 0; i < ax.size(); ++i) ax[i] = b[i] - ax[i];
+    report.residual_norm = norm2(ax);
+  }
+  const double b_norm = norm2(b);
+  report.relative_residual =
+      report.residual_norm / (b_norm > 0 ? b_norm : 1.0);
+}
+
+bool finite(const std::vector<double>& v) {
+  for (double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace
+
+ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
+                                         const std::vector<double>& b,
+                                         const ResilientSolveOptions& opt) {
+  const std::size_t n = a.size();
+  ResilientSolveReport report;
+
+  // Rung 1: plain preconditioned CG.
+  CgResult cg = conjugate_gradient(a, b, opt.tolerance, opt.max_iterations);
+  report.cg_iterations += cg.iterations;
+  report.cg_breakdown = cg.breakdown;
+  if (cg.converged && finite(cg.x)) {
+    report.x = std::move(cg.x);
+    report.method = SolveMethod::kCg;
+    report.converged = true;
+    fill_residual(a, b, report);
+    return report;
+  }
+
+  // Rung 2: warm-started retry with a larger iteration budget. The
+  // stalled iterate is usually a good starting point, and the extra
+  // budget lets the Jacobi-preconditioned recurrence grind further down
+  // before the expensive dense rung.
+  if (opt.allow_cg_retry && !cg.breakdown && finite(cg.x)) {
+    const std::size_t base =
+        opt.max_iterations ? opt.max_iterations : 4 * n + 100;
+    ++report.cg_retries;
+    CgResult retry = conjugate_gradient(
+        a, b, opt.tolerance, base * opt.retry_budget_factor, &cg.x);
+    report.cg_iterations += retry.iterations;
+    report.cg_breakdown = report.cg_breakdown || retry.breakdown;
+    if (retry.converged && finite(retry.x)) {
+      report.x = std::move(retry.x);
+      report.method = SolveMethod::kCgRetry;
+      report.converged = true;
+      fill_residual(a, b, report);
+      return report;
+    }
+    cg = std::move(retry);  // keep the best iterate so far
+  }
+
+  // Rung 3: dense LU with partial pivoting — direct, unconditionally
+  // stable on these conductance matrices, but O(n^2) memory / O(n^3)
+  // time, so gated by size.
+  if (opt.allow_dense_fallback && n <= opt.dense_fallback_limit) {
+    ++report.lu_fallbacks;
+    const std::vector<double> rows = a.to_dense_rows();
+    DenseMatrix dense(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) dense(r, c) = rows[r * n + c];
+    try {
+      std::vector<double> x = lu_solve(std::move(dense), b);
+      if (finite(x)) {
+        report.x = std::move(x);
+        report.method = SolveMethod::kDenseLu;
+        report.converged = true;
+        fill_residual(a, b, report);
+        return report;
+      }
+    } catch (const std::runtime_error&) {
+      // Singular matrix: fall through to the failure report.
+    }
+  }
+
+  // Everything failed: hand back the least-bad CG iterate with honest
+  // diagnostics so the caller can decide to abort or degrade further.
+  report.x = finite(cg.x) ? std::move(cg.x)
+                          : std::vector<double>(n, 0.0);
+  report.method = SolveMethod::kFailed;
+  report.converged = false;
+  fill_residual(a, b, report);
+  return report;
+}
+
+}  // namespace mnsim::numeric

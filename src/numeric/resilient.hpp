@@ -1,0 +1,59 @@
+// Resilient SPD solve: a retry ladder for ill-conditioned systems.
+//
+// Fault-laden crossbars (broken lines, stuck cells) produce conductance
+// matrices whose entries span many decades; plain Jacobi-preconditioned
+// conjugate gradients can stagnate far above the requested tolerance on
+// such systems. Instead of giving up, this module degrades gracefully:
+//   1. CG at the requested tolerance,
+//   2. a warm-started CG retry with a larger iteration budget,
+//   3. a dense LU fallback (partial pivoting) for systems small enough
+//      to expand.
+// Every rung records what it did so callers can surface degraded solves
+// instead of hiding them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/sparse.hpp"
+
+namespace mnsim::numeric {
+
+enum class SolveMethod { kCg, kCgRetry, kDenseLu, kFailed };
+
+struct ResilientSolveOptions {
+  double tolerance = 1e-10;
+  std::size_t max_iterations = 0;  // 0 = CG default (4n + 100)
+  // Iteration-budget multiplier for the warm-started retry rung.
+  std::size_t retry_budget_factor = 8;
+  bool allow_cg_retry = true;
+  bool allow_dense_fallback = true;
+  // Dense expansion is O(n^2) memory; refuse above this many unknowns.
+  std::size_t dense_fallback_limit = 4096;
+};
+
+struct ResilientSolveReport {
+  std::vector<double> x;
+  SolveMethod method = SolveMethod::kFailed;
+  bool converged = false;
+  std::size_t cg_iterations = 0;  // total across both CG rungs
+  int cg_retries = 0;             // 1 when the retry rung ran
+  int lu_fallbacks = 0;           // 1 when the dense rung ran
+  bool cg_breakdown = false;      // p'Ap <= 0 seen in either CG rung
+  double residual_norm = 0.0;     // ||b - A x|| of the returned x
+  double relative_residual = 0.0; // residual_norm / ||b||
+
+  [[nodiscard]] bool degraded() const {
+    return cg_retries > 0 || lu_fallbacks > 0;
+  }
+};
+
+// Solves A x = b through the ladder above. Never throws on a stalled
+// iteration — a fully failed solve returns converged = false with the
+// best iterate found (method kFailed when even LU was singular or
+// unavailable).
+ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
+                                         const std::vector<double>& b,
+                                         const ResilientSolveOptions& options);
+
+}  // namespace mnsim::numeric

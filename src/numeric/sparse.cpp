@@ -42,6 +42,14 @@ void CsrMatrix::multiply(const std::vector<double>& x,
   }
 }
 
+std::vector<double> CsrMatrix::to_dense_rows() const {
+  std::vector<double> dense(n_ * n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k)
+      dense[r * n_ + col_[k]] += values_[k];
+  return dense;
+}
+
 std::vector<double> CsrMatrix::jacobi_diagonal() const {
   std::vector<double> d(n_, 1.0);
   for (std::size_t r = 0; r < n_; ++r) {
@@ -63,15 +71,25 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
 }  // namespace
 
 CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
-                            double tolerance, std::size_t max_iterations) {
+                            double tolerance, std::size_t max_iterations,
+                            const std::vector<double>* initial_guess) {
   const std::size_t n = a.size();
   if (b.size() != n)
     throw std::invalid_argument("conjugate_gradient: size mismatch");
+  if (initial_guess && initial_guess->size() != n)
+    throw std::invalid_argument("conjugate_gradient: guess size mismatch");
   if (max_iterations == 0) max_iterations = 4 * n + 100;
 
   CgResult result;
-  result.x.assign(n, 0.0);
-  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> r(n);
+  if (initial_guess) {
+    result.x = *initial_guess;
+    a.multiply(result.x, r);  // r = b - A x0
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  } else {
+    result.x.assign(n, 0.0);
+    r = b;  // r = b - A*0
+  }
   std::vector<double> diag = a.jacobi_diagonal();
   std::vector<double> z(n), p(n), ap(n);
   for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
@@ -89,7 +107,10 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
     }
     a.multiply(p, ap);
     double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // not SPD (or breakdown)
+    if (pap <= 0.0) {  // not SPD (or breakdown)
+      result.breakdown = true;
+      break;
+    }
     double alpha = rz / pap;
     for (std::size_t i = 0; i < n; ++i) {
       result.x[i] += alpha * p[i];

@@ -47,6 +47,10 @@ class CsrMatrix {
   // returned as 1.0 so the preconditioner stays well-defined.
   [[nodiscard]] std::vector<double> jacobi_diagonal() const;
 
+  // Row-major dense expansion (n x n doubles); used by the dense-LU
+  // fallback of solve_spd_resilient. Callers should bound n themselves.
+  [[nodiscard]] std::vector<double> to_dense_rows() const;
+
  private:
   std::size_t n_ = 0;
   std::vector<std::size_t> row_start_;
@@ -59,11 +63,17 @@ struct CgResult {
   std::size_t iterations = 0;
   double residual_norm = 0.0;
   bool converged = false;
+  // True when the iteration stopped on p'Ap <= 0 (the matrix is not SPD,
+  // or rounding broke the recurrence) rather than on the iteration cap.
+  bool breakdown = false;
 };
 
-// Jacobi-preconditioned conjugate gradient for SPD systems.
+// Jacobi-preconditioned conjugate gradient for SPD systems. When
+// `initial_guess` is non-null (size n) the iteration warm-starts from it
+// instead of zero.
 CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
                             double tolerance = 1e-10,
-                            std::size_t max_iterations = 0);
+                            std::size_t max_iterations = 0,
+                            const std::vector<double>* initial_guess = nullptr);
 
 }  // namespace mnsim::numeric

@@ -47,6 +47,31 @@ std::string report_to_json(const nn::Network& network,
      << ", \"total_units\": " << report.total_units
      << ", \"total_crossbars\": " << report.total_crossbars << "},\n";
 
+  // Robustness blocks: what the solver actually did and which fault
+  // model (with its exact seed) produced this report. Booleans are
+  // emitted as 0/1 so parse_json_numbers round-trips every field.
+  const auto& d = report.solver;
+  os << "  \"solver_diagnostics\": {"
+     << "\"newton_iterations\": " << d.newton_iterations
+     << ", \"newton_residual\": " << num(d.newton_residual)
+     << ", \"cg_iterations\": " << d.cg_iterations
+     << ", \"cg_retries\": " << d.cg_retries
+     << ", \"lu_fallbacks\": " << d.lu_fallbacks
+     << ", \"damped_steps\": " << d.damped_steps
+     << ", \"linear_residual\": " << num(d.linear_residual)
+     << ", \"faults_injected\": " << d.faults_injected
+     << ", \"degraded\": " << (d.degraded() ? 1 : 0) << "},\n";
+  const auto& f = report.fault_config;
+  os << "  \"fault_model\": {"
+     << "\"enabled\": " << (f.enabled() ? 1 : 0)
+     << ", \"seed\": " << f.seed
+     << ", \"stuck_at_zero_rate\": " << num(f.stuck_at_zero_rate)
+     << ", \"stuck_at_one_rate\": " << num(f.stuck_at_one_rate)
+     << ", \"broken_wordline_rate\": " << num(f.broken_wordline_rate)
+     << ", \"broken_bitline_rate\": " << num(f.broken_bitline_rate)
+     << ", \"retention_time\": " << num(f.retention_time)
+     << ", \"circuit_check\": " << (f.circuit_check ? 1 : 0) << "},\n";
+
   auto item = [&](const char* name, const arch::BreakdownItem& it,
                   bool last = false) {
     os << "    " << quote(name) << ": {\"area\": " << num(it.area)

@@ -45,6 +45,25 @@ std::string format_report(const nn::Network& network,
                   util::Table::num(100 * report.relative_accuracy, 2)});
   os << totals.str();
 
+  // Robustness: surface fault injection and degraded solves so nobody
+  // mistakes a fallback-assisted run for a clean one.
+  if (report.fault_config.enabled() || report.solver.degraded()) {
+    util::Table robust("Fault injection / solver diagnostics");
+    robust.set_header({"Metric", "Value"});
+    robust.add_row(
+        {"Fault seed", std::to_string(report.fault_config.seed)});
+    robust.add_row({"Faults injected",
+                    std::to_string(report.solver.faults_injected)});
+    robust.add_row({"CG retries", std::to_string(report.solver.cg_retries)});
+    robust.add_row(
+        {"LU fallbacks", std::to_string(report.solver.lu_fallbacks)});
+    robust.add_row(
+        {"Damped Newton steps", std::to_string(report.solver.damped_steps)});
+    robust.add_row({"Worst linear residual",
+                    util::Table::sig(report.solver.linear_residual, 3)});
+    os << robust.str();
+  }
+
   util::Table modules("Module-class breakdown (area / dynamic energy)");
   modules.set_header({"Module class", "Area (mm^2)", "Area share",
                       "Energy (uJ)", "Energy share"});

@@ -1,8 +1,10 @@
 #include "spice/mna.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "numeric/resilient.hpp"
 #include "numeric/sparse.hpp"
 #include "spice/mna_internal.hpp"
 
@@ -60,6 +62,17 @@ using internal::build_indexer;
 using internal::Indexer;
 using internal::stamp;
 
+void SolverDiagnostics::absorb(const SolverDiagnostics& other) {
+  newton_iterations += other.newton_iterations;
+  newton_residual = std::max(newton_residual, other.newton_residual);
+  cg_iterations += other.cg_iterations;
+  cg_retries += other.cg_retries;
+  lu_fallbacks += other.lu_fallbacks;
+  damped_steps += other.damped_steps;
+  linear_residual = std::max(linear_residual, other.linear_residual);
+  faults_injected += other.faults_injected;
+}
+
 DcResult solve_dc(const Netlist& nl, const DcOptions& opt) {
   nl.validate();
   const Indexer ix = build_indexer(nl);
@@ -75,6 +88,14 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opt) {
   const auto& dev = nl.device();
   const bool nonlinear = !nl.linear_memristors() && !nl.memristors().empty();
   const int max_iter = nonlinear ? opt.max_newton_iterations : 1;
+
+  // The sinh/cosh companion model overflows for iterates far outside the
+  // physical range; clamp the argument so a wild Newton step degrades
+  // into damping instead of NaN propagation.
+  const double max_arg = 40.0;
+
+  double prev_delta = 0.0;
+  int damping_budget = std::max(opt.max_damping_retries, 0);
 
   for (int it = 0; it < max_iter; ++it) {
     numeric::SparseBuilder builder(static_cast<std::size_t>(ix.unknown_count));
@@ -93,26 +114,83 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opt) {
       // stamped as conductance g_d plus current source I(v0) - g_d v0.
       const double v0 =
           result.node_voltages[m.a] - result.node_voltages[m.b];
+      const double arg =
+          std::clamp(v0 / dev.nonlinearity_vt, -max_arg, max_arg);
       const double a_coef = dev.nonlinearity_vt / m.r_state;
-      const double i0 = a_coef * std::sinh(v0 / dev.nonlinearity_vt);
-      const double gd = std::cosh(v0 / dev.nonlinearity_vt) / m.r_state;
+      const double i0 = a_coef * std::sinh(arg);
+      const double gd = std::cosh(arg) / m.r_state;
       stamp(ix, builder, rhs, m.a, m.b, gd, i0 - gd * v0);
     }
 
     numeric::CsrMatrix a(builder);
-    auto cg = numeric::conjugate_gradient(a, rhs, opt.cg_tolerance);
-    if (!cg.converged)
-      throw std::runtime_error("solve_dc: conjugate gradient stalled");
+    numeric::ResilientSolveOptions solve_opt;
+    solve_opt.tolerance = opt.cg_tolerance;
+    solve_opt.max_iterations = opt.cg_max_iterations;
+    solve_opt.allow_cg_retry = opt.allow_cg_retry;
+    solve_opt.allow_dense_fallback = opt.allow_dense_fallback;
+    solve_opt.dense_fallback_limit = opt.dense_fallback_limit;
+    const auto solve = numeric::solve_spd_resilient(a, rhs, solve_opt);
+    result.diagnostics.cg_iterations +=
+        static_cast<long>(solve.cg_iterations);
+    result.diagnostics.cg_retries += solve.cg_retries;
+    result.diagnostics.lu_fallbacks += solve.lu_fallbacks;
+    result.diagnostics.linear_residual = std::max(
+        result.diagnostics.linear_residual, solve.relative_residual);
+    if (!solve.converged)
+      throw std::runtime_error(
+          "solve_dc: linear solve failed (CG stalled and no fallback "
+          "succeeded)");
 
+    // Newton update with step damping: a non-finite iterate, or an update
+    // that doubles instead of contracting, takes a half step (repeatedly,
+    // within the damping budget) from the previous iterate.
+    double damping = 1.0;
     double max_delta = 0.0;
+    for (;;) {
+      max_delta = 0.0;
+      bool bad = false;
+      for (int n = 1; n < nodes; ++n) {
+        const int u = ix.unknown_of_node[n];
+        if (u < 0) continue;
+        const double target = solve.x[u];
+        if (!std::isfinite(target)) {
+          bad = true;
+          break;
+        }
+        const double stepped = result.node_voltages[n] +
+                               damping * (target - result.node_voltages[n]);
+        max_delta = std::max(
+            max_delta, std::fabs(stepped - result.node_voltages[n]));
+      }
+      const bool diverging = nonlinear && it > 0 && prev_delta > 0 &&
+                             max_delta > 2.0 * prev_delta;
+      if ((bad || diverging) && damping_budget > 0) {
+        damping *= 0.5;
+        --damping_budget;
+        ++result.diagnostics.damped_steps;
+        continue;
+      }
+      if (bad) {
+        // Out of damping budget with a non-finite step: keep the previous
+        // iterate and report non-convergence honestly.
+        result.diagnostics.newton_iterations = result.newton_iterations;
+        result.diagnostics.newton_residual = prev_delta;
+        result.converged = false;
+        return result;
+      }
+      break;
+    }
     for (int n = 1; n < nodes; ++n) {
       const int u = ix.unknown_of_node[n];
       if (u < 0) continue;
-      max_delta =
-          std::max(max_delta, std::fabs(cg.x[u] - result.node_voltages[n]));
-      result.node_voltages[n] = cg.x[u];
+      result.node_voltages[n] =
+          result.node_voltages[n] +
+          damping * (solve.x[u] - result.node_voltages[n]);
     }
+    prev_delta = max_delta;
     result.newton_iterations = it + 1;
+    result.diagnostics.newton_iterations = result.newton_iterations;
+    result.diagnostics.newton_residual = max_delta;
     if (!nonlinear || max_delta < opt.newton_tolerance) {
       result.converged = true;
       break;

@@ -14,6 +14,7 @@
 // HSPICE baseline (DESIGN.md, substitution table).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "spice/netlist.hpp"
@@ -24,12 +25,50 @@ struct DcOptions {
   double newton_tolerance = 1e-9;   // max |dV| between iterations [V]
   int max_newton_iterations = 60;
   double cg_tolerance = 1e-12;
+  std::size_t cg_max_iterations = 0;  // 0 = auto (4n + 100)
+
+  // Graceful-degradation ladder for the inner linear solves: a stalled
+  // CG is retried warm-started with a larger budget, then falls back to
+  // dense LU (bounded by dense_fallback_limit unknowns). With the whole
+  // ladder disabled a stalled solve throws, as the historical behavior.
+  bool allow_cg_retry = true;
+  bool allow_dense_fallback = true;
+  std::size_t dense_fallback_limit = 4096;
+
+  // Newton step damping: when an iterate comes back non-finite or the
+  // update grows instead of shrinking, the step is halved and re-applied,
+  // at most `max_damping_retries` times per solve.
+  int max_damping_retries = 8;
+};
+
+// What the solver actually did — threaded up through DcResult,
+// CrossbarSolution and the accelerator report so degraded (retried,
+// fallback, damped, non-converged) solves are visible, never silent.
+struct SolverDiagnostics {
+  int newton_iterations = 0;
+  double newton_residual = 0.0;   // final max |dV| of the Newton loop [V]
+  long cg_iterations = 0;         // summed over all linear solves
+  int cg_retries = 0;             // warm-started CG retries taken
+  int lu_fallbacks = 0;           // dense-LU fallback solves taken
+  int damped_steps = 0;           // halved Newton steps
+  double linear_residual = 0.0;   // worst relative residual of any solve
+  int faults_injected = 0;        // defects applied to the netlist's array
+
+  [[nodiscard]] bool degraded() const {
+    return cg_retries > 0 || lu_fallbacks > 0 || damped_steps > 0;
+  }
+  // Aggregation for bank-/accelerator-level reporting.
+  void absorb(const SolverDiagnostics& other);
 };
 
 struct DcResult {
   std::vector<double> node_voltages;  // index = NodeId (0 = ground = 0 V)
   int newton_iterations = 0;
+  // True only when the Newton loop met newton_tolerance; a run that
+  // exhausted max_newton_iterations reports false with the final update
+  // size in diagnostics.newton_residual.
   bool converged = false;
+  SolverDiagnostics diagnostics;
 
   [[nodiscard]] double voltage(NodeId n) const { return node_voltages[n]; }
 };

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <random>
 
 #include "numeric/dense.hpp"
+#include "numeric/resilient.hpp"
 
 namespace mnsim::numeric {
 namespace {
@@ -117,6 +119,130 @@ TEST(ConjugateGradient, JacobiDiagonalDefaultsToOne) {
   auto d = m.jacobi_diagonal();
   EXPECT_DOUBLE_EQ(d[0], 1.0);
   EXPECT_DOUBLE_EQ(d[1], 1.0);
+}
+
+TEST(ConjugateGradient, IndefiniteMatrixFlagsBreakdown) {
+  // A = diag(1, -1) is symmetric but not positive definite: the first
+  // search direction hitting the negative eigenvector gives p'Ap <= 0.
+  SparseBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, -1.0);
+  auto r = conjugate_gradient(CsrMatrix(b), {0.0, 1.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+}
+
+TEST(ConjugateGradient, WarmStartFromSolutionConvergesImmediately) {
+  SparseBuilder b(2);
+  b.add(0, 0, 4.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 3.0);
+  const std::vector<double> exact{1.0 / 11.0, 7.0 / 11.0};
+  auto r = conjugate_gradient(CsrMatrix(b), {1.0, 2.0}, 1e-10, 0, &exact);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_NEAR(r.x[0], exact[0], 1e-12);
+}
+
+TEST(CsrMatrix, DenseExpansionRoundTrips) {
+  SparseBuilder b(3);
+  b.add(0, 0, 2.0);
+  b.add(1, 2, -1.0);
+  b.add(2, 1, 5.0);
+  const auto rows = CsrMatrix(b).to_dense_rows();
+  ASSERT_EQ(rows.size(), 9u);
+  EXPECT_DOUBLE_EQ(rows[0], 2.0);
+  EXPECT_DOUBLE_EQ(rows[1 * 3 + 2], -1.0);
+  EXPECT_DOUBLE_EQ(rows[2 * 3 + 1], 5.0);
+  EXPECT_DOUBLE_EQ(rows[1 * 3 + 1], 0.0);
+}
+
+// --- resilient ladder ---------------------------------------------------------
+
+// A grounded resistor chain (SPD) big enough that CG needs more than a
+// couple of iterations.
+CsrMatrix chain_matrix(int n) {
+  SparseBuilder sb(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) sb.add(i, i, 1.0);
+  for (int i = 0; i + 1 < n; ++i) {
+    sb.add(i, i, 1.0);
+    sb.add(i + 1, i + 1, 1.0);
+    sb.add(i, i + 1, -1.0);
+    sb.add(i + 1, i, -1.0);
+  }
+  return CsrMatrix(sb);
+}
+
+std::vector<double> chain_rhs(int n) {
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) b[i] = std::sin(0.37 * i) + 0.1;
+  return b;
+}
+
+TEST(ResilientSolve, CleanSystemUsesPlainCg) {
+  const int n = 40;
+  ResilientSolveOptions opt;
+  auto rep = solve_spd_resilient(chain_matrix(n), chain_rhs(n), opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.method, SolveMethod::kCg);
+  EXPECT_FALSE(rep.degraded());
+  EXPECT_LT(rep.relative_residual, 1e-8);
+}
+
+TEST(ResilientSolve, StarvedCgEscalatesToRetryThenConverges) {
+  const int n = 40;
+  ResilientSolveOptions opt;
+  opt.max_iterations = 3;        // rung 1 cannot finish
+  opt.retry_budget_factor = 64;  // rung 2 gets plenty
+  auto rep = solve_spd_resilient(chain_matrix(n), chain_rhs(n), opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.method, SolveMethod::kCgRetry);
+  EXPECT_EQ(rep.cg_retries, 1);
+  EXPECT_EQ(rep.lu_fallbacks, 0);
+  EXPECT_TRUE(rep.degraded());
+}
+
+TEST(ResilientSolve, ExhaustedCgFallsBackToDenseLu) {
+  const int n = 40;
+  ResilientSolveOptions opt;
+  opt.max_iterations = 2;
+  opt.retry_budget_factor = 2;  // retry still starved (4 iterations)
+  auto rep = solve_spd_resilient(chain_matrix(n), chain_rhs(n), opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.method, SolveMethod::kDenseLu);
+  EXPECT_EQ(rep.lu_fallbacks, 1);
+  EXPECT_LT(rep.relative_residual, 1e-8);
+
+  // The fallback reproduces the well-budgeted CG answer.
+  auto ref = solve_spd_resilient(chain_matrix(n), chain_rhs(n),
+                                 ResilientSolveOptions{});
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(rep.x[i], ref.x[i], 1e-7);
+}
+
+TEST(ResilientSolve, FailureIsReportedNotThrown) {
+  const int n = 40;
+  ResilientSolveOptions opt;
+  opt.max_iterations = 2;
+  opt.retry_budget_factor = 2;
+  opt.allow_dense_fallback = false;
+  ResilientSolveReport rep;
+  EXPECT_NO_THROW(
+      rep = solve_spd_resilient(chain_matrix(n), chain_rhs(n), opt));
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.method, SolveMethod::kFailed);
+  EXPECT_GT(rep.residual_norm, 0.0);  // best-effort iterate, quantified
+}
+
+TEST(ResilientSolve, DenseFallbackRespectsSizeLimit) {
+  const int n = 40;
+  ResilientSolveOptions opt;
+  opt.max_iterations = 2;
+  opt.retry_budget_factor = 2;
+  opt.dense_fallback_limit = 8;  // system too large to expand
+  auto rep = solve_spd_resilient(chain_matrix(n), chain_rhs(n), opt);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.lu_fallbacks, 0);
 }
 
 }  // namespace

@@ -80,6 +80,20 @@ TEST(Config, LoadMissingFileThrows) {
   EXPECT_THROW(Config::load("/nonexistent/path/cfg.ini"), ConfigError);
 }
 
+TEST(Config, ListErrorsThrow) {
+  auto cfg = Config::parse("a = [1, two, 3]\nb = [1.5, 2]\n");
+  EXPECT_THROW((void)cfg.get_list("a"), ConfigError);
+  EXPECT_THROW((void)cfg.get_int_list("b"), ConfigError);  // 1.5 not integral
+  Config empty;
+  EXPECT_THROW((void)empty.get_list("missing"), ConfigError);
+}
+
+TEST(Config, NonIntegralDoubleThrowsOnGetInt) {
+  auto cfg = Config::parse("x = 2.5\n");
+  EXPECT_THROW((void)cfg.get_int("x"), ConfigError);
+  EXPECT_DOUBLE_EQ(cfg.get_double("x"), 2.5);
+}
+
 TEST(Trim, StripsWhitespace) {
   EXPECT_EQ(trim("  a b  "), "a b");
   EXPECT_EQ(trim("\t\n"), "");

@@ -4,11 +4,13 @@
 // sizes) — the raw numbers behind the Table III speedup.
 #include <benchmark/benchmark.h>
 
+#include "accuracy/variation.hpp"
 #include "accuracy/voltage_error.hpp"
 #include "arch/accelerator.hpp"
 #include "nn/topologies.hpp"
 #include "spice/crossbar_netlist.hpp"
 #include "tech/interconnect.hpp"
+#include "util/parallel.hpp"
 
 using namespace mnsim;
 
@@ -55,5 +57,45 @@ static void BM_CircuitLevelSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_CircuitLevelSolve)->Arg(8)->Arg(16)->Arg(32)
     ->Unit(benchmark::kMillisecond);
+
+// Sweep throughput: the variation Monte-Carlo engine at a fixed trial
+// count, swept over the worker count (Arg = threads; 0 = hardware
+// concurrency). Serial (Arg 1) vs parallel rates show the speedup of the
+// deterministic thread pool; the counters confirm the solver caches are
+// doing their job (every trial should refill the cached CSR pattern and
+// warm-start CG from the base operating point).
+static void BM_VariationSweepThroughput(benchmark::State& state) {
+  accuracy::CrossbarErrorInputs in;
+  in.rows = 24;
+  in.cols = 24;
+  in.device = tech::default_rram();
+  in.device.sigma = 0.2;
+  in.segment_resistance = tech::interconnect_tech(45).segment_resistance;
+  in.sense_resistance = 60.0;
+
+  accuracy::VariationMcOptions opt;
+  opt.trials = 64;
+  opt.threads = static_cast<int>(state.range(0));
+
+  long cache_hits = 0;
+  long warm_starts = 0;
+  for (auto _ : state) {
+    auto r = accuracy::variation_monte_carlo(in, opt);
+    cache_hits = r.cache_hits;
+    warm_starts = r.warm_starts;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * opt.trials);
+  state.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * opt.trials),
+      benchmark::Counter::kIsRate);
+  state.counters["cache_hits"] = static_cast<double>(cache_hits);
+  state.counters["warm_starts"] = static_cast<double>(warm_starts);
+  state.counters["threads"] =
+      static_cast<double>(util::resolve_thread_count(opt.threads));
+}
+BENCHMARK(BM_VariationSweepThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -105,11 +105,17 @@ AcceleratorReport simulate_accelerator(
 
   std::vector<double> eps_worst;
   std::vector<double> eps_avg;
+  // One crossbar solve cache shared by every bank's fault circuit-check:
+  // the checks all clip to fault.circuit_check_size, so after the first
+  // bank builds the topology the remaining banks refill it (cache_hits
+  // in the solver diagnostics below).
+  spice::CrossbarSolveCache solve_cache;
   for (std::size_t i = 0; i < weighted.size(); ++i) {
     const nn::Layer* next =
         i + 1 < weighted.size() ? weighted[i + 1] : nullptr;
     BankReport bank = simulate_bank(*weighted[i], pooling_after[i], next,
-                                    network, per_bank_configs[i]);
+                                    network, per_bank_configs[i],
+                                    &solve_cache);
     rep.area += bank.area;
     rep.leakage_power += bank.leakage_power;
     rep.sample_latency += bank.sample_latency;

@@ -27,7 +27,8 @@ BankReport simulate_bank(const nn::Layer& layer,
                          const nn::Layer* attached_pooling,
                          const nn::Layer* next_weighted,
                          const nn::Network& network,
-                         const AcceleratorConfig& config) {
+                         const AcceleratorConfig& config,
+                         spice::CrossbarSolveCache* solve_cache) {
   if (!layer.is_weighted())
     throw std::invalid_argument("simulate_bank: layer holds no weights");
   network.validate();
@@ -225,7 +226,7 @@ BankReport simulate_bank(const nn::Layer& layer,
           check_rows, check_cols, config.fault, err.device);
       fault::apply_to_spec(map, spec);
       const auto sol =
-          spice::solve_crossbar(spec, config.solver_options());
+          spice::solve_crossbar(spec, config.solver_options(), solve_cache);
       rep.solver.absorb(sol.dc.diagnostics);
     }
   }

@@ -58,11 +58,16 @@ struct BankReport {
 
 // Simulates the bank for `layer` (must be weighted). `attached_pooling`
 // is the pooling layer following it, if any; `next_weighted` (when given
-// and convolutional) sizes the Eq. 6 output line buffer.
+// and convolutional) sizes the Eq. 6 output line buffer. When
+// `solve_cache` is non-null the fault circuit-check solve reuses the
+// cached crossbar topology across banks sharing one geometry (the
+// common case: every bank clipped to fault.circuit_check_size), counted
+// in the bank's solver diagnostics.
 BankReport simulate_bank(const nn::Layer& layer,
                          const nn::Layer* attached_pooling,
                          const nn::Layer* next_weighted,
                          const nn::Network& network,
-                         const AcceleratorConfig& config);
+                         const AcceleratorConfig& config,
+                         spice::CrossbarSolveCache* solve_cache = nullptr);
 
 }  // namespace mnsim::arch

@@ -120,6 +120,10 @@ AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
   c.solver_allow_fallback =
       cfg.get_bool_or("solver.Allow_Fallback", c.solver_allow_fallback);
 
+  // [parallel] section (docs/PERFORMANCE.md).
+  c.parallel_threads = static_cast<int>(
+      cfg.get_int_or("parallel.Threads", c.parallel_threads));
+
   c.validate();
   return c;
 }
@@ -142,6 +146,8 @@ void AcceleratorConfig::validate() const {
     throw std::invalid_argument("AcceleratorConfig: output bits");
   if (!(solver_cg_tolerance > 0) || solver_cg_max_iterations < 0)
     throw std::invalid_argument("AcceleratorConfig: solver options");
+  if (parallel_threads < 0)
+    throw std::invalid_argument("AcceleratorConfig: parallel threads");
   fault.validate();
   (void)cmos();                    // range check
   (void)device();                  // device validation

@@ -64,6 +64,12 @@ struct AcceleratorConfig {
   long solver_cg_max_iterations = 0;  // 0 = auto
   bool solver_allow_fallback = true;
 
+  // Worker threads for sweep engines (DSE exploration, Monte-Carlo
+  // trials): [parallel] Threads. 1 = serial (default), 0 = all hardware
+  // threads. Results are bit-identical for any value (per-task RNG
+  // streams; docs/PERFORMANCE.md).
+  int parallel_threads = 1;
+
   // DC-solve options derived from the solver knobs above.
   [[nodiscard]] spice::DcOptions solver_options() const;
 

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace mnsim::dse {
 
 double DesignMetrics::objective_value(Objective objective) const {
@@ -70,23 +72,31 @@ ExplorationResult explore(const nn::Network& network,
   constraints.validate();
   ExplorationResult result;
   result.error_constraint = constraints.max_error;
-  for (const DesignPoint& point : space.enumerate()) {
-    // A pathological point (solver failure, invalid derived geometry)
-    // must not abort the sweep: record it as failed-infeasible and
-    // continue so every other design still gets evaluated.
-    try {
-      result.designs.push_back(
-          evaluate_design(network, base, point, constraints));
-    } catch (const std::exception& e) {
-      EvaluatedDesign failed;
-      failed.point = point;
-      failed.feasible = false;
-      failed.evaluated = false;
-      failed.failure = e.what();
-      result.designs.push_back(std::move(failed));
-      ++result.failed_count;
-    }
-    if (result.designs.back().feasible) ++result.feasible_count;
+  const std::vector<DesignPoint> points = space.enumerate();
+  // One task per design point. evaluate_design is a pure function of
+  // (network, base, point), so the parallel sweep is bit-identical to
+  // the serial loop; parallel_map keeps enumeration order. A
+  // pathological point (solver failure, invalid derived geometry) must
+  // not abort the sweep: record it as failed-infeasible and continue so
+  // every other design still gets evaluated — same semantics per task
+  // as the serial try/catch had.
+  util::ThreadPool pool(base.parallel_threads);
+  result.designs = util::parallel_map(
+      pool, points.size(), [&](std::size_t i, std::size_t) {
+        try {
+          return evaluate_design(network, base, points[i], constraints);
+        } catch (const std::exception& e) {
+          EvaluatedDesign failed;
+          failed.point = points[i];
+          failed.feasible = false;
+          failed.evaluated = false;
+          failed.failure = e.what();
+          return failed;
+        }
+      });
+  for (const auto& d : result.designs) {
+    if (!d.evaluated) ++result.failed_count;
+    if (d.feasible) ++result.feasible_count;
   }
   return result;
 }
@@ -174,8 +184,15 @@ std::optional<EvaluatedDesign> ExplorationResult::compromise(
   double winner_score = 0.0;
   for (const auto& d : designs) {
     if (!d.feasible) continue;
+    // Epsilon-floored normalization: a best-feasible reference of
+    // exactly 0 (e.g. a zero-latency degenerate design) must still let
+    // the objective discriminate — value/0 is unusable, but mapping the
+    // ratio to 1.0 silently zeroed the objective's weight for every
+    // design. With the floor, designs matching the zero reference score
+    // ~1 and everything else is charged the full ratio.
     auto ratio = [](double value, double reference) {
-      return reference > 0 ? value / reference : 1.0;
+      constexpr double eps = 1e-12;
+      return (value + eps) / (reference + eps);
     };
     const double score =
         (w.area * std::log(ratio(d.metrics.area, best.area)) +

@@ -5,9 +5,19 @@
 #include <random>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace mnsim::nn {
 
 namespace {
+
+// Partial deviation statistics of one weight draw; reduced in draw order
+// so the parallel sweep aggregates exactly like the serial loop.
+struct DrawStats {
+  double deviation_sum = 0.0;
+  long deviation_count = 0;
+  double max_rate = 0.0;
+};
 
 // Forward pass of an MLP in doubles with optional per-layer multiplicative
 // output perturbation; activations are clamped-ReLU re-normalized per
@@ -54,51 +64,66 @@ MonteCarloResult run_monte_carlo(const Network& network,
   if (config.samples <= 0 || config.weight_draws <= 0)
     throw std::invalid_argument("run_monte_carlo: sample counts");
 
-  std::mt19937 rng(config.seed);
   const int k = 1 << config.signal_bits;
+
+  util::ThreadPool pool(config.threads);
+  // One task per weight draw, each on its own (seed, draw)-derived RNG
+  // stream: the draw's weights, inputs and perturbations depend only on
+  // the draw index, so any thread count produces the same statistics.
+  const auto stats = util::parallel_map(
+      pool, static_cast<std::size_t>(config.weight_draws),
+      [&](std::size_t draw, std::size_t) {
+        std::mt19937 rng(util::derive_stream_seed(config.seed, draw));
+
+        // Random signed weights quantized to the network's precision.
+        std::vector<IntMatrix> weights;
+        std::uniform_real_distribution<double> wdist(-1.0, 1.0);
+        for (const Layer* l : fc) {
+          Matrix w(static_cast<std::size_t>(l->out_features),
+                   std::vector<double>(
+                       static_cast<std::size_t>(l->in_features)));
+          for (auto& row : w)
+            for (double& v : row) v = wdist(rng);
+          double scale = 1.0;
+          IntMatrix q = quantize_symmetric(w, network.weight_bits, &scale);
+          // Keep integer weights; activations carry the scale implicitly.
+          weights.push_back(std::move(q));
+        }
+
+        DrawStats st;
+        std::uniform_real_distribution<double> xdist(0.0, 1.0);
+        for (int s = 0; s < config.samples; ++s) {
+          std::vector<double> input(
+              static_cast<std::size_t>(fc.front()->in_features));
+          for (double& v : input) v = xdist(rng);
+
+          const auto ideal = forward(weights, input, layer_eps, nullptr);
+          const auto actual = forward(weights, input, layer_eps, &rng);
+
+          double max_out = 0.0;
+          for (double v : ideal) max_out = std::max(max_out, v);
+          if (max_out <= 0) continue;
+          const double lsb = max_out / (k - 1);
+          for (std::size_t o = 0; o < ideal.size(); ++o) {
+            const long qi = std::lround(ideal[o] / lsb);
+            const long qa = std::lround(std::min(actual[o], max_out) / lsb);
+            const double rate =
+                static_cast<double>(std::labs(qa - qi)) / (k - 1);
+            st.deviation_sum += rate;
+            ++st.deviation_count;
+            st.max_rate = std::max(st.max_rate, rate);
+          }
+        }
+        return st;
+      });
 
   double deviation_sum = 0.0;
   long deviation_count = 0;
   double max_rate = 0.0;
-
-  for (int draw = 0; draw < config.weight_draws; ++draw) {
-    // Random signed weights quantized to the network's weight precision.
-    std::vector<IntMatrix> weights;
-    std::uniform_real_distribution<double> wdist(-1.0, 1.0);
-    for (const Layer* l : fc) {
-      Matrix w(static_cast<std::size_t>(l->out_features),
-               std::vector<double>(static_cast<std::size_t>(l->in_features)));
-      for (auto& row : w)
-        for (double& v : row) v = wdist(rng);
-      double scale = 1.0;
-      IntMatrix q = quantize_symmetric(w, network.weight_bits, &scale);
-      // Keep integer weights; activations carry the scale implicitly.
-      weights.push_back(std::move(q));
-    }
-
-    std::uniform_real_distribution<double> xdist(0.0, 1.0);
-    for (int s = 0; s < config.samples; ++s) {
-      std::vector<double> input(
-          static_cast<std::size_t>(fc.front()->in_features));
-      for (double& v : input) v = xdist(rng);
-
-      const auto ideal = forward(weights, input, layer_eps, nullptr);
-      const auto actual = forward(weights, input, layer_eps, &rng);
-
-      double max_out = 0.0;
-      for (double v : ideal) max_out = std::max(max_out, v);
-      if (max_out <= 0) continue;
-      const double lsb = max_out / (k - 1);
-      for (std::size_t o = 0; o < ideal.size(); ++o) {
-        const long qi = std::lround(ideal[o] / lsb);
-        const long qa = std::lround(std::min(actual[o], max_out) / lsb);
-        const double rate =
-            static_cast<double>(std::labs(qa - qi)) / (k - 1);
-        deviation_sum += rate;
-        ++deviation_count;
-        max_rate = std::max(max_rate, rate);
-      }
-    }
+  for (const DrawStats& st : stats) {
+    deviation_sum += st.deviation_sum;
+    deviation_count += st.deviation_count;
+    max_rate = std::max(max_rate, st.max_rate);
   }
 
   MonteCarloResult result;
@@ -107,6 +132,7 @@ MonteCarloResult run_monte_carlo(const Network& network,
   result.max_error_rate = max_rate;
   result.relative_accuracy = 1.0 - result.avg_error_rate;
   result.seed = config.seed;
+  result.threads = static_cast<int>(pool.worker_count());
   return result;
 }
 
@@ -145,56 +171,72 @@ MonteCarloResult run_monte_carlo_faulted(const Network& network,
         pos_maps.back().fault_count() + neg_maps.back().fault_count();
   }
 
-  std::mt19937 rng(config.seed);
   const int k = 1 << config.signal_bits;
+
+  util::ThreadPool pool(config.threads);
+  // Same per-draw stream scheme as run_monte_carlo; the defect maps are
+  // fixed (drawn above under the fault seed) and read-only, so every
+  // draw sees identical arrays regardless of scheduling.
+  const auto stats = util::parallel_map(
+      pool, static_cast<std::size_t>(config.weight_draws),
+      [&](std::size_t draw, std::size_t) {
+        std::mt19937 rng(util::derive_stream_seed(config.seed, draw));
+
+        std::vector<Matrix> clean, faulted;
+        std::uniform_real_distribution<double> wdist(-1.0, 1.0);
+        for (std::size_t l = 0; l < fc.size(); ++l) {
+          Matrix w(static_cast<std::size_t>(fc[l]->out_features),
+                   std::vector<double>(
+                       static_cast<std::size_t>(fc[l]->in_features)));
+          for (auto& row : w)
+            for (double& v : row) v = wdist(rng);
+          double scale = 1.0;
+          const IntMatrix q =
+              quantize_symmetric(w, network.weight_bits, &scale);
+          Matrix qd(q.size());
+          for (std::size_t o = 0; o < q.size(); ++o)
+            qd[o].assign(q[o].begin(), q[o].end());
+          clean.push_back(qd);
+          fault::apply_to_signed_weights(pos_maps[l], neg_maps[l],
+                                         network.weight_bits, qd);
+          faulted.push_back(std::move(qd));
+        }
+
+        DrawStats st;
+        std::uniform_real_distribution<double> xdist(0.0, 1.0);
+        for (int s = 0; s < config.samples; ++s) {
+          std::vector<double> input(
+              static_cast<std::size_t>(fc.front()->in_features));
+          for (double& v : input) v = xdist(rng);
+
+          const auto ideal = forward(clean, input, layer_eps, nullptr);
+          const auto actual = forward(faulted, input, layer_eps, &rng);
+
+          double max_out = 0.0;
+          for (double v : ideal) max_out = std::max(max_out, v);
+          if (max_out <= 0) continue;
+          const double lsb = max_out / (k - 1);
+          for (std::size_t o = 0; o < ideal.size(); ++o) {
+            const long qi = std::lround(ideal[o] / lsb);
+            const long qa = std::lround(
+                std::clamp(actual[o], 0.0, max_out) / lsb);
+            const double rate =
+                static_cast<double>(std::labs(qa - qi)) / (k - 1);
+            st.deviation_sum += rate;
+            ++st.deviation_count;
+            st.max_rate = std::max(st.max_rate, rate);
+          }
+        }
+        return st;
+      });
+
   double deviation_sum = 0.0;
   long deviation_count = 0;
   double max_rate = 0.0;
-
-  for (int draw = 0; draw < config.weight_draws; ++draw) {
-    std::vector<Matrix> clean, faulted;
-    std::uniform_real_distribution<double> wdist(-1.0, 1.0);
-    for (std::size_t l = 0; l < fc.size(); ++l) {
-      Matrix w(static_cast<std::size_t>(fc[l]->out_features),
-               std::vector<double>(
-                   static_cast<std::size_t>(fc[l]->in_features)));
-      for (auto& row : w)
-        for (double& v : row) v = wdist(rng);
-      double scale = 1.0;
-      const IntMatrix q = quantize_symmetric(w, network.weight_bits, &scale);
-      Matrix qd(q.size());
-      for (std::size_t o = 0; o < q.size(); ++o)
-        qd[o].assign(q[o].begin(), q[o].end());
-      clean.push_back(qd);
-      fault::apply_to_signed_weights(pos_maps[l], neg_maps[l],
-                                     network.weight_bits, qd);
-      faulted.push_back(std::move(qd));
-    }
-
-    std::uniform_real_distribution<double> xdist(0.0, 1.0);
-    for (int s = 0; s < config.samples; ++s) {
-      std::vector<double> input(
-          static_cast<std::size_t>(fc.front()->in_features));
-      for (double& v : input) v = xdist(rng);
-
-      const auto ideal = forward(clean, input, layer_eps, nullptr);
-      const auto actual = forward(faulted, input, layer_eps, &rng);
-
-      double max_out = 0.0;
-      for (double v : ideal) max_out = std::max(max_out, v);
-      if (max_out <= 0) continue;
-      const double lsb = max_out / (k - 1);
-      for (std::size_t o = 0; o < ideal.size(); ++o) {
-        const long qi = std::lround(ideal[o] / lsb);
-        const long qa = std::lround(
-            std::clamp(actual[o], 0.0, max_out) / lsb);
-        const double rate =
-            static_cast<double>(std::labs(qa - qi)) / (k - 1);
-        deviation_sum += rate;
-        ++deviation_count;
-        max_rate = std::max(max_rate, rate);
-      }
-    }
+  for (const DrawStats& st : stats) {
+    deviation_sum += st.deviation_sum;
+    deviation_count += st.deviation_count;
+    max_rate = std::max(max_rate, st.max_rate);
   }
 
   MonteCarloResult result;
@@ -204,6 +246,7 @@ MonteCarloResult run_monte_carlo_faulted(const Network& network,
   result.relative_accuracy = 1.0 - result.avg_error_rate;
   result.seed = config.seed;
   result.faults_injected = faults_injected;
+  result.threads = static_cast<int>(pool.worker_count());
   return result;
 }
 

@@ -30,6 +30,11 @@ struct MonteCarloConfig {
   int weight_draws = 20;      // random weight matrices (paper: 20)
   std::uint32_t seed = 42;
   int signal_bits = 8;        // activation quantization
+  // Worker threads over the weight draws: 1 = serial, 0 = hardware
+  // concurrency. Each draw runs on its own (seed, draw)-derived RNG
+  // stream and the partial statistics reduce in draw order, so results
+  // are bit-identical for every thread count.
+  int threads = 1;
 };
 
 struct MonteCarloResult {
@@ -44,6 +49,8 @@ struct MonteCarloResult {
   std::uint32_t seed = 0;
   // Hard defects applied across all layers (run_monte_carlo_faulted).
   int faults_injected = 0;
+  // Worker threads actually used for the draw sweep.
+  int threads = 1;
 };
 
 // `layer_eps[i]` is the analog error rate of the i-th weighted layer

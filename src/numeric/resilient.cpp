@@ -44,10 +44,19 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
   const std::size_t n = a.size();
   ResilientSolveReport report;
 
-  // Rung 1: plain preconditioned CG.
-  CgResult cg = conjugate_gradient(a, b, opt.tolerance, opt.max_iterations);
+  // Rung 1: preconditioned CG, warm-started when the caller supplied a
+  // same-topology reference iterate.
+  const std::vector<double>* guess =
+      (opt.initial_guess && opt.initial_guess->size() == n &&
+       finite(*opt.initial_guess))
+          ? opt.initial_guess
+          : nullptr;
+  report.warm_started = guess != nullptr;
+  CgResult cg =
+      conjugate_gradient(a, b, opt.tolerance, opt.max_iterations, guess);
   report.cg_iterations += cg.iterations;
   report.cg_breakdown = cg.breakdown;
+  report.diagonal_defect = cg.diagonal_defect;
   if (cg.converged && finite(cg.x)) {
     report.x = std::move(cg.x);
     report.method = SolveMethod::kCg;

@@ -30,6 +30,11 @@ struct ResilientSolveOptions {
   bool allow_dense_fallback = true;
   // Dense expansion is O(n^2) memory; refuse above this many unknowns.
   std::size_t dense_fallback_limit = 4096;
+  // When non-null (size n), the first CG rung warm-starts from this
+  // iterate instead of zero — sweep engines pass the solution of a
+  // previously solved system with the same topology. The pointee must
+  // stay alive for the duration of the call.
+  const std::vector<double>* initial_guess = nullptr;
 };
 
 struct ResilientSolveReport {
@@ -40,6 +45,9 @@ struct ResilientSolveReport {
   int cg_retries = 0;             // 1 when the retry rung ran
   int lu_fallbacks = 0;           // 1 when the dense rung ran
   bool cg_breakdown = false;      // p'Ap <= 0 seen in either CG rung
+  bool diagonal_defect = false;   // zero/missing diagonal: CG refused,
+                                  // routed straight to the dense rung
+  bool warm_started = false;      // rung 1 started from initial_guess
   double residual_norm = 0.0;     // ||b - A x|| of the returned x
   double relative_residual = 0.0; // residual_norm / ||b||
 

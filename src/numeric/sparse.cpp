@@ -1,5 +1,6 @@
 #include "numeric/sparse.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -50,14 +51,34 @@ std::vector<double> CsrMatrix::to_dense_rows() const {
   return dense;
 }
 
-std::vector<double> CsrMatrix::jacobi_diagonal() const {
+std::vector<double> CsrMatrix::jacobi_diagonal(bool* defect) const {
+  if (defect) *defect = false;
   std::vector<double> d(n_, 1.0);
   for (std::size_t r = 0; r < n_; ++r) {
+    bool found = false;
     for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
-      if (col_[k] == r && values_[k] != 0.0) d[r] = values_[k];
+      if (col_[k] == r && values_[k] != 0.0) {
+        d[r] = values_[k];
+        found = true;
+      }
     }
+    if (!found && defect) *defect = true;
   }
   return d;
+}
+
+void CsrMatrix::zero_values() {
+  std::fill(values_.begin(), values_.end(), 0.0);
+}
+
+bool CsrMatrix::add_at(std::size_t row, std::size_t col, double value) {
+  if (row >= n_ || col >= n_) return false;
+  const auto begin = col_.begin() + static_cast<std::ptrdiff_t>(row_start_[row]);
+  const auto end = col_.begin() + static_cast<std::ptrdiff_t>(row_start_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return false;
+  values_[static_cast<std::size_t>(it - col_.begin())] += value;
+  return true;
 }
 
 namespace {
@@ -90,7 +111,19 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
     result.x.assign(n, 0.0);
     r = b;  // r = b - A*0
   }
-  std::vector<double> diag = a.jacobi_diagonal();
+  bool diag_defect = false;
+  std::vector<double> diag = a.jacobi_diagonal(&diag_defect);
+  if (diag_defect) {
+    // A zero / missing diagonal entry means the matrix is not SPD and
+    // the Jacobi preconditioner is undefined: iterating would at best
+    // stall and at worst silently converge to a wrong answer under the
+    // substituted 1.0. Report the defect so the resilient ladder can
+    // route straight to the pivoted dense fallback.
+    result.diagonal_defect = true;
+    result.breakdown = true;
+    result.residual_norm = std::sqrt(dot(r, r));
+    return result;
+  }
   std::vector<double> z(n), p(n), ap(n);
   for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
   p = z;

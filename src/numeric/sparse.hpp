@@ -31,7 +31,11 @@ class SparseBuilder {
   std::map<std::pair<std::size_t, std::size_t>, double> entries_;
 };
 
-// Immutable CSR matrix.
+// CSR matrix with a fixed sparsity pattern. The pattern is set once by
+// construction from a SparseBuilder; afterwards the values can be
+// refilled in place (zero_values + add_at) without re-running the
+// O(nnz log nnz) map-based assembly — the hot path for Monte-Carlo
+// sweeps that re-stamp the same circuit topology thousands of times.
 class CsrMatrix {
  public:
   CsrMatrix() = default;
@@ -43,9 +47,22 @@ class CsrMatrix {
   // y = A x
   void multiply(const std::vector<double>& x, std::vector<double>& y) const;
 
-  // Diagonal (for Jacobi preconditioning); zero diagonal entries are
-  // returned as 1.0 so the preconditioner stays well-defined.
-  [[nodiscard]] std::vector<double> jacobi_diagonal() const;
+  // Diagonal (for Jacobi preconditioning); zero or structurally missing
+  // diagonal entries are returned as 1.0 so the vector stays usable, but
+  // when `defect` is non-null it is set to true in that case — a zero
+  // diagonal makes the Jacobi preconditioner garbage (the matrix cannot
+  // be SPD), so solvers should route such systems to a direct method
+  // instead of burning CG iterations.
+  [[nodiscard]] std::vector<double> jacobi_diagonal(
+      bool* defect = nullptr) const;
+
+  // --- value refill (pattern reuse) ---------------------------------
+  // Resets every stored value to zero, keeping the sparsity pattern.
+  void zero_values();
+  // Accumulates `value` into the existing (row, col) slot. Returns false
+  // (matrix unchanged) when the slot is not part of the pattern — the
+  // caller must then fall back to a full rebuild.
+  bool add_at(std::size_t row, std::size_t col, double value);
 
   // Row-major dense expansion (n x n doubles); used by the dense-LU
   // fallback of solve_spd_resilient. Callers should bound n themselves.
@@ -54,7 +71,7 @@ class CsrMatrix {
  private:
   std::size_t n_ = 0;
   std::vector<std::size_t> row_start_;
-  std::vector<std::size_t> col_;
+  std::vector<std::size_t> col_;  // sorted within each row
   std::vector<double> values_;
 };
 
@@ -66,6 +83,10 @@ struct CgResult {
   // True when the iteration stopped on p'Ap <= 0 (the matrix is not SPD,
   // or rounding broke the recurrence) rather than on the iteration cap.
   bool breakdown = false;
+  // True when the matrix had a zero / missing diagonal entry: the Jacobi
+  // preconditioner is undefined and CG refuses to iterate (breakdown is
+  // also set). solve_spd_resilient routes these to the dense fallback.
+  bool diagonal_defect = false;
 };
 
 // Jacobi-preconditioned conjugate gradient for SPD systems. When

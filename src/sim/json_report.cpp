@@ -60,6 +60,9 @@ std::string report_to_json(const nn::Network& network,
      << ", \"damped_steps\": " << d.damped_steps
      << ", \"linear_residual\": " << num(d.linear_residual)
      << ", \"faults_injected\": " << d.faults_injected
+     << ", \"cache_hits\": " << d.cache_hits
+     << ", \"warm_starts\": " << d.warm_starts
+     << ", \"threads\": " << d.threads
      << ", \"degraded\": " << (d.degraded() ? 1 : 0) << "},\n";
   const auto& f = report.fault_config;
   os << "  \"fault_model\": {"

@@ -61,6 +61,12 @@ std::string format_report(const nn::Network& network,
         {"Damped Newton steps", std::to_string(report.solver.damped_steps)});
     robust.add_row({"Worst linear residual",
                     util::Table::sig(report.solver.linear_residual, 3)});
+    robust.add_row({"Pattern cache hits",
+                    std::to_string(report.solver.cache_hits)});
+    robust.add_row({"CG warm starts",
+                    std::to_string(report.solver.warm_starts)});
+    robust.add_row({"Solver threads",
+                    std::to_string(report.solver.threads)});
     os << robust.str();
   }
 

@@ -136,16 +136,70 @@ Netlist build_crossbar_netlist(const CrossbarSpec& spec,
   return nl;
 }
 
-CrossbarSolution solve_crossbar(const CrossbarSpec& spec,
-                                const DcOptions& options) {
+bool CrossbarSolveCache::matches(const CrossbarSpec& spec) const {
+  if (!valid) return false;
+  const auto& k = key;
+  // Everything except cell_resistance / input_voltages values is
+  // topology (or enters the device law), so any difference forces a
+  // rebuild. The shapes of the value arrays are implied by rows/cols.
+  return k.rows == spec.rows && k.cols == spec.cols &&
+         k.segment_resistance == spec.segment_resistance &&
+         k.sense_resistance == spec.sense_resistance &&
+         k.linear_memristors == spec.linear_memristors &&
+         k.ideal_wires == spec.ideal_wires &&
+         k.segment_capacitance == spec.segment_capacitance &&
+         k.device.kind == spec.device.kind &&
+         k.device.r_min == spec.device.r_min &&
+         k.device.r_max == spec.device.r_max &&
+         k.device.v_read == spec.device.v_read &&
+         k.device.nonlinearity_vt == spec.device.nonlinearity_vt;
+}
+
+namespace {
+
+CrossbarSolution solve_built(const Netlist& nl,
+                             const std::vector<NodeId>& column_nodes,
+                             const DcOptions& options, MnaCache* mna) {
   CrossbarSolution sol;
-  Netlist nl = build_crossbar_netlist(spec, &sol.column_output_nodes);
-  sol.dc = solve_dc(nl, options);
+  sol.column_output_nodes = column_nodes;
+  sol.dc = solve_dc(nl, options, mna);
   sol.column_output_voltage.reserve(sol.column_output_nodes.size());
   for (NodeId node : sol.column_output_nodes)
     sol.column_output_voltage.push_back(sol.dc.voltage(node));
   sol.total_power = total_source_power(nl, sol.dc);
   return sol;
+}
+
+}  // namespace
+
+CrossbarSolution solve_crossbar(const CrossbarSpec& spec,
+                                const DcOptions& options,
+                                CrossbarSolveCache* cache) {
+  if (!cache) {
+    std::vector<NodeId> column_nodes;
+    Netlist nl = build_crossbar_netlist(spec, &column_nodes);
+    return solve_built(nl, column_nodes, options, nullptr);
+  }
+
+  if (!cache->matches(spec)) {
+    cache->netlist = build_crossbar_netlist(spec, &cache->column_nodes);
+    cache->key = spec;
+    cache->mna = MnaCache{};  // topology changed: drop pattern + warm start
+    cache->valid = true;
+  } else {
+    // Value-only reprogramming. build_crossbar_netlist adds memristors
+    // row-major (index i*cols + j) and sources in row order.
+    spec.validate();
+    const auto cols = static_cast<std::size_t>(spec.cols);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(spec.rows); ++i) {
+      cache->netlist.set_source_voltage(i, spec.input_voltages[i]);
+      for (std::size_t j = 0; j < cols; ++j)
+        cache->netlist.set_memristor_state(i * cols + j,
+                                           spec.cell_resistance[i][j]);
+    }
+  }
+  return solve_built(cache->netlist, cache->column_nodes, options,
+                     &cache->mna);
 }
 
 std::vector<double> ideal_column_outputs(const CrossbarSpec& spec) {

@@ -54,9 +54,32 @@ struct CrossbarSolution {
 Netlist build_crossbar_netlist(const CrossbarSpec& spec,
                                std::vector<NodeId>* out_column_nodes);
 
-// Builds and solves the DC operating point.
+// Reusable state for repeated crossbar solves sharing one topology
+// (same rows/cols/wiring/device; cell resistances and input voltages
+// free to vary): the built netlist, reprogrammed value-only per call,
+// and the MNA-level cache (CSR pattern + optional warm start). The
+// cache re-primes itself automatically whenever the spec's topology
+// stops matching. Copyable so sweep engines can clone a serially
+// primed master per worker thread (one cache must never be shared
+// between threads); see docs/PERFORMANCE.md.
+struct CrossbarSolveCache {
+  bool valid = false;
+  CrossbarSpec key;      // topology fields of the spec the netlist matches
+  Netlist netlist;       // built once, values reprogrammed per solve
+  std::vector<NodeId> column_nodes;
+  MnaCache mna;
+
+  // True when `spec` can be served by value-only reprogramming.
+  [[nodiscard]] bool matches(const CrossbarSpec& spec) const;
+};
+
+// Builds and solves the DC operating point. When `cache` is non-null the
+// netlist and CSR pattern are reused across calls with matching topology
+// (value-only reprogramming + refill), and the solve warm-starts from
+// cache->mna.warm_start_voltages when the caller set it.
 CrossbarSolution solve_crossbar(const CrossbarSpec& spec,
-                                const DcOptions& options = {});
+                                const DcOptions& options = {},
+                                CrossbarSolveCache* cache = nullptr);
 
 // The ideal (wire-free, linear-cell) column outputs from the voltage
 // divider Eq. 9 generalized to per-cell states: the analytic reference

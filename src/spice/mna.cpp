@@ -29,36 +29,10 @@ Indexer build_indexer(const Netlist& nl) {
   return ix;
 }
 
-// Stamps a conductance g between nodes a and b, with an optional parallel
-// current source i flowing a -> b (companion model), into (A, rhs).
-void stamp(const Indexer& ix, numeric::SparseBuilder& a,
-           std::vector<double>& rhs, NodeId na, NodeId nb, double g,
-           double i_src) {
-  const int ua = ix.unknown_of_node[na];
-  const int ub = ix.unknown_of_node[nb];
-  const double va = ua < 0 ? ix.pinned_voltage[na] : 0.0;
-  const double vb = ub < 0 ? ix.pinned_voltage[nb] : 0.0;
-  if (ua >= 0) {
-    a.add(ua, ua, g);
-    rhs[ua] -= i_src;
-    if (ub >= 0)
-      a.add(ua, ub, -g);
-    else
-      rhs[ua] += g * vb;
-  }
-  if (ub >= 0) {
-    a.add(ub, ub, g);
-    rhs[ub] += i_src;
-    if (ua >= 0)
-      a.add(ub, ua, -g);
-    else
-      rhs[ub] += g * va;
-  }
-}
-
 }  // namespace internal
 
 using internal::build_indexer;
+using internal::CsrRefillSink;
 using internal::Indexer;
 using internal::stamp;
 
@@ -71,64 +45,137 @@ void SolverDiagnostics::absorb(const SolverDiagnostics& other) {
   damped_steps += other.damped_steps;
   linear_residual = std::max(linear_residual, other.linear_residual);
   faults_injected += other.faults_injected;
+  cache_hits += other.cache_hits;
+  warm_starts += other.warm_starts;
+  threads = std::max(threads, other.threads);
 }
 
-DcResult solve_dc(const Netlist& nl, const DcOptions& opt) {
-  nl.validate();
-  const Indexer ix = build_indexer(nl);
-  const int nodes = nl.node_count() + 1;
+namespace {
 
-  DcResult result;
-  result.node_voltages.assign(nodes, 0.0);
-  for (int n = 0; n < nodes; ++n) {
-    if (ix.unknown_of_node[n] < 0) result.node_voltages[n] =
-        ix.pinned_voltage[n];
-  }
-
+// Stamps every element of `nl` into (sink, rhs) with the companion model
+// linearized around `voltages` (by node id). One call = one assembly.
+template <typename MatrixSink>
+void assemble(const Netlist& nl, const Indexer& ix,
+              const std::vector<double>& voltages, MatrixSink& sink,
+              std::vector<double>& rhs) {
   const auto& dev = nl.device();
-  const bool nonlinear = !nl.linear_memristors() && !nl.memristors().empty();
-  const int max_iter = nonlinear ? opt.max_newton_iterations : 1;
-
   // The sinh/cosh companion model overflows for iterates far outside the
   // physical range; clamp the argument so a wild Newton step degrades
   // into damping instead of NaN propagation.
-  const double max_arg = 40.0;
+  constexpr double max_arg = 40.0;
+
+  for (const auto& r : nl.resistors())
+    stamp(ix, sink, rhs, r.a, r.b, 1.0 / r.ohms, 0.0);
+
+  for (const auto& m : nl.memristors()) {
+    if (nl.linear_memristors()) {
+      stamp(ix, sink, rhs, m.a, m.b, 1.0 / m.r_state, 0.0);
+      continue;
+    }
+    // Companion model around the previous iterate v0:
+    //   I(v) ~= I(v0) + g_d (v - v0), g_d = dI/dV(v0)
+    // stamped as conductance g_d plus current source I(v0) - g_d v0.
+    const double v0 = voltages[m.a] - voltages[m.b];
+    const double arg =
+        std::clamp(v0 / dev.nonlinearity_vt, -max_arg, max_arg);
+    const double a_coef = dev.nonlinearity_vt / m.r_state;
+    const double i0 = a_coef * std::sinh(arg);
+    const double gd = std::cosh(arg) / m.r_state;
+    stamp(ix, sink, rhs, m.a, m.b, gd, i0 - gd * v0);
+  }
+}
+
+}  // namespace
+
+DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
+  nl.validate();
+  const Indexer ix = build_indexer(nl);
+  const int nodes = nl.node_count() + 1;
+  const auto n_unknowns = static_cast<std::size_t>(ix.unknown_count);
+
+  // The pattern slot: the caller's cache when supplied (reuse across
+  // solves), otherwise a local one so Newton iterations within this solve
+  // still refill instead of rebuilding. Counters only track cross-solve
+  // reuse — the thing sweeps care about — so they stay zero without an
+  // external cache.
+  MnaCache local_cache;
+  const bool external = cache != nullptr;
+  MnaCache& mc = external ? *cache : local_cache;
+
+  DcResult result;
+  result.node_voltages.assign(nodes, 0.0);
+  const bool warm =
+      external &&
+      mc.warm_start_voltages.size() == static_cast<std::size_t>(nodes);
+  for (int n = 0; n < nodes; ++n) {
+    if (ix.unknown_of_node[n] < 0)
+      result.node_voltages[n] = ix.pinned_voltage[n];
+    else if (warm)
+      result.node_voltages[n] = mc.warm_start_voltages[n];
+  }
+  if (warm) {
+    ++result.diagnostics.warm_starts;
+    ++mc.warm_starts;
+  }
+
+  const bool nonlinear = !nl.linear_memristors() && !nl.memristors().empty();
+  const int max_iter = nonlinear ? opt.max_newton_iterations : 1;
 
   double prev_delta = 0.0;
   int damping_budget = std::max(opt.max_damping_retries, 0);
 
   for (int it = 0; it < max_iter; ++it) {
-    numeric::SparseBuilder builder(static_cast<std::size_t>(ix.unknown_count));
-    std::vector<double> rhs(static_cast<std::size_t>(ix.unknown_count), 0.0);
+    std::vector<double> rhs(n_unknowns, 0.0);
 
-    for (const auto& r : nl.resistors())
-      stamp(ix, builder, rhs, r.a, r.b, 1.0 / r.ohms, 0.0);
-
-    for (const auto& m : nl.memristors()) {
-      if (nl.linear_memristors()) {
-        stamp(ix, builder, rhs, m.a, m.b, 1.0 / m.r_state, 0.0);
-        continue;
+    // Assembly: refill the cached CSR pattern in place when its topology
+    // matches, else (first solve, or structure changed) rebuild from a
+    // SparseBuilder and re-prime the cache.
+    bool refilled = false;
+    if (mc.pattern_valid && mc.matrix.size() == n_unknowns) {
+      mc.matrix.zero_values();
+      CsrRefillSink sink{&mc.matrix};
+      assemble(nl, ix, result.node_voltages, sink, rhs);
+      if (sink.ok) {
+        refilled = true;
+      } else {
+        std::fill(rhs.begin(), rhs.end(), 0.0);
+        mc.pattern_valid = false;
       }
-      // Companion model around the previous iterate v0:
-      //   I(v) ~= I(v0) + g_d (v - v0), g_d = dI/dV(v0)
-      // stamped as conductance g_d plus current source I(v0) - g_d v0.
-      const double v0 =
-          result.node_voltages[m.a] - result.node_voltages[m.b];
-      const double arg =
-          std::clamp(v0 / dev.nonlinearity_vt, -max_arg, max_arg);
-      const double a_coef = dev.nonlinearity_vt / m.r_state;
-      const double i0 = a_coef * std::sinh(arg);
-      const double gd = std::cosh(arg) / m.r_state;
-      stamp(ix, builder, rhs, m.a, m.b, gd, i0 - gd * v0);
+    }
+    if (!refilled) {
+      numeric::SparseBuilder builder(n_unknowns);
+      assemble(nl, ix, result.node_voltages, builder, rhs);
+      mc.matrix = numeric::CsrMatrix(builder);
+      mc.pattern_valid = true;
+    } else if (external) {
+      ++result.diagnostics.cache_hits;
+      ++mc.cache_hits;
+    }
+    const numeric::CsrMatrix& a = mc.matrix;
+
+    // Warm-start the inner CG from the current iterate whenever it is
+    // informative: always past the first Newton iteration, and on the
+    // first one when the cache supplied a reference solution. The guess
+    // depends only on the netlist and the cache contents — never on
+    // sweep scheduling — so parallel runs stay bit-identical to serial.
+    std::vector<double> guess;
+    const bool have_guess = warm || it > 0;
+    if (have_guess) {
+      guess.resize(n_unknowns);
+      for (int n = 1; n < nodes; ++n) {
+        const int u = ix.unknown_of_node[n];
+        if (u >= 0) guess[static_cast<std::size_t>(u)] =
+            result.node_voltages[n];
+      }
     }
 
-    numeric::CsrMatrix a(builder);
     numeric::ResilientSolveOptions solve_opt;
     solve_opt.tolerance = opt.cg_tolerance;
     solve_opt.max_iterations = opt.cg_max_iterations;
     solve_opt.allow_cg_retry = opt.allow_cg_retry;
     solve_opt.allow_dense_fallback = opt.allow_dense_fallback;
     solve_opt.dense_fallback_limit = opt.dense_fallback_limit;
+    solve_opt.initial_guess = have_guess ? &guess : nullptr;
     const auto solve = numeric::solve_spd_resilient(a, rhs, solve_opt);
     result.diagnostics.cg_iterations +=
         static_cast<long>(solve.cg_iterations);

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "numeric/sparse.hpp"
 #include "spice/netlist.hpp"
 
 namespace mnsim::spice {
@@ -53,12 +54,42 @@ struct SolverDiagnostics {
   int damped_steps = 0;           // halved Newton steps
   double linear_residual = 0.0;   // worst relative residual of any solve
   int faults_injected = 0;        // defects applied to the netlist's array
+  // Sweep-acceleration bookkeeping (docs/PERFORMANCE.md): assemblies
+  // that refilled a cached CSR sparsity pattern instead of rebuilding
+  // it, and linear solves that warm-started CG from a previous solution
+  // of the same topology.
+  long cache_hits = 0;
+  long warm_starts = 0;
+  // Worker threads that produced this (aggregated) report; 1 for a
+  // single solve, the sweep's pool size after absorb() across a
+  // parallel sweep.
+  int threads = 1;
 
   [[nodiscard]] bool degraded() const {
     return cg_retries > 0 || lu_fallbacks > 0 || damped_steps > 0;
   }
   // Aggregation for bank-/accelerator-level reporting.
   void absorb(const SolverDiagnostics& other);
+};
+
+// Reusable per-topology solver state for repeated DC solves of netlists
+// sharing one structure (same nodes, same element connectivity, values
+// free to change): the CSR sparsity pattern of the reduced conductance
+// matrix, refilled in place per assembly, and an optional warm-start
+// voltage vector (by node id) used as the Newton/CG starting iterate.
+//
+// One cache serves one structure; solve_dc falls back to a full rebuild
+// (and re-primes the cache) whenever the pattern no longer matches. A
+// cache must not be shared between threads — sweep engines keep one per
+// worker, cloned from a serially primed master so results stay
+// schedule-independent (see util/parallel.hpp's determinism contract:
+// warm_start_voltages is caller-managed and never auto-updated).
+struct MnaCache {
+  bool pattern_valid = false;
+  numeric::CsrMatrix matrix;             // pattern + last stamped values
+  std::vector<double> warm_start_voltages;  // by node id; empty = cold
+  long cache_hits = 0;    // assemblies that reused the pattern
+  long warm_starts = 0;   // solves that started from warm_start_voltages
 };
 
 struct DcResult {
@@ -73,7 +104,14 @@ struct DcResult {
   [[nodiscard]] double voltage(NodeId n) const { return node_voltages[n]; }
 };
 
-DcResult solve_dc(const Netlist& netlist, const DcOptions& options = {});
+// Solves the DC operating point. When `cache` is non-null the CSR
+// sparsity pattern is reused across calls (values-only refill) and the
+// solve warm-starts from cache->warm_start_voltages when set; the
+// corresponding cache_hits / warm_starts land in the result's
+// diagnostics. Passing nullptr keeps the historical one-shot behavior
+// (the pattern is still reused across Newton iterations internally).
+DcResult solve_dc(const Netlist& netlist, const DcOptions& options = {},
+                  MnaCache* cache = nullptr);
 
 // Current through a memristor element at the solved operating point
 // (positive a -> b); honours the netlist's linear_memristors flag.

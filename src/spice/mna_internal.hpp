@@ -19,10 +19,45 @@ struct Indexer {
 
 Indexer build_indexer(const Netlist& netlist);
 
+// Sink adapter for stamping into a CSR matrix with a frozen sparsity
+// pattern (values-only refill). `ok` drops to false when a stamp misses
+// the pattern — the caller must then rebuild from a SparseBuilder.
+struct CsrRefillSink {
+  numeric::CsrMatrix* matrix = nullptr;
+  bool ok = true;
+
+  void add(std::size_t row, std::size_t col, double value) {
+    if (!matrix->add_at(row, col, value)) ok = false;
+  }
+};
+
 // Stamps a conductance g between nodes a and b, with an optional parallel
 // current source i_src flowing a -> b (companion model), into (A, rhs).
-void stamp(const Indexer& indexer, numeric::SparseBuilder& matrix,
-           std::vector<double>& rhs, NodeId a, NodeId b, double g,
-           double i_src);
+// MatrixSink is anything with add(row, col, value): a SparseBuilder on
+// first assembly, a CsrRefillSink when the pattern is cached.
+template <typename MatrixSink>
+void stamp(const Indexer& ix, MatrixSink& a, std::vector<double>& rhs,
+           NodeId na, NodeId nb, double g, double i_src) {
+  const int ua = ix.unknown_of_node[na];
+  const int ub = ix.unknown_of_node[nb];
+  const double va = ua < 0 ? ix.pinned_voltage[na] : 0.0;
+  const double vb = ub < 0 ? ix.pinned_voltage[nb] : 0.0;
+  if (ua >= 0) {
+    a.add(static_cast<std::size_t>(ua), static_cast<std::size_t>(ua), g);
+    rhs[static_cast<std::size_t>(ua)] -= i_src;
+    if (ub >= 0)
+      a.add(static_cast<std::size_t>(ua), static_cast<std::size_t>(ub), -g);
+    else
+      rhs[static_cast<std::size_t>(ua)] += g * vb;
+  }
+  if (ub >= 0) {
+    a.add(static_cast<std::size_t>(ub), static_cast<std::size_t>(ub), g);
+    rhs[static_cast<std::size_t>(ub)] += i_src;
+    if (ua >= 0)
+      a.add(static_cast<std::size_t>(ub), static_cast<std::size_t>(ua), -g);
+    else
+      rhs[static_cast<std::size_t>(ub)] += g * va;
+  }
+}
 
 }  // namespace mnsim::spice::internal

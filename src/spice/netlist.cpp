@@ -46,6 +46,20 @@ void Netlist::add_capacitor(NodeId a, NodeId b, double farads,
   capacitors_.push_back({a, b, farads, std::move(name)});
 }
 
+void Netlist::set_memristor_state(std::size_t index, double r_state) {
+  if (index >= memristors_.size())
+    throw std::out_of_range("Netlist: memristor index");
+  if (!(r_state > 0))
+    throw std::invalid_argument("Netlist: memristor state <= 0");
+  memristors_[index].r_state = r_state;
+}
+
+void Netlist::set_source_voltage(std::size_t index, double volts) {
+  if (index >= sources_.size())
+    throw std::out_of_range("Netlist: source index");
+  sources_[index].volts = volts;
+}
+
 void Netlist::validate() const {
   // Construction already validates; re-check source uniqueness here.
   std::vector<bool> pinned(static_cast<std::size_t>(next_node_), false);

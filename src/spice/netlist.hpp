@@ -65,6 +65,13 @@ class Netlist {
   void add_capacitor(NodeId a, NodeId b, double farads,
                      std::string name = {});
 
+  // Value-only mutation for sweep reuse: updates element `index` (in
+  // insertion order) without touching the topology, so a netlist built
+  // once can be re-programmed per Monte-Carlo trial instead of being
+  // reconstructed (node allocation + element names dominate build cost).
+  void set_memristor_state(std::size_t index, double r_state);
+  void set_source_voltage(std::size_t index, double volts);
+
   // Treat memristors as linear resistors at their programmed state
   // (disables the Newton loop; used for the nonlinearity ablation).
   void set_linear_memristors(bool linear) { linear_memristors_ = linear; }

@@ -1,0 +1,117 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+
+namespace mnsim::util {
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::uint32_t derive_stream_seed(std::uint32_t seed, std::uint64_t index) {
+  // splitmix64 finalizer over (seed, index); full-avalanche, so
+  // neighbouring task indices land in unrelated mt19937 states.
+  std::uint64_t z = (static_cast<std::uint64_t>(seed) << 32) ^
+                    (index + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z ^ (z >> 32));
+}
+
+ThreadPool::ThreadPool(int threads) {
+  pool_size_ = static_cast<std::size_t>(resolve_thread_count(threads));
+  if (pool_size_ <= 1) return;  // inline execution, no workers
+  workers_.reserve(pool_size_);
+  for (std::size_t w = 0; w < pool_size_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_slice(std::size_t worker) {
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_index_ >= job_count_) return;
+      index = next_index_++;
+    }
+    try {
+      (*job_)(index, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      errors_.emplace_back(index, std::current_exception());
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      ++busy_workers_;
+    }
+    run_slice(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --busy_workers_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::for_each_index(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Single-threaded pool: run inline — identical semantics, no
+    // synchronization cost, and exceptions propagate naturally (the
+    // first failing index is necessarily the lowest one).
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_index_ = 0;
+    errors_.clear();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return next_index_ >= job_count_ && busy_workers_ == 0;
+    });
+    job_ = nullptr;
+    errors.swap(errors_);
+  }
+  if (!errors.empty()) {
+    std::sort(errors.begin(), errors.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(errors.front().second);
+  }
+}
+
+}  // namespace mnsim::util

@@ -1,0 +1,107 @@
+// Deterministic parallel-execution layer for sweep hot paths.
+//
+// MNSIM's value over circuit simulators is sweep throughput (paper
+// Table III): thousands of independent design points / Monte-Carlo
+// trials, each a pure function of (inputs, task index). This module
+// provides the two primitives the sweep engines build on:
+//
+//   * ThreadPool — a bounded pool of worker threads with a fork-join
+//     `for_each_index` primitive (atomic work-stealing over an index
+//     range, exceptions captured per index and rethrown lowest-first so
+//     failure behavior matches the serial loop), and
+//   * parallel_map — maps fn over [0, count) preserving input order.
+//
+// Determinism contract: callers derive one RNG stream per task from
+// (seed, task index) via derive_stream_seed, never share mutable state
+// between tasks, and reduce results in index order. Under that contract
+// the parallel output is bit-identical to the serial output for any
+// thread count — tested in tests/test_parallel_determinism.cpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mnsim::util {
+
+// Maps the user-facing thread-count knob onto a worker count:
+// 0 = all hardware threads, otherwise the requested count, clamped to
+// at least 1.
+int resolve_thread_count(int requested);
+
+// Seed for the per-task RNG stream of task `index` under sweep seed
+// `seed` (splitmix64 finalizer over the packed pair). Distinct indices
+// give decorrelated streams; the mapping is fixed — it is part of the
+// reproducibility contract, the same way the seed itself is.
+std::uint32_t derive_stream_seed(std::uint32_t seed, std::uint64_t index);
+
+// Bounded pool of persistent workers. One fork-join job runs at a time;
+// `for_each_index` blocks the caller until every index completed.
+class ThreadPool {
+ public:
+  // threads: 0 = hardware concurrency. A pool of 1 runs jobs inline on
+  // the calling thread (no worker is spawned).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return pool_size_; }
+
+  // Runs fn(index, worker) for every index in [0, count), where
+  // `worker` is in [0, worker_count()) — the slot for per-worker scratch
+  // state (solver caches). Blocks until all indices finish. If any call
+  // threw, rethrows the exception of the lowest-indexed failing task
+  // after the job drains (matching what a serial loop would surface).
+  void for_each_index(
+      std::size_t count,
+      const std::function<void(std::size_t index, std::size_t worker)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_slice(std::size_t worker);
+
+  std::size_t pool_size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t next_index_ = 0;   // guarded by mutex_
+  std::size_t busy_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+};
+
+// Order-preserving map over [0, count): result[i] = fn(i, worker).
+// fn must be safe to call concurrently for distinct indices.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}, std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}, std::size_t{0}));
+  std::vector<R> out(count);
+  pool.for_each_index(count, [&](std::size_t index, std::size_t worker) {
+    out[index] = fn(index, worker);
+  });
+  return out;
+}
+
+// Convenience overload with a transient pool (threads: 0 = hardware).
+template <typename Fn>
+auto parallel_map(int threads, std::size_t count, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}, std::size_t{0}))> {
+  ThreadPool pool(threads);
+  return parallel_map(pool, count, std::forward<Fn>(fn));
+}
+
+}  // namespace mnsim::util

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
+
+#include "spice/crossbar_netlist.hpp"
+#include "util/parallel.hpp"
+
 namespace mnsim::accuracy {
 namespace {
 
@@ -57,6 +63,53 @@ TEST(VariationMc, AverageCaseCellsSupported) {
   auto r = variation_monte_carlo(make(0.2), o);
   EXPECT_GT(r.closed_form_bound, 0.0);
   EXPECT_GT(r.mean_error, 0.0);
+}
+
+TEST(VariationMc, ScoresWorstColumnNotJustLast) {
+  // Regression: each trial must report the max relative error over ALL
+  // columns. Variation is i.i.d. per cell, so on an asymmetric crossbar
+  // the worst column is usually not the far (last) one the wire
+  // analysis singles out — the old last-column-only scoring
+  // under-reported those trials.
+  CrossbarErrorInputs in = make(0.3);
+  in.rows = 6;
+  in.cols = 10;
+  VariationMcOptions opt;
+  opt.trials = 10;
+  const auto r = variation_monte_carlo(in, opt);
+
+  // Re-run the published per-trial streams through an independent solve
+  // and recompute both scorings.
+  auto spec = spice::CrossbarSpec::uniform(
+      in.rows, in.cols, in.device, in.segment_resistance,
+      in.sense_resistance, in.device.r_min);
+  const auto v_ideal = spice::ideal_column_outputs(spec);
+  int worst_not_last = 0;
+  for (int t = 0; t < opt.trials; ++t) {
+    std::mt19937 rng(util::derive_stream_seed(opt.seed,
+                                              static_cast<std::uint64_t>(t)));
+    std::uniform_real_distribution<double> dev(1.0 - in.device.sigma,
+                                               1.0 + in.device.sigma);
+    for (auto& row : spec.cell_resistance)
+      for (double& cell : row) cell = in.device.r_min * dev(rng);
+    const auto sol = spice::solve_crossbar(spec);
+    double worst = 0.0;
+    std::size_t worst_col = 0;
+    for (std::size_t j = 0; j < v_ideal.size(); ++j) {
+      const double e = std::fabs(
+          (v_ideal[j] - sol.column_output_voltage[j]) / v_ideal[j]);
+      if (e > worst) {
+        worst = e;
+        worst_col = j;
+      }
+    }
+    EXPECT_NEAR(r.samples[static_cast<std::size_t>(t)], worst,
+                1e-6 * worst);
+    if (worst_col + 1 != v_ideal.size()) ++worst_not_last;
+  }
+  // With 10 columns and 10 trials the last column is essentially never
+  // the worst every time; this is what the old code got wrong.
+  EXPECT_GT(worst_not_last, 0);
 }
 
 TEST(VariationMc, RejectsZeroSigmaAndBadTrials) {

@@ -202,6 +202,39 @@ TEST(Explorer, CompromiseWeightsSteerTheChoice) {
   EXPECT_LE(latency_pick->metrics.latency, area_pick->metrics.latency);
 }
 
+TEST(Explorer, CompromiseZeroReferenceKeepsObjectiveWeight) {
+  // Regression: when the best feasible value of an objective is exactly
+  // zero, the old normalization mapped EVERY design's ratio on that axis
+  // to 1.0 — silently deleting the objective (and its weight) from the
+  // score. With the epsilon floor, a heavily weighted zero-reference
+  // axis must still dominate the choice.
+  ExplorationResult result;
+  EvaluatedDesign d0;  // hits the zero latency reference, worse elsewhere
+  d0.feasible = true;
+  d0.point.crossbar_size = 64;
+  d0.metrics.latency = 0.0;
+  d0.metrics.area = 2e-6;
+  d0.metrics.energy_per_sample = 2e-6;
+  d0.metrics.max_error_rate = 0.1;
+  EvaluatedDesign d1;  // best on every other axis, nonzero latency
+  d1.feasible = true;
+  d1.point.crossbar_size = 128;
+  d1.metrics.latency = 1e-3;
+  d1.metrics.area = 1e-6;
+  d1.metrics.energy_per_sample = 1e-6;
+  d1.metrics.max_error_rate = 0.05;
+  result.designs = {d0, d1};
+  result.feasible_count = 2;
+
+  ExplorationResult::CompromiseWeights latency_heavy;
+  latency_heavy.latency = 100.0;
+  auto pick = result.compromise(latency_heavy);
+  ASSERT_TRUE(pick.has_value());
+  // The old code neutralized the latency axis and picked d1.
+  EXPECT_EQ(pick->point.crossbar_size, d0.point.crossbar_size);
+  EXPECT_DOUBLE_EQ(pick->metrics.latency, 0.0);
+}
+
 TEST(Explorer, CompromiseRejectsBadWeights) {
   auto net = nn::make_large_bank_layer();
   auto result = explore(net, base(), small_space(), 0.25);

@@ -121,6 +121,81 @@ TEST(ConjugateGradient, JacobiDiagonalDefaultsToOne) {
   EXPECT_DOUBLE_EQ(d[1], 1.0);
 }
 
+TEST(CsrMatrix, JacobiDiagonalReportsDefect) {
+  // Regression: the old code substituted 1.0 for a missing/zero diagonal
+  // without telling anyone, and CG then burned its full iteration budget
+  // on a system it could never solve. Now the substitution is reported.
+  SparseBuilder healthy(2);
+  healthy.add(0, 0, 4.0);
+  healthy.add(1, 1, 3.0);
+  bool defect = true;
+  (void)CsrMatrix(healthy).jacobi_diagonal(&defect);
+  EXPECT_FALSE(defect);
+
+  SparseBuilder hollow(2);  // structurally missing diagonal
+  hollow.add(0, 1, 1.0);
+  hollow.add(1, 0, 1.0);
+  defect = false;
+  (void)CsrMatrix(hollow).jacobi_diagonal(&defect);
+  EXPECT_TRUE(defect);
+
+  SparseBuilder cancelled(2);  // present but numerically zero
+  cancelled.add(0, 0, 1.0);
+  cancelled.add(0, 0, -1.0);
+  cancelled.add(1, 1, 2.0);
+  defect = false;
+  (void)CsrMatrix(cancelled).jacobi_diagonal(&defect);
+  EXPECT_TRUE(defect);
+}
+
+TEST(ConjugateGradient, DiagonalDefectRefusesToIterate) {
+  // Hollow matrix: CG must flag the defect up front instead of spinning.
+  SparseBuilder b(2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  auto r = conjugate_gradient(CsrMatrix(b), {1.0, 2.0});
+  EXPECT_FALSE(r.converged);
+  EXPECT_TRUE(r.breakdown);
+  EXPECT_TRUE(r.diagonal_defect);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(CsrMatrix, RefillMatchesFreshRebuild) {
+  // The MC hot path: keep the pattern, refill the values.
+  SparseBuilder first(3);
+  first.add(0, 0, 2.0);
+  first.add(0, 2, -1.0);
+  first.add(2, 0, -1.0);
+  first.add(1, 1, 3.0);
+  first.add(2, 2, 4.0);
+  CsrMatrix m(first);
+
+  // New values on the same pattern, including a duplicate accumulation.
+  m.zero_values();
+  EXPECT_TRUE(m.add_at(0, 0, 5.0));
+  EXPECT_TRUE(m.add_at(0, 0, 0.5));
+  EXPECT_TRUE(m.add_at(0, 2, -2.0));
+  EXPECT_TRUE(m.add_at(2, 0, -2.0));
+  EXPECT_TRUE(m.add_at(1, 1, 7.0));
+  EXPECT_TRUE(m.add_at(2, 2, 9.0));
+
+  SparseBuilder second(3);
+  second.add(0, 0, 5.5);
+  second.add(0, 2, -2.0);
+  second.add(2, 0, -2.0);
+  second.add(1, 1, 7.0);
+  second.add(2, 2, 9.0);
+  const auto want = CsrMatrix(second).to_dense_rows();
+  const auto got = m.to_dense_rows();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_DOUBLE_EQ(got[i], want[i]);
+
+  // A slot outside the pattern is refused and leaves the matrix alone.
+  EXPECT_FALSE(m.add_at(1, 0, 1.0));
+  EXPECT_DOUBLE_EQ(m.to_dense_rows()[1 * 3 + 0], 0.0);
+}
+
 TEST(ConjugateGradient, IndefiniteMatrixFlagsBreakdown) {
   // A = diag(1, -1) is symmetric but not positive definite: the first
   // search direction hitting the negative eigenvector gives p'Ap <= 0.
@@ -232,6 +307,24 @@ TEST(ResilientSolve, FailureIsReportedNotThrown) {
   EXPECT_FALSE(rep.converged);
   EXPECT_EQ(rep.method, SolveMethod::kFailed);
   EXPECT_GT(rep.residual_norm, 0.0);  // best-effort iterate, quantified
+}
+
+TEST(ResilientSolve, DiagonalDefectRoutesStraightToDenseLu) {
+  // Hollow permutation matrix: perfectly solvable by LU, unsolvable by
+  // Jacobi-CG. The ladder must skip the CG rungs (no retry burned on a
+  // doomed iteration) and land on the dense fallback.
+  SparseBuilder b(2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  ResilientSolveOptions opt;
+  auto rep = solve_spd_resilient(CsrMatrix(b), {1.0, 2.0}, opt);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.method, SolveMethod::kDenseLu);
+  EXPECT_TRUE(rep.diagonal_defect);
+  EXPECT_EQ(rep.cg_retries, 0);
+  EXPECT_EQ(rep.lu_fallbacks, 1);
+  EXPECT_NEAR(rep.x[0], 2.0, 1e-12);
+  EXPECT_NEAR(rep.x[1], 1.0, 1e-12);
 }
 
 TEST(ResilientSolve, DenseFallbackRespectsSizeLimit) {

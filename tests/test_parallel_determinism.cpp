@@ -1,0 +1,168 @@
+// Determinism contract of the parallel sweep engines (util/parallel.hpp):
+// for every engine, running with threads = 1 and threads = 8 must produce
+// bit-identical results — same samples, same aggregates, same formatted
+// reports — because each task draws from its own (seed, index)-derived
+// RNG stream and reductions happen in index order.
+#include <gtest/gtest.h>
+
+#include "accuracy/variation.hpp"
+#include "dse/report.hpp"
+#include "nn/functional_sim.hpp"
+#include "nn/topologies.hpp"
+
+namespace mnsim {
+namespace {
+
+// --- DSE exploration -----------------------------------------------------
+
+arch::AcceleratorConfig dse_base(int threads) {
+  arch::AcceleratorConfig c;
+  c.cmos_node_nm = 45;
+  c.parallel_threads = threads;
+  return c;
+}
+
+dse::DesignSpace small_space() {
+  dse::DesignSpace s;
+  s.crossbar_sizes = {64, 128, 256};
+  s.parallelism_degrees = {1, 16, 0};
+  s.interconnect_nodes = {28, 45};
+  return s;
+}
+
+void expect_identical(const dse::ExplorationResult& a,
+                      const dse::ExplorationResult& b) {
+  EXPECT_EQ(a.feasible_count, b.feasible_count);
+  EXPECT_EQ(a.failed_count, b.failed_count);
+  ASSERT_EQ(a.designs.size(), b.designs.size());
+  for (std::size_t i = 0; i < a.designs.size(); ++i) {
+    const auto& da = a.designs[i];
+    const auto& db = b.designs[i];
+    EXPECT_EQ(da.point.crossbar_size, db.point.crossbar_size);
+    EXPECT_EQ(da.point.parallelism, db.point.parallelism);
+    EXPECT_EQ(da.point.interconnect_node, db.point.interconnect_node);
+    EXPECT_EQ(da.feasible, db.feasible);
+    EXPECT_EQ(da.evaluated, db.evaluated);
+    EXPECT_EQ(da.failure, db.failure);
+    EXPECT_DOUBLE_EQ(da.metrics.area, db.metrics.area);
+    EXPECT_DOUBLE_EQ(da.metrics.energy_per_sample,
+                     db.metrics.energy_per_sample);
+    EXPECT_DOUBLE_EQ(da.metrics.latency, db.metrics.latency);
+    EXPECT_DOUBLE_EQ(da.metrics.sample_latency, db.metrics.sample_latency);
+    EXPECT_DOUBLE_EQ(da.metrics.power, db.metrics.power);
+    EXPECT_DOUBLE_EQ(da.metrics.max_error_rate, db.metrics.max_error_rate);
+    EXPECT_DOUBLE_EQ(da.metrics.avg_error_rate, db.metrics.avg_error_rate);
+    EXPECT_EQ(da.metrics.solver_fallbacks, db.metrics.solver_fallbacks);
+    EXPECT_EQ(da.metrics.faults_injected, db.metrics.faults_injected);
+  }
+}
+
+TEST(ParallelDeterminism, DseSweepMatchesSerial) {
+  const auto net = nn::make_large_bank_layer();
+  const auto serial = explore(net, dse_base(1), small_space(), 0.25);
+  const auto parallel = explore(net, dse_base(8), small_space(), 0.25);
+  expect_identical(serial, parallel);
+  // The formatted report is a pure function of the result: byte-identical.
+  EXPECT_EQ(dse::format_optima_table(serial, "t"),
+            dse::format_optima_table(parallel, "t"));
+}
+
+TEST(ParallelDeterminism, DseSweepWithFaultInjectionMatchesSerial) {
+  // The PR-1 fault-injected path: every design point runs a
+  // defect-injected circuit-level solve inside the parallel task.
+  const auto net = nn::make_large_bank_layer();
+  auto make = [](int threads) {
+    auto c = dse_base(threads);
+    c.fault.stuck_at_zero_rate = 0.01;
+    c.fault.stuck_at_one_rate = 0.005;
+    c.fault.broken_wordline_rate = 0.01;
+    c.fault.circuit_check = true;
+    c.fault.circuit_check_size = 16;
+    return c;
+  };
+  const auto serial = explore(net, make(1), small_space(), 0.25);
+  const auto parallel = explore(net, make(8), small_space(), 0.25);
+  expect_identical(serial, parallel);
+  bool any_faults = false;
+  for (const auto& d : serial.designs)
+    if (d.metrics.faults_injected > 0) any_faults = true;
+  EXPECT_TRUE(any_faults);  // the faulted path actually ran
+}
+
+// --- variation Monte-Carlo ------------------------------------------------
+
+TEST(ParallelDeterminism, VariationMcMatchesSerial) {
+  accuracy::CrossbarErrorInputs in;
+  in.rows = 12;
+  in.cols = 12;
+  in.device = tech::default_rram();
+  in.device.sigma = 0.2;
+  in.segment_resistance = 0.022;
+  in.sense_resistance = 60.0;
+
+  accuracy::VariationMcOptions opt;
+  opt.trials = 20;
+  opt.threads = 1;
+  const auto serial = accuracy::variation_monte_carlo(in, opt);
+  opt.threads = 8;
+  const auto parallel = accuracy::variation_monte_carlo(in, opt);
+
+  ASSERT_EQ(serial.samples.size(), parallel.samples.size());
+  for (std::size_t i = 0; i < serial.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial.samples[i], parallel.samples[i]);
+  EXPECT_DOUBLE_EQ(serial.mean_error, parallel.mean_error);
+  EXPECT_DOUBLE_EQ(serial.max_error, parallel.max_error);
+  // Counters are schedule-independent too: every trial refills the
+  // primed pattern and warm-starts from the base operating point.
+  EXPECT_EQ(serial.cache_hits, parallel.cache_hits);
+  EXPECT_EQ(serial.warm_starts, parallel.warm_starts);
+  EXPECT_GE(serial.warm_starts, static_cast<long>(serial.samples.size()));
+  EXPECT_GT(serial.cache_hits, 0);
+  EXPECT_EQ(serial.threads, 1);
+  EXPECT_EQ(parallel.threads, 8);
+}
+
+// --- functional Monte-Carlo -----------------------------------------------
+
+void expect_identical(const nn::MonteCarloResult& a,
+                      const nn::MonteCarloResult& b) {
+  EXPECT_DOUBLE_EQ(a.relative_accuracy, b.relative_accuracy);
+  EXPECT_DOUBLE_EQ(a.max_error_rate, b.max_error_rate);
+  EXPECT_DOUBLE_EQ(a.avg_error_rate, b.avg_error_rate);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+}
+
+TEST(ParallelDeterminism, FunctionalMcMatchesSerial) {
+  nn::Network net = nn::make_mlp({16, 12, 8});
+  const std::vector<double> eps{0.01, 0.02};
+  nn::MonteCarloConfig mc;
+  mc.samples = 20;
+  mc.weight_draws = 12;
+  mc.threads = 1;
+  const auto serial = run_monte_carlo(net, eps, mc);
+  mc.threads = 8;
+  const auto parallel = run_monte_carlo(net, eps, mc);
+  expect_identical(serial, parallel);
+  EXPECT_EQ(serial.threads, 1);
+  EXPECT_EQ(parallel.threads, 8);
+}
+
+TEST(ParallelDeterminism, FunctionalMcFaultedMatchesSerial) {
+  nn::Network net = nn::make_mlp({16, 12, 8});
+  const std::vector<double> eps{0.01, 0.02};
+  fault::FaultConfig faults;
+  faults.stuck_at_zero_rate = 0.02;
+  faults.stuck_at_one_rate = 0.01;
+  nn::MonteCarloConfig mc;
+  mc.samples = 20;
+  mc.weight_draws = 12;
+  mc.threads = 1;
+  const auto serial = run_monte_carlo_faulted(net, eps, mc, faults);
+  mc.threads = 8;
+  const auto parallel = run_monte_carlo_faulted(net, eps, mc, faults);
+  expect_identical(serial, parallel);
+  EXPECT_GT(serial.faults_injected, 0);  // the defect maps actually bit
+}
+
+}  // namespace
+}  // namespace mnsim

@@ -72,8 +72,8 @@ int main() {
     in.cols = 16;
     in.device = tech::default_rram();
     in.device.sigma = sigma;
-    in.segment_resistance = 0.022;
-    in.sense_resistance = 60.0;
+    in.segment_resistance = units::Ohms{0.022};
+    in.sense_resistance = units::Ohms{60.0};
     accuracy::VariationMcOptions opt;
     opt.trials = 25;
     const auto mc = accuracy::variation_monte_carlo(in, opt);

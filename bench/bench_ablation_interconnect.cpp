@@ -37,16 +37,17 @@ int main() {
                   "behavior_ns", "cycle_share"});
 
   // The read cycle an ADC lane imposes (8-bit SA at 50 MHz).
-  circuit::AdcModel adc{circuit::AdcKind::kMultiLevelSA, 8, 50e6,
-                        tech::cmos_tech(45)};
-  const double read_cycle = adc.conversion_latency();
+  circuit::AdcModel adc{circuit::AdcKind::kMultiLevelSA, 8,
+                        mnsim::units::Hertz{50e6}, tech::cmos_tech(45)};
+  const double read_cycle = adc.conversion_latency().value();
 
   for (int node : {45, 18}) {
     const auto wires = tech::interconnect_tech(node);
     for (int size : {8, 16, 32}) {
       auto spec = spice::CrossbarSpec::uniform(
-          size, size, device, wires.segment_resistance, 60.0, device.r_min);
-      spec.segment_capacitance = wires.segment_capacitance;
+          size, size, device, wires.segment_resistance.value(), 60.0,
+          device.r_min.value());
+      spec.segment_capacitance = wires.segment_capacitance.value();
 
       std::vector<spice::NodeId> columns;
       auto nl = spice::build_crossbar_netlist(spec, &columns);
@@ -55,17 +56,17 @@ int main() {
       opt.end_time = 30e-9;
       const auto tr = spice::solve_transient(nl, {columns.back()}, opt);
       const double measured =
-          device.read_latency + tr.settling_time(0, 0.002);
+          device.read_latency.value() + tr.settling_time(0, 0.002);
 
       const double elmore = spice::crossbar_settling_latency(
-          spec, wires.segment_capacitance, 8);
+          spec, wires.segment_capacitance.value(), 8);
 
       circuit::CrossbarModel model;
       model.rows = size;
       model.cols = size;
       model.device = device;
       model.interconnect_node_nm = node;
-      const double behavior = model.compute_latency();
+      const double behavior = model.compute_latency().value();
 
       table.add_row({std::to_string(size), std::to_string(node),
                      util::Table::num(measured / ns, 3),

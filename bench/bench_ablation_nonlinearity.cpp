@@ -19,7 +19,8 @@ using namespace mnsim;
 
 int main() {
   const auto device = tech::default_rram();
-  const double r = tech::interconnect_tech(45).segment_resistance;
+  const double r =
+      tech::interconnect_tech(45).segment_resistance.value();
 
   util::Table table(
       "Ablation: nonlinearity vs interconnect contributions (45 nm wires)");
@@ -32,7 +33,7 @@ int main() {
 
   for (int size : {8, 16, 32, 64, 96}) {
     auto spec = spice::CrossbarSpec::uniform(size, size, device, r, 60.0,
-                                             device.r_min);
+                                             device.r_min.value());
     const auto ideal = spice::ideal_column_outputs(spec);
     const auto full = spice::solve_crossbar(spec);
     spec.linear_memristors = true;
@@ -47,8 +48,8 @@ int main() {
     in.rows = size;
     in.cols = size;
     in.device = device;
-    in.segment_resistance = r;
-    in.sense_resistance = 60.0;
+    in.segment_resistance = units::Ohms{r};
+    in.sense_resistance = units::Ohms{60.0};
     const auto model = accuracy::estimate_voltage_error(in);
 
     table.add_row({std::to_string(size), util::Table::num(err_full, 4),

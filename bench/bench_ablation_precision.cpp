@@ -39,8 +39,8 @@ int main() {
     accuracy::ReadNoiseInputs noise_in;
     noise_in.rows = 256;
     noise_in.device = cfg.device();
-    noise_in.sense_resistance = cfg.sense_resistance;
-    noise_in.bandwidth = cfg.adc_clock;
+    noise_in.sense_resistance = units::Ohms{cfg.sense_resistance};
+    noise_in.bandwidth = units::Hertz{cfg.adc_clock};
     noise_in.output_bits = bits;
     const auto noise = accuracy::estimate_read_noise(noise_in);
 

@@ -17,7 +17,7 @@ int main() {
   const std::vector<int> sizes = {8, 16, 32, 48, 64, 96, 128};
   const std::vector<int> nodes = {90, 45, 36, 28};
   const auto fit = accuracy::calibrate_against_spice(
-      sizes, nodes, tech::default_rram(), 60.0);
+      sizes, nodes, tech::default_rram(), mnsim::units::Ohms{60.0});
 
   util::Table table("Fig. 5: circuit-level error scatter vs fitted model");
   table.set_header({"Wire node (nm)", "Crossbar size",

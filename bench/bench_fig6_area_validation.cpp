@@ -33,13 +33,13 @@ int main() {
   circuit::DecoderModel col_dec = row_dec;
 
   const double estimate =
-      xbar.area() + row_dec.ppa().area + col_dec.ppa().area;
+      xbar.area().value() + row_dec.ppa().area + col_dec.ppa().area;
   const double layout = 3420.0 * um2;  // 45 um x 76 um (paper Fig. 6)
   const double coefficient = layout / estimate;
 
   util::Table table("Fig. 6: area model vs 130 nm layout (32x32 1T1R)");
   table.set_header({"Quantity", "Value"});
-  table.add_row({"Crossbar cells (um^2)", util::Table::num(xbar.area() / um2, 1)});
+  table.add_row({"Crossbar cells (um^2)", util::Table::num(xbar.area().value() / um2, 1)});
   table.add_row(
       {"Decoders (um^2)",
        util::Table::num((row_dec.ppa().area + col_dec.ppa().area) / um2, 1)});

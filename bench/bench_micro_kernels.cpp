@@ -20,7 +20,7 @@ static void BM_AccuracyModel(benchmark::State& state) {
   in.cols = in.rows;
   in.device = tech::default_rram();
   in.segment_resistance = tech::interconnect_tech(45).segment_resistance;
-  in.sense_resistance = 60.0;
+  in.sense_resistance = mnsim::units::Ohms{60.0};
   for (auto _ : state)
     benchmark::DoNotOptimize(accuracy::estimate_voltage_error(in));
 }
@@ -50,8 +50,9 @@ static void BM_CircuitLevelSolve(benchmark::State& state) {
   const int size = static_cast<int>(state.range(0));
   auto device = tech::default_rram();
   auto spec = spice::CrossbarSpec::uniform(
-      size, size, device, tech::interconnect_tech(45).segment_resistance,
-      60.0, device.r_min);
+      size, size, device,
+      tech::interconnect_tech(45).segment_resistance.value(), 60.0,
+      device.r_min.value());
   for (auto _ : state)
     benchmark::DoNotOptimize(spice::solve_crossbar(spec));
 }
@@ -71,7 +72,7 @@ static void BM_VariationSweepThroughput(benchmark::State& state) {
   in.device = tech::default_rram();
   in.device.sigma = 0.2;
   in.segment_resistance = tech::interconnect_tech(45).segment_resistance;
-  in.sense_resistance = 60.0;
+  in.sense_resistance = mnsim::units::Ohms{60.0};
 
   accuracy::VariationMcOptions opt;
   opt.trials = 64;

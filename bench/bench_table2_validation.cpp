@@ -41,8 +41,8 @@ int main() {
 
   const auto report = arch::simulate_accelerator(net, cfg);
   const auto device = cfg.device();
-  const double r =
-      tech::interconnect_tech(cfg.interconnect_node_nm).segment_resistance;
+  const double r = tech::interconnect_tech(cfg.interconnect_node_nm)
+                       .segment_resistance.value();
 
   // ---- MNSIM side -----------------------------------------------------------
   double mnsim_comp_power = 0.0;  // decoder + crossbar, all banks
@@ -57,11 +57,12 @@ int main() {
   xbar.cols = 128;
   xbar.device = device;
   xbar.interconnect_node_nm = cfg.interconnect_node_nm;
-  xbar.sense_resistance = cfg.sense_resistance;
+  xbar.sense_resistance = mnsim::units::Ohms{cfg.sense_resistance};
   circuit::DecoderModel dec{128, circuit::DecoderKind::kComputationOriented,
                             cfg.cmos()};
-  const double mnsim_read_power =
-      xbar.read_power() + dec.ppa().dynamic_power + dec.ppa().leakage_power;
+  const double mnsim_read_power = xbar.read_power().value() +
+                                  dec.ppa().dynamic_power +
+                                  dec.ppa().leakage_power;
   const double mnsim_energy = report.energy_per_sample;
   const double mnsim_latency = report.sample_latency;
   const double mnsim_accuracy = report.relative_accuracy;
@@ -70,7 +71,7 @@ int main() {
   auto t0 = std::chrono::steady_clock::now();
   auto spec = spice::CrossbarSpec::uniform(
       128, 128, device, r, cfg.sense_resistance,
-      device.harmonic_mean_resistance());
+      device.harmonic_mean_resistance().value());
   const auto sol = spice::solve_crossbar(spec);
   // 4 crossbars total (2 layers x signed pair) + the same decoders.
   const double spice_comp_power =
@@ -81,8 +82,9 @@ int main() {
   spice::Netlist read_nl(device);
   auto in_node = read_nl.add_node();
   auto mid = read_nl.add_node();
-  read_nl.add_source(in_node, device.v_read);
-  read_nl.add_memristor(in_node, mid, device.harmonic_mean_resistance());
+  read_nl.add_source(in_node, device.v_read.value());
+  read_nl.add_memristor(in_node, mid,
+                        device.harmonic_mean_resistance().value());
   read_nl.add_resistor(mid, spice::kGround, cfg.sense_resistance);
   auto read_dc = spice::solve_dc(read_nl);
   const double spice_read_power =
@@ -90,8 +92,8 @@ int main() {
       dec.ppa().dynamic_power + dec.ppa().leakage_power;
 
   // Latency: Elmore-settled crossbar + the same digital read chain.
-  const double cap =
-      tech::interconnect_tech(cfg.interconnect_node_nm).segment_capacitance;
+  const double cap = tech::interconnect_tech(cfg.interconnect_node_nm)
+                         .segment_capacitance.value();
   const double elmore =
       spice::crossbar_settling_latency(spec, cap, cfg.output_bits);
   double spice_latency = report.sample_latency;

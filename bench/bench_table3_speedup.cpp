@@ -33,7 +33,8 @@ double time_seconds(const std::function<void()>& fn, int repeats = 1) {
 
 int main() {
   const auto device = tech::default_rram();
-  const double r = tech::interconnect_tech(45).segment_resistance;
+  const double r =
+      tech::interconnect_tech(45).segment_resistance.value();
 
   util::Table table("Table III: simulation time, circuit level vs MNSIM");
   table.set_header(
@@ -43,7 +44,7 @@ int main() {
 
   for (int size : {16, 32, 64, 128, 256}) {
     auto spec = spice::CrossbarSpec::uniform(size, size, device, r, 60.0,
-                                             device.r_min);
+                                             device.r_min.value());
     const double spice_s =
         time_seconds([&] { (void)spice::solve_crossbar(spec); });
 
@@ -51,8 +52,8 @@ int main() {
     in.rows = size;
     in.cols = size;
     in.device = device;
-    in.segment_resistance = r;
-    in.sense_resistance = 60.0;
+    in.segment_resistance = mnsim::units::Ohms{r};
+    in.sense_resistance = mnsim::units::Ohms{60.0};
     // The model is microseconds; average many calls for a stable figure.
     const double mnsim_s = time_seconds(
         [&] { (void)accuracy::estimate_voltage_error(in); }, 2000);

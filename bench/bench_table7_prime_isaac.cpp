@@ -28,7 +28,7 @@ double design_accuracy(int crossbar, int wire_node, int output_bits,
   in.device.level_bits = level_bits;
   in.segment_resistance =
       tech::interconnect_tech(wire_node).segment_resistance;
-  in.sense_resistance = 60.0;
+  in.sense_resistance = mnsim::units::Ohms{60.0};
   const auto e = accuracy::estimate_voltage_error(in);
   return 1.0 -
          accuracy::avg_error_rate(1 << output_bits, e.average);

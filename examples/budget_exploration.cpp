@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   cell.segment_resistance =
       tech::interconnect_tech(best->point.interconnect_node)
           .segment_resistance;
-  cell.sense_resistance = base.sense_resistance;
+  cell.sense_resistance = mnsim::units::Ohms{base.sense_resistance};
   for (auto [name, kind] :
        {std::pair{"RRAM", tech::DeviceKind::kRram},
         std::pair{"PCM", tech::DeviceKind::kPcm}}) {

@@ -62,8 +62,9 @@ void dump_netlist(const nn::Network& net,
   const int size = cfg.crossbar_size;
   auto spec = spice::CrossbarSpec::uniform(
       size, size, device,
-      tech::interconnect_tech(cfg.interconnect_node_nm).segment_resistance,
-      cfg.sense_resistance, device.r_min);
+      tech::interconnect_tech(cfg.interconnect_node_nm)
+          .segment_resistance.value(),
+      cfg.sense_resistance, device.r_min.value());
   auto nl = spice::build_crossbar_netlist(spec, nullptr);
   std::ofstream f(path);
   if (!f) {

@@ -8,18 +8,20 @@
 
 namespace mnsim::accuracy {
 
+using namespace mnsim::units;
+
 namespace {
 
 // Worst-case circuit-level error rate: all cells at r_min, interconnect
 // error of the farthest column against the ideal (wire-free) output,
 // with linear cells so the wire coefficient is isolated from the
 // nonlinearity term (the model treats the two additively).
-double spice_worst_interconnect_error(int size, double segment_resistance,
+double spice_worst_interconnect_error(int size, Ohms segment_resistance,
                                       const tech::MemristorModel& device,
-                                      double sense_resistance) {
-  auto spec = spice::CrossbarSpec::uniform(size, size, device,
-                                           segment_resistance,
-                                           sense_resistance, device.r_min);
+                                      Ohms sense_resistance) {
+  auto spec = spice::CrossbarSpec::uniform(
+      size, size, device, segment_resistance.value(), sense_resistance.value(),
+      device.r_min.value());
   spec.linear_memristors = true;
   const auto ideal = spice::ideal_column_outputs(spec);
   const auto sol = spice::solve_crossbar(spec);
@@ -32,19 +34,19 @@ double spice_worst_interconnect_error(int size, double segment_resistance,
 
 AccuracyFit calibrate_against_spice(
     const std::vector<int>& sizes, const std::vector<int>& interconnect_nodes,
-    const tech::MemristorModel& device, double sense_resistance) {
+    const tech::MemristorModel& device, Ohms sense_resistance) {
   if (sizes.empty() || interconnect_nodes.empty())
     throw std::invalid_argument("calibrate_against_spice: empty sweep");
 
   struct Raw {
     int size;
     int node;
-    double r;
+    Ohms r;
     double eps_spice;
   };
   std::vector<Raw> raw;
   for (int node : interconnect_nodes) {
-    const double r = tech::interconnect_tech(node).segment_resistance;
+    const Ohms r = tech::interconnect_tech(node).segment_resistance;
     for (int size : sizes) {
       raw.push_back({size, node,  r,
                      spice_worst_interconnect_error(size, r, device,

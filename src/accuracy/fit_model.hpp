@@ -38,6 +38,6 @@ struct AccuracyFit {
 // bench sweep {8..128}.
 AccuracyFit calibrate_against_spice(
     const std::vector<int>& sizes, const std::vector<int>& interconnect_nodes,
-    const tech::MemristorModel& device, double sense_resistance);
+    const tech::MemristorModel& device, units::Ohms sense_resistance);
 
 }  // namespace mnsim::accuracy

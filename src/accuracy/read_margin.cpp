@@ -6,10 +6,13 @@
 
 namespace mnsim::accuracy {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 void ReadMarginInputs::validate() const {
   if (rows <= 0 || cols <= 0)
     throw std::invalid_argument("ReadMarginInputs: rows/cols");
-  if (!(sense_resistance > 0) || !(background_resistance > 0))
+  if (!(sense_resistance > 0_Ohm) || !(background_resistance > 0_Ohm))
     throw std::invalid_argument("ReadMarginInputs: resistances");
   device.validate();
 }
@@ -19,39 +22,40 @@ namespace {
 // Solves the half-selected cross-point array with the selected cell at
 // `selected_resistance`; returns the sense voltage and the sneak share.
 struct HalfSelectSolution {
-  double v_sense = 0.0;
+  Volts v_sense;
   double sneak_share = 0.0;
 };
 
 HalfSelectSolution solve_half_select(const ReadMarginInputs& in,
-                                     double selected_resistance) {
+                                     Ohms selected_resistance) {
   // Biasing: selected row at v_read, unselected rows and columns at
   // v_read/2 (so unselected cells see ~0 V), selected column sensed
   // through R_s. Wires are folded out: the sneak-path effect dominates
   // the margin at these array sizes.
   spice::Netlist nl(in.device);
-  const double v = in.device.v_read;
+  const Volts v = in.device.v_read;
 
   const spice::NodeId sel_row = nl.add_node();
   const spice::NodeId half_rail = nl.add_node();
   const spice::NodeId sel_col = nl.add_node();
-  nl.add_source(sel_row, v, "Vsel");
-  nl.add_source(half_rail, v / 2.0, "Vhalf");
+  nl.add_source(sel_row, v.value(), "Vsel");
+  nl.add_source(half_rail, (v / 2.0).value(), "Vhalf");
 
   // Selected cell.
-  nl.add_memristor(sel_row, sel_col, selected_resistance, "Xsel");
+  nl.add_memristor(sel_row, sel_col, selected_resistance.value(), "Xsel");
   // Sneak loads on the selected column: (rows - 1) unselected cells from
   // the half rail.
   for (int i = 1; i < in.rows; ++i)
-    nl.add_memristor(half_rail, sel_col, in.background_resistance);
+    nl.add_memristor(half_rail, sel_col, in.background_resistance.value());
   // Cells on the selected row into unselected (half-biased) columns see a
   // fixed v/2 and only load the driver, not the sense node — they do not
   // change v_sense, so they are omitted from the reduced network.
-  nl.add_resistor(sel_col, spice::kGround, in.sense_resistance, "Rs");
+  nl.add_resistor(sel_col, spice::kGround, in.sense_resistance.value(),
+                  "Rs");
 
   const auto dc = spice::solve_dc(nl);
   HalfSelectSolution sol;
-  sol.v_sense = dc.voltage(sel_col);
+  sol.v_sense = Volts{dc.voltage(sel_col)};
 
   const double i_selected =
       spice::memristor_current(nl, nl.memristors().front(), dc);
@@ -71,7 +75,7 @@ ReadMarginResult read_margin_crosspoint(const ReadMarginInputs& in) {
   const auto hrs = solve_half_select(in, in.device.r_max);
   r.v_read_lrs = lrs.v_sense;
   r.v_read_hrs = hrs.v_sense;
-  r.margin = lrs.v_sense > 0
+  r.margin = lrs.v_sense > 0_V
                  ? (lrs.v_sense - hrs.v_sense) / lrs.v_sense
                  : 0.0;
   r.sneak_current_share = lrs.sneak_share;
@@ -81,9 +85,9 @@ ReadMarginResult read_margin_crosspoint(const ReadMarginInputs& in) {
 ReadMarginResult read_margin_isolated(const ReadMarginInputs& in) {
   in.validate();
   // Access transistors cut every sneak path: the pure divider.
-  auto divider = [&](double r_cell) {
-    return in.device.v_read * in.sense_resistance /
-           (r_cell + in.sense_resistance);
+  auto divider = [&](Ohms r_cell) {
+    return in.device.v_read *
+           (in.sense_resistance / (r_cell + in.sense_resistance));
   };
   ReadMarginResult r;
   r.v_read_lrs = divider(in.device.r_min);

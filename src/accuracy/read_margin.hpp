@@ -11,6 +11,7 @@
 #pragma once
 
 #include "tech/memristor.hpp"
+#include "util/quantity.hpp"
 
 namespace mnsim::accuracy {
 
@@ -18,17 +19,17 @@ struct ReadMarginInputs {
   int rows = 16;
   int cols = 16;
   tech::MemristorModel device;
-  double segment_resistance = 0.022;
-  double sense_resistance = 60.0;
+  units::Ohms segment_resistance{0.022};
+  units::Ohms sense_resistance{60.0};
   // Resistance state of all unselected cells (worst case: r_min).
-  double background_resistance = 500.0;
+  units::Ohms background_resistance{500.0};
 
   void validate() const;
 };
 
 struct ReadMarginResult {
-  double v_read_lrs = 0.0;   // sense voltage, selected cell at r_min
-  double v_read_hrs = 0.0;   // sense voltage, selected cell at r_max
+  units::Volts v_read_lrs;   // sense voltage, selected cell at r_min
+  units::Volts v_read_hrs;   // sense voltage, selected cell at r_max
   double margin = 0.0;       // (v_lrs - v_hrs) / v_lrs
   double sneak_current_share = 0.0;  // unselected current / total (LRS)
 };

@@ -36,8 +36,8 @@ double worst_error_at(const CrossbarErrorInputs& base, double drift) {
   in.device.sigma = 0.0;
   const double w =
       tech::effective_wire_segments(in.rows, in.cols, in.wire_alpha);
-  const double signed_drifted = relative_output_error_scaled(
-      in, in.device.r_min, w, drift);
+  const double signed_drifted =
+      relative_output_error_scaled(in, in.device.r_min, w, drift);
   const double signed_fresh =
       relative_output_error_scaled(in, in.device.r_min, w, 1.0);
   const auto fresh = estimate_voltage_error(in);

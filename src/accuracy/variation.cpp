@@ -9,6 +9,8 @@
 
 namespace mnsim::accuracy {
 
+using mnsim::units::Ohms;
+
 VariationMcResult variation_monte_carlo(const CrossbarErrorInputs& in,
                                         const VariationMcOptions& opt) {
   in.validate();
@@ -17,13 +19,13 @@ VariationMcResult variation_monte_carlo(const CrossbarErrorInputs& in,
   if (opt.trials <= 0)
     throw std::invalid_argument("variation_monte_carlo: trials");
 
-  const double base = opt.worst_case_cells
-                          ? in.device.r_min
-                          : in.device.harmonic_mean_resistance();
+  const Ohms base = opt.worst_case_cells
+                        ? in.device.r_min
+                        : in.device.harmonic_mean_resistance();
 
   auto spec = spice::CrossbarSpec::uniform(
-      in.rows, in.cols, in.device, in.segment_resistance,
-      in.sense_resistance, base);
+      in.rows, in.cols, in.device, in.segment_resistance.value(),
+      in.sense_resistance.value(), base.value());
   // Variation-free reference, per column: variation is i.i.d. per cell,
   // so the worst deviation can land in any column — scoring only the far
   // column (the wire analysis' worst case) under-reports the error.
@@ -68,7 +70,7 @@ VariationMcResult variation_monte_carlo(const CrossbarErrorInputs& in,
                                                    1.0 + in.device.sigma);
         auto& trial_spec = specs[worker];
         for (auto& row : trial_spec.cell_resistance)
-          for (double& r : row) r = base * dev(rng);
+          for (double& r : row) r = (base * dev(rng)).value();
         const auto sol =
             spice::solve_crossbar(trial_spec, {}, &caches[worker]);
         double err = 0.0;

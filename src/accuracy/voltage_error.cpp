@@ -5,12 +5,15 @@
 
 namespace mnsim::accuracy {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 void CrossbarErrorInputs::validate() const {
   if (rows <= 0 || cols <= 0)
     throw std::invalid_argument("CrossbarErrorInputs: rows/cols");
-  if (!(segment_resistance >= 0))
+  if (!(segment_resistance >= 0_Ohm))
     throw std::invalid_argument("CrossbarErrorInputs: segment resistance");
-  if (!(sense_resistance > 0))
+  if (!(sense_resistance > 0_Ohm))
     throw std::invalid_argument("CrossbarErrorInputs: sense resistance");
   device.validate();
 }
@@ -19,47 +22,47 @@ namespace {
 
 // Output voltage of a column whose cells all sit at `r_cell`, with
 // `wire_segments * r` of wire folded into the column (Eq. 9-10).
-double column_output(const CrossbarErrorInputs& in, double r_cell,
-                     double wire_segments) {
-  const double r_par =
+Volts column_output(const CrossbarErrorInputs& in, Ohms r_cell,
+                    double wire_segments) {
+  const Ohms r_par =
       (r_cell + wire_segments * in.segment_resistance) / in.rows;
-  return in.device.v_read * in.sense_resistance /
-         (r_par + in.sense_resistance);
+  return in.device.v_read *
+         (in.sense_resistance / (r_par + in.sense_resistance));
 }
 
 }  // namespace
 
 double relative_output_error_scaled(const CrossbarErrorInputs& in,
-                                    double cell_state_resistance,
+                                    Ohms cell_state_resistance,
                                     double wire_segments,
                                     double state_factor) {
   in.validate();
   if (!(state_factor > 0))
     throw std::invalid_argument(
         "relative_output_error_scaled: state factor must be positive");
-  const double v_in = in.device.v_read;
+  const Volts v_in = in.device.v_read;
 
   // Ideal: linear cells at the programmed state, no wires.
-  const double v_idl = column_output(in, cell_state_resistance, 0.0);
+  const Volts v_idl = column_output(in, cell_state_resistance, 0.0);
 
   // Actual: iterate the (weak) fixed point between the cell operating
   // voltage and the chord resistance R_act(V_cell). The cell sees its
   // share of the series path (cell / wires / sense resistor).
-  double r_act = cell_state_resistance * state_factor;
+  Ohms r_act = cell_state_resistance * state_factor;
   for (int it = 0; it < 8; ++it) {
-    const double v_cell =
-        v_in * r_act /
-        (r_act + wire_segments * in.segment_resistance +
-         in.sense_resistance * in.rows);
+    const Volts v_cell =
+        v_in * (r_act /
+                (r_act + wire_segments * in.segment_resistance +
+                 in.sense_resistance * in.rows));
     r_act = state_factor *
             in.device.actual_resistance(cell_state_resistance, v_cell);
   }
-  const double v_out = column_output(in, r_act, wire_segments);
+  const Volts v_out = column_output(in, r_act, wire_segments);
   return (v_idl - v_out) / v_idl;
 }
 
 double relative_output_error(const CrossbarErrorInputs& in,
-                             double cell_state_resistance,
+                             Ohms cell_state_resistance,
                              double wire_segments, int sigma_direction) {
   const double factor =
       sigma_direction == 0
@@ -70,11 +73,11 @@ double relative_output_error(const CrossbarErrorInputs& in,
 }
 
 double relative_output_error_linear(const CrossbarErrorInputs& in,
-                                    double cell_state_resistance,
+                                    Ohms cell_state_resistance,
                                     double wire_segments) {
   in.validate();
-  const double v_idl = column_output(in, cell_state_resistance, 0.0);
-  const double v_act = column_output(in, cell_state_resistance, wire_segments);
+  const Volts v_idl = column_output(in, cell_state_resistance, 0.0);
+  const Volts v_act = column_output(in, cell_state_resistance, wire_segments);
   return (v_idl - v_act) / v_idl;
 }
 
@@ -94,14 +97,14 @@ VoltageError estimate_voltage_error(const CrossbarErrorInputs& in) {
 
   // Split diagnostics: interconnect-only (linear cells) vs the remainder.
   {
-    const double v_idl = column_output(in, in.device.r_min, 0.0);
-    const double v_ic = column_output(in, in.device.r_min, worst_segments);
+    const Volts v_idl = column_output(in, in.device.r_min, 0.0);
+    const Volts v_ic = column_output(in, in.device.r_min, worst_segments);
     e.interconnect_term = (v_idl - v_ic) / v_idl;
     e.nonlinear_term = signed_worst - e.interconnect_term;
-    const double r_par_act =
+    const Ohms r_par_act =
         (in.device.r_min + worst_segments * in.segment_resistance) / in.rows;
     e.cell_operating_voltage =
-        in.device.v_read * r_par_act / (r_par_act + in.sense_resistance);
+        in.device.v_read * (r_par_act / (r_par_act + in.sense_resistance));
   }
   // The two deviations have opposite signs (wires drop the output, the
   // sinh law lifts it); the worst single read can land on either side, so

@@ -24,6 +24,7 @@
 
 #include "tech/interconnect.hpp"
 #include "tech/memristor.hpp"
+#include "util/quantity.hpp"
 
 namespace mnsim::accuracy {
 
@@ -31,8 +32,8 @@ struct CrossbarErrorInputs {
   int rows = 128;   // M
   int cols = 128;   // N
   tech::MemristorModel device;
-  double segment_resistance = 0.022;  // r [ohm]
-  double sense_resistance = 60.0;     // R_s [ohm]
+  units::Ohms segment_resistance{0.022};  // r
+  units::Ohms sense_resistance{60.0};     // R_s
   double wire_alpha = tech::kSharedCurrentAlpha;  // fitted (Fig. 5)
 
   void validate() const;
@@ -51,7 +52,7 @@ struct VoltageError {
   double interconnect_term = 0.0;  // from the effective wire resistance
   double nonlinear_term = 0.0;     // from R_act - R_idl (negative: the
                                    // sinh law conducts more than linear)
-  double cell_operating_voltage = 0.0;  // worst-case V across a cell [V]
+  units::Volts cell_operating_voltage;  // worst-case V across a cell
 };
 
 // Evaluates the closed-form model. The fixed point between the cell
@@ -63,14 +64,14 @@ VoltageError estimate_voltage_error(const CrossbarErrorInputs& in);
 // wire distance in segments (the Eq. 11 kernel); exposed for the Fig. 5
 // fit and for tests. `sigma_direction` is -1, 0, or +1 (Eq. 16).
 double relative_output_error(const CrossbarErrorInputs& in,
-                             double cell_state_resistance,
+                             units::Ohms cell_state_resistance,
                              double wire_segments, int sigma_direction);
 
 // The same kernel with linear cells (no sinh correction): the pure
 // interconnect term, used by the Fig. 5 fit where the wire coefficient is
 // calibrated in isolation.
 double relative_output_error_linear(const CrossbarErrorInputs& in,
-                                    double cell_state_resistance,
+                                    units::Ohms cell_state_resistance,
                                     double wire_segments);
 
 // Kernel with an arbitrary multiplicative deviation on the programmed
@@ -79,7 +80,7 @@ double relative_output_error_linear(const CrossbarErrorInputs& in,
 // `state_factor = 1 +/- sigma` reproduces Eq. 16; retention drift passes
 // its unbounded (t/t0)^nu factor.
 double relative_output_error_scaled(const CrossbarErrorInputs& in,
-                                    double cell_state_resistance,
+                                    units::Ohms cell_state_resistance,
                                     double wire_segments,
                                     double state_factor);
 

@@ -135,14 +135,14 @@ AcceleratorReport simulate_accelerator(
   circuit::IoInterfaceModel io_in;
   io_in.wires = config.interface_in;
   io_in.sample_bits = network.input_size() * network.input_bits;
-  io_in.bus_clock = config.bus_clock;
+  io_in.bus_clock = units::Hertz{config.bus_clock};
   io_in.tech = cmos;
   rep.io_input = io_in.ppa();
 
   circuit::IoInterfaceModel io_out;
   io_out.wires = config.interface_out;
   io_out.sample_bits = network.output_size() * config.output_bits;
-  io_out.bus_clock = config.bus_clock;
+  io_out.bus_clock = units::Hertz{config.bus_clock};
   io_out.tech = cmos;
   rep.io_output = io_out.ppa();
 

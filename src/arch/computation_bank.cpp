@@ -197,7 +197,7 @@ BankReport simulate_bank(const nn::Layer& layer,
   err.device = config.device();
   err.segment_resistance =
       tech::interconnect_tech(config.interconnect_node_nm).segment_resistance;
-  err.sense_resistance = config.sense_resistance;
+  err.sense_resistance = units::Ohms{config.sense_resistance};
   const auto eps = accuracy::estimate_voltage_error(err);
   rep.epsilon_worst = eps.worst;
   rep.epsilon_average = eps.average;
@@ -220,8 +220,9 @@ BankReport simulate_bank(const nn::Layer& layer,
       const int check_cols =
           std::min(err.cols, config.fault.circuit_check_size);
       auto spec = spice::CrossbarSpec::uniform(
-          check_rows, check_cols, err.device, err.segment_resistance,
-          err.sense_resistance, err.device.r_min);
+          check_rows, check_cols, err.device,
+          err.segment_resistance.value(), err.sense_resistance.value(),
+          err.device.r_min.value());
       const auto map = fault::generate_defect_map(
           check_rows, check_cols, config.fault, err.device);
       fault::apply_to_spec(map, spec);

@@ -44,7 +44,7 @@ UnitReport simulate_unit(int rows_used, int cols_used, int input_bits,
   xbar.device = device;
   xbar.cell = config.cell_type;
   xbar.interconnect_node_nm = config.interconnect_node_nm;
-  xbar.sense_resistance = config.sense_resistance;
+  xbar.sense_resistance = units::Ohms{config.sense_resistance};
   xbar.validate();
 
   // Unused rows get zero input and unused columns stay unsensed, so the
@@ -52,11 +52,11 @@ UnitReport simulate_unit(int rows_used, int cols_used, int input_bits,
   const double used_fraction =
       static_cast<double>(rows_used) * cols_used /
       (static_cast<double>(xbar.rows) * xbar.cols);
-  rep.crossbars.area = crossbar_count * xbar.area();
+  rep.crossbars.area = crossbar_count * xbar.area().value();
   rep.crossbars.dynamic_power =
-      crossbar_count * used_fraction * xbar.compute_power_average();
+      crossbar_count * used_fraction * xbar.compute_power_average().value();
   rep.crossbars.leakage_power = 0.0;
-  rep.crossbars.latency = xbar.compute_latency();
+  rep.crossbars.latency = xbar.compute_latency().value();
 
   // --- input peripherals (shared by both polarity crossbars) ---------------
   circuit::DacModel dac{input_bits, cmos};
@@ -72,7 +72,8 @@ UnitReport simulate_unit(int rows_used, int cols_used, int input_bits,
   // --- read path ------------------------------------------------------------
   const int adc_bits = circuit::AdcModel::required_bits(
       input_bits, weight_bits, rows_used, config.output_bits);
-  circuit::AdcModel adc{config.adc_kind, adc_bits, config.adc_clock, cmos};
+  circuit::AdcModel adc{config.adc_kind, adc_bits,
+                        units::Hertz{config.adc_clock}, cmos};
   adc.validate();
   rep.adcs = adc.ppa().times(rep.lanes);
 
@@ -103,10 +104,11 @@ UnitReport simulate_unit(int rows_used, int cols_used, int input_bits,
   // Latency: inputs convert and the decoder opens while the array settles;
   // then read_cycles sequential column groups, each mux-switch + subtract
   // + ADC conversion.
-  rep.fixed_latency = dac.conversion_latency() + rep.decoders.latency +
+  rep.fixed_latency = dac.conversion_latency().value() +
+                      rep.decoders.latency +
                       rep.crossbars.latency;
   rep.cycle_latency = rep.muxes.latency + rep.subtractors.latency +
-                      adc.conversion_latency();
+                      adc.conversion_latency().value();
   rep.pass_latency =
       rep.fixed_latency + rep.read_cycles * rep.cycle_latency;
 
@@ -116,9 +118,9 @@ UnitReport simulate_unit(int rows_used, int cols_used, int input_bits,
   rep.crossbar_energy =
       rep.crossbars.dynamic_power *
       (rep.crossbars.latency + rep.read_cycles * rep.cycle_latency);
-  rep.dac_energy = rows_used * dac.conversion_energy();
+  rep.dac_energy = rows_used * dac.conversion_energy().value();
   rep.adc_energy = static_cast<double>(rep.read_cycles) * rep.lanes *
-                   adc.conversion_energy();
+                   adc.conversion_energy().value();
   rep.digital_energy =
       (rep.muxes.dynamic_power * rep.muxes.latency +
        rep.subtractors.dynamic_power * rep.subtractors.latency +

@@ -70,7 +70,7 @@ double program_latency(const std::vector<Instruction>& trace,
     // incremental pulses (worst case).
     const double rows = static_cast<double>(inst.length) /
                         config.crossbar_size;
-    total += rows * device.levels() * device.write_latency;
+    total += rows * device.levels() * device.write_latency.value();
   }
   return total;
 }
@@ -80,10 +80,12 @@ circuit::Ppa controller_ppa(const AcceleratorConfig& config) {
   // 32-bit instruction register + decode + FSM, ~300 gate equivalents.
   circuit::Ppa p;
   const double gates = 300.0;
-  p.area = gates * cmos.gate_area + 32 * cmos.reg_area;
-  p.dynamic_power = gates * 0.3 * cmos.gate_energy / 10e-9;
-  p.leakage_power = gates * cmos.gate_leakage + 32 * cmos.reg_leakage;
-  p.latency = 4 * cmos.gate_delay;
+  p.area = (gates * cmos.gate_area + 32 * cmos.reg_area).value();
+  p.dynamic_power =
+      (gates * 0.3 * cmos.gate_energy / units::Seconds{10e-9}).value();
+  p.leakage_power =
+      (gates * cmos.gate_leakage + 32 * cmos.reg_leakage).value();
+  p.latency = (4 * cmos.gate_delay).value();
   return p;
 }
 

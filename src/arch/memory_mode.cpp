@@ -21,7 +21,7 @@ MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
   xbar.device = device;
   xbar.cell = config.cell_type;
   xbar.interconnect_node_nm = config.interconnect_node_nm;
-  xbar.sense_resistance = config.sense_resistance;
+  xbar.sense_resistance = units::Ohms{config.sense_resistance};
 
   // READ: two memory-oriented decoders select the cell, then the sense
   // amplifier converts (one multi-level read = one ADC conversion).
@@ -29,15 +29,17 @@ MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
                                 cmos};
   circuit::DecoderModel col_dec = row_dec;
   circuit::AdcModel sense{config.adc_kind, device.level_bits,
-                          config.adc_clock, cmos};
+                          units::Hertz{config.adc_clock}, cmos};
 
   MemoryModeReport rep;
   rep.read_latency = row_dec.ppa().latency + col_dec.ppa().latency +
-                     device.read_latency + sense.conversion_latency();
-  rep.read_power = xbar.read_power() + row_dec.ppa().leakage_power +
+                     device.read_latency.value() +
+                     sense.conversion_latency().value();
+  rep.read_power = xbar.read_power().value() +
+                   row_dec.ppa().leakage_power +
                    col_dec.ppa().leakage_power;
-  rep.read_energy = xbar.read_power() * rep.read_latency +
-                    sense.conversion_energy() +
+  rep.read_energy = xbar.read_power().value() * rep.read_latency +
+                    sense.conversion_energy().value() +
                     (row_dec.ppa().dynamic_power + col_dec.ppa().dynamic_power) *
                         row_dec.ppa().latency;
 
@@ -47,15 +49,15 @@ MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
   circuit::ProgramVerifyModel verify;
   verify.device = device;
   rep.row_write_latency =
-      driver.ppa().latency - device.write_latency +  // select path only
-      verify.row_program_time(size);
+      driver.ppa().latency - device.write_latency.value() +  // select path
+      verify.row_program_time(size).value();
   // Average-case pulse energy across columns at the harmonic-mean state,
   // with the expected pulses of a mid-range transition.
   const double pulses =
       verify.expected_pulses(0, device.levels() / 2);
   rep.row_write_energy =
       size * pulses *
-          driver.pulse_energy(device.harmonic_mean_resistance()) +
+          driver.pulse_energy(device.harmonic_mean_resistance()).value() +
       driver.ppa().dynamic_power * driver.ppa().latency;
   rep.array_write_latency = size * rep.row_write_latency;
   rep.array_write_energy = size * rep.row_write_energy;

@@ -9,8 +9,8 @@ namespace mnsim::arch {
 
 tech::MemristorModel AcceleratorConfig::device() const {
   tech::MemristorModel m = tech::memristor_by_name(memristor_model);
-  m.r_min = resistance_min;
-  m.r_max = resistance_max;
+  m.r_min = units::Ohms{resistance_min};
+  m.r_max = units::Ohms{resistance_max};
   m.sigma = device_sigma;
   m.validate();
   return m;

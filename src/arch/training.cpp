@@ -46,14 +46,15 @@ TrainingReport estimate_training(const nn::Network& network,
       static_cast<long>(touched_per_update * static_cast<double>(batches));
   rep.update_energy = static_cast<double>(rep.weight_updates) *
                       training.pulses_per_update *
-                      device.write_pulse_energy();
+                      device.write_pulse_energy().value();
 
   // Writes are memory-style: one row of each crossbar at a time, but all
   // crossbars program in parallel. Rows touched per crossbar per update:
   const double rows_per_crossbar =
       training.update_fraction * config.crossbar_size;
   rep.update_latency = static_cast<double>(batches) * rows_per_crossbar *
-                       training.pulses_per_update * device.write_latency;
+                       training.pulses_per_update *
+                       device.write_latency.value();
 
   rep.total_energy = rep.compute_energy + rep.update_energy;
   rep.total_latency = rep.compute_latency + rep.update_latency;

@@ -6,6 +6,9 @@
 
 namespace mnsim::circuit {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 int AdcModel::required_bits(int input_bits, int weight_bits, int rows,
                             int algorithm_cap) {
   // Exact accumulation of `rows` products needs
@@ -20,14 +23,14 @@ namespace {
 
 // Energy per conversion step (Walden figure of merit), by architecture,
 // at the 45 nm anchor.
-double fom_per_step(AdcKind kind) {
+Joules fom_per_step(AdcKind kind) {
   switch (kind) {
     case AdcKind::kMultiLevelSA:
-      return 100e-15;  // variable-level SA, conservative
+      return 100_fJ;   // variable-level SA, conservative
     case AdcKind::kSar:
-      return 12e-15;   // asynchronous SAR class
+      return 12_fJ;    // asynchronous SAR class
     case AdcKind::kFlash:
-      return 300e-15;  // fast but power/area hungry
+      return 300_fJ;   // fast but power/area hungry
   }
   throw std::logic_error("fom_per_step: unreachable");
 }
@@ -47,7 +50,7 @@ double gate_equivalents(AdcKind kind, int bits) {
 
 }  // namespace
 
-double AdcModel::conversion_latency() const {
+Seconds AdcModel::conversion_latency() const {
   switch (kind) {
     case AdcKind::kMultiLevelSA:
       return bits / sample_clock;  // one level comparison per clock
@@ -59,25 +62,25 @@ double AdcModel::conversion_latency() const {
   throw std::logic_error("conversion_latency: unreachable");
 }
 
-double AdcModel::conversion_energy() const {
+Joules AdcModel::conversion_energy() const {
   const double node_scale = tech.node_nm / 45.0;
-  const double v = tech.vdd / 1.0;
+  const double v = tech.vdd / 1.0_V;
   return fom_per_step(kind) * (1 << bits) * node_scale * v * v;
 }
 
 Ppa AdcModel::ppa() const {
   Ppa p;
   const double gates = gate_equivalents(kind, bits);
-  p.area = gates * tech.gate_area;
-  p.dynamic_power = conversion_energy() / conversion_latency();
-  p.leakage_power = 0.1 * gates * tech.gate_leakage;
-  p.latency = conversion_latency();
+  p.area = (gates * tech.gate_area).value();
+  p.dynamic_power = (conversion_energy() / conversion_latency()).value();
+  p.leakage_power = (0.1 * gates * tech.gate_leakage).value();
+  p.latency = conversion_latency().value();
   return p;
 }
 
 void AdcModel::validate() const {
   if (bits < 1 || bits > 14) throw std::invalid_argument("AdcModel: bits");
-  if (sample_clock <= 0) throw std::invalid_argument("AdcModel: clock");
+  if (sample_clock <= 0_Hz) throw std::invalid_argument("AdcModel: clock");
 }
 
 }  // namespace mnsim::circuit

@@ -15,6 +15,7 @@
 
 #include "circuit/module.hpp"
 #include "tech/cmos_tech.hpp"
+#include "util/quantity.hpp"
 
 namespace mnsim::circuit {
 
@@ -23,7 +24,7 @@ enum class AdcKind { kMultiLevelSA, kSar, kFlash };
 struct AdcModel {
   AdcKind kind = AdcKind::kMultiLevelSA;
   int bits = 8;
-  double sample_clock = 50e6;  // [Hz] comparison / bit clock
+  units::Hertz sample_clock{50e6};  // comparison / bit clock
   tech::CmosTech tech;
 
   // Full-precision requirement for a crossbar column and the algorithm
@@ -31,8 +32,8 @@ struct AdcModel {
   static int required_bits(int input_bits, int weight_bits, int rows,
                            int algorithm_cap);
 
-  [[nodiscard]] double conversion_latency() const;  // [s] per sample
-  [[nodiscard]] double conversion_energy() const;   // [J] per sample
+  [[nodiscard]] units::Seconds conversion_latency() const;  // per sample
+  [[nodiscard]] units::Joules conversion_energy() const;     // per sample
   [[nodiscard]] Ppa ppa() const;
 
   void validate() const;

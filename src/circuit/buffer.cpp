@@ -2,21 +2,26 @@
 
 #include <stdexcept>
 
+#include "util/quantity.hpp"
+
 namespace mnsim::circuit {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 namespace {
-constexpr double kRefCycle = 10e-9;
+constexpr Seconds kRefCycle = 10_ns;
 }
 
 Ppa RegisterBankModel::ppa() const {
   validate();
   const double cells = static_cast<double>(words) * bits;
   Ppa p;
-  p.area = cells * tech.reg_area;
+  p.area = (cells * tech.reg_area).value();
   // One word written per event.
-  p.dynamic_power = bits * tech.reg_energy / kRefCycle;
-  p.leakage_power = cells * tech.reg_leakage;
-  p.latency = 2 * tech.gate_delay;  // setup + clock-to-q
+  p.dynamic_power = (bits * tech.reg_energy / kRefCycle).value();
+  p.leakage_power = (cells * tech.reg_leakage).value();
+  p.latency = (2 * tech.gate_delay).value();  // setup + clock-to-q
   return p;
 }
 
@@ -37,11 +42,11 @@ Ppa LineBufferModel::ppa() const {
   const double cells =
       static_cast<double>(length) * bits * channels;
   Ppa p;
-  p.area = cells * tech.reg_area;
+  p.area = (cells * tech.reg_area).value();
   // The whole chain shifts once per iteration.
-  p.dynamic_power = cells * tech.reg_energy / kRefCycle;
-  p.leakage_power = cells * tech.reg_leakage;
-  p.latency = 2 * tech.gate_delay;
+  p.dynamic_power = (cells * tech.reg_energy / kRefCycle).value();
+  p.leakage_power = (cells * tech.reg_leakage).value();
+  p.latency = (2 * tech.gate_delay).value();
   return p;
 }
 
@@ -54,7 +59,7 @@ long IoInterfaceModel::transfer_cycles() const {
   return (sample_bits + wires - 1) / wires;
 }
 
-double IoInterfaceModel::transfer_latency() const {
+Seconds IoInterfaceModel::transfer_latency() const {
   return static_cast<double>(transfer_cycles()) / bus_clock;
 }
 
@@ -64,18 +69,21 @@ Ppa IoInterfaceModel::ppa() const {
   // Sample buffer plus bus drivers.
   const double buffer_cells = static_cast<double>(sample_bits);
   const double driver_gates = 4.0 * wires;
-  p.area = buffer_cells * tech.reg_area + driver_gates * tech.gate_area;
+  p.area =
+      (buffer_cells * tech.reg_area + driver_gates * tech.gate_area).value();
   p.dynamic_power =
-      (wires * tech.reg_energy + driver_gates * 0.5 * tech.gate_energy) *
-      bus_clock;
+      ((wires * tech.reg_energy + driver_gates * 0.5 * tech.gate_energy) *
+       bus_clock)
+          .value();
   p.leakage_power =
-      buffer_cells * tech.reg_leakage + driver_gates * tech.gate_leakage;
-  p.latency = transfer_latency();
+      (buffer_cells * tech.reg_leakage + driver_gates * tech.gate_leakage)
+          .value();
+  p.latency = transfer_latency().value();
   return p;
 }
 
 void IoInterfaceModel::validate() const {
-  if (wires <= 0 || sample_bits <= 0 || bus_clock <= 0)
+  if (wires <= 0 || sample_bits <= 0 || bus_clock <= 0_Hz)
     throw std::invalid_argument("IoInterfaceModel: arguments");
 }
 

@@ -12,6 +12,7 @@
 
 #include "circuit/module.hpp"
 #include "tech/cmos_tech.hpp"
+#include "util/quantity.hpp"
 
 namespace mnsim::circuit {
 
@@ -48,11 +49,11 @@ struct LineBufferModel {
 struct IoInterfaceModel {
   int wires = 128;
   long sample_bits = 128;
-  double bus_clock = 200e6;
+  units::Hertz bus_clock{200e6};
   tech::CmosTech tech;
 
   [[nodiscard]] long transfer_cycles() const;
-  [[nodiscard]] double transfer_latency() const;
+  [[nodiscard]] units::Seconds transfer_latency() const;
   [[nodiscard]] Ppa ppa() const;
   void validate() const;
 };

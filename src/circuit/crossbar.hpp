@@ -11,6 +11,7 @@
 #include "circuit/module.hpp"
 #include "tech/interconnect.hpp"
 #include "tech/memristor.hpp"
+#include "util/quantity.hpp"
 
 namespace mnsim::circuit {
 
@@ -19,47 +20,47 @@ struct CrossbarModel {
   int cols = 128;                  // N (outputs)
   tech::MemristorModel device;
   tech::CellType cell = tech::CellType::k1T1R;
-  int interconnect_node_nm = 28;   // wire technology inside the array
-  double sense_resistance = 60.0;  // equivalent column load R_s [ohm]
+  int interconnect_node_nm = 28;      // wire technology inside the array
+  units::Ohms sense_resistance{60.0}; // equivalent column load R_s
 
   // --- electrical helpers -------------------------------------------------
 
   // Interconnect resistance r between neighbouring cells.
-  [[nodiscard]] double wire_segment_resistance() const;
+  [[nodiscard]] units::Ohms wire_segment_resistance() const;
 
   // Column parallel resistance including wires (paper Eq. 10).
   // `cell_resistance` is the per-cell state (use device.r_min for the
   // worst case or the harmonic mean for the average case); pass the
   // nonlinearity-corrected value for R_act analyses.
-  [[nodiscard]] double column_parallel_resistance(
-      double cell_resistance) const;
+  [[nodiscard]] units::Ohms column_parallel_resistance(
+      units::Ohms cell_resistance) const;
 
   // Column output voltage for equal inputs v_in (paper Eq. 9).
-  [[nodiscard]] double output_voltage(double v_in,
-                                      double cell_resistance) const;
+  [[nodiscard]] units::Volts output_voltage(units::Volts v_in,
+                                            units::Ohms cell_resistance) const;
 
   // Voltage across one cell — its share of the series divider formed by
   // the effective wire resistance, the cell, and the column load; this is
   // the operating point the nonlinear V-I correction is evaluated at.
-  [[nodiscard]] double cell_operating_voltage(double v_in,
-                                              double cell_resistance) const;
+  [[nodiscard]] units::Volts cell_operating_voltage(
+      units::Volts v_in, units::Ohms cell_resistance) const;
 
   // --- performance --------------------------------------------------------
 
-  [[nodiscard]] double area() const;  // cells only (decoders are separate)
+  [[nodiscard]] units::Area area() const;  // cells only (decoders separate)
 
   // Power while computing, all cells selected (paper Sec. V-A): inputs at
   // v_read, every cell at the harmonic-mean resistance (average case) or
   // r_min (worst case).
-  [[nodiscard]] double compute_power_average() const;
-  [[nodiscard]] double compute_power_worst() const;
+  [[nodiscard]] units::Watts compute_power_average() const;
+  [[nodiscard]] units::Watts compute_power_worst() const;
 
   // Memory READ power: one selected cell driven at v_read.
-  [[nodiscard]] double read_power() const;
+  [[nodiscard]] units::Watts read_power() const;
 
   // Analog settling time of a compute cycle: device read latency plus the
   // distributed-RC settling of the worst-case line (Elmore-style).
-  [[nodiscard]] double compute_latency() const;
+  [[nodiscard]] units::Seconds compute_latency() const;
 
   // Aggregate quadruple for a compute cycle (uses average-case power).
   [[nodiscard]] Ppa compute_ppa() const;
@@ -68,7 +69,7 @@ struct CrossbarModel {
   void validate() const;
 
  private:
-  [[nodiscard]] double total_compute_power(double cell_resistance) const;
+  [[nodiscard]] units::Watts total_compute_power(units::Ohms cell_resistance) const;
 };
 
 }  // namespace mnsim::circuit

@@ -7,6 +7,7 @@
 namespace mnsim::circuit {
 
 using namespace mnsim::units;
+using namespace mnsim::units::literals;
 
 int DacModel::gate_count() const {
   // Resistor-string DAC: 2^bits taps with selection switches, plus input
@@ -17,24 +18,24 @@ int DacModel::gate_count() const {
   return 100 + 25 * (1 << bits);
 }
 
-double DacModel::conversion_energy() const {
+Joules DacModel::conversion_energy() const {
   // Energy figure-of-merit formulation: E = FoM * 2^bits per conversion.
-  constexpr double kFomPerStep = 25e-15;  // 25 fJ/step at 45 nm
+  constexpr Joules kFomPerStep = 25_fJ;  // per step at 45 nm
   const double node_scale = tech.node_nm / 45.0;
-  const double v = tech.vdd / 1.0;
+  const double v = tech.vdd / 1.0_V;
   return kFomPerStep * (1 << bits) * node_scale * v * v;
 }
 
-double DacModel::conversion_latency() const {
-  return 10 * ns * (tech.node_nm / 45.0);
+Seconds DacModel::conversion_latency() const {
+  return 10_ns * (tech.node_nm / 45.0);
 }
 
 Ppa DacModel::ppa() const {
   Ppa p;
-  p.area = gate_count() * tech.gate_area;
-  p.dynamic_power = conversion_energy() / conversion_latency();
-  p.leakage_power = 0.1 * gate_count() * tech.gate_leakage;
-  p.latency = conversion_latency();
+  p.area = (gate_count() * tech.gate_area).value();
+  p.dynamic_power = (conversion_energy() / conversion_latency()).value();
+  p.leakage_power = (0.1 * gate_count() * tech.gate_leakage).value();
+  p.latency = conversion_latency().value();
   return p;
 }
 

@@ -9,6 +9,7 @@
 
 #include "circuit/module.hpp"
 #include "tech/cmos_tech.hpp"
+#include "util/quantity.hpp"
 
 namespace mnsim::circuit {
 
@@ -17,8 +18,8 @@ struct DacModel {
   tech::CmosTech tech;
 
   [[nodiscard]] int gate_count() const;
-  [[nodiscard]] double conversion_energy() const;  // [J] per conversion
-  [[nodiscard]] double conversion_latency() const; // [s]
+  [[nodiscard]] units::Joules conversion_energy() const;   // per conversion
+  [[nodiscard]] units::Seconds conversion_latency() const;
   [[nodiscard]] Ppa ppa() const;  // dynamic power at one conversion/latency
 
   void validate() const;

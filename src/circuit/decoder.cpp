@@ -3,7 +3,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/quantity.hpp"
+
 namespace mnsim::circuit {
+
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
 
 int DecoderModel::address_bits() const {
   int bits = 0;
@@ -23,18 +28,18 @@ int DecoderModel::gate_count() const {
 Ppa DecoderModel::ppa() const {
   Ppa p;
   const int gates = gate_count();
-  p.area = gates * tech.gate_area;
+  p.area = (gates * tech.gate_area).value();
   // In compute mode only the control path toggles once per cycle; charge
   // the selector plane at a conservative 25 % activity at the decode event
   // over a 10 ns reference cycle.
   constexpr double kActivity = 0.25;
-  constexpr double kCycle = 10e-9;
-  p.dynamic_power = gates * kActivity * tech.gate_energy / kCycle;
-  p.leakage_power = gates * tech.gate_leakage;
+  constexpr Seconds kCycle = 10_ns;
+  p.dynamic_power = (gates * kActivity * tech.gate_energy / kCycle).value();
+  p.leakage_power = (gates * tech.gate_leakage).value();
   // Critical path: address tree depth plus the NOR and the transfer gate.
   int depth = address_bits() + 2;
   if (kind == DecoderKind::kComputationOriented) depth += 1;
-  p.latency = depth * tech.gate_delay;
+  p.latency = (depth * tech.gate_delay).value();
   return p;
 }
 

@@ -3,26 +3,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/quantity.hpp"
+
 namespace mnsim::circuit {
+
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
 
 namespace {
 
 // Activity-weighted dynamic power for a block of `gates` gates toggling
 // once per `cycle` with the given activity factor.
-double dyn_power(double gates, double activity, double cycle,
-                 const tech::CmosTech& tech) {
+Watts dyn_power(double gates, double activity, Seconds cycle,
+                const tech::CmosTech& tech) {
   return gates * activity * tech.gate_energy / cycle;
 }
 
-constexpr double kRefCycle = 10e-9;  // reference activity window [s]
+constexpr Seconds kRefCycle = 10_ns;  // reference activity window
 
 Ppa gate_block(double gates, int depth, const tech::CmosTech& tech,
                double activity = 0.5) {
   Ppa p;
-  p.area = gates * tech.gate_area;
-  p.dynamic_power = dyn_power(gates, activity, kRefCycle, tech);
-  p.leakage_power = gates * tech.gate_leakage;
-  p.latency = depth * tech.gate_delay;
+  p.area = (gates * tech.gate_area).value();
+  p.dynamic_power = dyn_power(gates, activity, kRefCycle, tech).value();
+  p.leakage_power = (gates * tech.gate_leakage).value();
+  p.latency = (depth * tech.gate_delay).value();
   return p;
 }
 
@@ -61,9 +66,9 @@ Ppa mux_ppa(int inputs, int bits, const tech::CmosTech& tech) {
 Ppa counter_ppa(int bits, const tech::CmosTech& tech) {
   if (bits <= 0) throw std::invalid_argument("counter_ppa: bits");
   Ppa p = gate_block(4.0 * bits, 2, tech, 0.5);
-  p.area += bits * tech.reg_area;
-  p.dynamic_power += bits * tech.reg_energy / kRefCycle;
-  p.leakage_power += bits * tech.reg_leakage;
+  p.area += (bits * tech.reg_area).value();
+  p.dynamic_power += (bits * tech.reg_energy / kRefCycle).value();
+  p.leakage_power += (bits * tech.reg_leakage).value();
   return p;
 }
 

@@ -2,10 +2,15 @@
 
 #include <stdexcept>
 
+#include "util/quantity.hpp"
+
 namespace mnsim::circuit {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 namespace {
-constexpr double kRefCycle = 10e-9;
+constexpr Seconds kRefCycle = 10_ns;
 }
 
 Ppa NeuronModel::ppa() const {
@@ -16,33 +21,38 @@ Ppa NeuronModel::ppa() const {
       // 2^bits-entry LUT of `bits`-wide words plus address decode.
       const double lut_bits = static_cast<double>(1 << bits) * bits;
       const double gates = 4.0 * bits + 20.0;
-      p.area = lut_bits * tech.sram_bit_area + gates * tech.gate_area;
+      p.area =
+          (lut_bits * tech.sram_bit_area + gates * tech.gate_area).value();
       p.dynamic_power =
-          (bits * tech.reg_energy + gates * 0.3 * tech.gate_energy) /
-          kRefCycle;
+          ((bits * tech.reg_energy + gates * 0.3 * tech.gate_energy) /
+           kRefCycle)
+              .value();
       p.leakage_power =
-          0.02 * lut_bits * tech.gate_leakage + gates * tech.gate_leakage;
-      p.latency = (bits + 4) * tech.gate_delay;  // decode + read
+          (0.02 * lut_bits * tech.gate_leakage + gates * tech.gate_leakage)
+              .value();
+      p.latency = ((bits + 4) * tech.gate_delay).value();  // decode + read
       break;
     }
     case NeuronKind::kRelu: {
       // Sign comparator + output mux.
       const double gates = 3.0 * bits + 4.0;
-      p.area = gates * tech.gate_area;
-      p.dynamic_power = gates * 0.3 * tech.gate_energy / kRefCycle;
-      p.leakage_power = gates * tech.gate_leakage;
-      p.latency = 3 * tech.gate_delay;
+      p.area = (gates * tech.gate_area).value();
+      p.dynamic_power = (gates * 0.3 * tech.gate_energy / kRefCycle).value();
+      p.leakage_power = (gates * tech.gate_leakage).value();
+      p.latency = (3 * tech.gate_delay).value();
       break;
     }
     case NeuronKind::kIntegrateFire: {
       // Accumulator register + adder + threshold comparator + reset.
       const double gates = 6.0 * bits /*adder*/ + 3.0 * bits /*cmp*/ + 8.0;
-      p.area = gates * tech.gate_area + bits * tech.reg_area;
+      p.area = (gates * tech.gate_area + bits * tech.reg_area).value();
       p.dynamic_power =
-          (gates * 0.5 * tech.gate_energy + bits * tech.reg_energy) /
-          kRefCycle;
-      p.leakage_power = gates * tech.gate_leakage + bits * tech.reg_leakage;
-      p.latency = (2 * bits + 3) * tech.gate_delay;
+          ((gates * 0.5 * tech.gate_energy + bits * tech.reg_energy) /
+           kRefCycle)
+              .value();
+      p.leakage_power =
+          (gates * tech.gate_leakage + bits * tech.reg_leakage).value();
+      p.latency = ((2 * bits + 3) * tech.gate_delay).value();
       break;
     }
   }
@@ -58,12 +68,12 @@ Ppa PoolingModel::ppa() const {
   const int comparators = window * window - 1;
   Ppa p;
   const double gates = comparators * 4.0 * bits;
-  p.area = gates * tech.gate_area;
-  p.dynamic_power = gates * 0.3 * tech.gate_energy / kRefCycle;
-  p.leakage_power = gates * tech.gate_leakage;
+  p.area = (gates * tech.gate_area).value();
+  p.dynamic_power = (gates * 0.3 * tech.gate_energy / kRefCycle).value();
+  p.leakage_power = (gates * tech.gate_leakage).value();
   int depth = 0;
   while ((1 << depth) < window * window) ++depth;
-  p.latency = depth * 2.0 * bits / 4.0 * tech.gate_delay;
+  p.latency = (depth * 2.0 * bits / 4.0 * tech.gate_delay).value();
   return p;
 }
 

@@ -4,10 +4,15 @@
 #include <random>
 #include <stdexcept>
 
+#include "util/quantity.hpp"
+
 namespace mnsim::circuit {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 namespace {
-constexpr double kRefCycle = 10e-9;
+constexpr Seconds kRefCycle = 10_ns;
 }
 
 Ppa WriteDriverModel::ppa() const {
@@ -16,16 +21,16 @@ Ppa WriteDriverModel::ppa() const {
   // switch; shared pulse-timing control.
   const double gates = 16.0 * columns + 60.0;
   Ppa p;
-  p.area = gates * tech.gate_area;
-  p.dynamic_power = gates * 0.3 * tech.gate_energy / kRefCycle;
-  p.leakage_power = gates * tech.gate_leakage;
-  p.latency = 4 * tech.gate_delay + device.write_latency;
+  p.area = (gates * tech.gate_area).value();
+  p.dynamic_power = (gates * 0.3 * tech.gate_energy / kRefCycle).value();
+  p.leakage_power = (gates * tech.gate_leakage).value();
+  p.latency = (4 * tech.gate_delay + device.write_latency).value();
   return p;
 }
 
-double WriteDriverModel::pulse_energy(double r_state) const {
+Joules WriteDriverModel::pulse_energy(Ohms r_state) const {
   validate();
-  if (!(r_state > 0))
+  if (!(r_state > 0_Ohm))
     throw std::invalid_argument("WriteDriverModel: r_state");
   return device.v_write * device.v_write / r_state * device.write_latency;
 }
@@ -66,7 +71,7 @@ double ProgramVerifyModel::expected_pulses(int from_level,
   return travel + 2.0 * retries;
 }
 
-double ProgramVerifyModel::row_program_time(int cells) const {
+Seconds ProgramVerifyModel::row_program_time(int cells) const {
   validate();
   if (cells <= 0) throw std::invalid_argument("row_program_time: cells");
   // Worst cell of the row dominates: the full-range transition plus a

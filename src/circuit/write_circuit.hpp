@@ -15,6 +15,7 @@
 #include "circuit/module.hpp"
 #include "tech/cmos_tech.hpp"
 #include "tech/memristor.hpp"
+#include "util/quantity.hpp"
 
 namespace mnsim::circuit {
 
@@ -27,7 +28,7 @@ struct WriteDriverModel {
 
   [[nodiscard]] Ppa ppa() const;
   // Energy of one programming pulse into a cell at `r_state`.
-  [[nodiscard]] double pulse_energy(double r_state) const;
+  [[nodiscard]] units::Joules pulse_energy(units::Ohms r_state) const;
   void validate() const;
 };
 
@@ -48,7 +49,7 @@ struct ProgramVerifyModel {
 
   // Expected worst-case programming time for a full crossbar row written
   // in parallel (the slowest cell of `cells` dominates).
-  [[nodiscard]] double row_program_time(int cells) const;
+  [[nodiscard]] units::Seconds row_program_time(int cells) const;
 
   struct McResult {
     double mean_pulses = 0.0;

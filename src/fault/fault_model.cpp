@@ -97,7 +97,8 @@ void apply_to_resistance_map(
 
   for (const auto& f : map.stuck_cells)
     cell_resistance[f.row][f.col] =
-        f.kind == FaultKind::kStuckAtZero ? device.r_max : device.r_min;
+        (f.kind == FaultKind::kStuckAtZero ? device.r_max : device.r_min)
+            .value();
 
   if (map.drift_factor != 1.0)
     for (auto& row : cell_resistance)
@@ -203,11 +204,11 @@ FaultErrorResult estimate_fault_error(const accuracy::CrossbarErrorInputs& in,
     std::vector<std::vector<double>> cells(
         static_cast<std::size_t>(in.rows),
         std::vector<double>(static_cast<std::size_t>(in.cols), base_state));
-    const auto clean =
-        star_outputs(cells, in.device.v_read, in.sense_resistance);
+    const auto clean = star_outputs(cells, in.device.v_read.value(),
+                                    in.sense_resistance.value());
     apply_to_resistance_map(map, in.device, cells);
-    const auto faulted =
-        star_outputs(cells, in.device.v_read, in.sense_resistance);
+    const auto faulted = star_outputs(cells, in.device.v_read.value(),
+                                      in.sense_resistance.value());
     std::vector<double> dev(clean.size(), 0.0);
     for (std::size_t j = 0; j < clean.size(); ++j)
       dev[j] = clean[j] > 0 ? std::fabs(faulted[j] - clean[j]) / clean[j]
@@ -216,10 +217,11 @@ FaultErrorResult estimate_fault_error(const accuracy::CrossbarErrorInputs& in,
   };
 
   // Worst case: every cell at r_min (paper convention), worst column.
-  for (double d : deviations(in.device.r_min))
+  for (double d : deviations(in.device.r_min.value()))
     result.fault_worst = std::max(result.fault_worst, d);
   // Average case: harmonic-mean cells, column average.
-  const auto avg_dev = deviations(in.device.harmonic_mean_resistance());
+  const auto avg_dev =
+      deviations(in.device.harmonic_mean_resistance().value());
   for (double d : avg_dev) result.fault_average += d;
   if (!avg_dev.empty())
     result.fault_average /= static_cast<double>(avg_dev.size());

@@ -452,7 +452,7 @@ ElectricalLayerResult electrical_layer_outputs(
   for (int i = 0; i < rows; ++i) {
     if (inputs[i] < 0 || inputs[i] > in_full_scale)
       throw std::invalid_argument("electrical_layer_outputs: input code");
-    v_in[i] = device.v_read * inputs[i] / in_full_scale;
+    v_in[i] = device.v_read.value() * inputs[i] / in_full_scale;
   }
 
   auto make_spec = [&](const std::vector<std::vector<double>>& cell_r) {

@@ -52,8 +52,8 @@ CellMatrices weights_to_cells(const IntMatrix& weights, int weight_bits,
   if (weight_bits < 2 || weight_bits > 16)
     throw std::invalid_argument("weights_to_cells: weight_bits");
   const int full_scale = (1 << (weight_bits - 1)) - 1;
-  const double g_min = 1.0 / device.r_max;
-  const double g_max = 1.0 / device.r_min;
+  const units::Siemens g_min = 1.0 / device.r_max;
+  const units::Siemens g_max = 1.0 / device.r_min;
 
   CellMatrices cells;
   cells.positive.resize(weights.size());
@@ -68,14 +68,14 @@ CellMatrices weights_to_cells(const IntMatrix& weights, int weight_bits,
           static_cast<double>(std::abs(w)) / full_scale;  // 0..1
       // Program the matching-polarity cell; snap to the nearest device
       // level so the stored value honours the device's level count.
-      const double g_target = g_min + magnitude * (g_max - g_min);
+      const units::Siemens g_target = g_min + magnitude * (g_max - g_min);
       const int level = device.level_for_conductance(g_target);
-      const double r_programmed = device.resistance_for_level(level);
+      const double r_programmed = device.resistance_for_level(level).value();
       if (w >= 0) {
         cells.positive[i].push_back(r_programmed);
-        cells.negative[i].push_back(device.r_max);
+        cells.negative[i].push_back(device.r_max.value());
       } else {
-        cells.positive[i].push_back(device.r_max);
+        cells.positive[i].push_back(device.r_max.value());
         cells.negative[i].push_back(r_programmed);
       }
     }

@@ -99,7 +99,8 @@ CustomAcceleratorSpec build_prime_ff_subarray() {
 
   // PRIME reads through fast flash-style 6-bit SAs, 16 per crossbar pair
   // -> 16 sequential column groups per 256-column readout.
-  circuit::AdcModel sa{circuit::AdcKind::kFlash, 6, 50e6, cmos};
+  circuit::AdcModel sa{circuit::AdcKind::kFlash, 6, units::Hertz{50e6},
+                       cmos};
   const double read_groups = 16.0;
   auto& adc = spec.add("6-bit SA", sa.ppa(), 2 * 16, read_groups, true);
   adc.ppa.latency *= read_groups;  // sequential groups on the path

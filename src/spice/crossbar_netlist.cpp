@@ -15,7 +15,8 @@ CrossbarSpec CrossbarSpec::uniform(int rows, int cols,
   spec.device = device;
   spec.segment_resistance = segment_resistance;
   spec.sense_resistance = sense_resistance;
-  spec.input_voltages.assign(static_cast<std::size_t>(rows), device.v_read);
+  spec.input_voltages.assign(static_cast<std::size_t>(rows),
+                             device.v_read.value());
   spec.cell_resistance.assign(
       static_cast<std::size_t>(rows),
       std::vector<double>(static_cast<std::size_t>(cols), r_state));

@@ -10,7 +10,7 @@ double crossbar_elmore_tau(const CrossbarSpec& spec,
   // Harmonic-mean column resistance as the source impedance seen by the
   // line, in series with the ladder of (rows + cols) RC segments plus the
   // sense resistor. Elmore: tau = sum_k R_upstream(k) * C_k.
-  double r_cell_avg = spec.device.harmonic_mean_resistance();
+  const double r_cell_avg = spec.device.harmonic_mean_resistance().value();
   const double r_par =
       (r_cell_avg + (spec.rows + spec.cols) * spec.segment_resistance) /
       spec.rows;
@@ -29,7 +29,7 @@ double crossbar_settling_latency(const CrossbarSpec& spec,
                                  int output_bits) {
   const double tau = crossbar_elmore_tau(spec, segment_capacitance);
   const double settle = std::log(std::pow(2.0, output_bits + 1)) * tau;
-  return spec.device.read_latency + settle;
+  return spec.device.read_latency.value() + settle;
 }
 
 }  // namespace mnsim::spice

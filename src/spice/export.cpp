@@ -50,9 +50,10 @@ std::string export_spice(const Netlist& nl, const std::string& title) {
     } else {
       // Behavioral element: I = (vt / R) * sinh(V / vt).
       os << "B" << name_or(m.name, "x") << ' ' << node_name(m.a) << ' '
-         << node_name(m.b) << " I=" << fmt(dev.nonlinearity_vt / m.r_state)
+         << node_name(m.b) << " I="
+         << fmt(dev.nonlinearity_vt.value() / m.r_state)
          << "*sinh(V(" << node_name(m.a) << ',' << node_name(m.b) << ")/"
-         << fmt(dev.nonlinearity_vt) << ")\n";
+         << fmt(dev.nonlinearity_vt.value()) << ")\n";
     }
   }
   os << ".op\n.end\n";

@@ -152,7 +152,7 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
     }
   }
 
-  if (vt > 0.0) device.nonlinearity_vt = vt;
+  if (vt > 0.0) device.nonlinearity_vt = units::Volts{vt};
   Netlist nl(device);
   for (int n = 0; n < max_node; ++n) (void)nl.add_node();
   for (const auto& r : resistors) nl.add_resistor(r.a, r.b, r.ohms, r.name);

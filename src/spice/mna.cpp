@@ -77,8 +77,8 @@ void assemble(const Netlist& nl, const Indexer& ix,
     // stamped as conductance g_d plus current source I(v0) - g_d v0.
     const double v0 = voltages[m.a] - voltages[m.b];
     const double arg =
-        std::clamp(v0 / dev.nonlinearity_vt, -max_arg, max_arg);
-    const double a_coef = dev.nonlinearity_vt / m.r_state;
+        std::clamp(v0 / dev.nonlinearity_vt.value(), -max_arg, max_arg);
+    const double a_coef = dev.nonlinearity_vt.value() / m.r_state;
     const double i0 = a_coef * std::sinh(arg);
     const double gd = std::cosh(arg) / m.r_state;
     stamp(ix, sink, rhs, m.a, m.b, gd, i0 - gd * v0);
@@ -251,7 +251,9 @@ double memristor_current(const Netlist& nl, const MemristorElement& m,
                          const DcResult& dc) {
   const double v = dc.voltage(m.a) - dc.voltage(m.b);
   if (nl.linear_memristors()) return v / m.r_state;
-  return nl.device().current(m.r_state, v);
+  return nl.device()
+      .current(units::Ohms{m.r_state}, units::Volts{v})
+      .value();
 }
 
 double total_source_power(const Netlist& nl, const DcResult& dc) {

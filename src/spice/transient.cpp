@@ -84,10 +84,9 @@ TransientResult solve_transient(const Netlist& nl,
           continue;
         }
         const double v0 = v_next[m.a] - v_next[m.b];
-        const double i0 =
-            (dev.nonlinearity_vt / m.r_state) *
-            std::sinh(v0 / dev.nonlinearity_vt);
-        const double gd = std::cosh(v0 / dev.nonlinearity_vt) / m.r_state;
+        const double vt = dev.nonlinearity_vt.value();
+        const double i0 = (vt / m.r_state) * std::sinh(v0 / vt);
+        const double gd = std::cosh(v0 / vt) / m.r_state;
         internal::stamp(ix, builder, rhs, m.a, m.b, gd, i0 - gd * v0);
       }
 

@@ -8,6 +8,7 @@
 namespace mnsim::tech {
 
 using namespace mnsim::units;
+using namespace mnsim::units::literals;
 
 namespace {
 
@@ -42,9 +43,9 @@ CmosTech cmos_tech(int node_nm) {
                                 " nm outside supported range [16, 250]");
   }
   // 45 nm anchors (CACTI/PTM-class magnitudes).
-  constexpr double kGateDelay45 = 20 * ps;   // FO4-ish minimum gate delay
-  constexpr double kGateEnergy45 = 1.0 * fF; // C*V^2 with ~1 fF switched cap
-  constexpr double kGateLeak45 = 20 * nW;
+  constexpr Seconds kGateDelay45 = 20_ps;  // FO4-ish minimum gate delay
+  constexpr Joules kGateEnergy45 = 1.0_fJ; // C*V^2 with ~1 fF switched cap
+  constexpr Watts kGateLeak45 = 20_nW;
   constexpr double kGateArea45 = 100.0;      // in F^2
   constexpr double kRegArea45 = 650.0;       // in F^2
   constexpr double kRegEnergy45 = 4.0;       // in gate-energy units
@@ -52,16 +53,16 @@ CmosTech cmos_tech(int node_nm) {
 
   CmosTech t;
   t.node_nm = node_nm;
-  t.feature_size = node_nm * nm;
-  t.vdd = vdd_for(node_nm);
+  t.feature_size = node_nm * 1.0_nm;
+  t.vdd = Volts{vdd_for(node_nm)};
 
-  const double s = node_nm / 45.0;          // linear scale factor
-  const double v = t.vdd / 1.0;             // voltage scale vs 45 nm
-  const double f2 = t.feature_size * t.feature_size;
+  const double scale = node_nm / 45.0;       // linear scale factor
+  const double vscale = t.vdd / 1.0_V;       // voltage scale vs 45 nm
+  const Area f2 = t.feature_size * t.feature_size;
 
-  t.gate_delay = kGateDelay45 * s;
-  t.gate_energy = kGateEnergy45 * s * v * v;  // CV^2, C ~ F
-  t.gate_leakage = kGateLeak45 * s * v;
+  t.gate_delay = kGateDelay45 * scale;
+  t.gate_energy = kGateEnergy45 * scale * vscale * vscale;  // CV^2, C ~ F
+  t.gate_leakage = kGateLeak45 * scale * vscale;
   t.gate_area = kGateArea45 * f2;
   t.reg_area = kRegArea45 * f2;
   t.reg_energy = kRegEnergy45 * t.gate_energy;

@@ -10,20 +10,22 @@
 
 #include <vector>
 
+#include "util/quantity.hpp"
+
 namespace mnsim::tech {
 
 struct CmosTech {
-  int node_nm = 45;         // feature size F in nanometres
-  double feature_size = 0;  // F in metres
-  double vdd = 0;           // supply voltage [V]
-  double gate_delay = 0;    // FO4-class delay of a minimum gate [s]
-  double gate_energy = 0;   // switching energy of a minimum 2-input gate [J]
-  double gate_leakage = 0;  // static power of a minimum 2-input gate [W]
-  double gate_area = 0;     // layout area of a minimum 2-input gate [m^2]
-  double reg_area = 0;      // area of one register bit (DFF) [m^2]
-  double reg_energy = 0;    // clocking energy of one register bit [J]
-  double reg_leakage = 0;   // leakage of one register bit [W]
-  double sram_bit_area = 0; // area of one SRAM bit [m^2] (buffers)
+  int node_nm = 45;              // feature size F in nanometres (node label)
+  units::Metres feature_size;    // F
+  units::Volts vdd;              // supply voltage
+  units::Seconds gate_delay;     // FO4-class delay of a minimum gate
+  units::Joules gate_energy;     // switching energy of a minimum 2-input gate
+  units::Watts gate_leakage;     // static power of a minimum 2-input gate
+  units::Area gate_area;         // layout area of a minimum 2-input gate
+  units::Area reg_area;          // area of one register bit (DFF)
+  units::Joules reg_energy;      // clocking energy of one register bit
+  units::Watts reg_leakage;      // leakage of one register bit
+  units::Area sram_bit_area;     // area of one SRAM bit (buffers)
 };
 
 // Returns the technology parameters for a node (nm). Supported nodes are

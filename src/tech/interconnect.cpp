@@ -8,6 +8,7 @@
 namespace mnsim::tech {
 
 using namespace mnsim::units;
+using namespace mnsim::units::literals;
 
 InterconnectTech interconnect_tech(int node_nm) {
   if (node_nm < 10 || node_nm > 180) {
@@ -20,14 +21,14 @@ InterconnectTech interconnect_tech(int node_nm) {
   // 256x256 crossbar lands in the band the paper reports (~8 % at 45 nm
   // and ~18 % at 28 nm; Tables IV/V). Resistance grows as the inverse of
   // the wire cross-section when the node shrinks.
-  constexpr double kR45 = 0.022;       // ohm per segment at 45 nm
-  constexpr double kC45 = 0.06 * fF;   // per segment at 45 nm
+  constexpr Ohms kR45 = 0.022_Ohm;     // per segment at 45 nm
+  constexpr Farads kC45 = 0.06_fF;     // per segment at 45 nm
 
-  const double s = 45.0 / node_nm;
+  const double scale = 45.0 / node_nm;
   InterconnectTech t;
   t.node_nm = node_nm;
-  t.segment_resistance = kR45 * s * s;
-  t.segment_capacitance = kC45 / s;
+  t.segment_resistance = kR45 * scale * scale;
+  t.segment_capacitance = kC45 / scale;
   return t;
 }
 

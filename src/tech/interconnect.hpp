@@ -8,12 +8,14 @@
 // length-proportional (~node).
 #pragma once
 
+#include "util/quantity.hpp"
+
 namespace mnsim::tech {
 
 struct InterconnectTech {
   int node_nm = 45;
-  double segment_resistance = 0;   // r between neighbouring cells [ohm]
-  double segment_capacitance = 0;  // per-segment wire capacitance [F]
+  units::Ohms segment_resistance;    // r between neighbouring cells
+  units::Farads segment_capacitance; // per-segment wire capacitance
 };
 
 // Parameters for an interconnect technology node (nm). The paper sweeps

@@ -9,59 +9,60 @@
 namespace mnsim::tech {
 
 using namespace mnsim::units;
+using namespace mnsim::units::literals;
 
-double MemristorModel::resistance_for_level(int level) const {
+Ohms MemristorModel::resistance_for_level(int level) const {
   if (level < 0 || level >= levels())
     throw std::out_of_range("MemristorModel: level out of range");
-  const double g_min = 1.0 / r_max;
-  const double g_max = 1.0 / r_min;
+  const Siemens g_min = 1.0 / r_max;
+  const Siemens g_max = 1.0 / r_min;
   const double t = levels() > 1
                        ? static_cast<double>(level) / (levels() - 1)
                        : 0.0;
   return 1.0 / (g_min + t * (g_max - g_min));
 }
 
-int MemristorModel::level_for_conductance(double g) const {
-  const double g_min = 1.0 / r_max;
-  const double g_max = 1.0 / r_min;
-  const double clamped = std::clamp(g, g_min, g_max);
+int MemristorModel::level_for_conductance(Siemens g) const {
+  const Siemens g_min = 1.0 / r_max;
+  const Siemens g_max = 1.0 / r_min;
+  const Siemens clamped = std::clamp(g, g_min, g_max);
   const double t = (clamped - g_min) / (g_max - g_min);
   return static_cast<int>(std::lround(t * (levels() - 1)));
 }
 
-double MemristorModel::harmonic_mean_resistance() const {
+Ohms MemristorModel::harmonic_mean_resistance() const {
   return 2.0 / (1.0 / r_min + 1.0 / r_max);
 }
 
-double MemristorModel::write_pulse_energy() const {
+Joules MemristorModel::write_pulse_energy() const {
   return v_write * v_write / harmonic_mean_resistance() * write_latency;
 }
 
-double MemristorModel::current(double r_state, double v) const {
+Amps MemristorModel::current(Ohms r_state, Volts v) const {
   // I = A*sinh(v / vt), with A = vt / r_state so that dI/dV at V=0 is
   // 1/r_state (linear-limit calibration).
-  const double a = nonlinearity_vt / r_state;
+  const Amps a = nonlinearity_vt / r_state;
   return a * std::sinh(v / nonlinearity_vt);
 }
 
-double MemristorModel::actual_resistance(double r_state, double v) const {
-  const double u = std::fabs(v) / nonlinearity_vt;
+Ohms MemristorModel::actual_resistance(Ohms r_state, Volts v) const {
+  const double u = abs(v) / nonlinearity_vt;
   if (u < 1e-9) return r_state;
   return r_state * u / std::sinh(u);
 }
 
-double MemristorModel::varied_resistance(double r_state, double v,
-                                         int direction) const {
+Ohms MemristorModel::varied_resistance(Ohms r_state, Volts v,
+                                       int direction) const {
   const double factor = 1.0 + (direction >= 0 ? sigma : -sigma);
   return actual_resistance(r_state, v) * factor;
 }
 
 void MemristorModel::validate() const {
-  if (!(r_min > 0) || !(r_max > r_min))
+  if (!(r_min > 0_Ohm) || !(r_max > r_min))
     throw std::invalid_argument("MemristorModel: need 0 < r_min < r_max");
   if (level_bits < 1 || level_bits > 10)
     throw std::invalid_argument("MemristorModel: level_bits outside [1,10]");
-  if (!(v_read > 0) || !(nonlinearity_vt > 0))
+  if (!(v_read > 0_V) || !(nonlinearity_vt > 0_V))
     throw std::invalid_argument("MemristorModel: voltages must be positive");
   if (sigma < 0 || sigma > 0.3)
     throw std::invalid_argument("MemristorModel: sigma outside [0, 0.3]");
@@ -84,14 +85,14 @@ MemristorModel default_pcm() {
   MemristorModel m;
   m.kind = DeviceKind::kPcm;
   m.name = "PCM";
-  m.r_min = 5e3;
-  m.r_max = 1e6;
+  m.r_min = 5_kOhm;
+  m.r_max = 1_MOhm;
   m.level_bits = 4;
-  m.v_read = 0.05;
-  m.v_write = 3.0;
-  m.nonlinearity_vt = 0.08;
-  m.write_latency = 100e-9;  // SET/RESET pulses are slower than RRAM
-  m.read_latency = 10e-9;
+  m.v_read = 50_mV;
+  m.v_write = 3_V;
+  m.nonlinearity_vt = 80_mV;
+  m.write_latency = 100_ns;  // SET/RESET pulses are slower than RRAM
+  m.read_latency = 10_ns;
   m.endurance = 1e8;  // PCM wears out earlier than RRAM
   m.validate();
   return m;
@@ -101,14 +102,14 @@ MemristorModel default_stt_mram() {
   MemristorModel m;
   m.kind = DeviceKind::kSttMram;
   m.name = "STT-MRAM";
-  m.r_min = 2e3;   // parallel state
-  m.r_max = 5e3;   // anti-parallel: ~2.5x TMR ratio
+  m.r_min = 2_kOhm;  // parallel state
+  m.r_max = 5_kOhm;  // anti-parallel: ~2.5x TMR ratio
   m.level_bits = 1;
-  m.v_read = 0.05;
-  m.v_write = 0.6;           // spin-torque switching voltage
-  m.nonlinearity_vt = 0.5;   // MTJs are close to ohmic at read bias
-  m.write_latency = 3e-9;    // fast switching
-  m.read_latency = 2e-9;
+  m.v_read = 50_mV;
+  m.v_write = 0.6_V;         // spin-torque switching voltage
+  m.nonlinearity_vt = 0.5_V; // MTJs are close to ohmic at read bias
+  m.write_latency = 3_ns;    // fast switching
+  m.read_latency = 2_ns;
   m.endurance = 1e15;        // effectively unlimited
   m.validate();
   return m;
@@ -123,8 +124,9 @@ MemristorModel memristor_by_name(const std::string& name) {
                               "'");
 }
 
-double cell_area(const MemristorModel& device, CellType cell) {
-  const double f2 = (device.feature_nm * nm) * (device.feature_nm * nm);
+Area cell_area(const MemristorModel& device, CellType cell) {
+  const Metres f = device.feature_nm * 1.0_nm;
+  const Area f2 = f * f;
   switch (cell) {
     case CellType::k1T1R:
       return 3.0 * (device.transistor_wl + 1.0) * f2;  // Eq. 7

@@ -17,6 +17,8 @@
 
 #include <string>
 
+#include "util/quantity.hpp"
+
 namespace mnsim::tech {
 
 enum class DeviceKind { kRram, kPcm, kSttMram };
@@ -25,50 +27,52 @@ enum class CellType { k1T1R, k0T1R };
 struct MemristorModel {
   DeviceKind kind = DeviceKind::kRram;
   std::string name = "RRAM";
-  double r_min = 500.0;       // lowest resistance state [ohm]
-  double r_max = 500e3;       // highest resistance state [ohm]
+  units::Ohms r_min{500.0};   // lowest resistance state
+  units::Ohms r_max{500e3};   // highest resistance state
   int level_bits = 7;         // bits per cell (2^bits resistance levels)
-  double v_read = 0.05;       // full-scale input (read) voltage [V]
-  double v_write = 2.0;       // programming voltage [V]
-  double nonlinearity_vt = 0.05;  // sinh scale [V]; larger = more linear
+  units::Volts v_read{0.05};  // full-scale input (read) voltage
+  units::Volts v_write{2.0};  // programming voltage
+  units::Volts nonlinearity_vt{0.05};  // sinh scale; larger = more linear
   double sigma = 0.0;         // max relative resistance deviation (0..0.3)
-  double feature_nm = 45;     // memristor feature size F [nm]
-  double write_latency = 10e-9;   // per-level programming pulse [s]
-  double read_latency = 5e-9;     // cell read settling [s]
+  double feature_nm = 45;     // memristor feature size F in nm (node label)
+  units::Seconds write_latency{10e-9};  // per-level programming pulse
+  units::Seconds read_latency{5e-9};    // cell read settling
   double transistor_wl = 3.0;     // W/L of the access transistor (1T1R)
   double endurance = 1e9;         // programming cycles before wear-out
 
   // Energy of one programming pulse: v_write^2 / R over the pulse width,
   // at the harmonic-mean resistance (the average-case rule of Sec. V-A).
-  [[nodiscard]] double write_pulse_energy() const;
+  [[nodiscard]] units::Joules write_pulse_energy() const;
 
   [[nodiscard]] int levels() const { return 1 << level_bits; }
 
   // Resistance of level `level` in [0, levels-1]; levels are linear in
   // conductance (level 0 = g_min = 1/r_max, max level = g_max = 1/r_min),
   // the standard programming target for matrix storage.
-  [[nodiscard]] double resistance_for_level(int level) const;
+  [[nodiscard]] units::Ohms resistance_for_level(int level) const;
 
   // Conductance-space inverse of resistance_for_level: the nearest level
   // for a desired conductance (clamped to the device range).
-  [[nodiscard]] int level_for_conductance(double g) const;
+  [[nodiscard]] int level_for_conductance(units::Siemens g) const;
 
   // Harmonic mean of r_min and r_max; the paper uses it as the
   // average-case cell resistance for power estimation (Sec. V-A).
-  [[nodiscard]] double harmonic_mean_resistance() const;
+  [[nodiscard]] units::Ohms harmonic_mean_resistance() const;
 
   // Device current at cell voltage v for a cell programmed to r_state.
-  [[nodiscard]] double current(double r_state, double v) const;
+  [[nodiscard]] units::Amps current(units::Ohms r_state, units::Volts v) const;
 
   // Effective (chord) resistance V/I at operating voltage v. Equals
   // r_state in the linear limit v -> 0 and monotonically decreases with
   // |v| (sinh super-linearity).
-  [[nodiscard]] double actual_resistance(double r_state, double v) const;
+  [[nodiscard]] units::Ohms actual_resistance(units::Ohms r_state,
+                                              units::Volts v) const;
 
   // actual_resistance with the Eq. 16 worst-case variation applied;
   // `direction` is +1 or -1 for (1 + sigma) or (1 - sigma).
-  [[nodiscard]] double varied_resistance(double r_state, double v,
-                                         int direction) const;
+  [[nodiscard]] units::Ohms varied_resistance(units::Ohms r_state,
+                                              units::Volts v,
+                                              int direction) const;
 
   // Validates invariants (0 < r_min < r_max, bits in [1, 10], ...).
   // Throws std::invalid_argument when violated.
@@ -85,8 +89,8 @@ MemristorModel default_pcm();
 MemristorModel default_stt_mram();
 MemristorModel memristor_by_name(const std::string& name);
 
-// Cell area per Eq. 7 / Eq. 8 [m^2]. For 1T1R: 3*(W/L + 1)*F^2 with the
+// Cell area per Eq. 7 / Eq. 8. For 1T1R: 3*(W/L + 1)*F^2 with the
 // access transistor W/L; for 0T1R (cross-point): 4*F^2.
-double cell_area(const MemristorModel& device, CellType cell);
+units::Area cell_area(const MemristorModel& device, CellType cell);
 
 }  // namespace mnsim::tech

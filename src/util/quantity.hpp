@@ -1,0 +1,283 @@
+// Compile-time dimensional analysis for MNSIM's physical quantities.
+//
+// Every analytical model in this codebase (crossbar Eq. 7/8, pooling
+// Eq. 6, the Fig. 4 decoders, the ADC/DAC latency-power models) moves
+// volts, ohms, siemens, farads, seconds, joules, watts and areas between
+// modules. Passing a resistance where a conductance is expected used to
+// compile silently and corrupt every downstream Table 2/3 number; with
+// Quantity<Dim> it is a type error.
+//
+// Design:
+//  * A dimension is a pack of integer exponents over the SI base units
+//    this codebase needs: metre, kilogram, second, ampere.
+//  * Quantity<Dim> wraps exactly one double. It is trivially copyable and
+//    the same size as double (static_assert'ed below) — zero runtime
+//    overhead, zero ABI change.
+//  * `+`/`-`/comparison only combine identical dimensions. `*`/`/`
+//    compose dimensions; a product or quotient whose dimension cancels
+//    collapses to plain double, so ratios (v / v_t, r / r_ref) feed
+//    std::sinh / std::log / ... without ceremony.
+//  * Construction from double is explicit; reading the raw value is the
+//    explicit `.value()` escape hatch for the numeric/SPICE solver
+//    boundary (raw matrices) and the Ppa aggregation boundary.
+//  * Literal suffixes (`0.05_V`, `500.0_kOhm`, `5_ns`) live in
+//    mnsim::units::literals; typed one-unit constants (units::V,
+//    units::Ohm, units::GOhm, ...) live in util/units.hpp.
+#pragma once
+
+#include <type_traits>
+
+namespace mnsim::units {
+
+// Integer exponents over the SI base units (metre, kilogram, second,
+// ampere). Kelvin/mole/candela are not modelled anywhere in MNSIM.
+template <int M, int Kg, int S, int A>
+struct Dim {
+  static constexpr int metre = M;
+  static constexpr int kilogram = Kg;
+  static constexpr int second = S;
+  static constexpr int ampere = A;
+};
+
+using ScalarDim = Dim<0, 0, 0, 0>;
+
+template <class D1, class D2>
+using MulDim = Dim<D1::metre + D2::metre, D1::kilogram + D2::kilogram,
+                   D1::second + D2::second, D1::ampere + D2::ampere>;
+
+template <class D1, class D2>
+using DivDim = Dim<D1::metre - D2::metre, D1::kilogram - D2::kilogram,
+                   D1::second - D2::second, D1::ampere - D2::ampere>;
+
+template <class D>
+using InvDim = DivDim<ScalarDim, D>;
+
+template <class D>
+class Quantity;
+
+// Maps a result dimension to the type `*`/`/` return: Quantity<D> in
+// general, but a fully cancelled dimension collapses to plain double.
+template <class D>
+struct DimResult {
+  using type = Quantity<D>;
+  static constexpr type wrap(double v) { return type{v}; }
+};
+template <>
+struct DimResult<ScalarDim> {
+  using type = double;
+  static constexpr double wrap(double v) { return v; }
+};
+
+template <class D>
+class Quantity {
+ public:
+  using dimension = D;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double raw) : v_(raw) {}
+
+  // The escape hatch: crossing into raw-double territory (SPICE matrices,
+  // Ppa aggregation, reports) is always spelled out at the call site.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  // --- same-dimension arithmetic -------------------------------------------
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double k) {
+    v_ *= k;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double k) {
+    v_ /= k;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v_ + b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v_ - b.v_};
+  }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity operator+() const { return *this; }
+
+  // --- dimensionless scaling -----------------------------------------------
+  friend constexpr Quantity operator*(Quantity a, double k) {
+    return Quantity{a.v_ * k};
+  }
+  friend constexpr Quantity operator*(double k, Quantity a) {
+    return Quantity{k * a.v_};
+  }
+  friend constexpr Quantity operator/(Quantity a, double k) {
+    return Quantity{a.v_ / k};
+  }
+
+  // --- comparison (same dimension only) ------------------------------------
+  friend constexpr bool operator==(Quantity a, Quantity b) {
+    return a.v_ == b.v_;
+  }
+  friend constexpr bool operator!=(Quantity a, Quantity b) {
+    return a.v_ != b.v_;
+  }
+  friend constexpr bool operator<(Quantity a, Quantity b) {
+    return a.v_ < b.v_;
+  }
+  friend constexpr bool operator<=(Quantity a, Quantity b) {
+    return a.v_ <= b.v_;
+  }
+  friend constexpr bool operator>(Quantity a, Quantity b) {
+    return a.v_ > b.v_;
+  }
+  friend constexpr bool operator>=(Quantity a, Quantity b) {
+    return a.v_ >= b.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+// --- dimension-composing arithmetic ----------------------------------------
+
+template <class D1, class D2>
+constexpr typename DimResult<MulDim<D1, D2>>::type operator*(Quantity<D1> a,
+                                                             Quantity<D2> b) {
+  return DimResult<MulDim<D1, D2>>::wrap(a.value() * b.value());
+}
+
+template <class D1, class D2>
+constexpr typename DimResult<DivDim<D1, D2>>::type operator/(Quantity<D1> a,
+                                                             Quantity<D2> b) {
+  return DimResult<DivDim<D1, D2>>::wrap(a.value() / b.value());
+}
+
+// double / Quantity inverts the dimension (1 / Ohms -> Siemens).
+template <class D>
+constexpr Quantity<InvDim<D>> operator/(double k, Quantity<D> a) {
+  return Quantity<InvDim<D>>{k / a.value()};
+}
+
+// Magnitude without leaving the dimension (std::fabs would demand the
+// raw value); found by ADL on any Quantity argument.
+template <class D>
+constexpr Quantity<D> abs(Quantity<D> q) {
+  return q.value() < 0 ? -q : q;
+}
+
+// --- named aliases ----------------------------------------------------------
+
+using Metres = Quantity<Dim<1, 0, 0, 0>>;
+using Area = Quantity<Dim<2, 0, 0, 0>>;  // [m^2]
+using AreaUm2 = Area;  // historical alias; the value is still SI [m^2]
+using Seconds = Quantity<Dim<0, 0, 1, 0>>;
+using Hertz = Quantity<Dim<0, 0, -1, 0>>;
+using Amps = Quantity<Dim<0, 0, 0, 1>>;
+using Volts = Quantity<Dim<2, 1, -3, -1>>;
+using Ohms = Quantity<Dim<2, 1, -3, -2>>;
+using Siemens = Quantity<Dim<-2, -1, 3, 2>>;
+using Farads = Quantity<Dim<-2, -1, 4, 2>>;
+using Watts = Quantity<Dim<2, 1, -3, 0>>;
+using Joules = Quantity<Dim<2, 1, -2, 0>>;
+
+// --- zero-overhead and algebra proofs ---------------------------------------
+
+static_assert(sizeof(Volts) == sizeof(double),
+              "Quantity must add no storage over double");
+static_assert(sizeof(Ohms) == sizeof(double) &&
+                  sizeof(Seconds) == sizeof(double) &&
+                  sizeof(Area) == sizeof(double),
+              "Quantity must add no storage over double");
+static_assert(alignof(Volts) == alignof(double));
+static_assert(std::is_trivially_copyable_v<Ohms> &&
+              std::is_trivially_destructible_v<Ohms>);
+static_assert(std::is_same_v<decltype(Volts{1} * Amps{1}), Watts>);
+static_assert(std::is_same_v<decltype(Volts{1} / Ohms{1}), Amps>);
+static_assert(std::is_same_v<decltype(Watts{1} * Seconds{1}), Joules>);
+static_assert(std::is_same_v<decltype(1.0 / Ohms{1}), Siemens>);
+static_assert(std::is_same_v<decltype(1.0 / Seconds{1}), Hertz>);
+static_assert(std::is_same_v<decltype(Ohms{1} * Farads{1}), Seconds>);
+static_assert(std::is_same_v<decltype(Metres{1} * Metres{1}), Area>);
+static_assert(std::is_same_v<decltype(Volts{2} / Volts{1}), double>,
+              "cancelled dimensions collapse to double");
+
+namespace literals {
+
+// clang-format off
+#define MNSIM_UNIT_LITERAL(suffix, QuantityType, factor)                      \
+  constexpr QuantityType operator""_##suffix(long double v) {                 \
+    return QuantityType{static_cast<double>(v) * (factor)};                   \
+  }                                                                           \
+  constexpr QuantityType operator""_##suffix(unsigned long long v) {          \
+    return QuantityType{static_cast<double>(v) * (factor)};                   \
+  }
+
+// Length / area.
+MNSIM_UNIT_LITERAL(m,    Metres, 1.0)
+MNSIM_UNIT_LITERAL(mm,   Metres, 1e-3)
+MNSIM_UNIT_LITERAL(um,   Metres, 1e-6)
+MNSIM_UNIT_LITERAL(nm,   Metres, 1e-9)
+MNSIM_UNIT_LITERAL(m2,   Area,   1.0)
+MNSIM_UNIT_LITERAL(mm2,  Area,   1e-6)
+MNSIM_UNIT_LITERAL(um2,  Area,   1e-12)
+MNSIM_UNIT_LITERAL(nm2,  Area,   1e-18)
+// Time.
+MNSIM_UNIT_LITERAL(s,    Seconds, 1.0)
+MNSIM_UNIT_LITERAL(ms,   Seconds, 1e-3)
+MNSIM_UNIT_LITERAL(us,   Seconds, 1e-6)
+MNSIM_UNIT_LITERAL(ns,   Seconds, 1e-9)
+MNSIM_UNIT_LITERAL(ps,   Seconds, 1e-12)
+// Frequency.
+MNSIM_UNIT_LITERAL(Hz,   Hertz, 1.0)
+MNSIM_UNIT_LITERAL(kHz,  Hertz, 1e3)
+MNSIM_UNIT_LITERAL(MHz,  Hertz, 1e6)
+MNSIM_UNIT_LITERAL(GHz,  Hertz, 1e9)
+// Voltage / current.
+MNSIM_UNIT_LITERAL(V,    Volts, 1.0)
+MNSIM_UNIT_LITERAL(mV,   Volts, 1e-3)
+MNSIM_UNIT_LITERAL(uV,   Volts, 1e-6)
+MNSIM_UNIT_LITERAL(A,    Amps, 1.0)
+MNSIM_UNIT_LITERAL(mA,   Amps, 1e-3)
+MNSIM_UNIT_LITERAL(uA,   Amps, 1e-6)
+MNSIM_UNIT_LITERAL(nA,   Amps, 1e-9)
+// Resistance / conductance.
+MNSIM_UNIT_LITERAL(Ohm,  Ohms, 1.0)
+MNSIM_UNIT_LITERAL(kOhm, Ohms, 1e3)
+MNSIM_UNIT_LITERAL(MOhm, Ohms, 1e6)
+MNSIM_UNIT_LITERAL(GOhm, Ohms, 1e9)
+MNSIM_UNIT_LITERAL(S,    Siemens, 1.0)
+MNSIM_UNIT_LITERAL(mS,   Siemens, 1e-3)
+MNSIM_UNIT_LITERAL(uS,   Siemens, 1e-6)
+// Capacitance.
+MNSIM_UNIT_LITERAL(F,    Farads, 1.0)
+MNSIM_UNIT_LITERAL(uF,   Farads, 1e-6)
+MNSIM_UNIT_LITERAL(nF,   Farads, 1e-9)
+MNSIM_UNIT_LITERAL(pF,   Farads, 1e-12)
+MNSIM_UNIT_LITERAL(fF,   Farads, 1e-15)
+// Power / energy.
+MNSIM_UNIT_LITERAL(W,    Watts, 1.0)
+MNSIM_UNIT_LITERAL(mW,   Watts, 1e-3)
+MNSIM_UNIT_LITERAL(uW,   Watts, 1e-6)
+MNSIM_UNIT_LITERAL(nW,   Watts, 1e-9)
+MNSIM_UNIT_LITERAL(J,    Joules, 1.0)
+MNSIM_UNIT_LITERAL(mJ,   Joules, 1e-3)
+MNSIM_UNIT_LITERAL(uJ,   Joules, 1e-6)
+MNSIM_UNIT_LITERAL(nJ,   Joules, 1e-9)
+MNSIM_UNIT_LITERAL(pJ,   Joules, 1e-12)
+MNSIM_UNIT_LITERAL(fJ,   Joules, 1e-15)
+// clang-format on
+
+#undef MNSIM_UNIT_LITERAL
+
+static_assert((5_ns).value() == 5e-9);
+static_assert((0.05_V).value() == 0.05);
+static_assert((2_GOhm).value() == 2e9);
+static_assert((4_nF).value() == 4e-9);
+
+}  // namespace literals
+
+}  // namespace mnsim::units

@@ -1,12 +1,26 @@
 // Unit helpers used throughout MNSIM.
 //
 // All internal quantities are SI: metres, seconds, watts, joules, ohms,
-// volts, amperes, farads. These constexpr factors make call sites read as
-// the paper does ("90nm CMOS", "50MHz ADC", "500k ohm") without ad-hoc
-// magic multipliers scattered through the models.
+// volts, amperes, farads. Two families live here:
+//
+//  * Raw double scale factors (nm, ns, kOhm, ...) for the raw-double
+//    boundary: report formatting, CSV/JSON output, SPICE matrices, and
+//    tests that assert on plain numbers.
+//  * Typed one-unit constants (s, V, A, Ohm, W, J, Hz, S, GOhm, nF, ...)
+//    whose products are dimensional Quantity values — `3.3 * units::GOhm`
+//    is an Ohms, not a bare 3.3e9. Prefer these (or the literal suffixes
+//    in mnsim::units::literals, e.g. `0.05_V`, `5_ns`) in model code so
+//    call sites never hand-roll 1e9-style factors.
+//
+// The dimensional-analysis machinery itself is util/quantity.hpp; see
+// docs/STATIC_ANALYSIS.md for the adoption rules.
 #pragma once
 
+#include "util/quantity.hpp"
+
 namespace mnsim::units {
+
+// --- raw double scale factors (boundary / formatting use) -------------------
 
 // Length.
 inline constexpr double nm = 1e-9;
@@ -43,5 +57,23 @@ inline constexpr double kOhm = 1e3;
 inline constexpr double MOhm = 1e6;
 inline constexpr double fF = 1e-15;
 inline constexpr double pF = 1e-12;
+
+// --- typed base units and prefixes ------------------------------------------
+// One unit of each dimension as a Quantity; multiplying by a double yields
+// a typed quantity (`60.0 * units::Ohm` -> Ohms). These are the names the
+// raw-factor family above never had: the SI bases plus the prefixes that
+// used to be hand-rolled (GOhm, nF).
+
+inline constexpr Seconds s{1.0};
+inline constexpr Volts V{1.0};
+inline constexpr Amps A{1.0};
+inline constexpr Ohms Ohm{1.0};
+inline constexpr Watts W{1.0};
+inline constexpr Joules J{1.0};
+inline constexpr Hertz Hz{1.0};
+inline constexpr Siemens S{1.0};
+inline constexpr Farads F{1.0};
+inline constexpr Ohms GOhm{1e9};
+inline constexpr Farads nF{1e-9};
 
 }  // namespace mnsim::units

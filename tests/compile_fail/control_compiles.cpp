@@ -1,0 +1,15 @@
+// Positive control for the compile-fail harness: this file exercises the
+// same headers and MUST compile. If it stops compiling, the negative
+// checks above prove nothing (they would "fail" for the wrong reason).
+#include "tech/memristor.hpp"
+#include "util/quantity.hpp"
+
+int main() {
+  using namespace mnsim::units;
+  const auto device = mnsim::tech::default_rram();
+  const Siemens g = 1.0 / device.r_min;
+  const Volts v = device.v_read + Volts{0.01};
+  const Amps i = v / device.r_min;
+  return device.level_for_conductance(g) + static_cast<int>(i.value() * 0.0) +
+         static_cast<int>(g.value() * 0.0);
+}

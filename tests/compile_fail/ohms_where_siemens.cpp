@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: passing a resistance where a conductance is expected.
+// This is the exact bug class from the issue: a resistance handed to the
+// harmonic-mean power model's conductance parameter used to compile
+// silently when both were raw doubles.
+#include "tech/memristor.hpp"
+
+int main() {
+  const auto device = mnsim::tech::default_rram();
+  // level_for_conductance takes Siemens; r_min is Ohms. No conversion.
+  return device.level_for_conductance(device.r_min);
+}

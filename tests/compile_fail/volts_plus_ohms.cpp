@@ -1,0 +1,11 @@
+// MUST NOT COMPILE: adding quantities of different dimensions.
+// Registered by tests/CMakeLists.txt as a negative try_compile check; if
+// this file ever compiles, the dimensional-safety layer is broken.
+#include "util/quantity.hpp"
+
+int main() {
+  const mnsim::units::Volts v{1.0};
+  const mnsim::units::Ohms r{2.0};
+  auto broken = v + r;  // cross-dimension addition: no such operator+
+  return static_cast<int>(broken.value());
+}

@@ -11,7 +11,7 @@ TEST(AccuracyFit, SmallSweepRecoversWireCoefficient) {
   // should track the circuit-level samples within the paper's RMSE claim
   // (< 0.01 in error-rate units; we allow 0.02 for the reduced sweep).
   auto fit = calibrate_against_spice({8, 16, 32}, {45, 28},
-                                     tech::default_rram(), 60.0);
+                                     tech::default_rram(), units::Ohms{60.0});
   EXPECT_GT(fit.alpha, 0.5);
   EXPECT_LT(fit.alpha, 1.5);
   EXPECT_LT(fit.rmse, 0.02);
@@ -25,22 +25,22 @@ TEST(AccuracyFit, SmallSweepRecoversWireCoefficient) {
 
 TEST(AccuracyFit, ShippedAlphaCloseToFitted) {
   auto fit = calibrate_against_spice({16, 32, 64}, {45},
-                                     tech::default_rram(), 60.0);
+                                     tech::default_rram(), units::Ohms{60.0});
   EXPECT_NEAR(fit.alpha, tech::kSharedCurrentAlpha, 0.25);
 }
 
 TEST(AccuracyFit, CoarserWiresGiveSmallerErrors) {
   auto fit = calibrate_against_spice({32}, {90, 45, 28},
-                                     tech::default_rram(), 60.0);
+                                     tech::default_rram(), units::Ohms{60.0});
   ASSERT_EQ(fit.samples.size(), 3u);
   EXPECT_LT(fit.samples[0].spice_error, fit.samples[1].spice_error);
   EXPECT_LT(fit.samples[1].spice_error, fit.samples[2].spice_error);
 }
 
 TEST(AccuracyFit, EmptySweepThrows) {
-  EXPECT_THROW(calibrate_against_spice({}, {45}, tech::default_rram(), 60.0),
+  EXPECT_THROW(calibrate_against_spice({}, {45}, tech::default_rram(), units::Ohms{60.0}),
                std::invalid_argument);
-  EXPECT_THROW(calibrate_against_spice({8}, {}, tech::default_rram(), 60.0),
+  EXPECT_THROW(calibrate_against_spice({8}, {}, tech::default_rram(), units::Ohms{60.0}),
                std::invalid_argument);
 }
 

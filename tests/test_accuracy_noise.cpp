@@ -64,7 +64,7 @@ TEST(ReadNoise, Validation) {
   in.rows = 0;
   EXPECT_THROW(estimate_read_noise(in), std::invalid_argument);
   in = make();
-  in.bandwidth = 0;
+  in.bandwidth = mnsim::units::Hertz{0.0};
   EXPECT_THROW(estimate_read_noise(in), std::invalid_argument);
   in = make();
   in.output_bits = 0;

@@ -12,8 +12,8 @@ CrossbarErrorInputs make(int size = 64) {
   in.rows = size;
   in.cols = size;
   in.device = tech::default_rram();
-  in.segment_resistance = 0.022;
-  in.sense_resistance = 60.0;
+  in.segment_resistance = mnsim::units::Ohms{0.022};
+  in.sense_resistance = mnsim::units::Ohms{60.0};
   return in;
 }
 

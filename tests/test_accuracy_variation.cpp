@@ -17,8 +17,8 @@ CrossbarErrorInputs make(double sigma) {
   in.cols = 12;
   in.device = tech::default_rram();
   in.device.sigma = sigma;
-  in.segment_resistance = 0.022;
-  in.sense_resistance = 60.0;
+  in.segment_resistance = mnsim::units::Ohms{0.022};
+  in.sense_resistance = mnsim::units::Ohms{60.0};
   return in;
 }
 
@@ -81,8 +81,8 @@ TEST(VariationMc, ScoresWorstColumnNotJustLast) {
   // Re-run the published per-trial streams through an independent solve
   // and recompute both scorings.
   auto spec = spice::CrossbarSpec::uniform(
-      in.rows, in.cols, in.device, in.segment_resistance,
-      in.sense_resistance, in.device.r_min);
+      in.rows, in.cols, in.device, in.segment_resistance.value(),
+      in.sense_resistance.value(), in.device.r_min.value());
   const auto v_ideal = spice::ideal_column_outputs(spec);
   int worst_not_last = 0;
   for (int t = 0; t < opt.trials; ++t) {
@@ -91,7 +91,8 @@ TEST(VariationMc, ScoresWorstColumnNotJustLast) {
     std::uniform_real_distribution<double> dev(1.0 - in.device.sigma,
                                                1.0 + in.device.sigma);
     for (auto& row : spec.cell_resistance)
-      for (double& cell : row) cell = in.device.r_min * dev(rng);
+      for (double& cell : row)
+        cell = in.device.r_min.value() * dev(rng);
     const auto sol = spice::solve_crossbar(spec);
     double worst = 0.0;
     std::size_t worst_col = 0;

@@ -12,8 +12,8 @@ CrossbarErrorInputs make(int size, int node_r_scale = 1) {
   in.rows = size;
   in.cols = size;
   in.device = tech::default_rram();
-  in.segment_resistance = 0.022 * node_r_scale;
-  in.sense_resistance = 60.0;
+  in.segment_resistance = units::Ohms{0.022 * node_r_scale};
+  in.sense_resistance = units::Ohms{60.0};
   return in;
 }
 
@@ -24,7 +24,7 @@ TEST(VoltageError, BoundsAndSanity) {
     EXPECT_LT(e.worst, 1.0);
     EXPECT_GE(e.average, 0.0);
     EXPECT_LT(e.average, 1.0);
-    EXPECT_GT(e.cell_operating_voltage, 0.0);
+    EXPECT_GT(e.cell_operating_voltage.value(), 0.0);
     EXPECT_LT(e.cell_operating_voltage, make(size).device.v_read);
   }
 }
@@ -63,7 +63,7 @@ TEST(VoltageError, FinerInterconnectIsWorse) {
   // 28 nm wires have ~2.6x the per-segment resistance of 45 nm.
   auto coarse = estimate_voltage_error(make(256, 1));
   auto in = make(256);
-  in.segment_resistance = 0.022 * (45.0 / 28.0) * (45.0 / 28.0);
+  in.segment_resistance = units::Ohms{0.022 * (45.0 / 28.0) * (45.0 / 28.0)};
   auto fine = estimate_voltage_error(in);
   EXPECT_GT(fine.worst, 1.5 * coarse.worst);
 }
@@ -73,7 +73,7 @@ TEST(VoltageError, PaperBandsAt45And28nm) {
   // ~8 % at 45 nm and ~18 % at 28 nm wires.
   EXPECT_NEAR(estimate_voltage_error(make(256)).worst, 0.077, 0.02);
   auto in = make(256);
-  in.segment_resistance = 0.022 * (45.0 / 28.0) * (45.0 / 28.0);
+  in.segment_resistance = units::Ohms{0.022 * (45.0 / 28.0) * (45.0 / 28.0)};
   EXPECT_NEAR(estimate_voltage_error(in).worst, 0.18, 0.04);
 }
 
@@ -87,8 +87,8 @@ TEST(VoltageError, VariationWorsensWorstCase) {
 
 TEST(VoltageError, ZeroWireZeroNonlinearityIsExact) {
   auto in = make(64);
-  in.segment_resistance = 0.0;
-  in.device.nonlinearity_vt = 1e6;  // essentially linear
+  in.segment_resistance = units::Ohms{0.0};
+  in.device.nonlinearity_vt = units::Volts{1e6};  // essentially linear
   auto e = estimate_voltage_error(in);
   EXPECT_NEAR(e.worst, 0.0, 1e-6);
   EXPECT_NEAR(e.average, 0.0, 1e-6);
@@ -116,10 +116,10 @@ TEST(VoltageError, ValidationErrors) {
   auto in = make(0);
   EXPECT_THROW(in.validate(), std::invalid_argument);
   in = make(8);
-  in.sense_resistance = 0;
+  in.sense_resistance = units::Ohms{0.0};
   EXPECT_THROW(in.validate(), std::invalid_argument);
   in = make(8);
-  in.segment_resistance = -1;
+  in.segment_resistance = units::Ohms{-1.0};
   EXPECT_THROW(in.validate(), std::invalid_argument);
 }
 

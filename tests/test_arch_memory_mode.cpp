@@ -111,7 +111,7 @@ TEST(ReadMargin, Validation) {
   auto in = margin_inputs(0);
   EXPECT_THROW(in.validate(), std::invalid_argument);
   in = margin_inputs(8);
-  in.background_resistance = -1;
+  in.background_resistance = mnsim::units::Ohms{-1.0};
   EXPECT_THROW(in.validate(), std::invalid_argument);
 }
 

@@ -73,8 +73,8 @@ TEST(Params, DeviceAppliesRangeAndSigma) {
   c.resistance_max = 1e6;
   c.device_sigma = 0.1;
   auto d = c.device();
-  EXPECT_DOUBLE_EQ(d.r_min, 1e3);
-  EXPECT_DOUBLE_EQ(d.r_max, 1e6);
+  EXPECT_DOUBLE_EQ(d.r_min.value(), 1e3);
+  EXPECT_DOUBLE_EQ(d.r_max.value(), 1e6);
   EXPECT_DOUBLE_EQ(d.sigma, 0.1);
 }
 

@@ -116,12 +116,13 @@ TEST(Training, Validation) {
 TEST(Training, WritePulseEnergyModel) {
   auto rram = tech::default_rram();
   // v_write^2 / R_harm * pulse width.
-  const double expected = rram.v_write * rram.v_write /
-                          rram.harmonic_mean_resistance() *
-                          rram.write_latency;
-  EXPECT_NEAR(rram.write_pulse_energy(), expected, 1e-18);
+  const double expected = (rram.v_write * rram.v_write /
+                           rram.harmonic_mean_resistance() *
+                           rram.write_latency)
+                              .value();
+  EXPECT_NEAR(rram.write_pulse_energy().value(), expected, 1e-18);
   auto pcm = tech::default_pcm();
-  EXPECT_GT(pcm.write_pulse_energy(), 0.0);
+  EXPECT_GT(pcm.write_pulse_energy().value(), 0.0);
 }
 
 }  // namespace

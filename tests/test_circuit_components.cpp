@@ -10,6 +10,9 @@
 namespace mnsim::circuit {
 namespace {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 const tech::CmosTech kCmos = tech::cmos_tech(45);
 
 void expect_sane(const Ppa& p) {
@@ -79,32 +82,32 @@ TEST(Adc, RequiredBitsRule) {
 }
 
 TEST(Adc, BitSerialSaLatency) {
-  AdcModel sa{AdcKind::kMultiLevelSA, 8, 50e6, kCmos};
-  EXPECT_NEAR(sa.conversion_latency(), 8.0 / 50e6, 1e-15);  // 160 ns
-  AdcModel flash{AdcKind::kFlash, 8, 50e6, kCmos};
-  EXPECT_NEAR(flash.conversion_latency(), 1.0 / 50e6, 1e-15);
+  AdcModel sa{AdcKind::kMultiLevelSA, 8, 50_MHz, kCmos};
+  EXPECT_NEAR(sa.conversion_latency().value(), 8.0 / 50e6, 1e-15);
+  AdcModel flash{AdcKind::kFlash, 8, 50_MHz, kCmos};
+  EXPECT_NEAR(flash.conversion_latency().value(), 1.0 / 50e6, 1e-15);
 }
 
 TEST(Adc, SarIsMostEnergyEfficient) {
-  AdcModel sa{AdcKind::kMultiLevelSA, 8, 50e6, kCmos};
-  AdcModel sar{AdcKind::kSar, 8, 50e6, kCmos};
-  AdcModel flash{AdcKind::kFlash, 8, 50e6, kCmos};
+  AdcModel sa{AdcKind::kMultiLevelSA, 8, 50_MHz, kCmos};
+  AdcModel sar{AdcKind::kSar, 8, 50_MHz, kCmos};
+  AdcModel flash{AdcKind::kFlash, 8, 50_MHz, kCmos};
   EXPECT_LT(sar.conversion_energy(), sa.conversion_energy());
   EXPECT_LT(sa.conversion_energy(), flash.conversion_energy());
 }
 
 TEST(Adc, FlashAreaExplodesWithBits) {
-  AdcModel f6{AdcKind::kFlash, 6, 50e6, kCmos};
-  AdcModel f8{AdcKind::kFlash, 8, 50e6, kCmos};
+  AdcModel f6{AdcKind::kFlash, 6, 50_MHz, kCmos};
+  AdcModel f8{AdcKind::kFlash, 8, 50_MHz, kCmos};
   EXPECT_NEAR(f8.ppa().area / f6.ppa().area, 4.0, 1e-9);
   expect_sane(f8.ppa());
 }
 
 TEST(Adc, Validation) {
-  AdcModel a{AdcKind::kSar, 0, 50e6, kCmos};
+  AdcModel a{AdcKind::kSar, 0, 50_MHz, kCmos};
   EXPECT_THROW(a.validate(), std::invalid_argument);
   a.bits = 8;
-  a.sample_clock = 0;
+  a.sample_clock = 0_Hz;
   EXPECT_THROW(a.validate(), std::invalid_argument);
 }
 

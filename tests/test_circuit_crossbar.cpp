@@ -8,6 +8,7 @@ namespace mnsim::circuit {
 namespace {
 
 using namespace mnsim::units;
+using namespace mnsim::units::literals;
 
 CrossbarModel make(int size = 128) {
   CrossbarModel x;
@@ -20,53 +21,59 @@ CrossbarModel make(int size = 128) {
 
 TEST(Crossbar, AreaIsCellsTimesCellArea) {
   auto x = make(64);
-  EXPECT_NEAR(x.area(), 64.0 * 64.0 * tech::cell_area(x.device, x.cell),
-              1e-18);
+  EXPECT_NEAR(x.area().value(),
+              64.0 * 64.0 * tech::cell_area(x.device, x.cell).value(), 1e-18);
   x.cell = tech::CellType::k0T1R;
-  EXPECT_LT(x.area(), 64.0 * 64.0 * tech::cell_area(tech::default_rram(),
-                                                    tech::CellType::k1T1R));
+  EXPECT_LT(x.area().value(),
+            64.0 * 64.0 *
+                tech::cell_area(tech::default_rram(), tech::CellType::k1T1R)
+                    .value());
 }
 
 TEST(Crossbar, OutputVoltageIsDividerOfEq9) {
   auto x = make(128);
-  const double r_cell = 1000.0;
-  const double r_par = x.column_parallel_resistance(r_cell);
-  const double v = x.output_voltage(x.device.v_read, r_cell);
-  EXPECT_NEAR(v, x.device.v_read * x.sense_resistance /
-                     (r_par + x.sense_resistance),
+  const Ohms r_cell = 1000.0_Ohm;
+  const Ohms r_par = x.column_parallel_resistance(r_cell);
+  const Volts v = x.output_voltage(x.device.v_read, r_cell);
+  EXPECT_NEAR(v.value(),
+              (x.device.v_read *
+               (x.sense_resistance / (r_par + x.sense_resistance)))
+                  .value(),
               1e-12);
-  EXPECT_GT(v, 0.0);
+  EXPECT_GT(v.value(), 0.0);
   EXPECT_LT(v, x.device.v_read);
 }
 
 TEST(Crossbar, CellVoltageIsCellShareOfSeriesPath) {
   auto x = make(64);
-  const double r_cell = 800.0;
-  const double wire = tech::effective_wire_segments(64, 64) *
-                      x.wire_segment_resistance();
-  const double expected = x.device.v_read * r_cell /
-                          (r_cell + wire + x.sense_resistance * 64);
-  EXPECT_NEAR(x.cell_operating_voltage(x.device.v_read, r_cell), expected,
-              1e-12);
+  const Ohms r_cell = 800.0_Ohm;
+  const Ohms wire = tech::effective_wire_segments(64, 64) *
+                    x.wire_segment_resistance();
+  const Volts expected =
+      x.device.v_read *
+      (r_cell / (r_cell + wire + 64.0 * x.sense_resistance));
+  EXPECT_NEAR(x.cell_operating_voltage(x.device.v_read, r_cell).value(),
+              expected.value(), 1e-12);
   // With no wires, cell + output voltage recover the input.
   auto ideal = make(64);
   ideal.interconnect_node_nm = 180;  // coarsest wires: near-zero r? keep r
-  const double v_cell = expected;
+  const Volts v_cell = expected;
   EXPECT_LT(v_cell, x.device.v_read);
-  EXPECT_GT(v_cell, 0.0);
+  EXPECT_GT(v_cell.value(), 0.0);
 }
 
 TEST(Crossbar, WorstPowerExceedsAverage) {
   auto x = make(128);
   EXPECT_GT(x.compute_power_worst(), x.compute_power_average());
-  EXPECT_GT(x.compute_power_average(), 0.0);
+  EXPECT_GT(x.compute_power_average().value(), 0.0);
 }
 
 TEST(Crossbar, ComputePowerFarExceedsSingleCellRead) {
   // All cells selected during computing (paper Sec. II-C): power must be
   // orders of magnitude above the single-cell memory READ.
   auto x = make(128);
-  EXPECT_GT(x.compute_power_average(), 100.0 * x.read_power());
+  EXPECT_GT(x.compute_power_average().value(),
+            100.0 * x.read_power().value());
 }
 
 TEST(Crossbar, ComputePowerGrowsWithUsedArray) {
@@ -83,22 +90,22 @@ TEST(Crossbar, LatencyIncludesDeviceAndWireSettling) {
 
 TEST(Crossbar, ColumnResistanceGrowsWithWireAndShrinksWithRows) {
   auto x = make(64);
-  const double r64 = x.column_parallel_resistance(1000.0);
+  const Ohms r64 = x.column_parallel_resistance(1000.0_Ohm);
   auto y = make(256);
-  const double r256 = y.column_parallel_resistance(1000.0);
+  const Ohms r256 = y.column_parallel_resistance(1000.0_Ohm);
   EXPECT_LT(r256, r64);  // more parallel rows
   // Finer interconnect (bigger r) raises the column resistance.
   auto z = make(64);
   z.interconnect_node_nm = 18;
-  EXPECT_GT(z.column_parallel_resistance(1000.0), r64);
+  EXPECT_GT(z.column_parallel_resistance(1000.0_Ohm), r64);
 }
 
 TEST(Crossbar, PpaAggregatesConsistently) {
   auto x = make(128);
   auto p = x.compute_ppa();
-  EXPECT_DOUBLE_EQ(p.area, x.area());
-  EXPECT_DOUBLE_EQ(p.dynamic_power, x.compute_power_average());
-  EXPECT_DOUBLE_EQ(p.latency, x.compute_latency());
+  EXPECT_DOUBLE_EQ(p.area, x.area().value());
+  EXPECT_DOUBLE_EQ(p.dynamic_power, x.compute_power_average().value());
+  EXPECT_DOUBLE_EQ(p.latency, x.compute_latency().value());
   EXPECT_DOUBLE_EQ(p.leakage_power, 0.0);
 }
 
@@ -106,7 +113,7 @@ TEST(Crossbar, ValidateRejectsBadShapes) {
   auto x = make(0);
   EXPECT_THROW(x.validate(), std::invalid_argument);
   x = make(64);
-  x.sense_resistance = 0.0;
+  x.sense_resistance = 0.0_Ohm;
   EXPECT_THROW(x.validate(), std::invalid_argument);
   x = make(64);
   x.interconnect_node_nm = 1;

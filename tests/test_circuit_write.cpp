@@ -5,6 +5,9 @@
 namespace mnsim::circuit {
 namespace {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 const tech::CmosTech kCmos = tech::cmos_tech(45);
 
 TEST(WriteDriver, QuadrupleSaneAndScales) {
@@ -12,15 +15,16 @@ TEST(WriteDriver, QuadrupleSaneAndScales) {
   auto p = d.ppa();
   EXPECT_GT(p.area, 0.0);
   EXPECT_GT(p.dynamic_power, 0.0);
-  EXPECT_GT(p.latency, d.device.write_latency);
+  EXPECT_GT(p.latency, d.device.write_latency.value());
   WriteDriverModel wide{256, kCmos, tech::default_rram()};
   EXPECT_GT(wide.ppa().area, 1.5 * p.area);
 }
 
 TEST(WriteDriver, PulseEnergyScalesInverseResistance) {
   WriteDriverModel d{64, kCmos, tech::default_rram()};
-  EXPECT_NEAR(d.pulse_energy(500.0) / d.pulse_energy(5000.0), 10.0, 1e-9);
-  EXPECT_THROW((void)d.pulse_energy(0.0), std::invalid_argument);
+  EXPECT_NEAR(d.pulse_energy(500.0_Ohm) / d.pulse_energy(5000.0_Ohm), 10.0,
+              1e-9);
+  EXPECT_THROW((void)d.pulse_energy(0.0_Ohm), std::invalid_argument);
 }
 
 TEST(WriteDriver, Validation) {
@@ -74,9 +78,9 @@ TEST(ProgramVerify, RowProgramTimeTradesPulseSpeedAgainstLevelCount) {
   auto pcm = make_pv();
   pcm.device = tech::default_pcm();
   const double rram_per_pulse =
-      rram.row_program_time(128) / rram.expected_pulses(0, 127);
+      rram.row_program_time(128).value() / rram.expected_pulses(0, 127);
   const double pcm_per_pulse =
-      pcm.row_program_time(128) / pcm.expected_pulses(0, 15);
+      pcm.row_program_time(128).value() / pcm.expected_pulses(0, 15);
   EXPECT_GT(pcm_per_pulse, rram_per_pulse);
   // More parallel cells only adds the order-statistics allowance.
   EXPECT_GT(rram.row_program_time(256), rram.row_program_time(16));

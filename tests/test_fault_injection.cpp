@@ -117,8 +117,8 @@ TEST(ApplyToResistanceMap, StuckCellsAndOpenLines) {
   std::vector<std::vector<double>> r(3, std::vector<double>(3, 5e3));
 
   apply_to_resistance_map(map, dev, r);
-  EXPECT_DOUBLE_EQ(r[0][0], dev.r_max);  // SA0 -> lowest conductance
-  EXPECT_DOUBLE_EQ(r[1][1], dev.r_min);  // SA1 -> highest conductance
+  EXPECT_DOUBLE_EQ(r[0][0], dev.r_max.value());  // SA0: lowest conductance
+  EXPECT_DOUBLE_EQ(r[1][1], dev.r_min.value());  // SA1: highest conductance
   EXPECT_DOUBLE_EQ(r[0][1], 5e3);        // untouched
   for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(r[2][j], kOpenResistance);
 }
@@ -211,8 +211,8 @@ accuracy::CrossbarErrorInputs error_inputs(int rows, int cols) {
   in.rows = rows;
   in.cols = cols;
   in.device = device();
-  in.segment_resistance = 0.022;
-  in.sense_resistance = 60.0;
+  in.segment_resistance = units::Ohms{0.022};
+  in.sense_resistance = units::Ohms{60.0};
   return in;
 }
 
@@ -246,7 +246,7 @@ TEST(CrossValidation, BrokenBitlineKillsColumnInBothModels) {
   const auto dev = device();
   const int n = 8;
   auto spec = spice::CrossbarSpec::uniform(n, n, dev, 0.022, 60.0,
-                                           dev.r_min);
+                                           dev.r_min.value());
 
   DefectMap map;
   map.rows = n;
@@ -285,7 +285,7 @@ TEST(CrossValidation, StuckCellsShiftCircuitAndStarTogether) {
   ASSERT_GT(map.fault_count(), 0);
 
   auto clean = spice::CrossbarSpec::uniform(n, n, dev, 0.022, 60.0,
-                                            dev.r_min);
+                                            dev.r_min.value());
   auto faulted = clean;
   apply_to_spec(map, faulted);
 
@@ -312,7 +312,7 @@ TEST(CrossValidation, StuckCellsShiftCircuitAndStarTogether) {
 TEST(SolverDegradation, IterationStarvedCgFallsBackToLu) {
   const auto dev = device();
   auto spec = spice::CrossbarSpec::uniform(8, 8, dev, 0.022, 60.0,
-                                           dev.r_min);
+                                           dev.r_min.value());
   spice::DcOptions opt;
   opt.cg_max_iterations = 2;  // starve CG: it cannot converge in 2 steps
   opt.allow_cg_retry = false;
@@ -335,7 +335,7 @@ TEST(SolverDegradation, IterationStarvedCgFallsBackToLu) {
 TEST(SolverDegradation, AllFallbacksDisabledThrows) {
   const auto dev = device();
   auto spec = spice::CrossbarSpec::uniform(8, 8, dev, 0.022, 60.0,
-                                           dev.r_min);
+                                           dev.r_min.value());
   spice::DcOptions opt;
   opt.cg_max_iterations = 2;
   opt.allow_cg_retry = false;
@@ -354,7 +354,7 @@ TEST(SolverDegradation, FaultedCrossbarStillSolves) {
   cfg.stuck_at_one_rate = 0.1;
   cfg.seed = 17;
   auto spec = spice::CrossbarSpec::uniform(16, 16, dev, 0.022, 60.0,
-                                           dev.r_min);
+                                           dev.r_min.value());
   const auto map = generate_defect_map(16, 16, cfg, dev);
   apply_to_spec(map, spec);
 

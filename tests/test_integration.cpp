@@ -22,18 +22,19 @@ TEST(Integration, CrossbarPowerModelTracksCircuitLevel) {
   // (uniform cells at the harmonic mean): the Table II validation, in
   // miniature. Error must be within 15 %.
   const auto device = tech::default_rram();
-  const double r = tech::interconnect_tech(45).segment_resistance;
+  const double r =
+      tech::interconnect_tech(45).segment_resistance.value();
   for (int size : {16, 32, 64}) {
     circuit::CrossbarModel model;
     model.rows = size;
     model.cols = size;
     model.device = device;
     model.interconnect_node_nm = 45;
-    const double estimated = model.compute_power_average();
+    const double estimated = model.compute_power_average().value();
 
     auto spec = spice::CrossbarSpec::uniform(
-        size, size, device, r, model.sense_resistance,
-        device.harmonic_mean_resistance());
+        size, size, device, r, model.sense_resistance.value(),
+        device.harmonic_mean_resistance().value());
     const auto sol = spice::solve_crossbar(spec);
     EXPECT_NEAR(estimated, sol.total_power, 0.15 * sol.total_power)
         << "size " << size;
@@ -45,18 +46,17 @@ TEST(Integration, AccuracyModelTracksCircuitLevelWorstCase) {
   // within 2 percentage points for the Fig. 5 regime.
   const auto device = tech::default_rram();
   for (int size : {16, 32, 64}) {
-    const double r = tech::interconnect_tech(45).segment_resistance;
+    const units::Ohms r = tech::interconnect_tech(45).segment_resistance;
     accuracy::CrossbarErrorInputs in;
     in.rows = size;
     in.cols = size;
     in.device = device;
     in.segment_resistance = r;
-    in.sense_resistance = 60.0;
+    in.sense_resistance = units::Ohms{60.0};
     const auto model = accuracy::estimate_voltage_error(in);
 
-    auto spec =
-        spice::CrossbarSpec::uniform(size, size, device, r, 60.0,
-                                     device.r_min);
+    auto spec = spice::CrossbarSpec::uniform(size, size, device, r.value(),
+                                             60.0, device.r_min.value());
     const auto sol = spice::solve_crossbar(spec);
     const auto ideal = spice::ideal_column_outputs(spec);
     const double spice_err = std::fabs(
@@ -69,7 +69,7 @@ TEST(Integration, BehaviorModelIsOrdersOfMagnitudeFaster) {
   // The Table III claim in miniature: the behavior-level estimate of a
   // 64x64 crossbar must beat the circuit-level solve by >= 100x.
   const auto device = tech::default_rram();
-  const double r = tech::interconnect_tech(45).segment_resistance;
+  const units::Ohms r = tech::interconnect_tech(45).segment_resistance;
 
   auto t0 = std::chrono::steady_clock::now();
   accuracy::CrossbarErrorInputs in;
@@ -77,11 +77,11 @@ TEST(Integration, BehaviorModelIsOrdersOfMagnitudeFaster) {
   in.cols = 64;
   in.device = device;
   in.segment_resistance = r;
-  in.sense_resistance = 60.0;
+  in.sense_resistance = units::Ohms{60.0};
   for (int i = 0; i < 10; ++i) (void)accuracy::estimate_voltage_error(in);
   auto t1 = std::chrono::steady_clock::now();
-  auto spec =
-      spice::CrossbarSpec::uniform(64, 64, device, r, 60.0, device.r_min);
+  auto spec = spice::CrossbarSpec::uniform(64, 64, device, r.value(), 60.0,
+                                           device.r_min.value());
   (void)spice::solve_crossbar(spec);
   auto t2 = std::chrono::steady_clock::now();
 
@@ -129,8 +129,8 @@ TEST(Integration, NetlistExportOfMappedCrossbar) {
   // a mapped layer.
   const auto device = tech::default_rram();
   auto spec = spice::CrossbarSpec::uniform(
-      8, 8, device, tech::interconnect_tech(45).segment_resistance, 60.0,
-      device.r_min);
+      8, 8, device, tech::interconnect_tech(45).segment_resistance.value(),
+      60.0, device.r_min.value());
   auto nl = spice::build_crossbar_netlist(spec, nullptr);
   const std::string deck = spice::export_spice(nl, "mapped layer");
   // 64 cells, 8 sources, 8 sense resistors must all appear.

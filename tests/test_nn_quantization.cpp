@@ -46,14 +46,16 @@ TEST(WeightsToCells, PolaritySplit) {
   IntMatrix w = {{127, -127, 0}};
   auto cells = weights_to_cells(w, 8, device);
   // Positive full-scale: positive cell at r_min, negative cell off.
-  EXPECT_NEAR(cells.positive[0][0], device.r_min, device.r_min * 0.02);
-  EXPECT_DOUBLE_EQ(cells.negative[0][0], device.r_max);
+  EXPECT_NEAR(cells.positive[0][0], device.r_min.value(),
+              device.r_min.value() * 0.02);
+  EXPECT_DOUBLE_EQ(cells.negative[0][0], device.r_max.value());
   // Negative full-scale: mirrored.
-  EXPECT_DOUBLE_EQ(cells.positive[0][1], device.r_max);
-  EXPECT_NEAR(cells.negative[0][1], device.r_min, device.r_min * 0.02);
+  EXPECT_DOUBLE_EQ(cells.positive[0][1], device.r_max.value());
+  EXPECT_NEAR(cells.negative[0][1], device.r_min.value(),
+              device.r_min.value() * 0.02);
   // Zero: both off.
-  EXPECT_DOUBLE_EQ(cells.positive[0][2], device.r_max);
-  EXPECT_DOUBLE_EQ(cells.negative[0][2], device.r_max);
+  EXPECT_DOUBLE_EQ(cells.positive[0][2], device.r_max.value());
+  EXPECT_DOUBLE_EQ(cells.negative[0][2], device.r_max.value());
 }
 
 TEST(WeightsToCells, SnapsToDeviceLevels) {
@@ -64,8 +66,8 @@ TEST(WeightsToCells, SnapsToDeviceLevels) {
   // The programmed resistance must be one of the 4 device levels.
   bool found = false;
   for (int level = 0; level < device.levels(); ++level)
-    if (std::abs(cells.positive[0][0] - device.resistance_for_level(level)) <
-        1e-6)
+    if (std::abs(cells.positive[0][0] -
+                 device.resistance_for_level(level).value()) < 1e-6)
       found = true;
   EXPECT_TRUE(found);
 }

@@ -97,8 +97,8 @@ TEST(ParallelDeterminism, VariationMcMatchesSerial) {
   in.cols = 12;
   in.device = tech::default_rram();
   in.device.sigma = 0.2;
-  in.segment_resistance = 0.022;
-  in.sense_resistance = 60.0;
+  in.segment_resistance = mnsim::units::Ohms{0.022};
+  in.sense_resistance = mnsim::units::Ohms{60.0};
 
   accuracy::VariationMcOptions opt;
   opt.trials = 20;

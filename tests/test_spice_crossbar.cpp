@@ -42,7 +42,8 @@ TEST(IdealOutputs, MatchEquation1And2) {
   ASSERT_EQ(out.size(), 16u);
   const double g = 1.0 / 2000.0;
   const double gs = 1.0 / spec.sense_resistance;
-  const double expected = spec.device.v_read * 16.0 * g / (gs + 16.0 * g);
+  const double expected =
+      spec.device.v_read.value() * 16.0 * g / (gs + 16.0 * g);
   for (double v : out) EXPECT_NEAR(v, expected, 1e-12);
 }
 
@@ -121,7 +122,7 @@ TEST(Delay, ElmoreTauPositiveAndMonotonic) {
 TEST(Delay, SettlingLatencyIncludesDeviceRead) {
   auto spec = uniform(16, 1000.0);
   const double lat = crossbar_settling_latency(spec, 0.06e-15, 8);
-  EXPECT_GT(lat, spec.device.read_latency);
+  EXPECT_GT(lat, spec.device.read_latency.value());
   // More output bits -> longer settle.
   EXPECT_GT(crossbar_settling_latency(spec, 0.06e-15, 12), lat);
 }

@@ -14,7 +14,7 @@ TEST(Import, RoundTripSmallNetlist) {
   Netlist original(device);
   NodeId in = original.add_node();
   NodeId mid = original.add_node();
-  original.add_source(in, device.v_read, "in");
+  original.add_source(in, device.v_read.value(), "in");
   original.add_resistor(in, mid, 150.0, "series");
   original.add_memristor(mid, kGround, 800.0, "cell");
   original.add_capacitor(mid, kGround, 2e-15, "cw");
@@ -24,8 +24,8 @@ TEST(Import, RoundTripSmallNetlist) {
   EXPECT_DOUBLE_EQ(imported.resistors()[0].ohms, 150.0);
   ASSERT_EQ(imported.memristors().size(), 1u);
   EXPECT_NEAR(imported.memristors()[0].r_state, 800.0, 1e-6);
-  EXPECT_NEAR(imported.device().nonlinearity_vt, device.nonlinearity_vt,
-              1e-12);
+  EXPECT_NEAR(imported.device().nonlinearity_vt.value(),
+              device.nonlinearity_vt.value(), 1e-12);
   EXPECT_EQ(imported.capacitors().size(), 1u);
   EXPECT_EQ(imported.sources().size(), 1u);
 }
@@ -33,7 +33,7 @@ TEST(Import, RoundTripSmallNetlist) {
 TEST(Import, RoundTripSolvesIdentically) {
   auto device = tech::default_rram();
   auto spec = CrossbarSpec::uniform(6, 6, device, 0.022, 60.0,
-                                    device.r_min);
+                                    device.r_min.value());
   std::vector<NodeId> columns;
   Netlist original = build_crossbar_netlist(spec, &columns);
   auto imported = import_spice(export_spice(original));

@@ -63,7 +63,7 @@ TEST(Mna, NonlinearMemristorMatchesScalarNewton) {
   Netlist nl(device);
   NodeId in = nl.add_node();
   NodeId mid = nl.add_node();
-  const double vin = device.v_read;
+  const double vin = device.v_read.value();
   const double r_series = 200.0;
   const double r_state = 800.0;
   nl.add_source(in, vin);
@@ -75,7 +75,8 @@ TEST(Mna, NonlinearMemristorMatchesScalarNewton) {
   EXPECT_GT(dc.newton_iterations, 1);
 
   auto f = [&](double v) {
-    return (vin - v) / r_series - device.current(r_state, v);
+    return (vin - v) / r_series -
+           device.current(units::Ohms{r_state}, units::Volts{v}).value();
   };
   auto root = numeric::newton_bisect(f, 0.0, vin);
   ASSERT_TRUE(root.converged);
@@ -87,14 +88,14 @@ TEST(Mna, LinearFlagUsesProgrammedResistance) {
   Netlist nl(device);
   NodeId in = nl.add_node();
   NodeId mid = nl.add_node();
-  nl.add_source(in, device.v_read);
+  nl.add_source(in, device.v_read.value());
   nl.add_resistor(in, mid, 500.0);
   nl.add_memristor(mid, kGround, 500.0);
   nl.set_linear_memristors(true);
   auto dc = solve_dc(nl);
   ASSERT_TRUE(dc.converged);
   EXPECT_EQ(dc.newton_iterations, 1);
-  EXPECT_NEAR(dc.voltage(mid), device.v_read / 2.0, 1e-10);
+  EXPECT_NEAR(dc.voltage(mid), device.v_read.value() / 2.0, 1e-10);
 }
 
 TEST(Mna, NonlinearCellConductsMoreThanLinear) {
@@ -103,7 +104,7 @@ TEST(Mna, NonlinearCellConductsMoreThanLinear) {
     Netlist nl(device);
     NodeId in = nl.add_node();
     NodeId mid = nl.add_node();
-    nl.add_source(in, device.v_read);
+    nl.add_source(in, device.v_read.value());
     nl.add_resistor(in, mid, 500.0);
     nl.add_memristor(mid, kGround, 500.0);
     nl.set_linear_memristors(linear);
@@ -129,7 +130,7 @@ TEST(Mna, MemristorCurrentSignConvention) {
   auto device = tech::default_rram();
   Netlist nl(device);
   NodeId in = nl.add_node();
-  nl.add_source(in, device.v_read);
+  nl.add_source(in, device.v_read.value());
   nl.add_memristor(in, kGround, 1e3, "m");
   auto dc = solve_dc(nl);
   EXPECT_GT(memristor_current(nl, nl.memristors()[0], dc), 0.0);

@@ -57,7 +57,7 @@ TEST(Transient, FinalValueMatchesDcOperatingPoint) {
   Netlist nl(device);
   NodeId in = nl.add_node();
   NodeId mid = nl.add_node();
-  nl.add_source(in, device.v_read);
+  nl.add_source(in, device.v_read.value());
   nl.add_resistor(in, mid, 300.0);
   nl.add_memristor(mid, kGround, 700.0);
   nl.add_capacitor(mid, kGround, 1e-13);
@@ -93,7 +93,8 @@ TEST(Transient, CrossbarSettlesNearElmorePrediction) {
   // A small crossbar with exaggerated wire RC: the transient settling
   // time must land within a small factor of the Elmore-based estimate.
   auto device = tech::default_rram();
-  auto spec = CrossbarSpec::uniform(8, 8, device, 5.0, 60.0, device.r_min);
+  auto spec =
+      CrossbarSpec::uniform(8, 8, device, 5.0, 60.0, device.r_min.value());
   spec.segment_capacitance = 50e-15;
   spec.linear_memristors = true;
 

@@ -12,20 +12,20 @@ using namespace mnsim::units;
 TEST(CmosTech, AnchorNode45) {
   auto t = cmos_tech(45);
   EXPECT_EQ(t.node_nm, 45);
-  EXPECT_DOUBLE_EQ(t.feature_size, 45 * nm);
-  EXPECT_DOUBLE_EQ(t.vdd, 1.0);
-  EXPECT_NEAR(t.gate_delay, 20 * ps, 1e-15);
-  EXPECT_NEAR(t.gate_area, 100.0 * 45 * nm * 45 * nm, 1e-20);
+  EXPECT_DOUBLE_EQ(t.feature_size.value(), 45 * nm);
+  EXPECT_DOUBLE_EQ(t.vdd.value(), 1.0);
+  EXPECT_NEAR(t.gate_delay.value(), 20 * ps, 1e-15);
+  EXPECT_NEAR(t.gate_area.value(), 100.0 * 45 * nm * 45 * nm, 1e-20);
 }
 
 TEST(CmosTech, PaperNodesSupported) {
   for (int node : standard_cmos_nodes()) {
     auto t = cmos_tech(node);
-    EXPECT_GT(t.vdd, 0.0);
-    EXPECT_GT(t.gate_delay, 0.0);
-    EXPECT_GT(t.gate_energy, 0.0);
-    EXPECT_GT(t.gate_leakage, 0.0);
-    EXPECT_GT(t.gate_area, 0.0);
+    EXPECT_GT(t.vdd.value(), 0.0);
+    EXPECT_GT(t.gate_delay.value(), 0.0);
+    EXPECT_GT(t.gate_energy.value(), 0.0);
+    EXPECT_GT(t.gate_leakage.value(), 0.0);
+    EXPECT_GT(t.gate_area.value(), 0.0);
     EXPECT_GT(t.reg_area, t.gate_area);  // a DFF is bigger than a gate
     EXPECT_GT(t.sram_bit_area, t.gate_area);
   }
@@ -64,8 +64,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(CmosTech, VddInterpolatesBetweenAnchors) {
   // 55 nm sits between 65 (1.1 V) and 45 (1.0 V).
   auto t = cmos_tech(55);
-  EXPECT_GT(t.vdd, 1.0);
-  EXPECT_LT(t.vdd, 1.1);
+  EXPECT_GT(t.vdd.value(), 1.0);
+  EXPECT_LT(t.vdd.value(), 1.1);
 }
 
 }  // namespace

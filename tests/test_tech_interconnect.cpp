@@ -8,29 +8,30 @@ namespace {
 TEST(Interconnect, Anchor45) {
   auto t = interconnect_tech(45);
   EXPECT_EQ(t.node_nm, 45);
-  EXPECT_NEAR(t.segment_resistance, 0.022, 1e-12);
-  EXPECT_GT(t.segment_capacitance, 0.0);
+  EXPECT_NEAR(t.segment_resistance.value(), 0.022, 1e-12);
+  EXPECT_GT(t.segment_capacitance.value(), 0.0);
 }
 
 TEST(Interconnect, ResistanceScalesInverseQuadratically) {
-  const double r45 = interconnect_tech(45).segment_resistance;
+  const double r45 = interconnect_tech(45).segment_resistance.value();
   for (int node : kInterconnectSweep) {
     const double expected = r45 * (45.0 / node) * (45.0 / node);
-    EXPECT_NEAR(interconnect_tech(node).segment_resistance, expected, 1e-12)
+    EXPECT_NEAR(interconnect_tech(node).segment_resistance.value(), expected,
+                1e-12)
         << "node " << node;
   }
 }
 
 TEST(Interconnect, CapacitanceScalesLinearly) {
-  const double c45 = interconnect_tech(45).segment_capacitance;
-  const double c90 = interconnect_tech(90).segment_capacitance;
+  const double c45 = interconnect_tech(45).segment_capacitance.value();
+  const double c90 = interconnect_tech(90).segment_capacitance.value();
   EXPECT_NEAR(c90 / c45, 2.0, 1e-9);
 }
 
 TEST(Interconnect, FinerNodeHasHigherResistance) {
   double prev = 0.0;
   for (int node : {90, 45, 36, 28, 22, 18}) {
-    const double r = interconnect_tech(node).segment_resistance;
+    const double r = interconnect_tech(node).segment_resistance.value();
     EXPECT_GT(r, prev);
     prev = r;
   }

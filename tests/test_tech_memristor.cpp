@@ -7,36 +7,41 @@
 namespace mnsim::tech {
 namespace {
 
+using namespace mnsim::units;
+using namespace mnsim::units::literals;
+
 TEST(Memristor, DefaultRramMatchesTableI) {
   auto m = default_rram();
-  EXPECT_DOUBLE_EQ(m.r_min, 500.0);
-  EXPECT_DOUBLE_EQ(m.r_max, 500e3);
+  EXPECT_DOUBLE_EQ(m.r_min.value(), 500.0);
+  EXPECT_DOUBLE_EQ(m.r_max.value(), 500e3);
   EXPECT_EQ(m.level_bits, 7);  // the 7-bit reference device
   EXPECT_EQ(m.levels(), 128);
 }
 
 TEST(Memristor, LevelsSpanResistanceRange) {
   auto m = default_rram();
-  EXPECT_DOUBLE_EQ(m.resistance_for_level(0), m.r_max);
-  EXPECT_DOUBLE_EQ(m.resistance_for_level(m.levels() - 1), m.r_min);
+  EXPECT_DOUBLE_EQ(m.resistance_for_level(0).value(), m.r_max.value());
+  EXPECT_DOUBLE_EQ(m.resistance_for_level(m.levels() - 1).value(),
+                   m.r_min.value());
   // Levels are linear in conductance: midpoint conductance is the mean.
-  const double g_mid = 1.0 / m.resistance_for_level(m.levels() / 2);
-  EXPECT_NEAR(g_mid, 0.5 * (1.0 / m.r_min + 1.0 / m.r_max),
-              0.01 * (1.0 / m.r_min));
+  const Siemens g_mid = 1.0 / m.resistance_for_level(m.levels() / 2);
+  EXPECT_NEAR(g_mid.value(),
+              (0.5 * (1.0 / m.r_min + 1.0 / m.r_max)).value(),
+              (0.01 * (1.0 / m.r_min)).value());
 }
 
 TEST(Memristor, LevelRoundTrip) {
   auto m = default_rram();
   for (int level : {0, 1, 13, 64, 127}) {
-    const double g = 1.0 / m.resistance_for_level(level);
+    const Siemens g = 1.0 / m.resistance_for_level(level);
     EXPECT_EQ(m.level_for_conductance(g), level);
   }
 }
 
 TEST(Memristor, LevelForConductanceClamps) {
   auto m = default_rram();
-  EXPECT_EQ(m.level_for_conductance(0.0), 0);
-  EXPECT_EQ(m.level_for_conductance(1.0), m.levels() - 1);
+  EXPECT_EQ(m.level_for_conductance(0.0_S), 0);
+  EXPECT_EQ(m.level_for_conductance(1.0_S), m.levels() - 1);
 }
 
 TEST(Memristor, LevelOutOfRangeThrows) {
@@ -48,47 +53,50 @@ TEST(Memristor, LevelOutOfRangeThrows) {
 TEST(Memristor, HarmonicMeanRule) {
   auto m = default_rram();
   // Paper Sec. V-A: harmonic mean of r_min and r_max.
-  EXPECT_NEAR(m.harmonic_mean_resistance(),
+  EXPECT_NEAR(m.harmonic_mean_resistance().value(),
               2.0 / (1.0 / 500.0 + 1.0 / 500e3), 1e-9);
 }
 
 TEST(Memristor, ChordResistanceDropsWithVoltage) {
   auto m = default_rram();
-  const double r0 = m.actual_resistance(1000.0, 1e-6);
-  EXPECT_NEAR(r0, 1000.0, 1e-3);  // linear limit
-  const double r_hi = m.actual_resistance(1000.0, 0.05);
-  EXPECT_LT(r_hi, 1000.0);  // sinh conducts more at voltage
-  EXPECT_GT(r_hi, 500.0);
+  const Ohms r0 = m.actual_resistance(1000.0_Ohm, 1e-6_V);
+  EXPECT_NEAR(r0.value(), 1000.0, 1e-3);  // linear limit
+  const Ohms r_hi = m.actual_resistance(1000.0_Ohm, 0.05_V);
+  EXPECT_LT(r_hi.value(), 1000.0);  // sinh conducts more at voltage
+  EXPECT_GT(r_hi.value(), 500.0);
   // Monotone decreasing in |v|.
-  double prev = 1000.0;
+  Ohms prev{1000.0};
   for (double v : {0.01, 0.02, 0.03, 0.04, 0.05}) {
-    const double r = m.actual_resistance(1000.0, v);
+    const Ohms r = m.actual_resistance(1000.0_Ohm, Volts{v});
     EXPECT_LT(r, prev);
     prev = r;
   }
   // Symmetric in sign.
-  EXPECT_DOUBLE_EQ(m.actual_resistance(1000.0, 0.03),
-                   m.actual_resistance(1000.0, -0.03));
+  EXPECT_DOUBLE_EQ(m.actual_resistance(1000.0_Ohm, 0.03_V).value(),
+                   m.actual_resistance(1000.0_Ohm, -0.03_V).value());
 }
 
 TEST(Memristor, CurrentMatchesChordResistance) {
   auto m = default_rram();
-  const double v = 0.04;
-  const double i = m.current(2000.0, v);
-  EXPECT_NEAR(v / i, m.actual_resistance(2000.0, v), 1e-9);
+  const Volts v = 0.04_V;
+  const Amps i = m.current(2000.0_Ohm, v);
+  EXPECT_NEAR((v / i).value(), m.actual_resistance(2000.0_Ohm, v).value(),
+              1e-9);
 }
 
 TEST(Memristor, VariationScalesChordResistance) {
   auto m = default_rram();
   m.sigma = 0.2;
-  const double base = m.actual_resistance(1000.0, 0.02);
-  EXPECT_NEAR(m.varied_resistance(1000.0, 0.02, +1), base * 1.2, 1e-9);
-  EXPECT_NEAR(m.varied_resistance(1000.0, 0.02, -1), base * 0.8, 1e-9);
+  const Ohms base = m.actual_resistance(1000.0_Ohm, 0.02_V);
+  EXPECT_NEAR(m.varied_resistance(1000.0_Ohm, 0.02_V, +1).value(),
+              base.value() * 1.2, 1e-9);
+  EXPECT_NEAR(m.varied_resistance(1000.0_Ohm, 0.02_V, -1).value(),
+              base.value() * 0.8, 1e-9);
 }
 
 TEST(Memristor, ValidationRejectsBadModels) {
   auto m = default_rram();
-  m.r_min = -1;
+  m.r_min = -1.0_Ohm;
   EXPECT_THROW(m.validate(), std::invalid_argument);
   m = default_rram();
   m.r_max = m.r_min;
@@ -118,11 +126,11 @@ TEST(Memristor, SttMramIsBinaryLinearAndDurable) {
   auto stt = default_stt_mram();
   EXPECT_EQ(stt.level_bits, 1);
   EXPECT_EQ(stt.levels(), 2);
-  EXPECT_DOUBLE_EQ(stt.resistance_for_level(0), stt.r_max);
-  EXPECT_DOUBLE_EQ(stt.resistance_for_level(1), stt.r_min);
+  EXPECT_DOUBLE_EQ(stt.resistance_for_level(0).value(), stt.r_max.value());
+  EXPECT_DOUBLE_EQ(stt.resistance_for_level(1).value(), stt.r_min.value());
   // Near-ohmic at read bias: chord deviation below 0.5 %.
-  const double r = stt.actual_resistance(stt.r_min, stt.v_read);
-  EXPECT_NEAR(r, stt.r_min, 0.005 * stt.r_min);
+  const Ohms r = stt.actual_resistance(stt.r_min, stt.v_read);
+  EXPECT_NEAR(r.value(), stt.r_min.value(), 0.005 * stt.r_min.value());
   // Endurance orders of magnitude above RRAM; writes far faster.
   auto rram = default_rram();
   EXPECT_GT(stt.endurance, 1e3 * rram.endurance);
@@ -135,11 +143,12 @@ TEST(CellArea, Equation7And8) {
   m.feature_nm = 45;
   const double f2 = 45e-9 * 45e-9;
   // Eq. 8: cross-point 4F^2.
-  EXPECT_NEAR(cell_area(m, CellType::k0T1R), 4.0 * f2, 1e-24);
+  EXPECT_NEAR(cell_area(m, CellType::k0T1R).value(), 4.0 * f2, 1e-24);
   // Eq. 7: MOS-accessed 3(W/L + 1)F^2.
-  EXPECT_NEAR(cell_area(m, CellType::k1T1R),
+  EXPECT_NEAR(cell_area(m, CellType::k1T1R).value(),
               3.0 * (m.transistor_wl + 1.0) * f2, 1e-24);
-  EXPECT_GT(cell_area(m, CellType::k1T1R), cell_area(m, CellType::k0T1R));
+  EXPECT_GT(cell_area(m, CellType::k1T1R).value(),
+            cell_area(m, CellType::k0T1R).value());
 }
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Unit tests for the dimensional-analysis layer (util/quantity.hpp):
+// arithmetic composes dimensions, comparisons work within a dimension,
+// literal suffixes produce the right magnitudes, and the abstraction has
+// zero runtime overhead. The negative side — that cross-dimension
+// arithmetic does NOT compile — is covered by the try_compile harness in
+// tests/compile_fail (run as test_quantity_compile_fail).
+#include "util/quantity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <utility>
+
+#include "util/units.hpp"
+
+namespace mnsim::units {
+namespace {
+
+using namespace mnsim::units::literals;
+
+// --- zero-overhead guarantees (also statically asserted in the header) ------
+
+static_assert(sizeof(Volts) == sizeof(double));
+static_assert(sizeof(Ohms) == sizeof(double));
+static_assert(alignof(Watts) == alignof(double));
+static_assert(std::is_trivially_copyable_v<Seconds>);
+
+// --- dimension composition at compile time ----------------------------------
+
+static_assert(std::is_same_v<decltype(std::declval<Volts>() /
+                                      std::declval<Ohms>()),
+                             Amps>);
+static_assert(std::is_same_v<decltype(std::declval<Volts>() *
+                                      std::declval<Amps>()),
+                             Watts>);
+static_assert(std::is_same_v<decltype(std::declval<Watts>() *
+                                      std::declval<Seconds>()),
+                             Joules>);
+static_assert(std::is_same_v<decltype(1.0 / std::declval<Ohms>()), Siemens>);
+static_assert(std::is_same_v<decltype(std::declval<Ohms>() *
+                                      std::declval<Farads>()),
+                             Seconds>);
+// Fully cancelled dimensions collapse to plain double.
+static_assert(std::is_same_v<decltype(std::declval<Volts>() /
+                                      std::declval<Volts>()),
+                             double>);
+static_assert(std::is_same_v<decltype(std::declval<Ohms>() *
+                                      std::declval<Siemens>()),
+                             double>);
+
+TEST(Quantity, AdditionWithinDimension) {
+  const Volts a{1.5};
+  const Volts b{0.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -1.5);
+  Volts c{1.0};
+  c += b;
+  EXPECT_DOUBLE_EQ(c.value(), 1.5);
+  c -= a;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Quantity, ScalarScaling) {
+  const Ohms r{100.0};
+  EXPECT_DOUBLE_EQ((2.0 * r).value(), 200.0);
+  EXPECT_DOUBLE_EQ((r * 2.0).value(), 200.0);
+  EXPECT_DOUBLE_EQ((r / 4.0).value(), 25.0);
+  Ohms s{100.0};
+  s *= 3.0;
+  EXPECT_DOUBLE_EQ(s.value(), 300.0);
+  s /= 2.0;
+  EXPECT_DOUBLE_EQ(s.value(), 150.0);
+}
+
+TEST(Quantity, OhmsLawComposition) {
+  const Volts v{2.0};
+  const Ohms r{500.0};
+  const Amps i = v / r;
+  EXPECT_DOUBLE_EQ(i.value(), 0.004);
+  const Watts p = v * i;
+  EXPECT_DOUBLE_EQ(p.value(), 0.008);
+  const Joules e = p * Seconds{2.0};
+  EXPECT_DOUBLE_EQ(e.value(), 0.016);
+  // Conductance round trip: G = 1/R, R*G is dimensionless 1.
+  const Siemens g = 1.0 / r;
+  EXPECT_DOUBLE_EQ(r * g, 1.0);
+}
+
+TEST(Quantity, DimensionlessRatioFeedsPlainMath) {
+  const Volts v{0.1};
+  const Volts vt{0.05};
+  // Quantity/Quantity of the same dimension is a plain double.
+  const double ratio = v / vt;
+  EXPECT_DOUBLE_EQ(ratio, 2.0);
+}
+
+TEST(Quantity, Comparisons) {
+  const Ohms lo{10.0};
+  const Ohms hi{20.0};
+  EXPECT_TRUE(lo < hi);
+  EXPECT_TRUE(hi > lo);
+  EXPECT_TRUE(lo <= lo);
+  EXPECT_TRUE(lo >= lo);
+  EXPECT_TRUE(lo == Ohms{10.0});
+  EXPECT_TRUE(lo != hi);
+}
+
+TEST(Quantity, AbsFoundByAdl) {
+  EXPECT_DOUBLE_EQ(abs(Volts{-0.3}).value(), 0.3);
+  EXPECT_DOUBLE_EQ(abs(Volts{0.3}).value(), 0.3);
+}
+
+TEST(Quantity, LiteralSuffixes) {
+  EXPECT_DOUBLE_EQ((50_mV).value(), 0.05);
+  EXPECT_DOUBLE_EQ((0.05_V).value(), 0.05);
+  EXPECT_DOUBLE_EQ((500_kOhm).value(), 500e3);
+  EXPECT_DOUBLE_EQ((5_ns).value(), 5e-9);
+  EXPECT_DOUBLE_EQ((20_ps).value(), 20e-12);
+  EXPECT_DOUBLE_EQ((50_MHz).value(), 50e6);
+  EXPECT_DOUBLE_EQ((1.0_fJ).value(), 1e-15);
+  EXPECT_DOUBLE_EQ((20_nW).value(), 20e-9);
+  EXPECT_DOUBLE_EQ((2_GOhm).value(), 2e9);
+  EXPECT_DOUBLE_EQ((4_nF).value(), 4e-9);
+  EXPECT_DOUBLE_EQ((45_nm).value(), 45e-9);
+  EXPECT_DOUBLE_EQ((1_um2).value(), 1e-12);
+  // Literals carry their dimension: mixing them follows the same rules.
+  const Seconds tau = 2_GOhm * 4_nF;
+  EXPECT_DOUBLE_EQ(tau.value(), 8.0);
+}
+
+TEST(Quantity, TypedUnitConstants) {
+  // units.hpp satellite: bases and prefixes as Quantity values.
+  EXPECT_DOUBLE_EQ((3.3 * V).value(), 3.3);
+  EXPECT_DOUBLE_EQ((60.0 * Ohm).value(), 60.0);
+  EXPECT_DOUBLE_EQ((2.0 * GOhm).value(), 2e9);
+  EXPECT_DOUBLE_EQ((5.0 * nF).value(), 5e-9);
+  static_assert(std::is_same_v<decltype(1.0 * S), Siemens>);
+  static_assert(std::is_same_v<decltype(2.0 * Hz), Hertz>);
+  static_assert(std::is_same_v<decltype(1.0 * W * (1.0 * s)), Joules>);
+  EXPECT_DOUBLE_EQ((1.0 * J) / (1.0 * W * (1.0 * s)), 1.0);
+  EXPECT_DOUBLE_EQ((1.0 * A) * (1.0 * Ohm) / (1.0 * V), 1.0);
+}
+
+}  // namespace
+}  // namespace mnsim::units

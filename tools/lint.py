@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""MNSIM custom lints, run by the CI static-analysis job (and locally).
+
+Two rules, both guarding invariants the compiler cannot see on its own:
+
+1. raw-double-physical-param
+   Headers in src/tech and src/circuit must not declare new raw-`double`
+   members or parameters whose names say they are physical quantities
+   (resistance, voltage, power, latency, ...). Those belong to the
+   Quantity<Dim> layer in util/quantity.hpp; a raw double there silently
+   re-opens the unit-confusion bug class the layer exists to close.
+   Escapes:
+     * `// lint: allow-raw-double(<why>)` on the same or previous line,
+     * names ending in `_nm` (process-node labels, documented raw),
+     * src/circuit/module.hpp (the Ppa aggregation struct is the
+       documented raw-double boundary; see docs/STATIC_ANALYSIS.md).
+
+2. nondeterministic-rng
+   `std::random_device`, and unseeded `std::mt19937` / `mt19937_64` /
+   `default_random_engine` constructions, are forbidden outside src/util.
+   Every stochastic component takes an explicit seed (PR 2's bit-identical
+   parallel determinism depends on it); fresh entropy anywhere else breaks
+   reproducibility silently.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# ---- rule 1: raw-double physical parameters ---------------------------------
+
+PHYSICAL_NAME = re.compile(
+    r"""(?x)
+    \b double \s+ (?:&\s*)?
+    (?P<name>\w*(
+        resist | conduct | volt | vdd | current | amp |
+        power | leakage | energy |
+        latency | delay | _time | time_ | duration |
+        capacit | inductance |
+        clock | freq | bandwidth |
+        area(?!_ratio) |
+        feature_size
+    )\w*)
+    """,
+)
+
+RAW_DOUBLE_ALLOW = re.compile(r"lint:\s*allow-raw-double")
+
+# The documented raw-double boundaries (see docs/STATIC_ANALYSIS.md).
+RAW_DOUBLE_ALLOWED_FILES = {
+    "src/circuit/module.hpp",  # Ppa: raw aggregation boundary
+}
+
+RAW_DOUBLE_HEADER_DIRS = ("src/tech", "src/circuit")
+
+
+def check_raw_double(path: pathlib.Path, rel: str, findings: list[str]) -> None:
+    if rel in RAW_DOUBLE_ALLOWED_FILES:
+        return
+    prev = ""
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        m = PHYSICAL_NAME.search(line)
+        if m and not m.group("name").endswith("_nm"):
+            if not (RAW_DOUBLE_ALLOW.search(line) or RAW_DOUBLE_ALLOW.search(prev)):
+                findings.append(
+                    f"{rel}:{lineno}: raw-double-physical-param: "
+                    f"'{m.group('name')}' looks like a physical quantity; "
+                    f"use a units::Quantity type (util/quantity.hpp) or mark "
+                    f"the line with `// lint: allow-raw-double(<why>)`"
+                )
+        prev = line
+
+
+# ---- rule 2: nondeterministic RNG -------------------------------------------
+
+RANDOM_DEVICE = re.compile(r"\bstd::random_device\b")
+UNSEEDED_ENGINE = re.compile(
+    r"\bstd::(mt19937(_64)?|default_random_engine|minstd_rand0?)\s+\w+\s*(;|\{\s*\}|\(\s*\))"
+)
+
+
+def check_rng(path: pathlib.Path, rel: str, findings: list[str]) -> None:
+    if rel.startswith("src/util/"):
+        return
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if RANDOM_DEVICE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: nondeterministic-rng: std::random_device is "
+                f"forbidden outside src/util; take an explicit seed "
+                f"(util::derive_stream_seed) so runs stay bit-identical"
+            )
+        if UNSEEDED_ENGINE.search(line):
+            findings.append(
+                f"{rel}:{lineno}: nondeterministic-rng: unseeded engine; "
+                f"construct with an explicit seed so runs stay bit-identical"
+            )
+
+
+# ---- driver ------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files to lint (default: the src/, tests/, bench/, examples/ trees)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        files = [pathlib.Path(p) for p in args.paths]
+    else:
+        files = []
+        for tree in ("src", "tests", "bench", "examples"):
+            files.extend(sorted((REPO / tree).rglob("*.hpp")))
+            files.extend(sorted((REPO / tree).rglob("*.cpp")))
+
+    findings: list[str] = []
+    for path in files:
+        if not path.is_file():
+            print(f"lint.py: no such file: {path}", file=sys.stderr)
+            return 2
+        rel = str(path.resolve().relative_to(REPO)) if path.resolve().is_relative_to(REPO) else str(path)
+        if rel.endswith(".hpp") and rel.startswith(RAW_DOUBLE_HEADER_DIRS):
+            check_raw_double(path, rel, findings)
+        check_rng(path, rel, findings)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\nlint.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

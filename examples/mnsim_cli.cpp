@@ -3,6 +3,7 @@
 // Usage:
 //   mnsim_cli <network.ini> [config.ini] [--dse [error%]] [--pipeline]
 //             [--dump-netlist <path>] [--nvsim <path>]
+//   mnsim_cli check [--json <path>] [--werror] <file>...
 //
 //   network.ini   network description (see nn/parser.hpp for the dialect)
 //   config.ini    accelerator configuration (paper Table-I keys)
@@ -16,6 +17,13 @@
 //                 worst-case crossbar
 //   --nvsim <path>  export the per-module performance models in
 //                 NVSim-exchange format
+//   --check-only  run the pre-flight analyzer on the inputs and exit
+//
+// The `check` subcommand runs the semantic pre-flight analyzer
+// (docs/DIAGNOSTICS.md) over any mix of accelerator configurations,
+// network descriptions and SPICE decks (auto-detected), printing
+// GCC-style diagnostics; --json additionally writes the machine-readable
+// findings. Exit status: 0 clean, 1 diagnosed errors, 2 usage errors.
 //
 // With no arguments, simulates a built-in demo MLP under the defaults.
 #include <cstdio>
@@ -23,9 +31,11 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "arch/floorplan.hpp"
 #include "arch/pipeline.hpp"
+#include "check/check.hpp"
 #include "circuit/neuron.hpp"
 #include "dse/report.hpp"
 #include "nn/parser.hpp"
@@ -94,20 +104,76 @@ void dump_nvsim(const arch::AcceleratorConfig& cfg,
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
 }
 
+// `mnsim_cli check [--json <path>] [--werror] <file>...` — analyze
+// inputs without simulating. Exit 0 clean, 1 errors, 2 usage.
+int run_check(int argc, char** argv) {
+  check::CheckOptions options;
+  std::string json_path;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--werror") {
+      options.warnings_as_errors = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mnsim_cli check: unknown option %s\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: mnsim_cli check [--json <path>] [--werror] "
+                 "<file>...\n");
+    return 2;
+  }
+
+  check::DiagnosticList all;
+  for (const auto& file : files)
+    all.merge(check::check_file(file, options));
+
+  if (!all.empty()) std::fputs(all.render_text().c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    f << all.render_json();
+  }
+  if (all.empty())
+    std::printf("%zu file%s checked, no problems found.\n", files.size(),
+                files.size() == 1 ? "" : "s");
+  return all.has_errors() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "check") == 0)
+    return run_check(argc, argv);
   try {
     nn::Network net;
     arch::AcceleratorConfig cfg;
     bool want_dse = false;
     bool want_pipeline = false;
     bool want_floorplan = false;
+    bool check_only = false;
     double constraint = 0.25;
     std::string netlist_path;
     std::string nvsim_path;
     std::string json_path;
+    std::vector<std::string> input_files;
     int positional = 0;
+
+    // --check-only must be known before the positional files are parsed:
+    // in that mode a malformed input is the analyzer's job to report
+    // (with a coded diagnostic), not an exception's.
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--check-only") == 0) check_only = true;
 
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -119,6 +185,8 @@ int main(int argc, char** argv) {
         want_pipeline = true;
       } else if (arg == "--floorplan") {
         want_floorplan = true;
+      } else if (arg == "--check-only") {
+        check_only = true;
       } else if (arg == "--json" && i + 1 < argc) {
         json_path = argv[++i];
       } else if (arg == "--dump-netlist" && i + 1 < argc) {
@@ -126,10 +194,12 @@ int main(int argc, char** argv) {
       } else if (arg == "--nvsim" && i + 1 < argc) {
         nvsim_path = argv[++i];
       } else if (positional == 0) {
-        net = nn::parse_network_file(arg);
+        input_files.push_back(arg);
+        if (!check_only) net = nn::parse_network_file(arg);
         ++positional;
       } else if (positional == 1) {
-        cfg = sim::load_config(arg);
+        input_files.push_back(arg);
+        if (!check_only) cfg = sim::load_config(arg);
         ++positional;
       } else {
         std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
@@ -140,6 +210,24 @@ int main(int argc, char** argv) {
       std::printf("no network file given; using the built-in demo MLP\n");
       net = nn::make_mlp({128, 128, 128});
       net.name = "demo-mlp";
+    }
+
+    if (check_only) {
+      // Analyze the inputs (per-file passes plus the cross-file system
+      // pass) and stop before simulating anything. Parsing happens here,
+      // after the per-file analyzers have had their say, so a malformed
+      // input surfaces as coded diagnostics rather than an exception.
+      check::DiagnosticList all;
+      for (const auto& file : input_files)
+        all.merge(check::check_file(file));
+      if (!all.has_errors()) {
+        if (input_files.size() >= 1) net = nn::parse_network_file(input_files[0]);
+        if (input_files.size() >= 2) cfg = sim::load_config(input_files[1]);
+        all.merge(check::check_system(net, cfg));
+      }
+      if (!all.empty()) std::fputs(all.render_text().c_str(), stdout);
+      if (all.empty()) std::printf("pre-flight clean.\n");
+      return all.has_errors() ? 1 : 0;
     }
 
     if (want_dse) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "accuracy/digital_error.hpp"
+#include "check/check.hpp"
+#include "check/config_check.hpp"
 #include "circuit/buffer.hpp"
 
 namespace mnsim::arch {
@@ -81,6 +83,21 @@ AcceleratorReport simulate_accelerator(
   const AcceleratorConfig& config = per_bank_configs.front();
 
   AcceleratorReport rep;
+
+  // Semantic pre-flight ([check] Enabled): shape chain, mapping
+  // feasibility and configuration consistency, before any bank is built.
+  // Errors throw with the full diagnosis; warnings ride in the report
+  // (or block too, under Warnings_As_Errors).
+  if (config.check_preflight) {
+    // The front configuration vets the whole system; heterogeneous
+    // designs additionally get a consistency pass per extra config.
+    check::DiagnosticList diags = check::check_system(network, config);
+    for (std::size_t i = 1; i < per_bank_configs.size(); ++i)
+      diags.merge(check::check_config_consistency(per_bank_configs[i]));
+    if (config.check_warnings_as_errors) diags.promote_warnings();
+    if (diags.has_errors()) throw check::CheckError(std::move(diags));
+    rep.diagnostics = diags.take();
+  }
   const auto cmos = config.cmos();
 
   // Pair each weighted layer with its attached pooling and the next

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "arch/computation_bank.hpp"
+#include "check/diagnostic.hpp"
 
 namespace mnsim::arch {
 
@@ -70,6 +71,11 @@ struct AcceleratorReport {
   // Newton steps) are reported, never silent.
   fault::FaultConfig fault_config;
   spice::SolverDiagnostics solver;
+
+  // Pre-flight analyzer findings that did not block the run (warnings,
+  // notes); errors throw check::CheckError before any bank is built.
+  // Rendered in the text report and the JSON "diagnostics" array.
+  std::vector<check::Diagnostic> diagnostics;
 };
 
 AcceleratorReport simulate_accelerator(const nn::Network& network,

@@ -27,6 +27,7 @@ spice::DcOptions AcceleratorConfig::solver_options() const {
       static_cast<std::size_t>(std::max<long>(solver_cg_max_iterations, 0));
   opt.allow_cg_retry = solver_allow_fallback;
   opt.allow_dense_fallback = solver_allow_fallback;
+  opt.preflight = check_preflight;
   return opt;
 }
 
@@ -124,6 +125,13 @@ AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
   c.parallel_threads = static_cast<int>(
       cfg.get_int_or("parallel.Threads", c.parallel_threads));
 
+  // [check] section (docs/DIAGNOSTICS.md).
+  c.check_preflight = cfg.get_bool_or("check.Enabled", c.check_preflight);
+  c.check_warnings_as_errors = cfg.get_bool_or("check.Warnings_As_Errors",
+                                               c.check_warnings_as_errors);
+  c.check_wire_drop_warning = cfg.get_double_or("check.Wire_Drop_Warning",
+                                                c.check_wire_drop_warning);
+
   c.validate();
   return c;
 }
@@ -148,6 +156,8 @@ void AcceleratorConfig::validate() const {
     throw std::invalid_argument("AcceleratorConfig: solver options");
   if (parallel_threads < 0)
     throw std::invalid_argument("AcceleratorConfig: parallel threads");
+  if (!(check_wire_drop_warning >= 0))
+    throw std::invalid_argument("AcceleratorConfig: wire-drop threshold");
   fault.validate();
   (void)cmos();                    // range check
   (void)device();                  // device validation

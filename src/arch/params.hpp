@@ -70,6 +70,16 @@ struct AcceleratorConfig {
   // streams; docs/PERFORMANCE.md).
   int parallel_threads = 1;
 
+  // Pre-flight static analysis ([check] section; docs/DIAGNOSTICS.md):
+  // simulate/explore/solve entries run the semantic analyzer before any
+  // numeric work and refuse-with-diagnosis on errors. Warnings ride
+  // along in the report; Warnings_As_Errors promotes them. The wire-drop
+  // threshold tunes the MN-CFG-005 plausibility warning (fraction of
+  // R_min the worst-case column wire may reach).
+  bool check_preflight = true;
+  bool check_warnings_as_errors = false;
+  double check_wire_drop_warning = 0.10;
+
   // DC-solve options derived from the solver knobs above.
   [[nodiscard]] spice::DcOptions solver_options() const;
 

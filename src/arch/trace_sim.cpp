@@ -2,15 +2,45 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "check/diagnostic.hpp"
 
 namespace mnsim::arch {
 
 TraceSimResult simulate_trace(const AcceleratorReport& report,
                               long max_recorded_events) {
-  if (report.banks.empty())
-    throw std::invalid_argument("simulate_trace: no banks");
-  if (max_recorded_events < 0)
-    throw std::invalid_argument("simulate_trace: event cap");
+  // Pre-flight over the input report: the trace walks pass latencies and
+  // iteration counts, so a malformed report (no banks, non-finite or
+  // negative timing) would loop forever or emit NaN schedules. Refuse
+  // with coded diagnostics instead.
+  {
+    check::DiagnosticList diags;
+    if (report.banks.empty())
+      diags.emit("MN-TRC-001", check::Severity::kError,
+                 "trace simulation needs at least one computation bank");
+    if (max_recorded_events < 0)
+      diags.emit("MN-TRC-002", check::Severity::kError,
+                 "event cap must be non-negative, got " +
+                     std::to_string(max_recorded_events));
+    for (std::size_t b = 0; b < report.banks.size(); ++b) {
+      const auto& bank = report.banks[b];
+      if (!(bank.pass_latency >= 0) ||
+          !(bank.pass_latency < 1e30)) {  // rejects NaN and overflow
+        diags.emit("MN-TRC-002", check::Severity::kError,
+                   "bank " + std::to_string(b) +
+                       " has a non-finite or negative pass latency")
+            .location = "bank " + std::to_string(b);
+      }
+      if (bank.iterations < 0) {
+        diags.emit("MN-TRC-002", check::Severity::kError,
+                   "bank " + std::to_string(b) +
+                       " has a negative iteration count")
+            .location = "bank " + std::to_string(b);
+      }
+    }
+    if (diags.has_errors()) throw check::CheckError(std::move(diags));
+  }
 
   const std::size_t bank_count = report.banks.size();
   TraceSimResult result;

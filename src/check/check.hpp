@@ -1,0 +1,51 @@
+// `mnsim check` driver — one entry per input file and one per in-memory
+// system (network + configuration), feeding the family-specific passes
+// in netlist_check / config_check / network_check.
+//
+// check_file classifies an input by extension / content, parses it with
+// the regular loaders (bridging their exceptions into diagnostics rather
+// than aborting the whole run), and runs every analysis that applies.
+// check_system is the pre-flight used by simulate_accelerator and
+// dse::explore: shape chain, mapping feasibility and configuration
+// consistency, all without solving anything.
+#pragma once
+
+#include <string>
+
+#include "arch/params.hpp"
+#include "check/diagnostic.hpp"
+#include "nn/network.hpp"
+
+namespace mnsim::check {
+
+enum class InputKind {
+  kAutoDetect,
+  kAcceleratorConfig,  // INI with Table-I keys ([fault]/[solver]/... allowed)
+  kNetwork,            // INI with [network]/[layerN] sections
+  kSpiceDeck,          // exported .sp/.cir deck
+};
+
+struct CheckOptions {
+  InputKind kind = InputKind::kAutoDetect;
+  // Promote every warning to an error (CLI --werror, [check]
+  // Warnings_As_Errors).
+  bool warnings_as_errors = false;
+};
+
+// Classify a file by extension (.sp/.cir/.spice -> deck) then content
+// ("[network]" or "[layer" -> network description, otherwise accelerator
+// config). Exposed for the CLI's reporting.
+[[nodiscard]] InputKind detect_input_kind(const std::string& path,
+                                          const std::string& text);
+
+// Full analysis of one input file. I/O and parse failures surface as
+// diagnostics (MN-SPI-*, MN-CFG-003, MN-CHK-001), never as exceptions.
+[[nodiscard]] DiagnosticList check_file(const std::string& path,
+                                        const CheckOptions& options = {});
+
+// Pre-flight over an in-memory system: network structure, mapping
+// feasibility against `cfg`, and configuration consistency.
+[[nodiscard]] DiagnosticList check_system(const nn::Network& network,
+                                          const arch::AcceleratorConfig& cfg);
+
+}  // namespace mnsim::check

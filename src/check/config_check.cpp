@@ -1,0 +1,518 @@
+#include "check/config_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tech/cmos_tech.hpp"
+#include "tech/interconnect.hpp"
+#include "tech/memristor.hpp"
+#include "util/units.hpp"
+
+namespace mnsim::check {
+
+namespace {
+
+// ---- key registry -----------------------------------------------------------
+
+// Section-qualified keys AcceleratorConfig::from_config consumes (bare =
+// no section). Keep in sync with arch/params.cpp; the unread-key pass
+// (MN-CFG-006) catches drift dynamically.
+const std::vector<std::string>& accelerator_keys() {
+  static const std::vector<std::string> keys = {
+      "Interface_Number", "Crossbar_Size", "Pooling_Size", "Weight_Polarity",
+      "CMOS_Tech", "Cell_Type", "Memristor_Model", "Interconnect_Tech",
+      "Parallelism_Degree", "Resistance_Range", "Output_Bits",
+      "Sense_Resistance", "Device_Sigma", "Pipelined",
+      "fault.Stuck_At_0_Rate", "fault.Stuck_At_1_Rate",
+      "fault.Wordline_Defect_Rate", "fault.Bitline_Defect_Rate",
+      "fault.Retention_Time", "fault.Seed", "fault.Circuit_Check",
+      "fault.Circuit_Check_Size",
+      "solver.CG_Tolerance", "solver.CG_Max_Iterations",
+      "solver.Allow_Fallback",
+      "parallel.Threads",
+      "check.Enabled", "check.Warnings_As_Errors",
+      "check.Wire_Drop_Warning",
+  };
+  return keys;
+}
+
+const std::vector<std::string>& accelerator_sections() {
+  static const std::vector<std::string> sections = {"fault", "solver",
+                                                    "parallel", "check"};
+  return sections;
+}
+
+std::pair<std::string, std::string> split_key(const std::string& key) {
+  const auto dot = key.find('.');
+  if (dot == std::string::npos) return {"", key};
+  return {key.substr(0, dot), key.substr(dot + 1)};
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const bool same =
+          std::tolower(static_cast<unsigned char>(a[i - 1])) ==
+          std::tolower(static_cast<unsigned char>(b[j - 1]));
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + (same ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string nearest_key(const std::string& key,
+                        const std::vector<std::string>& known) {
+  std::string best;
+  std::size_t best_distance = 0;
+  for (const auto& candidate : known) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (best.empty() || d < best_distance) {
+      best = candidate;
+      best_distance = d;
+    }
+  }
+  // Only suggest plausible typos: within a third of the key's length.
+  const std::size_t budget = std::max<std::size_t>(1, key.size() / 3);
+  return best_distance <= budget ? best : std::string();
+}
+
+namespace {
+
+void stamp(Diagnostic& d, const util::Config& cfg, const std::string& key) {
+  d.file = cfg.source();
+  d.line = cfg.line_of(key);
+  d.location = key;
+}
+
+// Unknown-key / unknown-section pass against a registry. Returns the set
+// of keys reported, so later passes can avoid double-reporting.
+std::set<std::string> registry_pass(const util::Config& cfg,
+                                    const std::vector<std::string>& keys,
+                                    const std::vector<std::string>& sections,
+                                    DiagnosticList& out) {
+  std::set<std::string> reported;
+  std::set<std::string> unknown_sections;
+  for (const auto& [key, value] : cfg.entries()) {
+    (void)value;
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+    const auto [section, bare] = split_key(key);
+    const bool known_section =
+        section.empty() ||
+        std::find(sections.begin(), sections.end(), section) !=
+            sections.end();
+    if (!known_section) {
+      // Report the foreign section once; its keys are not typos of ours.
+      if (unknown_sections.insert(section).second) {
+        auto& d = out.emit("MN-CFG-002", Severity::kWarning,
+                           "unknown section [" + section + "]");
+        stamp(d, cfg, key);
+        d.location = "[" + section + "]";
+        const std::string near = nearest_key(section, sections);
+        if (!near.empty()) d.hint = "did you mean [" + near + "]?";
+      }
+      reported.insert(key);
+      continue;
+    }
+    auto& d = out.emit("MN-CFG-001", Severity::kError,
+                       "unknown key '" + bare + "'" +
+                           (section.empty()
+                                ? std::string()
+                                : " in section [" + section + "]"));
+    stamp(d, cfg, key);
+    const std::string near = nearest_key(key, keys);
+    if (!near.empty()) {
+      const auto [near_section, near_bare] = split_key(near);
+      d.hint = near_section == section
+                   ? "did you mean '" + near_bare + "'?"
+                   : "did you mean '" + near_bare + "' in section [" +
+                         near_section + "]?";
+    }
+    reported.insert(key);
+  }
+  return reported;
+}
+
+// ---- per-key value validation ----------------------------------------------
+
+void value_error(DiagnosticList& out, const util::Config& cfg,
+                 const std::string& key, const std::string& message,
+                 std::string hint = {}) {
+  auto& d = out.emit("MN-CFG-003", Severity::kError, message);
+  stamp(d, cfg, key);
+  d.hint = std::move(hint);
+}
+
+// Runs `get` and converts a ConfigError (bad type) into MN-CFG-003.
+template <typename Get>
+bool typed(DiagnosticList& out, const util::Config& cfg,
+           const std::string& key, Get&& get) {
+  try {
+    get();
+    return true;
+  } catch (const util::ConfigError& e) {
+    value_error(out, cfg, key, e.what());
+    return false;
+  }
+}
+
+void int_range(DiagnosticList& out, const util::Config& cfg,
+               const std::string& key, long min, long max) {
+  if (!cfg.has(key)) return;
+  typed(out, cfg, key, [&] {
+    const long v = cfg.get_int(key);
+    if (v < min || v > max)
+      value_error(out, cfg, key,
+                  "'" + key + "' = " + std::to_string(v) +
+                      " outside the supported range [" +
+                      std::to_string(min) + ", " + std::to_string(max) +
+                      "]");
+  });
+}
+
+void double_range(DiagnosticList& out, const util::Config& cfg,
+                  const std::string& key, double min, double max) {
+  if (!cfg.has(key)) return;
+  typed(out, cfg, key, [&] {
+    const double v = cfg.get_double(key);
+    if (!(v >= min) || !(v <= max))
+      value_error(out, cfg, key,
+                  "'" + key + "' = " + std::to_string(v) +
+                      " outside the supported range [" +
+                      std::to_string(min) + ", " + std::to_string(max) +
+                      "]");
+  });
+}
+
+void bool_key(DiagnosticList& out, const util::Config& cfg,
+              const std::string& key) {
+  if (!cfg.has(key)) return;
+  typed(out, cfg, key, [&] { (void)cfg.get_bool(key); });
+}
+
+void accelerator_values(const util::Config& cfg, DiagnosticList& out) {
+  if (cfg.has("Crossbar_Size")) {
+    typed(out, cfg, "Crossbar_Size", [&] {
+      const long v = cfg.get_int("Crossbar_Size");
+      if (v < 2 || (v & (v - 1)) != 0) {
+        long pow2 = 2;
+        while (pow2 < v && pow2 < (1L << 20)) pow2 <<= 1;
+        value_error(out, cfg, "Crossbar_Size",
+                    "'Crossbar_Size' = " + std::to_string(v) +
+                        " must be a power of two >= 2",
+                    "nearest supported size: " + std::to_string(pow2));
+      }
+    });
+  }
+  if (cfg.has("Interface_Number")) {
+    typed(out, cfg, "Interface_Number", [&] {
+      const auto v = cfg.get_int_list("Interface_Number");
+      if (v.size() != 2 || v[0] <= 0 || v[1] <= 0)
+        value_error(out, cfg, "Interface_Number",
+                    "'Interface_Number' needs two positive entries "
+                    "[in, out]");
+    });
+  }
+  if (cfg.has("Resistance_Range")) {
+    typed(out, cfg, "Resistance_Range", [&] {
+      const auto v = cfg.get_list("Resistance_Range");
+      if (v.size() != 2 || !(v[0] > 0) || !(v[1] > v[0])) {
+        value_error(out, cfg, "Resistance_Range",
+                    "'Resistance_Range' needs [min, max] with 0 < min < "
+                    "max (ohms)");
+      } else {
+        using namespace mnsim::units;
+        const Ohms r_min{v[0]};
+        const Ohms r_max{v[1]};
+        if (r_min < Ohms{1.0} || r_max > Ohms{1e9}) {
+          auto& d = out.emit(
+              "MN-CFG-005", Severity::kWarning,
+              "'Resistance_Range' = [" + std::to_string(v[0]) + ", " +
+                  std::to_string(v[1]) +
+                  "] ohm is outside the plausible memristor band "
+                  "[1, 1e9] ohm");
+          stamp(d, cfg, "Resistance_Range");
+          d.hint = "values are ohms, not kilo-ohms; 500k is written 500e3";
+        }
+      }
+    });
+  }
+  if (cfg.has("Cell_Type")) {
+    typed(out, cfg, "Cell_Type", [&] {
+      const std::string v = cfg.get_string("Cell_Type");
+      if (v != "1T1R" && v != "0T1R")
+        value_error(out, cfg, "Cell_Type",
+                    "'Cell_Type' must be 1T1R or 0T1R, got '" + v + "'");
+    });
+  }
+  if (cfg.has("Memristor_Model")) {
+    typed(out, cfg, "Memristor_Model", [&] {
+      const std::string v = cfg.get_string("Memristor_Model");
+      try {
+        (void)tech::memristor_by_name(v);
+      } catch (const std::invalid_argument&) {
+        value_error(out, cfg, "Memristor_Model",
+                    "unknown device model '" + v + "'",
+                    "supported models: RRAM, PCM, STT-MRAM");
+      }
+    });
+  }
+  int_range(out, cfg, "Pooling_Size", 1, 64);
+  int_range(out, cfg, "Weight_Polarity", 1, 2);
+  int_range(out, cfg, "CMOS_Tech", 16, 250);
+  int_range(out, cfg, "Interconnect_Tech", 10, 180);
+  int_range(out, cfg, "Parallelism_Degree", 0, 1L << 20);
+  int_range(out, cfg, "Output_Bits", 1, 14);
+  double_range(out, cfg, "Sense_Resistance", 0.0, 1e6);
+  double_range(out, cfg, "Device_Sigma", 0.0, 0.3);
+  bool_key(out, cfg, "Pipelined");
+  double_range(out, cfg, "fault.Stuck_At_0_Rate", 0.0, 1.0);
+  double_range(out, cfg, "fault.Stuck_At_1_Rate", 0.0, 1.0);
+  double_range(out, cfg, "fault.Wordline_Defect_Rate", 0.0, 1.0);
+  double_range(out, cfg, "fault.Bitline_Defect_Rate", 0.0, 1.0);
+  double_range(out, cfg, "fault.Retention_Time", 0.0, 1e12);
+  bool_key(out, cfg, "fault.Circuit_Check");
+  int_range(out, cfg, "fault.Circuit_Check_Size", 2, 1 << 14);
+  if (cfg.has("solver.CG_Tolerance")) {
+    typed(out, cfg, "solver.CG_Tolerance", [&] {
+      if (!(cfg.get_double("solver.CG_Tolerance") > 0))
+        value_error(out, cfg, "solver.CG_Tolerance",
+                    "'solver.CG_Tolerance' must be positive");
+    });
+  }
+  int_range(out, cfg, "solver.CG_Max_Iterations", 0, 1L << 30);
+  bool_key(out, cfg, "solver.Allow_Fallback");
+  int_range(out, cfg, "parallel.Threads", 0, 4096);
+  bool_key(out, cfg, "check.Enabled");
+  bool_key(out, cfg, "check.Warnings_As_Errors");
+  double_range(out, cfg, "check.Wire_Drop_Warning", 0.0, 1.0);
+}
+
+}  // namespace
+
+DiagnosticList check_config_consistency(const arch::AcceleratorConfig& cfg) {
+  using namespace mnsim::units;
+  DiagnosticList out;
+
+  if (cfg.parallelism > cfg.crossbar_size) {
+    auto& d = out.emit(
+        "MN-CFG-004", Severity::kWarning,
+        "Parallelism_Degree = " + std::to_string(cfg.parallelism) +
+            " exceeds Crossbar_Size = " + std::to_string(cfg.crossbar_size) +
+            "; the extra read circuits are never used");
+    d.location = "Parallelism_Degree";
+    d.hint = "0 means one read circuit per column (all parallel)";
+  }
+
+  if (cfg.fault.circuit_check &&
+      cfg.fault.circuit_check_size > cfg.crossbar_size) {
+    auto& d = out.emit(
+        "MN-CFG-004", Severity::kError,
+        "fault.Circuit_Check_Size = " +
+            std::to_string(cfg.fault.circuit_check_size) +
+            " references cells outside the " +
+            std::to_string(cfg.crossbar_size) + "x" +
+            std::to_string(cfg.crossbar_size) + " crossbar");
+    d.location = "fault.Circuit_Check_Size";
+    d.hint = "the validation sub-array must fit the configured array";
+  }
+
+  // Read-circuit quantization vs. what a single cell stores: an ADC with
+  // fewer levels than the cell throws away programmed precision.
+  const auto device = cfg.device();
+  if (cfg.output_bits < device.level_bits) {
+    auto& d = out.emit(
+        "MN-CFG-004", Severity::kWarning,
+        "Output_Bits = " + std::to_string(cfg.output_bits) + " (" +
+            std::to_string(1 << cfg.output_bits) +
+            " ADC levels) quantizes below the cell's " +
+            std::to_string(device.level_bits) + "-bit level count");
+    d.location = "Output_Bits";
+    d.hint = "raise Output_Bits or pick a coarser Memristor_Model";
+  }
+
+  // Wire-drop plausibility through the Quantity layer: total wire
+  // resistance of the worst-case column against the low-resistance
+  // state. Beyond the threshold the Eq. 9-11 error model predicts the
+  // array is dominated by IR drop, not by the programmed weights.
+  const Ohms segment =
+      tech::interconnect_tech(cfg.interconnect_node_nm).segment_resistance;
+  const Ohms wire_total = segment * static_cast<double>(cfg.crossbar_size);
+  const Ohms r_min{cfg.resistance_min};
+  const double drop_fraction = wire_total / r_min;  // dimensionless ratio
+  if (drop_fraction > cfg.check_wire_drop_warning) {
+    auto& d = out.emit(
+        "MN-CFG-005", Severity::kWarning,
+        "worst-case column wire resistance (" +
+            std::to_string(wire_total.value()) + " ohm at " +
+            std::to_string(cfg.interconnect_node_nm) + " nm x " +
+            std::to_string(cfg.crossbar_size) + " cells) is " +
+            std::to_string(100.0 * drop_fraction) +
+            "% of R_min; IR drop will dominate the computing error");
+    d.location = "Crossbar_Size";
+    d.hint =
+        "shrink Crossbar_Size, pick a finer Interconnect_Tech, or raise "
+        "[check] Wire_Drop_Warning to silence";
+  }
+
+  const Ohms sense{cfg.sense_resistance};
+  if (sense >= r_min * 0.5) {
+    auto& d = out.emit(
+        "MN-CFG-005", Severity::kWarning,
+        "Sense_Resistance = " + std::to_string(cfg.sense_resistance) +
+            " ohm is comparable to R_min = " +
+            std::to_string(cfg.resistance_min) +
+            " ohm; the column load distorts the read voltage");
+    d.location = "Sense_Resistance";
+    d.hint = "keep the sense load well below the low-resistance state";
+  }
+
+  return out;
+}
+
+void check_unread_keys(const util::Config& cfg, DiagnosticList& out) {
+  for (const auto& key : cfg.unread_keys()) {
+    auto& d = out.emit("MN-CFG-006", Severity::kWarning,
+                       "key '" + key + "' was parsed but never read by any "
+                       "consumer");
+    stamp(d, cfg, key);
+    const std::string near = nearest_key(key, accelerator_keys());
+    if (!near.empty() && near != key)
+      d.hint = "possible typo of '" + near + "'";
+  }
+}
+
+DiagnosticList check_accelerator_config(const util::Config& cfg) {
+  DiagnosticList out;
+
+  // Consume the config exactly as the runtime consumer does, then
+  // snapshot what it never probed (the MN-CFG-006 source of truth).
+  bool built_ok = false;
+  std::string build_error;
+  arch::AcceleratorConfig built;
+  try {
+    built = arch::AcceleratorConfig::from_config(cfg);
+    built_ok = true;
+  } catch (const std::exception& e) {
+    build_error = e.what();
+  }
+  std::vector<std::string> unread = cfg.unread_keys();
+
+  const std::set<std::string> reported =
+      registry_pass(cfg, accelerator_keys(), accelerator_sections(), out);
+  accelerator_values(cfg, out);
+
+  // The bridge error only adds information when the targeted passes
+  // missed the problem (e.g. a cross-field throw inside validate()).
+  if (!built_ok && !out.has_errors()) {
+    auto& d = out.emit("MN-CFG-003", Severity::kError, build_error);
+    d.file = cfg.source();
+  }
+
+  if (built_ok) {
+    for (const auto& key : unread) {
+      if (reported.count(key) != 0) continue;  // already an unknown-key error
+      auto& d = out.emit("MN-CFG-006", Severity::kWarning,
+                         "key '" + key + "' was parsed but never read by "
+                         "any consumer");
+      stamp(d, cfg, key);
+    }
+    auto consistency = check_config_consistency(built);
+    consistency.set_file(cfg.source());
+    out.merge(std::move(consistency));
+  }
+  return out;
+}
+
+namespace {
+
+const std::vector<std::string>& network_section_keys() {
+  static const std::vector<std::string> keys = {"name", "type", "input_bits",
+                                                "weight_bits"};
+  return keys;
+}
+
+const std::vector<std::string>& layer_keys_for(const std::string& kind) {
+  static const std::vector<std::string> fc = {"kind", "name", "in", "out",
+                                              "bias"};
+  static const std::vector<std::string> conv = {
+      "kind",     "name",      "in_channels", "out_channels",
+      "kernel",   "in_width",  "in_height",   "padding",
+      "stride"};
+  static const std::vector<std::string> pool = {"kind", "name", "window"};
+  static const std::vector<std::string> any = {
+      "kind",     "name",      "in",          "out",     "bias",
+      "in_channels", "out_channels", "kernel", "in_width", "in_height",
+      "padding",  "stride",    "window"};
+  if (kind == "fc") return fc;
+  if (kind == "conv") return conv;
+  if (kind == "pool") return pool;
+  return any;
+}
+
+bool is_layer_section(const std::string& section) {
+  if (section.rfind("layer", 0) != 0 || section.size() <= 5) return false;
+  return std::all_of(section.begin() + 5, section.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+}  // namespace
+
+DiagnosticList check_network_description(const util::Config& cfg) {
+  DiagnosticList out;
+  for (const auto& [key, value] : cfg.entries()) {
+    (void)value;
+    const auto [section, bare] = split_key(key);
+    if (section == "network") {
+      const auto& known = network_section_keys();
+      if (std::find(known.begin(), known.end(), bare) == known.end()) {
+        auto& d = out.emit("MN-CFG-001", Severity::kError,
+                           "unknown key '" + bare + "' in section [network]");
+        stamp(d, cfg, key);
+        const std::string near = nearest_key(bare, known);
+        if (!near.empty()) d.hint = "did you mean '" + near + "'?";
+      }
+      continue;
+    }
+    if (is_layer_section(section)) {
+      const std::string kind =
+          cfg.has(section + ".kind") ? cfg.get_string(section + ".kind")
+                                     : std::string();
+      const auto& known = layer_keys_for(kind);
+      if (std::find(known.begin(), known.end(), bare) == known.end()) {
+        auto& d = out.emit(
+            "MN-CFG-001", Severity::kError,
+            "unknown key '" + bare + "' in section [" + section + "]" +
+                (kind.empty() ? std::string()
+                              : " (layer kind '" + kind + "')"));
+        stamp(d, cfg, key);
+        const std::string near = nearest_key(bare, known);
+        if (!near.empty()) d.hint = "did you mean '" + near + "'?";
+      }
+      continue;
+    }
+    auto& d = out.emit("MN-CFG-002", Severity::kWarning,
+                       section.empty()
+                           ? "key '" + bare + "' outside any section"
+                           : "unknown section [" + section + "]");
+    stamp(d, cfg, key);
+    if (!section.empty()) d.location = "[" + section + "]";
+    if (is_layer_section(bare) || section.empty())
+      d.hint = "network descriptions use [network] and [layerN] sections";
+  }
+  return out;
+}
+
+}  // namespace mnsim::check

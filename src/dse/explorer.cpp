@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/config_check.hpp"
+#include "check/network_check.hpp"
 #include "util/parallel.hpp"
 
 namespace mnsim::dse {
@@ -70,6 +72,17 @@ ExplorationResult explore(const nn::Network& network,
                           const DesignSpace& space,
                           const Constraints& constraints) {
   constraints.validate();
+  // Pre-flight the parts shared by every design point: the network's
+  // structure and the base configuration's consistency. Mapping
+  // feasibility is deliberately left to the per-point evaluation — the
+  // points override exactly the geometry a mapping check would use, and
+  // an unmappable point records as failed-infeasible, not an abort.
+  if (base.check_preflight) {
+    check::DiagnosticList diags = check::check_network(network);
+    diags.merge(check::check_config_consistency(base));
+    if (base.check_warnings_as_errors) diags.promote_warnings();
+    if (diags.has_errors()) throw check::CheckError(std::move(diags));
+  }
   ExplorationResult result;
   result.error_constraint = constraints.max_error;
   const std::vector<DesignPoint> points = space.enumerate();

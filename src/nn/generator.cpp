@@ -74,10 +74,19 @@ Network random_network(const GeneratorOptions& opt) {
       map /= 2;
     }
   }
-  const long flat = static_cast<long>(channels) * map * map;
-  const int head_in = static_cast<int>(std::min<long>(flat, 1 << 16));
+  // Keep the FC head's fan-in bounded by pooling the feature map down,
+  // so the shape chain stays consistent (the head's `in` must equal the
+  // flattened previous output, which the pre-flight analyzer enforces).
+  long flat = static_cast<long>(channels) * map * map;
+  int head_pools = 0;
+  while (flat > (1 << 16) && map >= 2) {
+    net.layers.push_back(
+        Layer::pooling("pool_head" + std::to_string(++head_pools), 2));
+    map /= 2;
+    flat = static_cast<long>(channels) * map * map;
+  }
   net.layers.push_back(Layer::fully_connected(
-      "fc_head", std::max(head_in, 1),
+      "fc_head", static_cast<int>(std::max<long>(flat, 1)),
       std::uniform_int_distribution<int>(2, 100)(rng)));
   net.validate();
   return net;

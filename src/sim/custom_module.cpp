@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/network_check.hpp"
 #include "circuit/adc.hpp"
 #include "circuit/buffer.hpp"
 #include "circuit/crossbar.hpp"
@@ -38,18 +39,15 @@ CustomModule& CustomAcceleratorSpec::add(std::string module_name,
 }
 
 void CustomAcceleratorSpec::validate() const {
-  if (modules.empty())
-    throw std::invalid_argument("CustomAcceleratorSpec: no modules");
-  for (const auto& m : modules) {
-    if (m.count <= 0 || m.ops_per_task < 0)
-      throw std::invalid_argument("CustomAcceleratorSpec: module '" +
-                                  m.name + "' counts");
+  // Thin wrapper over the semantic analyzer (check/network_check.hpp)
+  // kept for API compatibility: the first MN-CUS-* error becomes the
+  // historical std::invalid_argument.
+  const check::DiagnosticList diags = check::check_custom_spec(*this);
+  for (const auto& d : diags) {
+    if (d.severity == check::Severity::kError)
+      throw std::invalid_argument("CustomAcceleratorSpec: " + d.message +
+                                  " [" + d.code + "]");
   }
-  if (pipeline_stages < 1)
-    throw std::invalid_argument("CustomAcceleratorSpec: pipeline stages");
-  if (pipeline_stages > 1 && !(cycle_time > 0))
-    throw std::invalid_argument(
-        "CustomAcceleratorSpec: pipelined design needs a cycle time");
 }
 
 CustomReport simulate_custom(const CustomAcceleratorSpec& spec) {

@@ -75,6 +75,22 @@ std::string report_to_json(const nn::Network& network,
      << ", \"retention_time\": " << num(f.retention_time)
      << ", \"circuit_check\": " << (f.circuit_check ? 1 : 0) << "},\n";
 
+  // Pre-flight analyzer findings that rode along with the run (errors
+  // would have thrown before a report existed). Same record layout as
+  // `mnsim check --json`.
+  os << "  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const auto& diag = report.diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"code\": " << quote(diag.code)
+       << ", \"severity\": "
+       << quote(check::severity_name(diag.severity))
+       << ", \"message\": " << quote(diag.message)
+       << ", \"file\": " << quote(diag.file) << ", \"line\": " << diag.line
+       << ", \"location\": " << quote(diag.location)
+       << ", \"hint\": " << quote(diag.hint) << "}";
+  }
+  os << (report.diagnostics.empty() ? "" : "\n  ") << "],\n";
+
   auto item = [&](const char* name, const arch::BreakdownItem& it,
                   bool last = false) {
     os << "    " << quote(name) << ": {\"area\": " << num(it.area)

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "check/config_check.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -10,7 +11,19 @@ namespace mnsim::sim {
 using namespace mnsim::units;
 
 arch::AcceleratorConfig load_config(const std::string& path) {
-  return arch::AcceleratorConfig::from_config(util::Config::load(path));
+  return load_config(path, nullptr);
+}
+
+arch::AcceleratorConfig load_config(const std::string& path,
+                                    check::DiagnosticList* diagnostics) {
+  const util::Config raw = util::Config::load(path);
+  arch::AcceleratorConfig config = arch::AcceleratorConfig::from_config(raw);
+  if (diagnostics != nullptr) {
+    // from_config has probed every key it understands; what is left
+    // unread is the silent-typo class (MN-CFG-006).
+    check::check_unread_keys(raw, *diagnostics);
+  }
+  return config;
 }
 
 arch::AcceleratorReport simulate(const nn::Network& network,
@@ -24,6 +37,10 @@ std::string format_report(const nn::Network& network,
   os << "MNSIM report: " << network.name << " (" << network.depth()
      << " computation banks, " << report.total_units << " units, "
      << report.total_crossbars << " crossbars)\n";
+
+  // Pre-flight analyzer findings first, so warnings frame the numbers
+  // below them (errors would have refused the run entirely).
+  for (const auto& diag : report.diagnostics) os << diag.render() << "\n";
 
   util::Table totals("Accelerator totals");
   totals.set_header({"Metric", "Value"});

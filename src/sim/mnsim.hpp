@@ -18,6 +18,11 @@ namespace mnsim::sim {
 // see arch::AcceleratorConfig::from_config).
 arch::AcceleratorConfig load_config(const std::string& path);
 
+// As above, additionally reporting keys the loader parsed but never read
+// (the silent-typo class, MN-CFG-006) into `diagnostics` when non-null.
+arch::AcceleratorConfig load_config(const std::string& path,
+                                    check::DiagnosticList* diagnostics);
+
 // The full simulation flow for a network under a configuration.
 arch::AcceleratorReport simulate(const nn::Network& network,
                                  const arch::AcceleratorConfig& config);

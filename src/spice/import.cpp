@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstdlib>
 #include <sstream>
-#include <stdexcept>
 #include <vector>
 
+#include "check/diagnostic.hpp"
 #include "util/config.hpp"
 
 namespace mnsim::spice {
@@ -20,6 +20,22 @@ struct Card {
   std::string rest;
 };
 
+// All importer failures carry a stable code plus the deck line, so
+// `mnsim check deck.sp` and a failed re-load render identically
+// (docs/DIAGNOSTICS.md, MN-SPI family). ParseError stays a
+// std::runtime_error, preserving the historical catch sites.
+[[noreturn]] void fail(const char* code, int line_no, std::string message,
+                       std::string hint = {}) {
+  check::Diagnostic d;
+  d.code = code;
+  d.severity = check::Severity::kError;
+  d.message = std::move(message);
+  d.file = "spice import";
+  d.line = line_no;
+  d.hint = std::move(hint);
+  throw check::ParseError(std::move(d));
+}
+
 int parse_node(const std::string& token, int line_no) {
   if (token == "0") return kGround;
   if (token.size() > 1 && token[0] == 'n') {
@@ -27,16 +43,15 @@ int parse_node(const std::string& token, int line_no) {
     const long id = std::strtol(token.c_str() + 1, &end, 10);
     if (*end == '\0' && id > 0) return static_cast<int>(id);
   }
-  throw std::runtime_error("spice import line " + std::to_string(line_no) +
-                           ": bad node '" + token + "'");
+  fail("MN-SPI-001", line_no, "bad node '" + token + "'",
+       "nodes are '0' (ground) or 'n<k>' with k >= 1");
 }
 
 double parse_value(const std::string& token, int line_no) {
   char* end = nullptr;
   const double v = std::strtod(token.c_str(), &end);
   if (end == token.c_str())
-    throw std::runtime_error("spice import line " + std::to_string(line_no) +
-                             ": bad value '" + token + "'");
+    fail("MN-SPI-002", line_no, "bad value '" + token + "'");
   return v;
 }
 
@@ -53,6 +68,7 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
     double coef;
     double vt;
     std::string name;
+    int line;
   };
   struct PendingResistor {
     int a;
@@ -90,8 +106,8 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
     std::string nb;
     ls >> head >> na >> nb;
     if (head.empty() || na.empty() || nb.empty())
-      throw std::runtime_error("spice import line " +
-                               std::to_string(line_no) + ": short card");
+      fail("MN-SPI-003", line_no, "short card '" + line + "'",
+           "element cards need at least <name> <node> <node>");
     const char kind = head[0];
     const std::string name = head.substr(1);
 
@@ -110,13 +126,12 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
       std::string value;
       ls >> dc >> value;
       if (dc != "DC")
-        throw std::runtime_error("spice import line " +
-                                 std::to_string(line_no) +
-                                 ": only DC sources supported");
+        fail("MN-SPI-004", line_no, "only DC sources supported, got '" + dc +
+                                        "'");
       if (nb != "0")
-        throw std::runtime_error("spice import line " +
-                                 std::to_string(line_no) +
-                                 ": sources must be grounded");
+        fail("MN-SPI-005", line_no,
+             "sources must be grounded (negative terminal '0'), got '" + nb +
+                 "'");
       const int node = parse_node(na, line_no);
       max_node = std::max(max_node, node);
       sources.push_back({node, parse_value(value, line_no), name});
@@ -125,17 +140,15 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
       std::string expr;
       ls >> expr;
       if (expr.rfind("I=", 0) != 0)
-        throw std::runtime_error("spice import line " +
-                                 std::to_string(line_no) +
-                                 ": behavioral card without I=");
+        fail("MN-SPI-006", line_no, "behavioral card without I= expression");
       const auto star = expr.find('*');
       const auto slash = expr.rfind('/');
       const auto close = expr.rfind(')');
       if (star == std::string::npos || slash == std::string::npos ||
           close == std::string::npos || slash > close)
-        throw std::runtime_error("spice import line " +
-                                 std::to_string(line_no) +
-                                 ": unrecognized sinh expression");
+        fail("MN-SPI-007", line_no,
+             "unrecognized sinh expression '" + expr + "'",
+             "expected I=<coef>*sinh(V(nA,nB)/<vt>)");
       const double coef =
           parse_value(expr.substr(2, star - 2), line_no);
       const double this_vt =
@@ -144,11 +157,10 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
       const int a = parse_node(na, line_no);
       const int b = parse_node(nb, line_no);
       max_node = std::max({max_node, a, b});
-      memristors.push_back({a, b, coef, this_vt, name});
+      memristors.push_back({a, b, coef, this_vt, name, line_no});
     } else {
-      throw std::runtime_error("spice import line " +
-                               std::to_string(line_no) +
-                               ": unsupported element '" + head + "'");
+      fail("MN-SPI-008", line_no, "unsupported element '" + head + "'",
+           "the MNSIM deck subset is R, C, V and behavioral B cards");
     }
   }
 
@@ -162,7 +174,9 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
   for (const auto& m : memristors) {
     // I = (vt / r_state) sinh(V / vt)  =>  r_state = vt / coef.
     if (!(m.coef > 0))
-      throw std::runtime_error("spice import: non-positive sinh coefficient");
+      fail("MN-SPI-009", m.line,
+           "non-positive sinh coefficient in B-source '" + m.name + "'",
+           "the coefficient is vt / r_state and must be > 0");
     nl.add_memristor(m.a, m.b, m.vt / m.coef, m.name);
   }
   nl.validate();

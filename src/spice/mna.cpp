@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/netlist_check.hpp"
 #include "numeric/resilient.hpp"
 #include "numeric/sparse.hpp"
 #include "spice/mna_internal.hpp"
@@ -88,7 +89,16 @@ void assemble(const Netlist& nl, const Indexer& ix,
 }  // namespace
 
 DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
-  nl.validate();
+  // Refuse-with-diagnosis: vet the topology before any numeric work.
+  // A cache with a valid pattern means this structure already passed, so
+  // sweep iterations skip straight to assembly.
+  const bool vetted = cache != nullptr && cache->pattern_valid;
+  if (opt.preflight && !vetted) {
+    check::DiagnosticList diags = check::check_netlist(nl);
+    if (diags.has_errors()) throw check::CheckError(std::move(diags));
+  } else {
+    nl.validate();
+  }
   const Indexer ix = build_indexer(nl);
   const int nodes = nl.node_count() + 1;
   const auto n_unknowns = static_cast<std::size_t>(ix.unknown_count);

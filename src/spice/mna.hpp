@@ -40,6 +40,14 @@ struct DcOptions {
   // update grows instead of shrinking, the step is halved and re-applied,
   // at most `max_damping_retries` times per solve.
   int max_damping_retries = 8;
+
+  // Semantic pre-flight (check/netlist_check.hpp): run the structural
+  // analyzer (connectivity via union-find, structural rank via bipartite
+  // matching) before assembling anything and throw check::CheckError on
+  // a netlist that can only fail numerically. Skipped on cache hits —
+  // the topology was vetted when the pattern was primed — so repeated
+  // sweeps pay the cost once per structure.
+  bool preflight = true;
 };
 
 // What the solver actually did — threaded up through DcResult,

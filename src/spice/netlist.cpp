@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/netlist_check.hpp"
+
 namespace mnsim::spice {
 
 NodeId Netlist::add_node() { return next_node_++; }
@@ -61,14 +63,23 @@ void Netlist::set_source_voltage(std::size_t index, double volts) {
 }
 
 void Netlist::validate() const {
-  // Construction already validates; re-check source uniqueness here.
-  std::vector<bool> pinned(static_cast<std::size_t>(next_node_), false);
-  for (const auto& s : sources_) {
-    if (pinned[static_cast<std::size_t>(s.node)])
-      throw std::invalid_argument("Netlist: node " + std::to_string(s.node) +
-                                  " pinned by two sources");
-    pinned[static_cast<std::size_t>(s.node)] = true;
+  // Thin wrapper over the semantic analyzer's invariant pass
+  // (check/netlist_check.hpp) kept for API compatibility: callers that
+  // expect std::invalid_argument still get one, now carrying the first
+  // diagnostic's full message (which names the conflicting sources
+  // instead of just the node).
+  const check::DiagnosticList diags = check::check_netlist_invariants(*this);
+  if (!diags.has_errors()) return;
+  std::string message;
+  std::size_t errors = 0;
+  for (const auto& d : diags) {
+    if (d.severity != check::Severity::kError) continue;
+    if (errors == 0) message = "Netlist: " + d.message + " [" + d.code + "]";
+    ++errors;
   }
+  if (errors > 1)
+    message += " (and " + std::to_string(errors - 1) + " more)";
+  throw std::invalid_argument(message);
 }
 
 }  // namespace mnsim::spice

@@ -96,6 +96,12 @@ class Netlist {
   void validate() const;
 
  private:
+  // The adders reject malformed elements eagerly, which makes the
+  // defense-in-depth invariant diagnostics (MN-NET-006..009 in
+  // check/netlist_check.cpp) unreachable through this API. The test peer
+  // injects raw elements so those paths keep golden coverage.
+  friend class NetlistTestPeer;
+
   void check_node(NodeId n) const;
 
   tech::MemristorModel device_;

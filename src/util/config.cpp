@@ -46,6 +46,7 @@ Config Config::parse(const std::string& text) {
     }
     if (!section.empty()) key = section + "." + key;
     cfg.set(key, value);
+    cfg.lines_[key] = line_no;
   }
   return cfg;
 }
@@ -55,7 +56,9 @@ Config Config::load(const std::string& path) {
   if (!f) throw ConfigError("cannot open config file: " + path);
   std::ostringstream os;
   os << f.rdbuf();
-  return parse(os.str());
+  Config cfg = parse(os.str());
+  cfg.source_ = path;
+  return cfg;
 }
 
 void Config::set(const std::string& key, const std::string& value) {
@@ -63,12 +66,27 @@ void Config::set(const std::string& key, const std::string& value) {
 }
 
 bool Config::has(const std::string& key) const {
-  return entries_.count(key) != 0;
+  const bool present = entries_.count(key) != 0;
+  if (present) read_.insert(key);
+  return present;
+}
+
+int Config::line_of(const std::string& key) const {
+  auto it = lines_.find(key);
+  return it == lines_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Config::unread_keys() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : entries_)
+    if (read_.count(key) == 0) out.push_back(key);
+  return out;
 }
 
 std::optional<std::string> Config::find(const std::string& key) const {
   auto it = entries_.find(key);
   if (it == entries_.end()) return std::nullopt;
+  read_.insert(key);
   return it->second;
 }
 

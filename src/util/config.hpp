@@ -9,6 +9,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -57,10 +58,31 @@ class Config {
     return entries_;
   }
 
+  // --- provenance and consumption tracking (check/config_check.hpp) ---
+  // The file this config was loaded from (empty for parse()/set()).
+  [[nodiscard]] const std::string& source() const { return source_; }
+  void set_source(std::string source) { source_ = std::move(source); }
+  // 1-based line of `key` in the parsed text; 0 when unknown (set()).
+  [[nodiscard]] int line_of(const std::string& key) const;
+
+  // Every typed getter (and `has`) records the key as consumed. Keys that
+  // were parsed but never probed by any consumer are exactly the
+  // silent-typo class (`Theads = 8`): `mnsim check` reports them as
+  // MN-CFG-006 diagnostics. Iterating entries() does not mark keys.
+  [[nodiscard]] std::vector<std::string> unread_keys() const;
+  [[nodiscard]] bool was_read(const std::string& key) const {
+    return read_.count(key) != 0;
+  }
+
  private:
   [[nodiscard]] std::optional<std::string> find(const std::string& key) const;
 
   std::map<std::string, std::string> entries_;
+  std::map<std::string, int> lines_;
+  std::string source_;
+  // Consumption is an observation about the config's *use*, not its
+  // value; recording it from const getters is the point of the API.
+  mutable std::set<std::string> read_;
 };
 
 // Trims ASCII whitespace from both ends.

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/pipeline.hpp"
+#include "check/diagnostic.hpp"
 #include "nn/topologies.hpp"
 
 namespace mnsim::arch {
@@ -91,10 +92,21 @@ TEST(TraceSim, BusyTimeMatchesPassCounts) {
 }
 
 TEST(TraceSim, Validation) {
+  // Malformed inputs refuse with coded diagnostics (MN-TRC-*).
   AcceleratorReport empty;
-  EXPECT_THROW(simulate_trace(empty), std::invalid_argument);
+  try {
+    simulate_trace(empty);
+    FAIL() << "expected CheckError";
+  } catch (const check::CheckError& e) {
+    EXPECT_TRUE(e.diagnostics().has_code("MN-TRC-001"));
+  }
   auto rep = simulate_accelerator(nn::make_mlp({8, 8}), base());
-  EXPECT_THROW(simulate_trace(rep, -1), std::invalid_argument);
+  try {
+    simulate_trace(rep, -1);
+    FAIL() << "expected CheckError";
+  } catch (const check::CheckError& e) {
+    EXPECT_TRUE(e.diagnostics().has_code("MN-TRC-002"));
+  }
 }
 
 }  // namespace

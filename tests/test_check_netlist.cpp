@@ -1,0 +1,198 @@
+// Golden tests for the netlist structural analyzer: one test per MN-NET
+// diagnostic code, plus the solve_dc pre-flight (refuse-with-diagnosis
+// before factorization) and the Netlist::validate() wrapper.
+#include "check/netlist_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/mna.hpp"
+#include "spice/netlist.hpp"
+
+namespace mnsim::spice {
+
+// Injects raw elements past the adders' eager validation so the
+// defense-in-depth invariant diagnostics stay reachable (see the friend
+// declaration in netlist.hpp).
+class NetlistTestPeer {
+ public:
+  static void push_resistor(Netlist& nl, NodeId a, NodeId b, double ohms) {
+    nl.resistors_.push_back({a, b, ohms, "raw"});
+  }
+  static void push_source(Netlist& nl, NodeId node, double volts) {
+    nl.sources_.push_back({node, volts, "raw"});
+  }
+};
+
+}  // namespace mnsim::spice
+
+namespace mnsim::check {
+namespace {
+
+using spice::kGround;
+using spice::Netlist;
+using spice::NetlistTestPeer;
+using spice::NodeId;
+
+// A healthy driven divider: source -> n1 -R- n2 -R- ground.
+Netlist healthy() {
+  Netlist nl;
+  const NodeId n1 = nl.add_node();
+  const NodeId n2 = nl.add_node();
+  nl.add_source(n1, 1.0, "drive");
+  nl.add_resistor(n1, n2, 100.0, "top");
+  nl.add_resistor(n2, kGround, 100.0, "bottom");
+  return nl;
+}
+
+TEST(NetlistCheck, HealthyNetlistIsClean) {
+  EXPECT_TRUE(check_netlist(healthy()).empty());
+}
+
+// MN-NET-001: island with elements but no DC path to ground.
+TEST(NetlistCheck, FloatingIslandIsDiagnosed) {
+  Netlist nl = healthy();
+  const NodeId a = nl.add_node();
+  const NodeId b = nl.add_node();
+  nl.add_resistor(a, b, 50.0, "island");
+  const DiagnosticList diags = check_netlist(nl);
+  EXPECT_TRUE(diags.has_code("MN-NET-001"));
+  EXPECT_EQ(diags.error_count(), 2u);  // both island nodes reported
+}
+
+// MN-NET-002: allocated node with nothing attached.
+TEST(NetlistCheck, UnconnectedNodeIsDiagnosed) {
+  Netlist nl = healthy();
+  (void)nl.add_node();
+  const DiagnosticList diags = check_netlist(nl);
+  EXPECT_TRUE(diags.has_code("MN-NET-002"));
+}
+
+// MN-NET-003: two sources pinning one node, named in the message.
+TEST(NetlistCheck, ConflictingSourcesAreNamed) {
+  Netlist nl = healthy();
+  nl.add_source(1, 2.0, "second");
+  const DiagnosticList diags = check_netlist_invariants(nl);
+  ASSERT_TRUE(diags.has_code("MN-NET-003"));
+  const auto& d = diags.items()[0];
+  EXPECT_NE(d.message.find("'drive'"), std::string::npos);
+  EXPECT_NE(d.message.find("'second'"), std::string::npos);
+}
+
+// MN-NET-004: a node stamped by no conductive element is structurally
+// singular for any values (capacitors are open at DC). Connectivity is
+// disabled so the structural-rank pass reports it alone.
+TEST(NetlistCheck, CapacitorOnlyNodeIsStructurallySingular) {
+  Netlist nl = healthy();
+  const NodeId c = nl.add_node();
+  nl.add_capacitor(c, kGround, 1e-15, "hang");
+  NetlistCheckOptions options;
+  options.connectivity = false;
+  const DiagnosticList diags = check_netlist(nl, options);
+  EXPECT_TRUE(diags.has_code("MN-NET-004"));
+  // The union-find pass reaches the same verdict through connectivity.
+  EXPECT_TRUE(check_netlist(nl).has_code("MN-NET-001"));
+}
+
+// MN-NET-005: extreme conductance spread predicts ill-conditioning.
+TEST(NetlistCheck, ConductanceSpreadWarns) {
+  Netlist nl = healthy();
+  nl.add_resistor(1, kGround, 1e15, "huge");
+  const DiagnosticList diags = check_netlist(nl);
+  EXPECT_TRUE(diags.has_code("MN-NET-005"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+// MN-NET-006: element referencing an unallocated node id.
+TEST(NetlistCheck, DanglingNodeIdIsDiagnosed) {
+  Netlist nl = healthy();
+  NetlistTestPeer::push_resistor(nl, 1, 99, 100.0);
+  EXPECT_TRUE(check_netlist_invariants(nl).has_code("MN-NET-006"));
+}
+
+// MN-NET-007: non-positive element value.
+TEST(NetlistCheck, NonPositiveResistanceIsDiagnosed) {
+  Netlist nl = healthy();
+  NetlistTestPeer::push_resistor(nl, 1, kGround, 0.0);
+  EXPECT_TRUE(check_netlist_invariants(nl).has_code("MN-NET-007"));
+}
+
+// MN-NET-008: element shorting a node to itself.
+TEST(NetlistCheck, ShortedElementIsDiagnosed) {
+  Netlist nl = healthy();
+  NetlistTestPeer::push_resistor(nl, 2, 2, 100.0);
+  EXPECT_TRUE(check_netlist_invariants(nl).has_code("MN-NET-008"));
+}
+
+// MN-NET-009: a source pinning the ground node.
+TEST(NetlistCheck, SourceOnGroundIsDiagnosed) {
+  Netlist nl = healthy();
+  NetlistTestPeer::push_source(nl, kGround, 1.0);
+  EXPECT_TRUE(check_netlist_invariants(nl).has_code("MN-NET-009"));
+}
+
+// MN-NET-010: duplicate names within a kind warn; across kinds they are
+// fine (a deck renders R1 vs V1 unambiguously).
+TEST(NetlistCheck, DuplicateNamesWarnPerKind) {
+  Netlist nl = healthy();
+  nl.add_resistor(1, kGround, 100.0, "top");  // second resistor 'top'
+  const DiagnosticList diags = check_netlist(nl);
+  EXPECT_TRUE(diags.has_code("MN-NET-010"));
+  EXPECT_FALSE(diags.has_errors());
+
+  Netlist cross;
+  const NodeId n1 = cross.add_node();
+  cross.add_source(n1, 1.0, "1");
+  cross.add_resistor(n1, kGround, 100.0, "1");
+  EXPECT_FALSE(check_netlist(cross).has_code("MN-NET-010"));
+}
+
+// MN-NET-011: elements but no drive — the DC answer is all zeros.
+TEST(NetlistCheck, SourcelessNetlistWarns) {
+  Netlist nl;
+  const NodeId n1 = nl.add_node();
+  nl.add_resistor(n1, kGround, 100.0);
+  const DiagnosticList diags = check_netlist(nl);
+  EXPECT_TRUE(diags.has_code("MN-NET-011"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+// The acceptance-criteria scenario: a deliberately singular netlist is
+// refused by the pre-flight before MnaSolver attempts factorization.
+TEST(NetlistCheck, SolveDcRefusesWithDiagnosisBeforeFactorizing) {
+  Netlist nl = healthy();
+  const NodeId a = nl.add_node();
+  const NodeId b = nl.add_node();
+  nl.add_resistor(a, b, 50.0, "island");
+  try {
+    (void)spice::solve_dc(nl);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_TRUE(e.diagnostics().has_code("MN-NET-001"));
+  }
+}
+
+TEST(NetlistCheck, SolveDcPreflightCanBeDisabled) {
+  Netlist nl = healthy();
+  spice::DcOptions options;
+  options.preflight = false;
+  const auto dc = spice::solve_dc(nl, options);
+  EXPECT_NEAR(dc.voltage(2), 0.5, 1e-9);
+}
+
+// The validate() wrapper keeps the historical std::invalid_argument but
+// now carries the first diagnostic's code and message.
+TEST(NetlistCheck, ValidateWrapperNamesConflict) {
+  Netlist nl = healthy();
+  nl.add_source(1, 2.0, "second");
+  try {
+    nl.validate();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("MN-NET-003"), std::string::npos);
+    EXPECT_NE(what.find("'second'"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mnsim::check

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MNSIM custom lints, run by the CI static-analysis job (and locally).
 
-Two rules, both guarding invariants the compiler cannot see on its own:
+Three rules, all guarding invariants the compiler cannot see on its own:
 
 1. raw-double-physical-param
    Headers in src/tech and src/circuit must not declare new raw-`double`
@@ -21,6 +21,13 @@ Two rules, both guarding invariants the compiler cannot see on its own:
    Every stochastic component takes an explicit seed (PR 2's bit-identical
    parallel determinism depends on it); fresh entropy anywhere else breaks
    reproducibility silently.
+
+3. undocumented-diagnostic
+   Every `MN-*` diagnostic code constructed anywhere under src/ must be
+   catalogued in docs/DIAGNOSTICS.md, and the catalogue must not carry
+   codes the source no longer emits. The pre-flight analyzer's codes are
+   a published interface (tests, CI gates, and downstream tooling key on
+   them); this keeps the contract complete in both directions.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -103,6 +110,42 @@ def check_rng(path: pathlib.Path, rel: str, findings: list[str]) -> None:
             )
 
 
+# ---- rule 3: diagnostic codes vs docs/DIAGNOSTICS.md ------------------------
+
+DIAG_CODE = re.compile(r"\bMN-[A-Z]{2,4}-\d{3}\b")
+DIAG_CATALOGUE = "docs/DIAGNOSTICS.md"
+
+
+def check_diagnostic_catalogue(findings: list[str]) -> None:
+    """Source codes and the catalogue must agree exactly (both directions)."""
+    emitted: dict[str, str] = {}  # code -> first "file:line" that mentions it
+    for path in sorted((REPO / "src").rglob("*.[ch]pp")):
+        rel = str(path.relative_to(REPO))
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for code in DIAG_CODE.findall(line):
+                emitted.setdefault(code, f"{rel}:{lineno}")
+
+    catalogue_path = REPO / DIAG_CATALOGUE
+    documented = (
+        set(DIAG_CODE.findall(catalogue_path.read_text()))
+        if catalogue_path.is_file()
+        else set()
+    )
+
+    for code in sorted(set(emitted) - documented):
+        findings.append(
+            f"{emitted[code]}: undocumented-diagnostic: '{code}' is "
+            f"constructed in src/ but not catalogued in {DIAG_CATALOGUE}; "
+            f"add an entry with an example trigger and remedy"
+        )
+    for code in sorted(documented - set(emitted)):
+        findings.append(
+            f"{DIAG_CATALOGUE}: undocumented-diagnostic: '{code}' is "
+            f"catalogued but no longer constructed anywhere in src/; "
+            f"remove the stale entry (codes are never reused)"
+        )
+
+
 # ---- driver ------------------------------------------------------------------
 
 
@@ -132,6 +175,10 @@ def main(argv: list[str]) -> int:
         if rel.endswith(".hpp") and rel.startswith(RAW_DOUBLE_HEADER_DIRS):
             check_raw_double(path, rel, findings)
         check_rng(path, rel, findings)
+
+    # Global rule: run over the whole tree, not per-file, so a stale
+    # catalogue entry is caught even when linting a single file.
+    check_diagnostic_catalogue(findings)
 
     for f in findings:
         print(f)

@@ -1,0 +1,102 @@
+// Overhead budget of the observability layer (docs/OBSERVABILITY.md):
+// with tracing disabled, an obs::Span per 64-iteration work chunk must
+// cost less than 5 % over the same loop with no spans at all. This is
+// the contract that lets the spans stay compiled into the hot paths
+// (spice assembly, CG, Monte-Carlo draws) unconditionally.
+//
+// Exit status is the gate: 0 when the disabled overhead is under the
+// budget, 1 otherwise — CI runs this binary directly.
+#include <chrono>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+using namespace mnsim;
+
+namespace {
+
+constexpr int kChunks = 40000;       // spans per measured pass
+constexpr int kItersPerChunk = 64;   // work per span
+constexpr int kTrials = 9;           // min-of-trials kills scheduler noise
+
+// The chunk kernel: enough arithmetic that a span per chunk is the
+// granularity the simulator actually uses (one span per CG solve / MC
+// draw, never per multiply). The sink defeats dead-code elimination.
+volatile double g_sink = 0.0;
+
+inline double chunk(int base) {
+  double acc = 0.0;
+  for (int i = 1; i <= kItersPerChunk; ++i)
+    acc += 1.0 / static_cast<double>(base + i);
+  return acc;
+}
+
+double pass_plain() {
+  double acc = 0.0;
+  for (int c = 0; c < kChunks; ++c) acc += chunk(c);
+  return acc;
+}
+
+double pass_spanned() {
+  double acc = 0.0;
+  for (int c = 0; c < kChunks; ++c) {
+    obs::Span span("bench.chunk");
+    acc += chunk(c);
+  }
+  return acc;
+}
+
+template <typename Fn>
+double min_seconds(Fn&& fn) {
+  double best = 1e30;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto t0 = std::chrono::steady_clock::now();
+    g_sink = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  obs::Tracer::instance().disable();
+
+  // Warm-up pass so both code paths are hot before timing.
+  g_sink = pass_plain();
+  g_sink = pass_spanned();
+
+  const double plain_s = min_seconds(pass_plain);
+  const double disabled_s = min_seconds(pass_spanned);
+  const double disabled_overhead = disabled_s / plain_s - 1.0;
+
+  // Enabled cost is informational only — recording is expected to cost
+  // real time; the budget applies to the disabled path.
+  obs::Tracer::instance().enable();
+  obs::Tracer::instance().reset();
+  const double enabled_s = min_seconds(pass_spanned);
+  const double enabled_overhead = enabled_s / plain_s - 1.0;
+  const std::size_t events = obs::Tracer::instance().event_count();
+  obs::Tracer::instance().disable();
+  obs::Tracer::instance().reset();
+
+  std::printf("obs overhead: %d spans x %d iters, min of %d trials\n",
+              kChunks, kItersPerChunk, kTrials);
+  std::printf("  no spans        : %9.3f ms\n", plain_s * 1e3);
+  std::printf("  spans, disabled : %9.3f ms  (%+.2f %%)\n", disabled_s * 1e3,
+              disabled_overhead * 100.0);
+  std::printf("  spans, enabled  : %9.3f ms  (%+.2f %%, %zu events)\n",
+              enabled_s * 1e3, enabled_overhead * 100.0, events);
+
+  constexpr double kBudget = 0.05;
+  if (disabled_overhead > kBudget) {
+    std::printf("FAIL: disabled tracing costs %.2f %% (> %.0f %% budget)\n",
+                disabled_overhead * 100.0, kBudget * 100.0);
+    return 1;
+  }
+  std::printf("PASS: disabled tracing within the %.0f %% budget\n",
+              kBudget * 100.0);
+  return 0;
+}

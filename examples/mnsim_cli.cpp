@@ -7,12 +7,18 @@
 //
 //   network.ini   network description (see nn/parser.hpp for the dialect)
 //   config.ini    accelerator configuration (paper Table-I keys)
-//   --dse         run the design-space exploration instead of a single
-//                 simulation (optional error constraint in percent,
-//                 default 25)
+//   --dse         additionally run the design-space exploration (optional
+//                 error constraint in percent, default 25) before the
+//                 single-design simulation
 //   --pipeline    additionally print the inter-layer pipeline analysis
 //   --floorplan   additionally print the physical floorplan estimate
+//   --validate-mc additionally run the functional Monte-Carlo validation
+//                 of the simulated design's accuracy envelope
 //   --json <path> write the machine-readable report
+//   --trace[=<path>]  enable tracing and write the Chrome/Perfetto
+//                 timeline (default path from [trace] Output, else
+//                 trace.json; see docs/OBSERVABILITY.md)
+//   --profile     enable tracing and print the flat per-phase profile
 //   --dump-netlist <path>  export a SPICE deck of the first bank's
 //                 worst-case crossbar
 //   --nvsim <path>  export the per-module performance models in
@@ -38,8 +44,11 @@
 #include "check/check.hpp"
 #include "circuit/neuron.hpp"
 #include "dse/report.hpp"
+#include "nn/functional_sim.hpp"
 #include "nn/parser.hpp"
 #include "nn/topologies.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/json_report.hpp"
 #include "sim/mnsim.hpp"
 #include "sim/nvsim_io.hpp"
@@ -63,6 +72,31 @@ void run_dse(const nn::Network& net, const arch::AcceleratorConfig& base,
   std::printf("%ld feasible\n", result.feasible_count);
   std::fputs(dse::format_optima_table(result, "Optimal designs").c_str(),
              stdout);
+}
+
+// Functional Monte-Carlo validation of the simulated design: feed each
+// bank's average analog error into the network-level reference simulator
+// and report the quantized accuracy it predicts. Small counts on purpose
+// — this is a spot check, not the full Table-2 sweep.
+void run_validate_mc(const nn::Network& net,
+                     const arch::AcceleratorConfig& cfg,
+                     const arch::AcceleratorReport& report) {
+  nn::MonteCarloConfig mc;
+  mc.samples = 20;
+  mc.weight_draws = 5;
+  mc.signal_bits = cfg.output_bits;
+  mc.threads = cfg.parallel_threads;
+  std::vector<double> eps;
+  eps.reserve(report.banks.size());
+  for (const auto& bank : report.banks) eps.push_back(bank.epsilon_average);
+  const auto mc_result = nn::run_monte_carlo_network(net, eps, mc);
+  std::printf(
+      "functional MC validation: relative accuracy %.4f "
+      "(avg error rate %.4g, max %.4g; %d draws x %d samples, "
+      "%d thread%s)\n",
+      mc_result.relative_accuracy, mc_result.avg_error_rate,
+      mc_result.max_error_rate, mc.weight_draws, mc.samples,
+      mc_result.threads, mc_result.threads == 1 ? "" : "s");
 }
 
 void dump_netlist(const nn::Network& net,
@@ -161,8 +195,12 @@ int main(int argc, char** argv) {
     bool want_dse = false;
     bool want_pipeline = false;
     bool want_floorplan = false;
+    bool want_validate_mc = false;
+    bool want_trace = false;
+    bool want_profile = false;
     bool check_only = false;
     double constraint = 0.25;
+    std::string trace_path;
     std::string netlist_path;
     std::string nvsim_path;
     std::string json_path;
@@ -185,6 +223,15 @@ int main(int argc, char** argv) {
         want_pipeline = true;
       } else if (arg == "--floorplan") {
         want_floorplan = true;
+      } else if (arg == "--validate-mc") {
+        want_validate_mc = true;
+      } else if (arg == "--trace") {
+        want_trace = true;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        want_trace = true;
+        trace_path = arg.substr(std::string("--trace=").size());
+      } else if (arg == "--profile") {
+        want_profile = true;
       } else if (arg == "--check-only") {
         check_only = true;
       } else if (arg == "--json" && i + 1 < argc) {
@@ -230,13 +277,26 @@ int main(int argc, char** argv) {
       return all.has_errors() ? 1 : 0;
     }
 
-    if (want_dse) {
-      run_dse(net, cfg, constraint);
-      return 0;
+    // Observability: the CLI flags and the [trace] config section both
+    // arm the tracer; --trace without a path falls back to the config's
+    // Output, then to trace.json. Tracing only observes, so enabling it
+    // cannot change any simulated number.
+    const bool tracing = want_trace || want_profile || cfg.trace_enabled;
+    if (tracing) {
+      obs::Tracer::instance().enable();
+      obs::set_thread_name("main");
     }
+    obs::Registry::global().set_enabled(cfg.trace_metrics);
+    if (trace_path.empty()) trace_path = cfg.trace_output;
+    if (trace_path.empty() && (want_trace || cfg.trace_enabled))
+      trace_path = "trace.json";
+
+    if (want_dse) run_dse(net, cfg, constraint);
 
     const auto report = sim::simulate(net, cfg);
     std::fputs(sim::format_report(net, report).c_str(), stdout);
+
+    if (want_validate_mc) run_validate_mc(net, cfg, report);
 
     if (want_pipeline) {
       const auto pipe = arch::analyze_pipeline(report);
@@ -277,6 +337,19 @@ int main(int argc, char** argv) {
     }
     if (!netlist_path.empty()) dump_netlist(net, cfg, netlist_path);
     if (!nvsim_path.empty()) dump_nvsim(cfg, nvsim_path);
+
+    if (tracing) {
+      if (!trace_path.empty()) {
+        if (obs::Tracer::instance().write_chrome_trace(trace_path))
+          std::printf("wrote Chrome trace (%zu events) to %s\n",
+                      obs::Tracer::instance().event_count(),
+                      trace_path.c_str());
+        else
+          std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      }
+      if (want_profile)
+        std::fputs(obs::Tracer::instance().text_profile().c_str(), stdout);
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mnsim_cli: %s\n", e.what());

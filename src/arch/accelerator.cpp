@@ -6,6 +6,8 @@
 #include "check/check.hpp"
 #include "check/config_check.hpp"
 #include "circuit/buffer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mnsim::arch {
 
@@ -76,6 +78,7 @@ AcceleratorReport simulate_accelerator(const nn::Network& network,
 AcceleratorReport simulate_accelerator(
     const nn::Network& network,
     const std::vector<AcceleratorConfig>& per_bank_configs) {
+  obs::Span span("arch.simulate_accelerator");
   network.validate();
   if (per_bank_configs.empty())
     throw std::invalid_argument("simulate_accelerator: no configurations");
@@ -128,6 +131,7 @@ AcceleratorReport simulate_accelerator(
   // in the solver diagnostics below).
   spice::CrossbarSolveCache solve_cache;
   for (std::size_t i = 0; i < weighted.size(); ++i) {
+    obs::Span bank_span("arch.bank");
     const nn::Layer* next =
         i + 1 < weighted.size() ? weighted[i + 1] : nullptr;
     BankReport bank = simulate_bank(*weighted[i], pooling_after[i], next,
@@ -148,20 +152,29 @@ AcceleratorReport simulate_accelerator(
   }
   rep.fault_config = per_bank_configs.front().fault;
 
-  // Accelerator I/O interfaces (Sec. III-A).
-  circuit::IoInterfaceModel io_in;
-  io_in.wires = config.interface_in;
-  io_in.sample_bits = network.input_size() * network.input_bits;
-  io_in.bus_clock = units::Hertz{config.bus_clock};
-  io_in.tech = cmos;
-  rep.io_input = io_in.ppa();
+  obs::Registry& reg = obs::Registry::global();
+  reg.add("arch.banks", static_cast<long>(rep.banks.size()));
+  reg.add("arch.crossbars", rep.total_crossbars);
+  if (rep.solver.faults_injected)
+    reg.add("fault.faults_injected", rep.solver.faults_injected);
 
-  circuit::IoInterfaceModel io_out;
-  io_out.wires = config.interface_out;
-  io_out.sample_bits = network.output_size() * config.output_bits;
-  io_out.bus_clock = units::Hertz{config.bus_clock};
-  io_out.tech = cmos;
-  rep.io_output = io_out.ppa();
+  // Accelerator I/O interfaces (Sec. III-A).
+  {
+    obs::Span io_span("arch.interfaces");
+    circuit::IoInterfaceModel io_in;
+    io_in.wires = config.interface_in;
+    io_in.sample_bits = network.input_size() * network.input_bits;
+    io_in.bus_clock = units::Hertz{config.bus_clock};
+    io_in.tech = cmos;
+    rep.io_input = io_in.ppa();
+
+    circuit::IoInterfaceModel io_out;
+    io_out.wires = config.interface_out;
+    io_out.sample_bits = network.output_size() * config.output_bits;
+    io_out.bus_clock = units::Hertz{config.bus_clock};
+    io_out.tech = cmos;
+    rep.io_output = io_out.ppa();
+  }
 
   rep.breakdown.interfaces.area = rep.io_input.area + rep.io_output.area;
   rep.breakdown.interfaces.energy =

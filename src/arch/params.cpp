@@ -132,6 +132,12 @@ AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
   c.check_wire_drop_warning = cfg.get_double_or("check.Wire_Drop_Warning",
                                                 c.check_wire_drop_warning);
 
+  // [trace] section (docs/OBSERVABILITY.md).
+  c.trace_enabled = cfg.get_bool_or("trace.Enabled", c.trace_enabled);
+  if (cfg.has("trace.Output"))
+    c.trace_output = cfg.get_string("trace.Output");
+  c.trace_metrics = cfg.get_bool_or("trace.Metrics", c.trace_metrics);
+
   c.validate();
   return c;
 }

@@ -80,6 +80,15 @@ struct AcceleratorConfig {
   bool check_warnings_as_errors = false;
   double check_wire_drop_warning = 0.10;
 
+  // Observability ([trace] section; docs/OBSERVABILITY.md): Enabled turns
+  // the obs::Tracer on for the run, Output names the Chrome-trace JSON
+  // file the CLI writes (empty = no file unless --trace overrides), and
+  // Metrics gates the obs::Registry counters and the `metrics` block of
+  // the JSON report. Tracing only observes — results never depend on it.
+  bool trace_enabled = false;
+  std::string trace_output;
+  bool trace_metrics = true;
+
   // DC-solve options derived from the solver knobs above.
   [[nodiscard]] spice::DcOptions solver_options() const;
 

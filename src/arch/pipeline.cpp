@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace mnsim::arch {
 
 PipelineReport analyze_pipeline(const AcceleratorReport& report) {
+  obs::Span span("arch.pipeline");
   if (report.banks.empty())
     throw std::invalid_argument("analyze_pipeline: no banks");
 

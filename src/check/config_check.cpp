@@ -36,13 +36,14 @@ const std::vector<std::string>& accelerator_keys() {
       "parallel.Threads",
       "check.Enabled", "check.Warnings_As_Errors",
       "check.Wire_Drop_Warning",
+      "trace.Enabled", "trace.Output", "trace.Metrics",
   };
   return keys;
 }
 
 const std::vector<std::string>& accelerator_sections() {
-  static const std::vector<std::string> sections = {"fault", "solver",
-                                                    "parallel", "check"};
+  static const std::vector<std::string> sections = {
+      "fault", "solver", "parallel", "check", "trace"};
   return sections;
 }
 
@@ -297,6 +298,8 @@ void accelerator_values(const util::Config& cfg, DiagnosticList& out) {
   bool_key(out, cfg, "check.Enabled");
   bool_key(out, cfg, "check.Warnings_As_Errors");
   double_range(out, cfg, "check.Wire_Drop_Warning", 0.0, 1.0);
+  bool_key(out, cfg, "trace.Enabled");
+  bool_key(out, cfg, "trace.Metrics");
 }
 
 }  // namespace

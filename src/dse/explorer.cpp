@@ -7,6 +7,8 @@
 
 #include "check/config_check.hpp"
 #include "check/network_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace mnsim::dse {
@@ -44,6 +46,7 @@ EvaluatedDesign evaluate_design(const nn::Network& network,
                                 const arch::AcceleratorConfig& base,
                                 const DesignPoint& point,
                                 const Constraints& constraints) {
+  obs::Span span("dse.evaluate");
   constraints.validate();
   arch::AcceleratorConfig cfg = base;
   cfg.crossbar_size = point.crossbar_size;
@@ -83,9 +86,13 @@ ExplorationResult explore(const nn::Network& network,
     if (base.check_warnings_as_errors) diags.promote_warnings();
     if (diags.has_errors()) throw check::CheckError(std::move(diags));
   }
+  obs::Span explore_span("dse.explore");
   ExplorationResult result;
   result.error_constraint = constraints.max_error;
-  const std::vector<DesignPoint> points = space.enumerate();
+  const std::vector<DesignPoint> points = [&] {
+    obs::Span span("dse.enumerate");
+    return space.enumerate();
+  }();
   // One task per design point. evaluate_design is a pure function of
   // (network, base, point), so the parallel sweep is bit-identical to
   // the serial loop; parallel_map keeps enumeration order. A
@@ -96,6 +103,7 @@ ExplorationResult explore(const nn::Network& network,
   util::ThreadPool pool(base.parallel_threads);
   result.designs = util::parallel_map(
       pool, points.size(), [&](std::size_t i, std::size_t) {
+        obs::Span point_span("dse.design_point");
         try {
           return evaluate_design(network, base, points[i], constraints);
         } catch (const std::exception& e) {
@@ -111,6 +119,10 @@ ExplorationResult explore(const nn::Network& network,
     if (!d.evaluated) ++result.failed_count;
     if (d.feasible) ++result.feasible_count;
   }
+  obs::Registry& reg = obs::Registry::global();
+  reg.add("dse.design_points", static_cast<long>(result.designs.size()));
+  reg.add("dse.feasible_points", result.feasible_count);
+  reg.add("dse.failed_points", result.failed_count);
   return result;
 }
 

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <random>
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace mnsim::nn {
@@ -66,6 +69,7 @@ MonteCarloResult run_monte_carlo(const Network& network,
 
   const int k = 1 << config.signal_bits;
 
+  obs::Span mc_span("nn.monte_carlo");
   util::ThreadPool pool(config.threads);
   // One task per weight draw, each on its own (seed, draw)-derived RNG
   // stream: the draw's weights, inputs and perturbations depend only on
@@ -73,6 +77,7 @@ MonteCarloResult run_monte_carlo(const Network& network,
   const auto stats = util::parallel_map(
       pool, static_cast<std::size_t>(config.weight_draws),
       [&](std::size_t draw, std::size_t) {
+        obs::Span draw_span("nn.mc_draw");
         std::mt19937 rng(util::derive_stream_seed(config.seed, draw));
 
         // Random signed weights quantized to the network's precision.
@@ -106,7 +111,11 @@ MonteCarloResult run_monte_carlo(const Network& network,
           const double lsb = max_out / (k - 1);
           for (std::size_t o = 0; o < ideal.size(); ++o) {
             const long qi = std::lround(ideal[o] / lsb);
-            const long qa = std::lround(std::min(actual[o], max_out) / lsb);
+            // Same clamp as the faulted path: perturbations can only push
+            // a ReLU output above max_out, but sharing one quantizer keeps
+            // cross-path comparisons honest.
+            const long qa =
+                std::lround(std::clamp(actual[o], 0.0, max_out) / lsb);
             const double rate =
                 static_cast<double>(std::labs(qa - qi)) / (k - 1);
             st.deviation_sum += rate;
@@ -133,6 +142,10 @@ MonteCarloResult run_monte_carlo(const Network& network,
   result.relative_accuracy = 1.0 - result.avg_error_rate;
   result.seed = config.seed;
   result.threads = static_cast<int>(pool.worker_count());
+  obs::Registry::global().add("nn.mc_draws", config.weight_draws);
+  obs::Registry::global().add(
+      "nn.mc_samples",
+      static_cast<long>(config.weight_draws) * config.samples);
   return result;
 }
 
@@ -173,6 +186,7 @@ MonteCarloResult run_monte_carlo_faulted(const Network& network,
 
   const int k = 1 << config.signal_bits;
 
+  obs::Span mc_span("nn.monte_carlo_faulted");
   util::ThreadPool pool(config.threads);
   // Same per-draw stream scheme as run_monte_carlo; the defect maps are
   // fixed (drawn above under the fault seed) and read-only, so every
@@ -180,6 +194,7 @@ MonteCarloResult run_monte_carlo_faulted(const Network& network,
   const auto stats = util::parallel_map(
       pool, static_cast<std::size_t>(config.weight_draws),
       [&](std::size_t draw, std::size_t) {
+        obs::Span draw_span("nn.mc_draw");
         std::mt19937 rng(util::derive_stream_seed(config.seed, draw));
 
         std::vector<Matrix> clean, faulted;
@@ -247,6 +262,11 @@ MonteCarloResult run_monte_carlo_faulted(const Network& network,
   result.seed = config.seed;
   result.faults_injected = faults_injected;
   result.threads = static_cast<int>(pool.worker_count());
+  obs::Registry::global().add("nn.mc_draws", config.weight_draws);
+  obs::Registry::global().add(
+      "nn.mc_samples",
+      static_cast<long>(config.weight_draws) * config.samples);
+  obs::Registry::global().add("fault.faults_injected", faults_injected);
   return result;
 }
 
@@ -291,6 +311,12 @@ Tensor forward_network(const Network& net, const NetWeights& weights,
   for (const auto& layer : net.layers) {
     if (layer.kind == LayerKind::kPooling) {
       const int p = layer.pool_size;
+      if (p <= 0 || x.height % p != 0 || x.width % p != 0)
+        throw std::invalid_argument(
+            "forward_network: pooling window " + std::to_string(p) +
+            " does not divide feature map " + std::to_string(x.height) +
+            "x" + std::to_string(x.width) + " at layer '" + layer.name +
+            "' (MN-NN-003): trailing rows/cols would be silently dropped");
       Tensor y = Tensor::zeros(x.channels, x.height / p, x.width / p);
       for (int c = 0; c < y.channels; ++c)
         for (int oy = 0; oy < y.height; ++oy)
@@ -331,12 +357,25 @@ Tensor forward_network(const Network& net, const NetWeights& weights,
           }
       x = std::move(y);
     } else {
+      // The layer's weight rows are the flattened feature map plus, when
+      // the layer has one, a trailing bias weight driven by a constant 1
+      // (matrix_rows() = in_features + bias). Anything else is a fan-in
+      // mismatch: computing a truncated dot product would silently skew
+      // exactly the accuracy statistics this simulator exists to measure.
+      const std::size_t flat = x.data.size();
+      const std::size_t fan_in = w.empty() ? 0 : w.front().size();
+      const bool biased = layer.has_bias && fan_in == flat + 1;
+      if (!biased && fan_in != flat)
+        throw std::invalid_argument(
+            "forward_network: FC layer '" + layer.name + "' expects " +
+            std::to_string(fan_in) + " inputs" +
+            (layer.has_bias ? " (incl. bias)" : "") + " but receives a " +
+            std::to_string(flat) +
+            "-element feature map (MN-NN-001): fan-in mismatch");
       Tensor y = Tensor::zeros(static_cast<int>(w.size()), 1, 1);
       for (std::size_t o = 0; o < w.size(); ++o) {
-        double acc = 0.0;
-        const std::size_t in =
-            std::min(w[o].size(), x.data.size());
-        for (std::size_t i = 0; i < in; ++i) acc += w[o][i] * x.data[i];
+        double acc = biased ? static_cast<double>(w[o][flat]) : 0.0;
+        for (std::size_t i = 0; i < flat; ++i) acc += w[o][i] * x.data[i];
         if (rng) acc *= 1.0 + err(*rng);
         y.data[o] = std::max(acc, 0.0);
       }
@@ -367,51 +406,69 @@ MonteCarloResult run_monte_carlo_network(const Network& network,
   const int in_h = conv_input ? first.in_height : 1;
   const int in_w = conv_input ? first.in_width : 1;
 
-  std::mt19937 rng(config.seed);
   const int k = 1 << config.signal_bits;
+
+  obs::Span mc_span("nn.monte_carlo_network");
+  util::ThreadPool pool(config.threads);
+  // One task per weight draw on a (seed, draw)-derived RNG stream, reduced
+  // in draw order — the same scheme as run_monte_carlo, so the statistics
+  // are bit-identical for any thread count (previously this path ran
+  // serially on one shared generator and ignored config.threads).
+  const auto stats = util::parallel_map(
+      pool, static_cast<std::size_t>(config.weight_draws),
+      [&](std::size_t draw, std::size_t) {
+        obs::Span draw_span("nn.mc_draw");
+        std::mt19937 rng(util::derive_stream_seed(config.seed, draw));
+
+        NetWeights weights;
+        std::uniform_real_distribution<double> wdist(-1.0, 1.0);
+        for (const Layer* l : weighted) {
+          Matrix w(static_cast<std::size_t>(l->matrix_cols()),
+                   std::vector<double>(
+                       static_cast<std::size_t>(l->matrix_rows())));
+          for (auto& row : w)
+            for (double& v : row) v = wdist(rng);
+          double scale = 1.0;
+          weights.per_layer.push_back(
+              quantize_symmetric(w, network.weight_bits, &scale));
+        }
+
+        DrawStats st;
+        std::uniform_real_distribution<double> xdist(0.0, 1.0);
+        for (int s = 0; s < config.samples; ++s) {
+          Tensor input = Tensor::zeros(in_c, in_h, in_w);
+          for (double& v : input.data) v = xdist(rng);
+
+          const Tensor ideal =
+              forward_network(network, weights, input, layer_eps, nullptr);
+          const Tensor actual =
+              forward_network(network, weights, input, layer_eps, &rng);
+
+          double max_out = 0.0;
+          for (double v : ideal.data) max_out = std::max(max_out, v);
+          if (max_out <= 0) continue;
+          const double lsb = max_out / (k - 1);
+          for (std::size_t o = 0; o < ideal.data.size(); ++o) {
+            const long qi = std::lround(ideal.data[o] / lsb);
+            const long qa = std::lround(
+                std::clamp(actual.data[o], 0.0, max_out) / lsb);
+            const double rate =
+                static_cast<double>(std::labs(qa - qi)) / (k - 1);
+            st.deviation_sum += rate;
+            ++st.deviation_count;
+            st.max_rate = std::max(st.max_rate, rate);
+          }
+        }
+        return st;
+      });
+
   double deviation_sum = 0.0;
   long deviation_count = 0;
   double max_rate = 0.0;
-
-  for (int draw = 0; draw < config.weight_draws; ++draw) {
-    NetWeights weights;
-    std::uniform_real_distribution<double> wdist(-1.0, 1.0);
-    for (const Layer* l : weighted) {
-      Matrix w(static_cast<std::size_t>(l->matrix_cols()),
-               std::vector<double>(
-                   static_cast<std::size_t>(l->matrix_rows())));
-      for (auto& row : w)
-        for (double& v : row) v = wdist(rng);
-      double scale = 1.0;
-      weights.per_layer.push_back(
-          quantize_symmetric(w, network.weight_bits, &scale));
-    }
-
-    std::uniform_real_distribution<double> xdist(0.0, 1.0);
-    for (int s = 0; s < config.samples; ++s) {
-      Tensor input = Tensor::zeros(in_c, in_h, in_w);
-      for (double& v : input.data) v = xdist(rng);
-
-      const Tensor ideal =
-          forward_network(network, weights, input, layer_eps, nullptr);
-      const Tensor actual =
-          forward_network(network, weights, input, layer_eps, &rng);
-
-      double max_out = 0.0;
-      for (double v : ideal.data) max_out = std::max(max_out, v);
-      if (max_out <= 0) continue;
-      const double lsb = max_out / (k - 1);
-      for (std::size_t o = 0; o < ideal.data.size(); ++o) {
-        const long qi = std::lround(ideal.data[o] / lsb);
-        const long qa =
-            std::lround(std::min(actual.data[o], max_out) / lsb);
-        const double rate =
-            static_cast<double>(std::labs(qa - qi)) / (k - 1);
-        deviation_sum += rate;
-        ++deviation_count;
-        max_rate = std::max(max_rate, rate);
-      }
-    }
+  for (const DrawStats& st : stats) {
+    deviation_sum += st.deviation_sum;
+    deviation_count += st.deviation_count;
+    max_rate = std::max(max_rate, st.max_rate);
   }
 
   MonteCarloResult result;
@@ -420,6 +477,11 @@ MonteCarloResult run_monte_carlo_network(const Network& network,
   result.max_error_rate = max_rate;
   result.relative_accuracy = 1.0 - result.avg_error_rate;
   result.seed = config.seed;
+  result.threads = static_cast<int>(pool.worker_count());
+  obs::Registry::global().add("nn.mc_draws", config.weight_draws);
+  obs::Registry::global().add(
+      "nn.mc_samples",
+      static_cast<long>(config.weight_draws) * config.samples);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "numeric/dense.hpp"
+#include "obs/trace.hpp"
 
 namespace mnsim::numeric {
 
@@ -52,8 +53,11 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
           ? opt.initial_guess
           : nullptr;
   report.warm_started = guess != nullptr;
-  CgResult cg =
-      conjugate_gradient(a, b, opt.tolerance, opt.max_iterations, guess);
+  CgResult cg = [&] {
+    obs::Span span("numeric.cg");
+    return conjugate_gradient(a, b, opt.tolerance, opt.max_iterations,
+                              guess);
+  }();
   report.cg_iterations += cg.iterations;
   report.cg_breakdown = cg.breakdown;
   report.diagonal_defect = cg.diagonal_defect;
@@ -73,8 +77,11 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
     const std::size_t base =
         opt.max_iterations ? opt.max_iterations : 4 * n + 100;
     ++report.cg_retries;
-    CgResult retry = conjugate_gradient(
-        a, b, opt.tolerance, base * opt.retry_budget_factor, &cg.x);
+    CgResult retry = [&] {
+      obs::Span span("numeric.cg_retry");
+      return conjugate_gradient(a, b, opt.tolerance,
+                                base * opt.retry_budget_factor, &cg.x);
+    }();
     report.cg_iterations += retry.iterations;
     report.cg_breakdown = report.cg_breakdown || retry.breakdown;
     if (retry.converged && finite(retry.x)) {
@@ -91,6 +98,7 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
   // stable on these conductance matrices, but O(n^2) memory / O(n^3)
   // time, so gated by size.
   if (opt.allow_dense_fallback && n <= opt.dense_fallback_limit) {
+    obs::Span span("numeric.lu_fallback");
     ++report.lu_fallbacks;
     const std::vector<double> rows = a.to_dense_rows();
     DenseMatrix dense(n, n);

@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mnsim::obs {
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(const std::string& name, long delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Registry::set(const std::string& name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void Registry::observe(const std::string& name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram& h = histograms_[name];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+}
+
+long Registry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+std::map<std::string, long> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::map<std::string, double> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+std::map<std::string, Registry::Histogram> Registry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_;
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_json() const {
+  std::map<std::string, long> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters = counters_;
+    gauges = gauges_;
+    histograms = histograms_;
+  }
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += (first ? "" : ", ") + quote(name) + ": " + std::to_string(value);
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += (first ? "" : ", ") + quote(name) + ": " + num(value);
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += (first ? "" : ", ") + quote(name) +
+           ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + num(h.sum) + ", \"min\": " + num(h.min) +
+           ", \"max\": " + num(h.max) + "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Registry::format_text() const {
+  std::string out;
+  char line[192];
+  for (const auto& [name, value] : counters()) {
+    std::snprintf(line, sizeof(line), "%-36s %ld\n", name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, value] : gauges()) {
+    std::snprintf(line, sizeof(line), "%-36s %g\n", name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, h] : histograms()) {
+    std::snprintf(line, sizeof(line),
+                  "%-36s count %ld  mean %g  min %g  max %g\n", name.c_str(),
+                  h.count, h.mean(), h.min, h.max);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mnsim::obs

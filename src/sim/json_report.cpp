@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mnsim::sim {
 
 namespace {
@@ -121,7 +123,15 @@ std::string report_to_json(const nn::Network& network,
        << ", \"epsilon_average\": " << num(bank.epsilon_average) << "}"
        << (b + 1 < report.banks.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+
+  // Process-wide observability counters ([trace] Metrics; the registry
+  // aggregates across every solve of the run, a superset of the
+  // per-report solver_diagnostics block above).
+  const obs::Registry& reg = obs::Registry::global();
+  if (reg.enabled() && !reg.empty())
+    os << ",\n  \"metrics\": " << reg.to_json();
+  os << "\n}\n";
   return os.str();
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace mnsim::spice {
 
 CrossbarSpec CrossbarSpec::uniform(int rows, int cols,
@@ -46,6 +48,7 @@ void CrossbarSpec::validate() const {
 
 Netlist build_crossbar_netlist(const CrossbarSpec& spec,
                                std::vector<NodeId>* out_column_nodes) {
+  obs::Span span("spice.build_netlist");
   spec.validate();
   Netlist nl(spec.device);
   nl.set_linear_memristors(spec.linear_memristors);
@@ -88,10 +91,14 @@ Netlist build_crossbar_netlist(const CrossbarSpec& spec,
 
   // Cells.
   for (int i = 0; i < m; ++i)
-    for (int j = 0; j < n; ++j)
+    for (int j = 0; j < n; ++j) {
+      std::string cell_name = "X";
+      cell_name += std::to_string(i);
+      cell_name += '_';
+      cell_name += std::to_string(j);
       nl.add_memristor(row_tap[i][j], col_tap[i][j],
-                       spec.cell_resistance[i][j],
-                       "X" + std::to_string(i) + "_" + std::to_string(j));
+                       spec.cell_resistance[i][j], std::move(cell_name));
+    }
 
   // Column wires run down to the sense resistor below the last row; when
   // wires are ideal the column taps are merged by zero-resistance

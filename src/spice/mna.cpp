@@ -7,6 +7,8 @@
 #include "check/netlist_check.hpp"
 #include "numeric/resilient.hpp"
 #include "numeric/sparse.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "spice/mna_internal.hpp"
 
 namespace mnsim::spice {
@@ -86,14 +88,16 @@ void assemble(const Netlist& nl, const Indexer& ix,
   }
 }
 
-}  // namespace
-
-DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
+// The actual solve; the public solve_dc wraps it in a trace span and
+// publishes the diagnostics into the metrics registry on every exit path.
+DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
+                       MnaCache* cache) {
   // Refuse-with-diagnosis: vet the topology before any numeric work.
   // A cache with a valid pattern means this structure already passed, so
   // sweep iterations skip straight to assembly.
   const bool vetted = cache != nullptr && cache->pattern_valid;
   if (opt.preflight && !vetted) {
+    obs::Span span("spice.preflight");
     check::DiagnosticList diags = check::check_netlist(nl);
     if (diags.has_errors()) throw check::CheckError(std::move(diags));
   } else {
@@ -135,31 +139,35 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
   int damping_budget = std::max(opt.max_damping_retries, 0);
 
   for (int it = 0; it < max_iter; ++it) {
+    obs::Span iter_span("spice.newton_iteration");
     std::vector<double> rhs(n_unknowns, 0.0);
 
     // Assembly: refill the cached CSR pattern in place when its topology
     // matches, else (first solve, or structure changed) rebuild from a
     // SparseBuilder and re-prime the cache.
-    bool refilled = false;
-    if (mc.pattern_valid && mc.matrix.size() == n_unknowns) {
-      mc.matrix.zero_values();
-      CsrRefillSink sink{&mc.matrix};
-      assemble(nl, ix, result.node_voltages, sink, rhs);
-      if (sink.ok) {
-        refilled = true;
-      } else {
-        std::fill(rhs.begin(), rhs.end(), 0.0);
-        mc.pattern_valid = false;
+    {
+      obs::Span asm_span("spice.assemble");
+      bool refilled = false;
+      if (mc.pattern_valid && mc.matrix.size() == n_unknowns) {
+        mc.matrix.zero_values();
+        CsrRefillSink sink{&mc.matrix};
+        assemble(nl, ix, result.node_voltages, sink, rhs);
+        if (sink.ok) {
+          refilled = true;
+        } else {
+          std::fill(rhs.begin(), rhs.end(), 0.0);
+          mc.pattern_valid = false;
+        }
       }
-    }
-    if (!refilled) {
-      numeric::SparseBuilder builder(n_unknowns);
-      assemble(nl, ix, result.node_voltages, builder, rhs);
-      mc.matrix = numeric::CsrMatrix(builder);
-      mc.pattern_valid = true;
-    } else if (external) {
-      ++result.diagnostics.cache_hits;
-      ++mc.cache_hits;
+      if (!refilled) {
+        numeric::SparseBuilder builder(n_unknowns);
+        assemble(nl, ix, result.node_voltages, builder, rhs);
+        mc.matrix = numeric::CsrMatrix(builder);
+        mc.pattern_valid = true;
+      } else if (external) {
+        ++result.diagnostics.cache_hits;
+        ++mc.cache_hits;
+      }
     }
     const numeric::CsrMatrix& a = mc.matrix;
 
@@ -186,7 +194,10 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
     solve_opt.allow_dense_fallback = opt.allow_dense_fallback;
     solve_opt.dense_fallback_limit = opt.dense_fallback_limit;
     solve_opt.initial_guess = have_guess ? &guess : nullptr;
-    const auto solve = numeric::solve_spd_resilient(a, rhs, solve_opt);
+    const auto solve = [&] {
+      obs::Span solve_span("spice.linear_solve");
+      return numeric::solve_spd_resilient(a, rhs, solve_opt);
+    }();
     result.diagnostics.cg_iterations +=
         static_cast<long>(solve.cg_iterations);
     result.diagnostics.cg_retries += solve.cg_retries;
@@ -254,6 +265,33 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
     }
   }
   if (!nonlinear) result.converged = true;
+  return result;
+}
+
+}  // namespace
+
+DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
+  obs::Span span("spice.solve_dc");
+  DcResult result = solve_dc_impl(nl, opt, cache);
+
+  // Publish the per-solve diagnostics into the uniform metrics layer.
+  // The struct keeps riding in DcResult for per-result reporting; the
+  // registry aggregates across every solve of the process, whichever
+  // sweep engine drove them.
+  obs::Registry& reg = obs::Registry::global();
+  if (reg.enabled()) {
+    const SolverDiagnostics& d = result.diagnostics;
+    reg.add("spice.solves");
+    reg.add("spice.newton_iterations", d.newton_iterations);
+    reg.add("spice.cg_iterations", d.cg_iterations);
+    if (d.cg_retries) reg.add("spice.cg_retries", d.cg_retries);
+    if (d.lu_fallbacks) reg.add("spice.lu_fallbacks", d.lu_fallbacks);
+    if (d.damped_steps) reg.add("spice.damped_steps", d.damped_steps);
+    if (d.cache_hits) reg.add("spice.cache_hits", d.cache_hits);
+    if (d.warm_starts) reg.add("spice.warm_starts", d.warm_starts);
+    if (!result.converged) reg.add("spice.nonconverged_solves");
+    reg.observe("spice.linear_residual", d.linear_residual);
+  }
   return result;
 }
 

@@ -1,6 +1,9 @@
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace mnsim::util {
 
@@ -56,6 +59,9 @@ void ThreadPool::run_slice(std::size_t worker) {
 }
 
 void ThreadPool::worker_loop(std::size_t worker) {
+  // Label the thread in trace exports so timelines show which spans ran
+  // on which pool worker (cosmetic only — never affects scheduling).
+  obs::set_thread_name("mnsim-worker-" + std::to_string(worker));
   std::uint64_t seen_generation = 0;
   for (;;) {
     {

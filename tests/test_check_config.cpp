@@ -145,6 +145,39 @@ TEST(ConfigCheck, NetworkDescriptionRegistry) {
   EXPECT_TRUE(stray.has_code("MN-CFG-002"));
 }
 
+// The [trace] section (docs/OBSERVABILITY.md) is part of the key
+// registry: valid keys are clean, typos get did-you-mean hints, and
+// values are type-checked.
+TEST(ConfigCheck, TraceSectionIsRegistered) {
+  const DiagnosticList clean = check_accelerator_config(parsed(
+      "[trace]\nEnabled = true\nOutput = trace.json\nMetrics = false\n"));
+  EXPECT_TRUE(clean.empty()) << clean.render_text();
+
+  const DiagnosticList typo =
+      check_accelerator_config(parsed("[trace]\nEnbaled = true\n"));
+  ASSERT_TRUE(typo.has_code("MN-CFG-001"));
+  EXPECT_FALSE(typo.has_code("MN-CFG-002"));  // the section itself is known
+  bool hinted = false;
+  for (const auto& d : typo)
+    if (d.hint.find("Enabled") != std::string::npos) hinted = true;
+  EXPECT_TRUE(hinted);
+
+  EXPECT_TRUE(check_accelerator_config(parsed("[trace]\nEnabled = maybe\n"))
+                  .has_code("MN-CFG-003"));
+}
+
+TEST(ConfigCheck, TraceKeysAreConsumedByParamsLoader) {
+  // from_config must read every [trace] key so MN-CFG-006 (unread-key
+  // pass) stays quiet on a fully-traced configuration.
+  util::Config cfg = parsed(
+      "[trace]\nEnabled = true\nOutput = trace.json\nMetrics = true\n");
+  const arch::AcceleratorConfig built = arch::AcceleratorConfig::from_config(cfg);
+  EXPECT_TRUE(built.trace_enabled);
+  EXPECT_EQ(built.trace_output, "trace.json");
+  EXPECT_TRUE(built.trace_metrics);
+  EXPECT_TRUE(cfg.unread_keys().empty());
+}
+
 TEST(ConfigCheck, ReferenceStyleConfigIsClean) {
   const DiagnosticList diags = check_accelerator_config(parsed(
       "Crossbar_Size = 128\nCMOS_Tech = 90\nMemristor_Model = RRAM\n"

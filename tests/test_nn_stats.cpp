@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "nn/functional_sim.hpp"
 #include "nn/topologies.hpp"
 
@@ -90,6 +94,97 @@ TEST(MonteCarloNetwork, MatchesMlpPathOnMlps) {
   EXPECT_NEAR(general.avg_error_rate, mlp.avg_error_rate,
               0.5 * std::max(general.avg_error_rate, mlp.avg_error_rate) +
                   1e-4);
+}
+
+TEST(MonteCarloNetwork, ThreadCountIsBitIdentical) {
+  // The determinism contract of the parallel port: every draw runs on
+  // its own (seed, draw)-derived RNG stream and partials reduce in draw
+  // order, so the thread count must never change a single bit.
+  Network net;
+  net.type = NetworkType::kCnn;
+  net.layers.push_back(Layer::convolution("c1", 1, 4, 3, 8, 8, 1));
+  net.layers.push_back(Layer::pooling("p1", 2));
+  net.layers.push_back(Layer::fully_connected("fc", 64, 10));
+  net.validate();
+
+  MonteCarloConfig mc;
+  mc.samples = 4;
+  mc.weight_draws = 6;
+  mc.threads = 1;
+  const auto serial = run_monte_carlo_network(net, {0.05, 0.05}, mc);
+  mc.threads = 4;
+  const auto parallel = run_monte_carlo_network(net, {0.05, 0.05}, mc);
+
+  EXPECT_DOUBLE_EQ(parallel.avg_error_rate, serial.avg_error_rate);
+  EXPECT_DOUBLE_EQ(parallel.max_error_rate, serial.max_error_rate);
+  EXPECT_DOUBLE_EQ(parallel.relative_accuracy, serial.relative_accuracy);
+  EXPECT_EQ(serial.threads, 1);
+  EXPECT_EQ(parallel.threads, 4);
+}
+
+TEST(MonteCarloNetwork, FcFanInMismatchIsRejected) {
+  // The flattened conv output (4 channels x 4x4 after pooling = 64) does
+  // not match the FC fan-in of 32; the forward pass must refuse instead
+  // of silently truncating the feature map (MN-NN-001).
+  Network net;
+  net.type = NetworkType::kCnn;
+  net.layers.push_back(Layer::convolution("c1", 1, 4, 3, 8, 8, 1));
+  net.layers.push_back(Layer::pooling("p1", 2));
+  net.layers.push_back(Layer::fully_connected("fc", 32, 10));
+  net.validate();  // per-layer checks pass; the chain mismatch is runtime
+
+  MonteCarloConfig mc;
+  mc.samples = 2;
+  mc.weight_draws = 1;
+  try {
+    run_monte_carlo_network(net, {0.0, 0.0}, mc);
+    FAIL() << "expected fan-in mismatch to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MN-NN-001"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MonteCarloNetwork, UnevenPoolingIsRejected) {
+  // A 2x2 pool over a 7x7 map used to floor-divide and silently drop the
+  // trailing row and column; it must now be a hard error (MN-NN-003).
+  Network net;
+  net.type = NetworkType::kCnn;
+  net.layers.push_back(Layer::convolution("c1", 1, 4, 3, 7, 7, 1));
+  net.layers.push_back(Layer::pooling("p1", 2));
+  net.layers.push_back(Layer::fully_connected("fc", 36, 10));
+  net.validate();
+
+  MonteCarloConfig mc;
+  mc.samples = 2;
+  mc.weight_draws = 1;
+  try {
+    run_monte_carlo_network(net, {0.0, 0.0}, mc);
+    FAIL() << "expected uneven pooling to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MN-NN-003"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MonteCarlo, ClampPathsAgreeAcrossVariants) {
+  // Pins the unified output clamp: with no faults configured, the
+  // faulted variant takes identical draws through identical arithmetic,
+  // so any divergence can only come from the clamping expressions the
+  // two paths used to implement differently. Large eps exercises the
+  // upper clamp.
+  auto net = make_autoencoder_64_16_64();
+  MonteCarloConfig mc;
+  mc.samples = 10;
+  mc.weight_draws = 3;
+  const std::vector<double> eps = {0.2, 0.2};
+  const auto plain = run_monte_carlo(net, eps, mc);
+  const auto faulted =
+      run_monte_carlo_faulted(net, eps, mc, fault::FaultConfig{});
+  EXPECT_DOUBLE_EQ(faulted.avg_error_rate, plain.avg_error_rate);
+  EXPECT_DOUBLE_EQ(faulted.max_error_rate, plain.max_error_rate);
+  EXPECT_DOUBLE_EQ(faulted.relative_accuracy, plain.relative_accuracy);
+  EXPECT_EQ(faulted.faults_injected, 0);
 }
 
 TEST(MonteCarloNetwork, Validation) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MNSIM custom lints, run by the CI static-analysis job (and locally).
 
-Three rules, all guarding invariants the compiler cannot see on its own:
+Four rules, all guarding invariants the compiler cannot see on its own:
 
 1. raw-double-physical-param
    Headers in src/tech and src/circuit must not declare new raw-`double`
@@ -28,6 +28,16 @@ Three rules, all guarding invariants the compiler cannot see on its own:
    codes the source no longer emits. The pre-flight analyzer's codes are
    a published interface (tests, CI gates, and downstream tooling key on
    them); this keeps the contract complete in both directions.
+
+4. raw-chrono-timing
+   `std::chrono` is forbidden in src/ outside src/obs/. Ad-hoc timing in
+   library code bypasses the observability layer (docs/OBSERVABILITY.md):
+   it is invisible in trace exports, double-counts against obs::Span
+   phases, and tends to leak printf profiling into the library. Time a
+   phase by opening a Span; read the clock via obs::Tracer::now_ns().
+   Escape: `// lint: allow-raw-chrono(<why>)` on the same or previous
+   line. Benches, tests and examples measure wall clock on purpose and
+   are exempt.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -110,6 +120,28 @@ def check_rng(path: pathlib.Path, rel: str, findings: list[str]) -> None:
             )
 
 
+# ---- rule 4: raw std::chrono timing outside src/obs -------------------------
+
+RAW_CHRONO = re.compile(r"\bstd::chrono\b")
+RAW_CHRONO_ALLOW = re.compile(r"lint:\s*allow-raw-chrono")
+
+
+def check_raw_chrono(path: pathlib.Path, rel: str, findings: list[str]) -> None:
+    if not rel.startswith("src/") or rel.startswith("src/obs/"):
+        return
+    prev = ""
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if RAW_CHRONO.search(line):
+            if not (RAW_CHRONO_ALLOW.search(line) or RAW_CHRONO_ALLOW.search(prev)):
+                findings.append(
+                    f"{rel}:{lineno}: raw-chrono-timing: std::chrono in "
+                    f"library code bypasses the observability layer; open an "
+                    f"obs::Span (obs/trace.hpp) or mark the line with "
+                    f"`// lint: allow-raw-chrono(<why>)`"
+                )
+        prev = line
+
+
 # ---- rule 3: diagnostic codes vs docs/DIAGNOSTICS.md ------------------------
 
 DIAG_CODE = re.compile(r"\bMN-[A-Z]{2,4}-\d{3}\b")
@@ -175,6 +207,7 @@ def main(argv: list[str]) -> int:
         if rel.endswith(".hpp") and rel.startswith(RAW_DOUBLE_HEADER_DIRS):
             check_raw_double(path, rel, findings)
         check_rng(path, rel, findings)
+        check_raw_chrono(path, rel, findings)
 
     # Global rule: run over the whole tree, not per-file, so a stale
     # catalogue entry is caught even when linting a single file.

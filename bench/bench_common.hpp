@@ -16,10 +16,13 @@ inline void save_csv(const util::CsvWriter& csv, const std::string& name) {
   std::error_code ec;
   std::filesystem::create_directories("results", ec);
   const std::string path = "results/" + name;
-  if (csv.write(path))
+  try {
+    csv.write(path);
     std::printf("[csv] wrote %s\n", path.c_str());
-  else
-    std::printf("[csv] could not write %s (printing only)\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::printf("[csv] could not write %s (printing only): %s\n",
+                path.c_str(), e.what());
+  }
 }
 
 inline void paper_note(const char* text) {

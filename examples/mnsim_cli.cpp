@@ -4,6 +4,11 @@
 //   mnsim_cli <network.ini> [config.ini] [--dse [error%]] [--pipeline]
 //             [--dump-netlist <path>] [--nvsim <path>]
 //   mnsim_cli check [--json <path>] [--werror] <file>...
+//   mnsim_cli sweep [<network.ini>] [config.ini] [--shard i/N]
+//             [--checkpoint <path>] [--resume] [--deadline <ms>]
+//             [--retries <n>] [--error <pct>] [--json <path>]
+//   mnsim_cli sweep --merge --checkpoint <path>... [<network.ini>]
+//             [config.ini] [--error <pct>] [--json <path>]
 //
 //   network.ini   network description (see nn/parser.hpp for the dialect)
 //   config.ini    accelerator configuration (paper Table-I keys)
@@ -25,6 +30,13 @@
 //                 NVSim-exchange format
 //   --check-only  run the pre-flight analyzer on the inputs and exit
 //
+// The `sweep` subcommand runs the crash-safe sharded design-space sweep
+// (docs/ROBUSTNESS.md): --checkpoint journals every completed point
+// (fsync'd), --resume replays a journal after a crash, --shard i/N
+// evaluates one stride partition of the space, --deadline bounds each
+// point's wall clock, and --merge combines shard journals into the
+// full-space result. Exit status: 0 clean, 1 diagnosed errors, 2 usage.
+//
 // The `check` subcommand runs the semantic pre-flight analyzer
 // (docs/DIAGNOSTICS.md) over any mix of accelerator configurations,
 // network descriptions and SPICE decks (auto-detected), printing
@@ -35,7 +47,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -44,6 +55,7 @@
 #include "check/check.hpp"
 #include "circuit/neuron.hpp"
 #include "dse/report.hpp"
+#include "dse/shard.hpp"
 #include "nn/functional_sim.hpp"
 #include "nn/parser.hpp"
 #include "nn/topologies.hpp"
@@ -55,6 +67,7 @@
 #include "spice/crossbar_netlist.hpp"
 #include "spice/export.hpp"
 #include "tech/interconnect.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -63,7 +76,9 @@ using namespace mnsim::units;
 
 namespace {
 
-void run_dse(const nn::Network& net, const arch::AcceleratorConfig& base,
+// Returns false when the exploration surfaced error diagnostics (e.g.
+// MN-DSE-006, every point failed) so main can exit nonzero.
+bool run_dse(const nn::Network& net, const arch::AcceleratorConfig& base,
              double constraint) {
   const auto space = dse::DesignSpace::paper_default();
   std::printf("exploring %zu designs, error <= %.1f%%...\n",
@@ -72,6 +87,12 @@ void run_dse(const nn::Network& net, const arch::AcceleratorConfig& base,
   std::printf("%ld feasible\n", result.feasible_count);
   std::fputs(dse::format_optima_table(result, "Optimal designs").c_str(),
              stdout);
+  bool ok = true;
+  for (const auto& d : result.diagnostics) {
+    std::fputs((d.render() + "\n").c_str(), stderr);
+    if (d.severity == check::Severity::kError) ok = false;
+  }
+  return ok;
 }
 
 // Functional Monte-Carlo validation of the simulated design: feed each
@@ -110,13 +131,13 @@ void dump_netlist(const nn::Network& net,
           .segment_resistance.value(),
       cfg.sense_resistance, device.r_min.value());
   auto nl = spice::build_crossbar_netlist(spec, nullptr);
-  std::ofstream f(path);
-  if (!f) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+  try {
+    util::atomic_write_file(
+        path, spice::export_spice(nl, net.name + " worst-case crossbar"));
+    std::printf("wrote SPICE deck to %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), e.what());
   }
-  f << spice::export_spice(nl, net.name + " worst-case crossbar");
-  std::printf("wrote SPICE deck to %s\n", path.c_str());
 }
 
 void dump_nvsim(const arch::AcceleratorConfig& cfg,
@@ -132,10 +153,131 @@ void dump_nvsim(const arch::AcceleratorConfig& cfg,
   modules.push_back({"Sigmoid", sigmoid.ppa()});
   modules.push_back({"ReLU", relu.ppa()});
   modules.push_back({"IntegrateFire", ifn.ppa()});
-  if (sim::save_nvsim_modules(path, modules))
+  try {
+    sim::save_nvsim_modules(path, modules);
     std::printf("wrote NVSim module models to %s\n", path.c_str());
-  else
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(), e.what());
+  }
+}
+
+// `mnsim_cli sweep ...` — crash-safe sharded design-space sweep over the
+// paper's default space (docs/ROBUSTNESS.md). Exit 0 clean, 1 diagnosed
+// errors (including MN-DSE-006 all-points-failed), 2 usage.
+int run_sweep_cmd(int argc, char** argv) {
+  bool merge = false;
+  bool resume_flag = false;
+  bool have_shard = false, have_deadline = false, have_retries = false;
+  dse::ShardSpec shard;
+  double deadline_ms = 0.0;
+  double constraint = 0.25;
+  int retries = 0;
+  std::vector<std::string> checkpoints;
+  std::string json_path;
+  std::vector<std::string> input_files;
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: mnsim_cli sweep [<network.ini>] [config.ini] "
+                 "[--shard i/N] [--checkpoint <path>] [--resume] "
+                 "[--deadline <ms>] [--retries <n>] [--error <pct>] "
+                 "[--json <path>]\n"
+                 "       mnsim_cli sweep --merge --checkpoint <path>... "
+                 "[<network.ini>] [config.ini] [--error <pct>] "
+                 "[--json <path>]\n");
+    return 2;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--merge") {
+      merge = true;
+    } else if (arg == "--resume") {
+      resume_flag = true;
+    } else if (arg == "--shard" && i + 1 < argc) {
+      if (std::sscanf(argv[++i], "%d/%d", &shard.index, &shard.count) != 2)
+        return usage();
+      have_shard = true;
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoints.emplace_back(argv[++i]);
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+      have_deadline = true;
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+      have_retries = true;
+    } else if (arg == "--error" && i + 1 < argc) {
+      constraint = std::atof(argv[++i]) / 100.0;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mnsim_cli sweep: unknown option %s\n",
+                   arg.c_str());
+      return usage();
+    } else if (input_files.size() < 2) {
+      input_files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (merge && checkpoints.empty()) return usage();
+  if (!merge && checkpoints.size() > 1) return usage();
+
+  try {
+    nn::Network net;
+    arch::AcceleratorConfig cfg;
+    if (input_files.empty()) {
+      std::printf("no network file given; using the built-in demo MLP\n");
+      net = nn::make_mlp({128, 128, 128});
+      net.name = "demo-mlp";
+    } else {
+      net = nn::parse_network_file(input_files[0]);
+    }
+    if (input_files.size() >= 2) cfg = sim::load_config(input_files[1]);
+
+    const auto space = dse::DesignSpace::paper_default();
+    dse::SweepOptions options = dse::SweepOptions::from_config(cfg);
+    options.constraints.max_error = constraint;
+    if (have_shard) options.shard = shard;
+    if (!merge && !checkpoints.empty()) options.checkpoint_path = checkpoints[0];
+    if (resume_flag) options.resume = true;
+    if (have_deadline) options.point_deadline_ms = deadline_ms;
+    if (have_retries) options.max_attempts = retries;
+
+    std::printf("%s %zu designs (shard %d/%d), error <= %.1f%%...\n",
+                merge ? "merging" : "sweeping",
+                space.enumerate().size(), options.shard.index,
+                options.shard.count, 100 * constraint);
+    const dse::SweepResult sweep =
+        merge ? dse::merge_checkpoints(checkpoints, net, cfg, space,
+                                       options.constraints)
+              : dse::run_sweep(net, cfg, space, options);
+
+    std::printf(
+        "%zu point%s: %ld feasible, %ld resumed, %ld evaluated, "
+        "%ld quarantined (%ld check, %ld numeric, %ld timeout), "
+        "%ld retr%s\n",
+        sweep.records.size(), sweep.records.size() == 1 ? "" : "s",
+        sweep.result.feasible_count, sweep.resumed_count,
+        sweep.evaluated_count, sweep.quarantined_count, sweep.failed_check,
+        sweep.failed_numeric, sweep.failed_timeout, sweep.retried_count,
+        sweep.retried_count == 1 ? "y" : "ies");
+    std::fputs(
+        dse::format_optima_table(sweep.result, "Optimal designs").c_str(),
+        stdout);
+    for (const auto& d : sweep.diagnostics)
+      std::fputs((d.render() + "\n").c_str(), stderr);
+    if (!json_path.empty()) {
+      util::atomic_write_file(json_path, dse::sweep_report_json(sweep, net));
+      std::printf("wrote sweep report to %s\n", json_path.c_str());
+    }
+    return sweep.ok() ? 0 : 1;
+  } catch (const check::CheckError& e) {
+    std::fputs(e.diagnostics().render_text().c_str(), stderr);
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mnsim_cli sweep: %s\n", e.what());
+    return 1;
+  }
 }
 
 // `mnsim_cli check [--json <path>] [--werror] <file>...` — analyze
@@ -171,12 +313,13 @@ int run_check(int argc, char** argv) {
 
   if (!all.empty()) std::fputs(all.render_text().c_str(), stdout);
   if (!json_path.empty()) {
-    std::ofstream f(json_path);
-    if (!f) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    try {
+      util::atomic_write_file(json_path, all.render_json());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                   e.what());
       return 2;
     }
-    f << all.render_json();
   }
   if (all.empty())
     std::printf("%zu file%s checked, no problems found.\n", files.size(),
@@ -189,6 +332,8 @@ int run_check(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "check") == 0)
     return run_check(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+    return run_sweep_cmd(argc, argv);
   try {
     nn::Network net;
     arch::AcceleratorConfig cfg;
@@ -291,7 +436,8 @@ int main(int argc, char** argv) {
     if (trace_path.empty() && (want_trace || cfg.trace_enabled))
       trace_path = "trace.json";
 
-    if (want_dse) run_dse(net, cfg, constraint);
+    int exit_code = 0;
+    if (want_dse && !run_dse(net, cfg, constraint)) exit_code = 1;
 
     const auto report = sim::simulate(net, cfg);
     std::fputs(sim::format_report(net, report).c_str(), stdout);
@@ -327,12 +473,13 @@ int main(int argc, char** argv) {
       t.print();
     }
     if (!json_path.empty()) {
-      std::ofstream f(json_path);
-      if (f) {
-        f << sim::report_to_json(net, report);
+      try {
+        util::atomic_write_file(json_path, sim::report_to_json(net, report));
         std::printf("wrote JSON report to %s\n", json_path.c_str());
-      } else {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),
+                     e.what());
+        exit_code = 1;
       }
     }
     if (!netlist_path.empty()) dump_netlist(net, cfg, netlist_path);
@@ -350,7 +497,7 @@ int main(int argc, char** argv) {
       if (want_profile)
         std::fputs(obs::Tracer::instance().text_profile().c_str(), stdout);
     }
-    return 0;
+    return exit_code;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mnsim_cli: %s\n", e.what());
     return 1;

@@ -8,6 +8,7 @@
 #include "circuit/buffer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 
 namespace mnsim::arch {
 
@@ -131,6 +132,10 @@ AcceleratorReport simulate_accelerator(
   // in the solver diagnostics below).
   spice::CrossbarSolveCache solve_cache;
   for (std::size_t i = 0; i < weighted.size(); ++i) {
+    // Watchdog poll (docs/ROBUSTNESS.md): bank boundaries are the
+    // coarsest rung of the cancellation ladder — the finer ones sit in
+    // the CG/LU/Newton loops a bank's circuit checks may enter.
+    util::throw_if_cancelled("arch.bank");
     obs::Span bank_span("arch.bank");
     const nn::Layer* next =
         i + 1 < weighted.size() ? weighted[i + 1] : nullptr;

@@ -132,6 +132,19 @@ AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
   c.check_wire_drop_warning = cfg.get_double_or("check.Wire_Drop_Warning",
                                                 c.check_wire_drop_warning);
 
+  // [sweep] section (docs/ROBUSTNESS.md).
+  if (cfg.has("sweep.Checkpoint"))
+    c.sweep_checkpoint = cfg.get_string("sweep.Checkpoint");
+  c.sweep_shard_index = static_cast<int>(
+      cfg.get_int_or("sweep.Shard_Index", c.sweep_shard_index));
+  c.sweep_shard_count = static_cast<int>(
+      cfg.get_int_or("sweep.Shard_Count", c.sweep_shard_count));
+  c.sweep_resume = cfg.get_bool_or("sweep.Resume", c.sweep_resume);
+  c.sweep_deadline_ms =
+      cfg.get_double_or("sweep.Point_Deadline_Ms", c.sweep_deadline_ms);
+  c.sweep_max_attempts = static_cast<int>(
+      cfg.get_int_or("sweep.Max_Attempts", c.sweep_max_attempts));
+
   // [trace] section (docs/OBSERVABILITY.md).
   c.trace_enabled = cfg.get_bool_or("trace.Enabled", c.trace_enabled);
   if (cfg.has("trace.Output"))
@@ -164,6 +177,14 @@ void AcceleratorConfig::validate() const {
     throw std::invalid_argument("AcceleratorConfig: parallel threads");
   if (!(check_wire_drop_warning >= 0))
     throw std::invalid_argument("AcceleratorConfig: wire-drop threshold");
+  if (sweep_shard_count < 1 || sweep_shard_index < 0 ||
+      sweep_shard_index >= sweep_shard_count)
+    throw std::invalid_argument(
+        "AcceleratorConfig: sweep shard must satisfy 0 <= index < count");
+  if (!(sweep_deadline_ms >= 0))
+    throw std::invalid_argument("AcceleratorConfig: sweep deadline");
+  if (sweep_max_attempts < 1)
+    throw std::invalid_argument("AcceleratorConfig: sweep max attempts");
   fault.validate();
   (void)cmos();                    // range check
   (void)device();                  // device validation

@@ -80,6 +80,19 @@ struct AcceleratorConfig {
   bool check_warnings_as_errors = false;
   double check_wire_drop_warning = 0.10;
 
+  // Crash-safe sweep execution ([sweep] section; docs/ROBUSTNESS.md):
+  // Checkpoint names the append-only journal, Shard_Index/Shard_Count
+  // pick this process's stride partition of the enumerated space, Resume
+  // replays completed points from the journal, Point_Deadline_Ms bounds
+  // each design point's wall clock (0 = no watchdog), and Max_Attempts
+  // is the bounded-retry budget before a failing point is quarantined.
+  std::string sweep_checkpoint;
+  int sweep_shard_index = 0;
+  int sweep_shard_count = 1;
+  bool sweep_resume = false;
+  double sweep_deadline_ms = 0.0;
+  int sweep_max_attempts = 2;
+
   // Observability ([trace] section; docs/OBSERVABILITY.md): Enabled turns
   // the obs::Tracer on for the run, Output names the Chrome-trace JSON
   // file the CLI writes (empty = no file unless --trace overrides), and

@@ -37,13 +37,15 @@ const std::vector<std::string>& accelerator_keys() {
       "check.Enabled", "check.Warnings_As_Errors",
       "check.Wire_Drop_Warning",
       "trace.Enabled", "trace.Output", "trace.Metrics",
+      "sweep.Checkpoint", "sweep.Shard_Index", "sweep.Shard_Count",
+      "sweep.Resume", "sweep.Point_Deadline_Ms", "sweep.Max_Attempts",
   };
   return keys;
 }
 
 const std::vector<std::string>& accelerator_sections() {
   static const std::vector<std::string> sections = {
-      "fault", "solver", "parallel", "check", "trace"};
+      "fault", "solver", "parallel", "check", "trace", "sweep"};
   return sections;
 }
 
@@ -300,6 +302,20 @@ void accelerator_values(const util::Config& cfg, DiagnosticList& out) {
   double_range(out, cfg, "check.Wire_Drop_Warning", 0.0, 1.0);
   bool_key(out, cfg, "trace.Enabled");
   bool_key(out, cfg, "trace.Metrics");
+  int_range(out, cfg, "sweep.Shard_Index", 0, 1 << 20);
+  int_range(out, cfg, "sweep.Shard_Count", 1, 1 << 20);
+  bool_key(out, cfg, "sweep.Resume");
+  double_range(out, cfg, "sweep.Point_Deadline_Ms", 0.0, 1e9);
+  int_range(out, cfg, "sweep.Max_Attempts", 1, 100);
+  if (cfg.has("sweep.Shard_Index") && cfg.has("sweep.Shard_Count")) {
+    typed(out, cfg, "sweep.Shard_Index", [&] {
+      const long index = cfg.get_int("sweep.Shard_Index");
+      const long count = cfg.get_int("sweep.Shard_Count");
+      if (count >= 1 && index >= count)
+        value_error(out, cfg, "sweep.Shard_Index",
+                    "'sweep.Shard_Index' must be below 'sweep.Shard_Count'");
+    });
+  }
 }
 
 }  // namespace

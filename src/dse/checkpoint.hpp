@@ -1,0 +1,96 @@
+// Append-only sweep checkpoint journal (crash-safe DSE, docs/ROBUSTNESS.md).
+//
+// A design-space sweep at Table-6 scale is a multi-hour job; the
+// checkpoint makes it resumable after any crash. The file is a plain
+// text journal: one versioned, checksummed header line binding the
+// journal to its exact inputs (a fingerprint of network + configuration
+// + space + constraints, plus the shard spec), then one checksummed
+// record per *completed* design point, appended and fsync'd by
+// util::DurableAppender as the sweep progresses.
+//
+// Durability model
+//   * a record present in the journal was fsync'd: the point's result
+//     survives any crash after append() returned;
+//   * a crash mid-append can leave one torn trailing record — parsing
+//     drops it (`torn_tail`) and the point is simply re-evaluated;
+//   * corruption anywhere *before* the tail cannot be a crash artifact
+//     (later records were fsync'd after it) and is rejected with a
+//     typed MN-DSE-003 diagnostic, as are foreign files (MN-DSE-001)
+//     and journals whose fingerprint no longer matches the inputs
+//     (MN-DSE-002, checked by the resume/merge layer in dse/shard).
+//
+// Metric values are serialized with %.17g, the shortest representation
+// that round-trips every finite double exactly — a resumed or merged
+// sweep is bit-identical to an uninterrupted one by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+
+namespace mnsim::dse {
+
+// Why a design point ended up failed-unevaluated. kCheck: the pre-flight
+// analyzer refused the derived configuration (deterministic — never
+// retried). kNumeric: the simulation threw (solver failure, invalid
+// derived geometry). kTimeout: the watchdog deadline expired and the
+// point's solve was cooperatively cancelled.
+enum class FailureCategory { kNone, kCheck, kNumeric, kTimeout };
+
+[[nodiscard]] const char* failure_category_name(FailureCategory category);
+
+struct CheckpointHeader {
+  int version = 1;
+  std::uint64_t fingerprint = 0;  // sweep_fingerprint() of the inputs
+  int shard_index = 0;
+  int shard_count = 1;
+  std::uint64_t total_points = 0;  // of the full enumerated space
+};
+
+// One completed design point: its global enumeration index, the full
+// evaluation result, and the failure bookkeeping of the quarantine
+// policy (category + attempts taken).
+struct CheckpointRecord {
+  std::uint64_t index = 0;
+  EvaluatedDesign design;
+  FailureCategory category = FailureCategory::kNone;
+  int attempts = 1;
+};
+
+struct CheckpointFile {
+  CheckpointHeader header;
+  std::vector<CheckpointRecord> records;
+  bool torn_tail = false;   // trailing partial record dropped (crash artifact)
+  std::size_t good_bytes = 0;  // prefix length covering header + valid records
+};
+
+// FNV-1a hashes (stable across platforms; part of the journal format).
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& text);
+[[nodiscard]] std::uint32_t fnv1a32(const std::string& text);
+
+// Order-sensitive fingerprint of everything that determines a sweep's
+// numbers: network structure, every evaluation-relevant configuration
+// field, the design space, and the constraints. Deliberately excludes
+// execution policy (thread count, checkpoint path, deadlines) so a
+// sweep may resume under different parallelism or watchdog settings.
+[[nodiscard]] std::uint64_t sweep_fingerprint(
+    const nn::Network& network, const arch::AcceleratorConfig& base,
+    const DesignSpace& space, const Constraints& constraints);
+
+// Single-line encodings, trailing '\n' included, checksum appended.
+[[nodiscard]] std::string encode_checkpoint_header(
+    const CheckpointHeader& header);
+[[nodiscard]] std::string encode_checkpoint_record(
+    const CheckpointRecord& record);
+
+// Parses a whole journal. Throws check::CheckError with MN-DSE-001
+// (not a checkpoint / malformed header) or MN-DSE-003 (corrupt
+// non-trailing record) — `path` only labels the diagnostics.
+[[nodiscard]] CheckpointFile parse_checkpoint(const std::string& text,
+                                              const std::string& path);
+// Reads and parses `path`; MN-DSE-001 when unreadable.
+[[nodiscard]] CheckpointFile read_checkpoint(const std::string& path);
+
+}  // namespace mnsim::dse

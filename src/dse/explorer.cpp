@@ -119,6 +119,19 @@ ExplorationResult explore(const nn::Network& network,
     if (!d.evaluated) ++result.failed_count;
     if (d.feasible) ++result.feasible_count;
   }
+  // Every point failing is almost always an input problem (bad base
+  // config, unmappable network), not five hundred independent solver
+  // accidents. Surface it as a typed diagnostic on the result — not a
+  // throw, so the per-point failure messages survive for diagnosis.
+  if (!result.designs.empty() &&
+      result.failed_count == static_cast<long>(result.designs.size())) {
+    check::Diagnostic d;
+    d.code = "MN-DSE-006";
+    d.severity = check::Severity::kError;
+    d.message = "every design point of the exploration failed";
+    d.hint = "first failure: " + result.designs.front().failure;
+    result.diagnostics.push_back(std::move(d));
+  }
   obs::Registry& reg = obs::Registry::global();
   reg.add("dse.design_points", static_cast<long>(result.designs.size()));
   reg.add("dse.feasible_points", result.feasible_count);

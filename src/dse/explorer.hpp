@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arch/accelerator.hpp"
+#include "check/diagnostic.hpp"
 #include "dse/space.hpp"
 
 namespace mnsim::dse {
@@ -57,6 +58,11 @@ struct ExplorationResult {
   double error_constraint = 0.25;
   long feasible_count = 0;
   long failed_count = 0;  // points whose simulation threw (kept, infeasible)
+
+  // Non-fatal findings about the exploration itself — e.g. MN-DSE-006
+  // when every point failed. Kept on the result (not thrown) so partial
+  // data survives for diagnosis; callers decide the exit status.
+  std::vector<check::Diagnostic> diagnostics;
 
   // Best feasible design for one objective; ties broken by area.
   // Returns nullopt when nothing is feasible.

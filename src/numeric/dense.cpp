@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/cancel.hpp"
+
 namespace mnsim::numeric {
 
 DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
@@ -50,6 +52,9 @@ std::vector<double> lu_solve(DenseMatrix a, std::vector<double> b) {
     throw std::invalid_argument("lu_solve: shape mismatch");
 
   for (std::size_t col = 0; col < n; ++col) {
+    // Watchdog poll: one check per pivot keeps the O(n^3) elimination
+    // cancellable within one row's work (util/cancel.hpp).
+    if ((col & 15u) == 0) util::throw_if_cancelled("numeric.lu");
     // Partial pivot.
     std::size_t pivot = col;
     double best = std::fabs(a(col, col));

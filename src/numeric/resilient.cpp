@@ -5,6 +5,7 @@
 
 #include "numeric/dense.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
 
 namespace mnsim::numeric {
 
@@ -74,6 +75,7 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
   // budget lets the Jacobi-preconditioned recurrence grind further down
   // before the expensive dense rung.
   if (opt.allow_cg_retry && !cg.breakdown && finite(cg.x)) {
+    util::throw_if_cancelled("numeric.cg_retry");
     const std::size_t base =
         opt.max_iterations ? opt.max_iterations : 4 * n + 100;
     ++report.cg_retries;
@@ -98,6 +100,7 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
   // stable on these conductance matrices, but O(n^2) memory / O(n^3)
   // time, so gated by size.
   if (opt.allow_dense_fallback && n <= opt.dense_fallback_limit) {
+    util::throw_if_cancelled("numeric.lu_fallback");
     obs::Span span("numeric.lu_fallback");
     ++report.lu_fallbacks;
     const std::vector<double> rows = a.to_dense_rows();
@@ -113,6 +116,10 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
         fill_residual(a, b, report);
         return report;
       }
+    } catch (const util::CancelledError&) {
+      // A watchdog expiry is a policy decision, not a singular matrix:
+      // it must unwind to the sweep layer, never degrade to kFailed.
+      throw;
     } catch (const std::runtime_error&) {
       // Singular matrix: fall through to the failure report.
     }

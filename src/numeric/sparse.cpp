@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/cancel.hpp"
+
 namespace mnsim::numeric {
 
 void SparseBuilder::add(std::size_t row, std::size_t col, double value) {
@@ -132,6 +134,11 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
   const double stop = tolerance * (b_norm > 0 ? b_norm : 1.0);
 
   for (std::size_t it = 0; it < max_iterations; ++it) {
+    // Cooperative watchdog poll (util/cancel.hpp): a sweep abandoning a
+    // pathological design point unwinds here instead of grinding out the
+    // full iteration budget. Every 64 iterations keeps the poll cost
+    // unmeasurable.
+    if ((it & 63u) == 0) util::throw_if_cancelled("numeric.cg");
     result.residual_norm = std::sqrt(dot(r, r));
     if (result.residual_norm <= stop) {
       result.converged = true;

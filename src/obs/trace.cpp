@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <map>
+#include <stdexcept>
 #include <utility>
+
+#include "util/atomic_file.hpp"
 
 namespace mnsim::obs {
 
@@ -210,10 +212,14 @@ std::string Tracer::text_profile() const {
 }
 
 bool Tracer::write_chrome_trace(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << chrome_trace_json();
-  return f.good();
+  // Atomic + durable so a crash mid-write never leaves a truncated
+  // trace; the bool API stays (trace output is best-effort by design).
+  try {
+    util::atomic_write_file(path, chrome_trace_json());
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
 }
 
 void Span::begin(const char* name) {

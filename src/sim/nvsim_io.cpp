@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/config.hpp"
 #include "util/units.hpp"
 
@@ -83,12 +84,11 @@ std::vector<NvsimModule> read_nvsim_modules(const std::string& text) {
   return modules;
 }
 
-bool save_nvsim_modules(const std::string& path,
+void save_nvsim_modules(const std::string& path,
                         const std::vector<NvsimModule>& modules) {
-  std::ofstream f(path);
-  if (!f) return false;
-  for (const auto& m : modules) f << write_nvsim_module(m) << "\n";
-  return static_cast<bool>(f);
+  std::string text;
+  for (const auto& m : modules) text += write_nvsim_module(m) + "\n";
+  util::atomic_write_file(path, text);
 }
 
 std::vector<NvsimModule> load_nvsim_modules(const std::string& path) {

@@ -32,8 +32,9 @@ std::string write_nvsim_module(const NvsimModule& module);
 // std::runtime_error on malformed blocks.
 std::vector<NvsimModule> read_nvsim_modules(const std::string& text);
 
-// File helpers.
-bool save_nvsim_modules(const std::string& path,
+// File helpers. save writes atomically and durably (util::atomic_file)
+// and throws std::runtime_error when the write fails.
+void save_nvsim_modules(const std::string& path,
                         const std::vector<NvsimModule>& modules);
 std::vector<NvsimModule> load_nvsim_modules(const std::string& path);
 

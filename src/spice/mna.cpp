@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "spice/mna_internal.hpp"
+#include "util/cancel.hpp"
 
 namespace mnsim::spice {
 
@@ -139,6 +140,9 @@ DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
   int damping_budget = std::max(opt.max_damping_retries, 0);
 
   for (int it = 0; it < max_iter; ++it) {
+    // Watchdog poll between Newton iterations (util/cancel.hpp); the
+    // inner CG/LU rungs poll at finer granularity.
+    util::throw_if_cancelled("spice.newton");
     obs::Span iter_span("spice.newton_iteration");
     std::vector<double> rhs(n_unknowns, 0.0);
 

@@ -1,0 +1,103 @@
+#include "util/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mnsim::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+void write_fully(int fd, const std::string& data, const std::string& path) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("cannot write", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// fsync the directory containing `path` so a just-performed rename (or
+// file creation) survives a crash. Best-effort: some filesystems refuse
+// to open directories for sync; the data fsync already happened.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot create", tmp);
+  try {
+    write_fully(fd, content, tmp);
+    if (::fsync(fd) != 0) fail("cannot fsync", tmp);
+  } catch (...) {
+    (void)::close(fd);
+    (void)::unlink(tmp.c_str());
+    throw;
+  }
+  if (::close(fd) != 0) {
+    (void)::unlink(tmp.c_str());
+    fail("cannot close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)::unlink(tmp.c_str());
+    fail("cannot rename into", path);
+  }
+  sync_parent_dir(path);
+}
+
+DurableAppender::~DurableAppender() {
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+void DurableAppender::open(const std::string& path, bool truncate) {
+  close();
+  const int flags =
+      O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) fail("cannot open journal", path);
+  path_ = path;
+  // Make the creation itself durable before the first record depends
+  // on it.
+  sync_parent_dir(path);
+}
+
+void DurableAppender::append(const std::string& data) {
+  if (fd_ < 0)
+    throw std::runtime_error("DurableAppender: append on a closed journal");
+  write_fully(fd_, data, path_);
+  if (::fsync(fd_) != 0) fail("cannot fsync journal", path_);
+}
+
+void DurableAppender::close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace mnsim::util

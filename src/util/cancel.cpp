@@ -1,0 +1,26 @@
+#include "util/cancel.hpp"
+
+namespace mnsim::util {
+
+namespace {
+
+thread_local const CancelToken* t_active_token = nullptr;
+
+}  // namespace
+
+ScopedCancel::ScopedCancel(const CancelToken* token)
+    : previous_(t_active_token) {
+  t_active_token = token;
+}
+
+ScopedCancel::~ScopedCancel() { t_active_token = previous_; }
+
+bool cancellation_requested() {
+  return t_active_token != nullptr && t_active_token->requested();
+}
+
+void throw_if_cancelled(const char* where) {
+  if (cancellation_requested()) throw CancelledError(where);
+}
+
+}  // namespace mnsim::util

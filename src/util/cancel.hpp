@@ -1,0 +1,77 @@
+// Cooperative cancellation for long-running solves.
+//
+// A sweep's watchdog (dse/shard) must be able to abandon one
+// pathological design point — a crossbar whose CG ladder grinds through
+// millions of iterations, a dense fallback on a huge system — without
+// killing the process or leaving the worker thread wedged. Signals and
+// thread cancellation cannot unwind C++ safely, so cancellation is
+// cooperative: the controller requests it on a CancelToken, and the
+// compute kernels poll at their natural checkpoints (CG iterations,
+// LU pivots, Newton steps) via throw_if_cancelled(), which throws
+// CancelledError to unwind cleanly through RAII.
+//
+// The token travels by thread-local installation (ScopedCancel), not by
+// parameter, so the deep numeric layers need no signature changes and
+// code outside a cancellation scope pays one relaxed thread-local read
+// per poll. A task and the solves it drives run on one worker thread
+// (util::ThreadPool's contract), so the thread-local is exactly the
+// per-task scope the watchdog needs.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace mnsim::util {
+
+// Thrown by throw_if_cancelled(); `where()` names the polling site
+// ("numeric.cg"). Derives from std::runtime_error — catch sites that
+// swallow runtime errors must rethrow this type first (see
+// numeric/resilient.cpp).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& where)
+      : std::runtime_error("cancelled in " + where), where_(where) {}
+  [[nodiscard]] const std::string& where() const { return where_; }
+
+ private:
+  std::string where_;
+};
+
+// One flag, set by the controller (watchdog thread), polled by the
+// worker. Safe to request from any thread.
+class CancelToken {
+ public:
+  void request() { flag_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool requested() const {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  void reset() { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Installs `token` as the calling thread's active cancellation scope for
+// the lifetime of the guard; restores the previous scope on destruction
+// (scopes nest — the innermost token wins).
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(const CancelToken* token);
+  ~ScopedCancel();
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  const CancelToken* previous_;
+};
+
+// True when the calling thread is inside a cancellation scope whose
+// token was requested. Always false outside any scope.
+[[nodiscard]] bool cancellation_requested();
+
+// Polling checkpoint for compute kernels: throws CancelledError(where)
+// when cancellation was requested, otherwise a no-op.
+void throw_if_cancelled(const char* where);
+
+}  // namespace mnsim::util

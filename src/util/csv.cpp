@@ -1,7 +1,8 @@
 #include "util/csv.hpp"
 
-#include <fstream>
 #include <sstream>
+
+#include "util/atomic_file.hpp"
 
 namespace mnsim::util {
 
@@ -38,11 +39,8 @@ std::string CsvWriter::str() const {
   return os.str();
 }
 
-bool CsvWriter::write(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << str();
-  return static_cast<bool>(f);
+void CsvWriter::write(const std::string& path) const {
+  atomic_write_file(path, str());
 }
 
 }  // namespace mnsim::util

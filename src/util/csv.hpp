@@ -15,9 +15,11 @@ class CsvWriter {
 
   [[nodiscard]] std::string str() const;
 
-  // Writes to `path`; returns false (without throwing) if the file cannot
-  // be opened, so benches can still print to stdout on read-only systems.
-  bool write(const std::string& path) const;
+  // Writes to `path` atomically and durably (util::atomic_file: temp
+  // file + fsync + rename) — a crash never leaves a truncated CSV.
+  // Throws std::runtime_error when the write fails; callers that can
+  // degrade gracefully (benches on read-only checkouts) catch it.
+  void write(const std::string& path) const;
 
  private:
   std::vector<std::string> header_;

@@ -147,7 +147,9 @@ TEST(NvsimIo, MalformedInputThrows) {
 TEST(NvsimIo, FileRoundTrip) {
   NvsimModule m{"Adder", {3e-12, 0.5e-3, 2e-6, 0.4e-9}};
   const std::string path = "/tmp/mnsim_nvsim_test.txt";
-  ASSERT_TRUE(save_nvsim_modules(path, {m}));
+  ASSERT_NO_THROW(save_nvsim_modules(path, {m}));
+  EXPECT_THROW(save_nvsim_modules("/nonexistent-dir/x.txt", {m}),
+               std::runtime_error);
   auto loaded = load_nvsim_modules(path);
   ASSERT_EQ(loaded.size(), 1u);
   EXPECT_EQ(loaded[0].name, "Adder");

@@ -56,10 +56,10 @@ TEST(Csv, RendersHeaderAndRows) {
   EXPECT_EQ(w.str(), "x,y\n1,2.5\na,b\n");
 }
 
-TEST(Csv, WriteToUnwritablePathReturnsFalse) {
+TEST(Csv, WriteToUnwritablePathThrows) {
   CsvWriter w;
   w.add_row(std::vector<double>{1.0});
-  EXPECT_FALSE(w.write("/nonexistent-dir/x.csv"));
+  EXPECT_THROW(w.write("/nonexistent-dir/x.csv"), std::runtime_error);
 }
 
 TEST(Csv, WriteRoundTrip) {
@@ -67,7 +67,7 @@ TEST(Csv, WriteRoundTrip) {
   w.set_header({"a"});
   w.add_row(std::vector<double>{42});
   const std::string path = "/tmp/mnsim_csv_test.csv";
-  ASSERT_TRUE(w.write(path));
+  ASSERT_NO_THROW(w.write(path));
   std::ifstream f(path);
   std::stringstream ss;
   ss << f.rdbuf();

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MNSIM custom lints, run by the CI static-analysis job (and locally).
 
-Four rules, all guarding invariants the compiler cannot see on its own:
+Five rules, all guarding invariants the compiler cannot see on its own:
 
 1. raw-double-physical-param
    Headers in src/tech and src/circuit must not declare new raw-`double`
@@ -38,6 +38,15 @@ Four rules, all guarding invariants the compiler cannot see on its own:
    Escape: `// lint: allow-raw-chrono(<why>)` on the same or previous
    line. Benches, tests and examples measure wall clock on purpose and
    are exempt.
+
+5. raw-ofstream-output
+   `std::ofstream` is forbidden in src/ and examples/. Output files are
+   written through util::atomic_file (write-temp + fsync + rename, or
+   DurableAppender for journals; docs/ROBUSTNESS.md): a raw ofstream can
+   leave a torn half-written report after a crash, and its error state
+   is silently dropped unless every caller remembers to check it.
+   Escape: `// lint: allow-raw-ofstream(<why>)` on the same or previous
+   line. Benches and tests are exempt (scratch output, failure paths).
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -142,6 +151,35 @@ def check_raw_chrono(path: pathlib.Path, rel: str, findings: list[str]) -> None:
         prev = line
 
 
+# ---- rule 5: raw std::ofstream output outside util::atomic_file -------------
+
+RAW_OFSTREAM = re.compile(r"\bstd::ofstream\b")
+RAW_OFSTREAM_ALLOW = re.compile(r"lint:\s*allow-raw-ofstream")
+RAW_OFSTREAM_ALLOWED_FILES = {
+    "src/util/atomic_file.cpp",  # the durable-write implementation itself
+}
+
+
+def check_raw_ofstream(path: pathlib.Path, rel: str, findings: list[str]) -> None:
+    if not rel.startswith(("src/", "examples/")):
+        return
+    if rel in RAW_OFSTREAM_ALLOWED_FILES:
+        return
+    prev = ""
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if RAW_OFSTREAM.search(line):
+            if not (
+                RAW_OFSTREAM_ALLOW.search(line) or RAW_OFSTREAM_ALLOW.search(prev)
+            ):
+                findings.append(
+                    f"{rel}:{lineno}: raw-ofstream-output: write output "
+                    f"through util::atomic_write_file or util::DurableAppender "
+                    f"(util/atomic_file.hpp) so a crash cannot tear the file, "
+                    f"or mark the line with `// lint: allow-raw-ofstream(<why>)`"
+                )
+        prev = line
+
+
 # ---- rule 3: diagnostic codes vs docs/DIAGNOSTICS.md ------------------------
 
 DIAG_CODE = re.compile(r"\bMN-[A-Z]{2,4}-\d{3}\b")
@@ -208,6 +246,7 @@ def main(argv: list[str]) -> int:
             check_raw_double(path, rel, findings)
         check_rng(path, rel, findings)
         check_raw_chrono(path, rel, findings)
+        check_raw_ofstream(path, rel, findings)
 
     # Global rule: run over the whole tree, not per-file, so a stale
     # catalogue entry is caught even when linting a single file.

@@ -41,55 +41,51 @@ VariationMcResult variation_monte_carlo(const CrossbarErrorInputs& in,
       std::max(std::fabs(relative_output_error(in, base, w, +1)),
                std::fabs(relative_output_error(in, base, w, -1)));
 
-  // Prime a master solve cache on the unperturbed spec: its topology
-  // pattern and operating point seed every worker's cache, so each trial
-  // refills the CSR pattern and warm-starts CG from the base solution.
-  // The warm start is a fixed reference (never the previous trial), so
-  // trial results do not depend on work scheduling.
-  spice::CrossbarSolveCache master;
-  {
-    const auto base_sol = spice::solve_crossbar(spec, {}, &master);
-    master.mna.warm_start_voltages = base_sol.dc.node_voltages;
-    master.mna.cache_hits = 0;
-    master.mna.warm_starts = 0;
+  // Solve the unperturbed spec once: its operating point is the fixed
+  // warm-start reference every trial seeds from (never the previous
+  // trial, so trial results do not depend on work scheduling).
+  const std::vector<double> warm_start =
+      spice::solve_crossbar(spec).dc.node_voltages;
+
+  // Pre-generate every trial's cell map from its own RNG stream derived
+  // from (seed, trial) — the draw sequence depends only on the trial
+  // index — then hand the whole sweep to the batched solver, which
+  // builds the netlist, vets the topology and primes the CSR pattern
+  // once for all trials (spice::solve_dc_batch).
+  const auto trials = static_cast<std::size_t>(opt.trials);
+  std::vector<spice::CrossbarBatchEntry> entries(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::mt19937 rng(util::derive_stream_seed(opt.seed, trial));
+    std::uniform_real_distribution<double> dev(1.0 - in.device.sigma,
+                                               1.0 + in.device.sigma);
+    auto cells = spec.cell_resistance;
+    for (auto& row : cells)
+      for (double& r : row) r = (base * dev(rng)).value();
+    entries[trial].cell_resistance = std::move(cells);
   }
 
-  util::ThreadPool pool(opt.threads);
-  result.threads = static_cast<int>(pool.worker_count());
-  std::vector<spice::CrossbarSolveCache> caches(pool.worker_count(), master);
-  std::vector<spice::CrossbarSpec> specs(pool.worker_count(), spec);
+  result.threads = util::resolve_thread_count(opt.threads);
+  const auto sols =
+      spice::solve_crossbar_batch(spec, entries, {}, opt.threads, warm_start);
 
-  result.samples = util::parallel_map(
-      pool, static_cast<std::size_t>(opt.trials),
-      [&](std::size_t trial, std::size_t worker) {
-        // Per-trial RNG stream derived from (seed, trial): the draw
-        // sequence depends only on the trial index, never on which
-        // worker runs it.
-        std::mt19937 rng(util::derive_stream_seed(opt.seed, trial));
-        std::uniform_real_distribution<double> dev(1.0 - in.device.sigma,
-                                                   1.0 + in.device.sigma);
-        auto& trial_spec = specs[worker];
-        for (auto& row : trial_spec.cell_resistance)
-          for (double& r : row) r = (base * dev(rng)).value();
-        const auto sol =
-            spice::solve_crossbar(trial_spec, {}, &caches[worker]);
-        double err = 0.0;
-        for (std::size_t j = 0; j < v_ideal.size(); ++j)
-          err = std::max(err, std::fabs((v_ideal[j] -
-                                         sol.column_output_voltage[j]) /
-                                        v_ideal[j]));
-        return err;
-      });
+  result.samples.resize(trials, 0.0);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    double err = 0.0;
+    for (std::size_t j = 0; j < v_ideal.size(); ++j)
+      err = std::max(err,
+                     std::fabs((v_ideal[j] -
+                                sols[trial].column_output_voltage[j]) /
+                               v_ideal[j]));
+    result.samples[trial] = err;
+    result.cache_hits += sols[trial].diagnostics.cache_hits;
+    result.warm_starts += sols[trial].diagnostics.warm_starts;
+  }
 
   for (double err : result.samples) {
     result.mean_error += err;
     result.max_error = std::max(result.max_error, err);
   }
   result.mean_error /= opt.trials;
-  for (const auto& c : caches) {
-    result.cache_hits += c.mna.cache_hits;
-    result.warm_starts += c.mna.warm_starts;
-  }
   return result;
 }
 

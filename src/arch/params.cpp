@@ -27,6 +27,7 @@ spice::DcOptions AcceleratorConfig::solver_options() const {
       static_cast<std::size_t>(std::max<long>(solver_cg_max_iterations, 0));
   opt.allow_cg_retry = solver_allow_fallback;
   opt.allow_dense_fallback = solver_allow_fallback;
+  opt.allow_schur = solver_structured;
   opt.preflight = check_preflight;
   return opt;
 }
@@ -120,6 +121,8 @@ AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
                                               c.solver_cg_max_iterations);
   c.solver_allow_fallback =
       cfg.get_bool_or("solver.Allow_Fallback", c.solver_allow_fallback);
+  c.solver_structured =
+      cfg.get_bool_or("solver.Structured", c.solver_structured);
 
   // [parallel] section (docs/PERFORMANCE.md).
   c.parallel_threads = static_cast<int>(

@@ -63,6 +63,10 @@ struct AcceleratorConfig {
   double solver_cg_tolerance = 1e-12;
   long solver_cg_max_iterations = 0;  // 0 = auto
   bool solver_allow_fallback = true;
+  // Structure-exploiting (bipartite Schur) rung for crossbar netlists:
+  // [solver] Structured. Safe to disable — correctness is unaffected,
+  // only sweep throughput.
+  bool solver_structured = true;
 
   // Worker threads for sweep engines (DSE exploration, Monte-Carlo
   // trials): [parallel] Threads. 1 = serial (default), 0 = all hardware

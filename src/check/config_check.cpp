@@ -32,7 +32,7 @@ const std::vector<std::string>& accelerator_keys() {
       "fault.Retention_Time", "fault.Seed", "fault.Circuit_Check",
       "fault.Circuit_Check_Size",
       "solver.CG_Tolerance", "solver.CG_Max_Iterations",
-      "solver.Allow_Fallback",
+      "solver.Allow_Fallback", "solver.Structured",
       "parallel.Threads",
       "check.Enabled", "check.Warnings_As_Errors",
       "check.Wire_Drop_Warning",
@@ -296,6 +296,7 @@ void accelerator_values(const util::Config& cfg, DiagnosticList& out) {
   }
   int_range(out, cfg, "solver.CG_Max_Iterations", 0, 1L << 30);
   bool_key(out, cfg, "solver.Allow_Fallback");
+  bool_key(out, cfg, "solver.Structured");
   int_range(out, cfg, "parallel.Threads", 0, 4096);
   bool_key(out, cfg, "check.Enabled");
   bool_key(out, cfg, "check.Warnings_As_Errors");

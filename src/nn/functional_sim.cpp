@@ -532,8 +532,14 @@ ElectricalLayerResult electrical_layer_outputs(
   const auto spec_pos = make_spec(transpose(cells.positive));
   const auto spec_neg = make_spec(transpose(cells.negative));
 
-  const auto sol_pos = spice::solve_crossbar(spec_pos);
-  const auto sol_neg = spice::solve_crossbar(spec_neg);
+  // The positive and negative arrays share one topology, so solve them
+  // as a two-entry batch: netlist build, preflight, and pattern priming
+  // happen once instead of twice (spice::solve_crossbar_batch).
+  std::vector<spice::CrossbarBatchEntry> batch(2);
+  batch[1].cell_resistance = spec_neg.cell_resistance;
+  const auto sols = spice::solve_crossbar_batch(spec_pos, batch);
+  const auto& sol_pos = sols[0];
+  const auto& sol_neg = sols[1];
   const auto idl_pos = spice::ideal_column_outputs(spec_pos);
   const auto idl_neg = spice::ideal_column_outputs(spec_neg);
 

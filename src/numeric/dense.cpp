@@ -1,9 +1,9 @@
 #include "numeric/dense.hpp"
 
-#include <cmath>
 #include <stdexcept>
+#include <utility>
 
-#include "util/cancel.hpp"
+#include "numeric/factorization.hpp"
 
 namespace mnsim::numeric {
 
@@ -50,40 +50,9 @@ std::vector<double> lu_solve(DenseMatrix a, std::vector<double> b) {
   const std::size_t n = a.rows();
   if (a.cols() != n || b.size() != n)
     throw std::invalid_argument("lu_solve: shape mismatch");
-
-  for (std::size_t col = 0; col < n; ++col) {
-    // Watchdog poll: one check per pivot keeps the O(n^3) elimination
-    // cancellable within one row's work (util/cancel.hpp).
-    if ((col & 15u) == 0) util::throw_if_cancelled("numeric.lu");
-    // Partial pivot.
-    std::size_t pivot = col;
-    double best = std::fabs(a(col, col));
-    for (std::size_t r = col + 1; r < n; ++r) {
-      if (std::fabs(a(r, col)) > best) {
-        best = std::fabs(a(r, col));
-        pivot = r;
-      }
-    }
-    if (best < 1e-300) throw std::runtime_error("lu_solve: singular matrix");
-    if (pivot != col) {
-      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
-      std::swap(b[col], b[pivot]);
-    }
-    for (std::size_t r = col + 1; r < n; ++r) {
-      double f = a(r, col) / a(col, col);
-      if (f == 0.0) continue;
-      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
-      b[r] -= f * b[col];
-    }
-  }
-  // Back substitution.
-  std::vector<double> x(n, 0.0);
-  for (std::size_t i = n; i-- > 0;) {
-    double s = b[i];
-    for (std::size_t c = i + 1; c < n; ++c) s -= a(i, c) * x[c];
-    x[i] = s / a(i, i);
-  }
-  return x;
+  const LuFactorization lu(std::move(a));
+  lu.solve_in_place(b);
+  return b;
 }
 
 }  // namespace mnsim::numeric

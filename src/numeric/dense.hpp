@@ -40,7 +40,9 @@ class DenseMatrix {
 
 // Solves A x = b by LU with partial pivoting. `a` is consumed (factorized
 // in place on a copy). Throws std::runtime_error on a (numerically)
-// singular matrix.
+// singular matrix — the pivot threshold scales with max|a_ij| (see
+// numeric/factorization.hpp). For repeated solves against one matrix,
+// factor once with LuFactorization instead.
 std::vector<double> lu_solve(DenseMatrix a, std::vector<double> b);
 
 }  // namespace mnsim::numeric

@@ -1,0 +1,160 @@
+#include "numeric/factorization.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/cancel.hpp"
+
+namespace mnsim::numeric {
+
+namespace {
+
+// Singularity threshold scaled by the matrix magnitude: a pivot this
+// far below the largest entry is elimination roundoff, not signal. The
+// absolute floor keeps the all-zero matrix singular.
+double pivot_threshold(double max_abs, std::size_t n) {
+  const double scaled =
+      max_abs * static_cast<double>(n) * std::numeric_limits<double>::epsilon();
+  return scaled > 1e-300 ? scaled : 1e-300;
+}
+
+}  // namespace
+
+LuFactorization::LuFactorization(DenseMatrix a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("LuFactorization: matrix not square");
+
+  double max_abs = 0.0;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      max_abs = std::max(max_abs, std::fabs(a(r, c)));
+  const double threshold = pivot_threshold(max_abs, n);
+
+  pivot_.resize(n);
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Watchdog poll (util/cancel.hpp): once every 16 pivot columns on
+    // the outer loop, plus once at the head of each column's inner
+    // elimination (below), so even a single huge pivot's O(n^2) row
+    // work stays cancellable under sweep watchdog deadlines.
+    if ((col & 15u) == 0) util::throw_if_cancelled("numeric.lu");
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > best) {
+        best = std::fabs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < threshold)
+      throw std::runtime_error("lu_solve: singular matrix");
+    pivot_[col] = pivot;
+    if (pivot != col)
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+    min_pivot = std::min(min_pivot, best);
+    max_pivot = std::max(max_pivot, best);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (r == col + 1) util::throw_if_cancelled("numeric.lu");
+      double f = a(r, col) / a(col, col);
+      a(r, col) = f;  // store the multiplier: the unit-lower L factor
+      if (f == 0.0) continue;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+    }
+  }
+  condition_ = n > 0 && min_pivot > 0.0 ? max_pivot / min_pivot : 0.0;
+  lu_ = std::move(a);
+}
+
+void LuFactorization::solve_in_place(std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("LuFactorization::solve: size mismatch");
+  // The stored L is the fully row-swapped (LAPACK) factor, so every
+  // pivot swap must hit b before forward substitution begins; each
+  // multiply uses the same operand values the in-place elimination
+  // used, keeping a factored solve bit-identical to the historical
+  // consume-the-matrix lu_solve.
+  for (std::size_t col = 0; col < n; ++col)
+    if (pivot_[col] != col) std::swap(b[col], b[pivot_[col]]);
+  for (std::size_t col = 0; col < n; ++col) {
+    const double bc = b[col];
+    if (bc == 0.0) continue;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = lu_(r, col);
+      if (f != 0.0) b[r] -= f * bc;
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= lu_(i, c) * b[c];
+    b[i] = s / lu_(i, i);
+  }
+}
+
+std::vector<double> LuFactorization::solve(std::vector<double> b) const {
+  solve_in_place(b);
+  return b;
+}
+
+CholeskyFactorization::CholeskyFactorization(const DenseMatrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("CholeskyFactorization: matrix not square");
+
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diag = std::max(max_diag, std::fabs(a(i, i)));
+  const double threshold = pivot_threshold(max_diag, n);
+
+  DenseMatrix l(n, n);
+  double min_pivot = std::numeric_limits<double>::infinity();
+  double max_pivot = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    if ((j & 15u) == 0) util::throw_if_cancelled("numeric.cholesky");
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > threshold))
+      throw std::runtime_error(
+          "CholeskyFactorization: matrix not positive definite");
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    min_pivot = std::min(min_pivot, ljj);
+    max_pivot = std::max(max_pivot, ljj);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      if (i == j + 1) util::throw_if_cancelled("numeric.cholesky");
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  const double ratio = min_pivot > 0.0 ? max_pivot / min_pivot : 0.0;
+  condition_ = ratio * ratio;
+  l_ = std::move(l);
+}
+
+void CholeskyFactorization::solve_in_place(std::vector<double>& b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n)
+    throw std::invalid_argument(
+        "CholeskyFactorization::solve: size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * b[k];
+    b[i] = s / l_(i, i);
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l_(k, i) * b[k];
+    b[i] = s / l_(i, i);
+  }
+}
+
+std::vector<double> CholeskyFactorization::solve(std::vector<double> b) const {
+  solve_in_place(b);
+  return b;
+}
+
+}  // namespace mnsim::numeric

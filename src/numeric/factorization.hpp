@@ -1,0 +1,76 @@
+// Reusable dense factorizations: factor once, solve many right-hand
+// sides.
+//
+// The historical lu_solve() consumes its matrix per RHS, so every solve
+// of a sweep re-pays the O(n^3) elimination. These classes keep the
+// factors (and the pivot sequence) so the hundreds of near-identical
+// solves a Monte-Carlo or DSE sweep generates pay the elimination once
+// and the O(n^2) triangular solves per RHS afterwards. Solving k right-
+// hand sides through one factorization is bit-identical to factoring k
+// times and solving each, because the factors of a given matrix are
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.hpp"
+
+namespace mnsim::numeric {
+
+// LU with partial pivoting. The singularity test scales with the
+// matrix: a pivot below max|a_ij| * n * epsilon means elimination has
+// cancelled the column down to roundoff and any "solution" would be
+// noise, so the constructor throws instead of returning garbage
+// (an absolute floor of 1e-300 still catches the all-zero matrix).
+class LuFactorization {
+ public:
+  LuFactorization() = default;
+  // Factors `a` in place. Throws std::invalid_argument on a non-square
+  // matrix and std::runtime_error on a (numerically) singular one.
+  explicit LuFactorization(DenseMatrix a);
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+  [[nodiscard]] bool valid() const { return lu_.rows() > 0; }
+
+  // Cheap condition estimate: max|U_ii| / min|U_ii|. A lower bound on
+  // the true 2-norm condition number; large values flag solves whose
+  // trailing digits are untrustworthy even though the pivot test passed.
+  [[nodiscard]] double condition_estimate() const { return condition_; }
+
+  // Solves A x = b via the cached pivoted triangular factors.
+  void solve_in_place(std::vector<double>& b) const;
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+
+ private:
+  DenseMatrix lu_;                  // L (unit diagonal, below) + U (on/above)
+  std::vector<std::size_t> pivot_;  // row swapped with `col` at step col
+  double condition_ = 0.0;
+};
+
+// Cholesky (L L^T) for symmetric positive definite systems: half the
+// flops of LU and no pivoting. The constructor throws
+// std::runtime_error when a pivot falls below the scaled threshold --
+// i.e. the matrix is not numerically SPD -- so callers can fall back to
+// pivoted LU.
+class CholeskyFactorization {
+ public:
+  CholeskyFactorization() = default;
+  // Reads the lower triangle of `a` (the matrix is assumed symmetric).
+  explicit CholeskyFactorization(const DenseMatrix& a);
+
+  [[nodiscard]] std::size_t size() const { return l_.rows(); }
+  [[nodiscard]] bool valid() const { return l_.rows() > 0; }
+
+  // (max L_ii / min L_ii)^2 -- the Cholesky analogue of the LU estimate.
+  [[nodiscard]] double condition_estimate() const { return condition_; }
+
+  void solve_in_place(std::vector<double>& b) const;
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+
+ private:
+  DenseMatrix l_;  // lower-triangular factor
+  double condition_ = 0.0;
+};
+
+}  // namespace mnsim::numeric

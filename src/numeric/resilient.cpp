@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "numeric/dense.hpp"
+#include "numeric/factorization.hpp"
 #include "obs/trace.hpp"
 #include "util/cancel.hpp"
 
@@ -38,7 +40,33 @@ bool finite(const std::vector<double>& v) {
   return true;
 }
 
+// True relative residual ||b - A x|| / ||b|| — the acceptance check for
+// the Schur rung, which must be judged against the real matrix, not its
+// own internal view of it.
+double relative_residual_of(const CsrMatrix& a, const std::vector<double>& b,
+                            const std::vector<double>& x) {
+  std::vector<double> ax;
+  a.multiply(x, ax);
+  for (std::size_t i = 0; i < ax.size(); ++i) ax[i] = b[i] - ax[i];
+  const double b_norm = norm2(b);
+  return norm2(ax) / (b_norm > 0 ? b_norm : 1.0);
+}
+
 }  // namespace
+
+namespace internal {
+
+void keep_better(CgResult& best, CgResult&& candidate) {
+  const bool best_usable =
+      finite(best.x) && std::isfinite(best.residual_norm);
+  const bool candidate_usable =
+      finite(candidate.x) && std::isfinite(candidate.residual_norm);
+  if (!candidate_usable) return;
+  if (!best_usable || candidate.residual_norm < best.residual_norm)
+    best = std::move(candidate);
+}
+
+}  // namespace internal
 
 ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
                                          const std::vector<double>& b,
@@ -46,14 +74,52 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
   const std::size_t n = a.size();
   ResilientSolveReport report;
 
-  // Rung 1: preconditioned CG, warm-started when the caller supplied a
-  // same-topology reference iterate.
   const std::vector<double>* guess =
       (opt.initial_guess && opt.initial_guess->size() == n &&
        finite(*opt.initial_guess))
           ? opt.initial_guess
           : nullptr;
   report.warm_started = guess != nullptr;
+
+  // Rung 0: bipartite Schur solve when the caller knows the crossbar
+  // structure. A prefactored handle (batched solves) wins over a raw
+  // partition; either way a mismatch is a reject, never an error, and
+  // acceptance is judged on the true residual of the full system so a
+  // stale factorization or broken structure assumption cannot smuggle a
+  // wrong answer past the ladder.
+  const SchurFactorization* schur = nullptr;
+  SchurFactorization local_schur;
+  if (opt.schur_factorization && opt.schur_factorization->valid() &&
+      opt.schur_factorization->size() == n) {
+    schur = opt.schur_factorization;
+  } else if (opt.partition && !opt.partition->empty()) {
+    obs::Span build_span("numeric.schur_build");
+    local_schur = SchurFactorization::build(a, *opt.partition);
+    if (local_schur.valid())
+      schur = &local_schur;
+    else
+      ++report.schur_rejects;
+  }
+  if (schur) {
+    obs::Span span("numeric.schur");
+    // Solve slightly tighter than requested so back-substitution
+    // roundoff cannot push the true residual over the acceptance line.
+    SchurSolveResult sr =
+        schur->solve(b, opt.tolerance * 0.5, opt.schur_max_iterations, guess);
+    report.schur_iterations = sr.iterations;
+    if (sr.converged && finite(sr.x) &&
+        relative_residual_of(a, b, sr.x) <= opt.tolerance) {
+      report.x = std::move(sr.x);
+      report.method = SolveMethod::kSchur;
+      report.converged = true;
+      fill_residual(a, b, report);
+      return report;
+    }
+    ++report.schur_rejects;
+  }
+
+  // Rung 1: preconditioned CG, warm-started when the caller supplied a
+  // same-topology reference iterate.
   CgResult cg = [&] {
     obs::Span span("numeric.cg");
     return conjugate_gradient(a, b, opt.tolerance, opt.max_iterations,
@@ -93,12 +159,16 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
       fill_residual(a, b, report);
       return report;
     }
-    cg = std::move(retry);  // keep the best iterate so far
+    // A stalled retry can end on a *worse* iterate than rung 1 left
+    // (the extra budget is no guarantee of monotone progress), so keep
+    // whichever has the smaller residual for the failure report.
+    internal::keep_better(cg, std::move(retry));
   }
 
-  // Rung 3: dense LU with partial pivoting — direct, unconditionally
-  // stable on these conductance matrices, but O(n^2) memory / O(n^3)
-  // time, so gated by size.
+  // Rung 3: dense direct solve — O(n^2) memory / O(n^3) time, so gated
+  // by size. Cholesky first: half the flops of LU plus a built-in SPD
+  // certificate; systems that are not numerically SPD (diagonal
+  // defects, hollow permutations) fall through to pivoted LU.
   if (opt.allow_dense_fallback && n <= opt.dense_fallback_limit) {
     util::throw_if_cancelled("numeric.lu_fallback");
     obs::Span span("numeric.lu_fallback");
@@ -108,10 +178,12 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
     for (std::size_t r = 0; r < n; ++r)
       for (std::size_t c = 0; c < n; ++c) dense(r, c) = rows[r * n + c];
     try {
-      std::vector<double> x = lu_solve(std::move(dense), b);
+      const CholeskyFactorization chol(dense);
+      std::vector<double> x = chol.solve(b);
       if (finite(x)) {
+        report.condition_estimate = chol.condition_estimate();
         report.x = std::move(x);
-        report.method = SolveMethod::kDenseLu;
+        report.method = SolveMethod::kDenseCholesky;
         report.converged = true;
         fill_residual(a, b, report);
         return report;
@@ -119,6 +191,22 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
     } catch (const util::CancelledError&) {
       // A watchdog expiry is a policy decision, not a singular matrix:
       // it must unwind to the sweep layer, never degrade to kFailed.
+      throw;
+    } catch (const std::runtime_error&) {
+      // Not numerically SPD — pivoted LU below handles it.
+    }
+    try {
+      const LuFactorization lu(std::move(dense));
+      std::vector<double> x = lu.solve(b);
+      if (finite(x)) {
+        report.condition_estimate = lu.condition_estimate();
+        report.x = std::move(x);
+        report.method = SolveMethod::kDenseLu;
+        report.converged = true;
+        fill_residual(a, b, report);
+        return report;
+      }
+    } catch (const util::CancelledError&) {
       throw;
     } catch (const std::runtime_error&) {
       // Singular matrix: fall through to the failure report.

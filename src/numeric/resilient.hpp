@@ -4,10 +4,13 @@
 // matrices whose entries span many decades; plain Jacobi-preconditioned
 // conjugate gradients can stagnate far above the requested tolerance on
 // such systems. Instead of giving up, this module degrades gracefully:
+//   0. a structure-exploiting Schur-complement solve when the caller
+//      supplied a crossbar partition (numeric/schur.hpp) — exact chain
+//      elimination plus a tightly preconditioned small iteration,
 //   1. CG at the requested tolerance,
 //   2. a warm-started CG retry with a larger iteration budget,
-//   3. a dense LU fallback (partial pivoting) for systems small enough
-//      to expand.
+//   3. a dense direct fallback (Cholesky, then LU with partial
+//      pivoting) for systems small enough to expand.
 // Every rung records what it did so callers can surface degraded solves
 // instead of hiding them.
 #pragma once
@@ -15,11 +18,13 @@
 #include <cstddef>
 #include <vector>
 
+#include "numeric/schur.hpp"
 #include "numeric/sparse.hpp"
 
 namespace mnsim::numeric {
 
-enum class SolveMethod { kCg, kCgRetry, kDenseLu, kFailed };
+enum class SolveMethod { kCg, kCgRetry, kDenseLu, kFailed, kSchur,
+                         kDenseCholesky };
 
 struct ResilientSolveOptions {
   double tolerance = 1e-10;
@@ -35,6 +40,16 @@ struct ResilientSolveOptions {
   // previously solved system with the same topology. The pointee must
   // stay alive for the duration of the call.
   const std::vector<double>* initial_guess = nullptr;
+  // When non-null and non-empty, rung 0 tries the bipartite Schur
+  // solver on this partition before generic CG. A structure or value
+  // mismatch is not an error: the rung reports a reject and the ladder
+  // proceeds as before. The pointee must outlive the call.
+  const BipartitePartition* partition = nullptr;
+  // Prefactored Schur handle for factor-once/solve-many batches; when
+  // non-null and valid it takes precedence over `partition` (no
+  // re-extraction). Must have been built from this exact matrix.
+  const SchurFactorization* schur_factorization = nullptr;
+  std::size_t schur_max_iterations = 0;  // 0 = default (4n_kept + 100)
 };
 
 struct ResilientSolveReport {
@@ -47,7 +62,12 @@ struct ResilientSolveReport {
   bool cg_breakdown = false;      // p'Ap <= 0 seen in either CG rung
   bool diagonal_defect = false;   // zero/missing diagonal: CG refused,
                                   // routed straight to the dense rung
-  bool warm_started = false;      // rung 1 started from initial_guess
+  bool warm_started = false;      // a usable initial_guess was supplied
+  std::size_t schur_iterations = 0;  // PCG iterations on the Schur system
+  int schur_rejects = 0;          // 1 when rung 0 ran but was not accepted
+  // Diagonal-growth condition estimate from the dense rung's
+  // factorization (0 when the dense rung did not run / did not factor).
+  double condition_estimate = 0.0;
   double residual_norm = 0.0;     // ||b - A x|| of the returned x
   double relative_residual = 0.0; // residual_norm / ||b||
 
@@ -58,10 +78,18 @@ struct ResilientSolveReport {
 
 // Solves A x = b through the ladder above. Never throws on a stalled
 // iteration — a fully failed solve returns converged = false with the
-// best iterate found (method kFailed when even LU was singular or
-// unavailable).
+// best iterate found (method kFailed when even the dense rung was
+// singular or unavailable).
 ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
                                          const std::vector<double>& b,
                                          const ResilientSolveOptions& options);
+
+namespace internal {
+// Keeps in `best` whichever iterate has the smaller residual norm,
+// guarding against non-finite candidates. Exposed for unit tests: the
+// ladder uses it so a retry rung that *worsened* the iterate cannot
+// overwrite a better earlier one in the kFailed report.
+void keep_better(CgResult& best, CgResult&& candidate);
+}  // namespace internal
 
 }  // namespace mnsim::numeric

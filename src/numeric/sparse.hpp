@@ -68,6 +68,16 @@ class CsrMatrix {
   // fallback of solve_spd_resilient. Callers should bound n themselves.
   [[nodiscard]] std::vector<double> to_dense_rows() const;
 
+  // Raw CSR views (read-only) for structure-exploiting solvers that
+  // walk rows directly (numeric/schur.hpp): row r's entries live at
+  // [row_start()[r], row_start()[r+1]) in cols()/values(), sorted by
+  // column within each row.
+  [[nodiscard]] const std::vector<std::size_t>& row_start() const {
+    return row_start_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& cols() const { return col_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
  private:
   std::size_t n_ = 0;
   std::vector<std::size_t> row_start_;

@@ -64,6 +64,11 @@ std::string report_to_json(const nn::Network& network,
      << ", \"faults_injected\": " << d.faults_injected
      << ", \"cache_hits\": " << d.cache_hits
      << ", \"warm_starts\": " << d.warm_starts
+     << ", \"schur_solves\": " << d.schur_solves
+     << ", \"schur_iterations\": " << d.schur_iterations
+     << ", \"schur_rejects\": " << d.schur_rejects
+     << ", \"factor_reuses\": " << d.factor_reuses
+     << ", \"condition_estimate\": " << num(d.condition_estimate)
      << ", \"threads\": " << d.threads
      << ", \"degraded\": " << (d.degraded() ? 1 : 0) << "},\n";
   const auto& f = report.fault_config;

@@ -82,6 +82,10 @@ std::string format_report(const nn::Network& network,
                     std::to_string(report.solver.cache_hits)});
     robust.add_row({"CG warm starts",
                     std::to_string(report.solver.warm_starts)});
+    robust.add_row({"Schur (structured) solves",
+                    std::to_string(report.solver.schur_solves)});
+    robust.add_row({"Schur factor reuses",
+                    std::to_string(report.solver.factor_reuses)});
     robust.add_row({"Solver threads",
                     std::to_string(report.solver.threads)});
     os << robust.str();

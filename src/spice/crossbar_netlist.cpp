@@ -140,6 +140,31 @@ Netlist build_crossbar_netlist(const CrossbarSpec& spec,
       nl.add_capacitor(sense_node[j], kGround, spec.segment_capacitance);
   }
 
+  // Publish the wire chains so the linear solver can run its bipartite
+  // Schur rung: row wires on the eliminated side, column wires (with
+  // their sense node) on the kept side. With ideal wires the row taps
+  // are pinned source nodes and every column tap shorts to the sense
+  // node — no chain structure to exploit, so none is attached.
+  if (!spec.ideal_wires) {
+    WireStructure ws;
+    ws.row_chains.resize(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) {
+      ws.row_chains[static_cast<std::size_t>(i)]
+          .assign(row_tap[static_cast<std::size_t>(i)].begin(),
+                  row_tap[static_cast<std::size_t>(i)].end());
+    }
+    ws.col_chains.resize(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      auto& chain = ws.col_chains[static_cast<std::size_t>(j)];
+      chain.reserve(static_cast<std::size_t>(m) + 1);
+      for (int i = 0; i < m; ++i)
+        chain.push_back(col_tap[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(j)]);
+      chain.push_back(sense_node[static_cast<std::size_t>(j)]);
+    }
+    nl.set_wire_structure(std::move(ws));
+  }
+
   if (out_column_nodes) *out_column_nodes = sense_node;
   return nl;
 }
@@ -208,6 +233,62 @@ CrossbarSolution solve_crossbar(const CrossbarSpec& spec,
   }
   return solve_built(cache->netlist, cache->column_nodes, options,
                      &cache->mna);
+}
+
+std::vector<CrossbarBatchResult> solve_crossbar_batch(
+    const CrossbarSpec& base, const std::vector<CrossbarBatchEntry>& entries,
+    const DcOptions& options, int threads,
+    const std::vector<double>& warm_start_voltages) {
+  std::vector<CrossbarBatchResult> results(entries.size());
+  if (entries.empty()) return results;
+
+  std::vector<NodeId> column_nodes;
+  const Netlist nl = build_crossbar_netlist(base, &column_nodes);
+
+  // Translate to element-order overrides: sources are added in row
+  // order, memristors row-major (i * cols + j).
+  const auto rows = static_cast<std::size_t>(base.rows);
+  const auto cols = static_cast<std::size_t>(base.cols);
+  std::vector<DcBatchEntry> dc_entries(entries.size());
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    const auto& e = entries[k];
+    if (!e.input_voltages.empty()) {
+      if (e.input_voltages.size() != rows)
+        throw std::invalid_argument(
+            "solve_crossbar_batch: input_voltages size mismatch");
+      dc_entries[k].source_voltages = e.input_voltages;
+    }
+    if (!e.cell_resistance.empty()) {
+      if (e.cell_resistance.size() != rows)
+        throw std::invalid_argument(
+            "solve_crossbar_batch: cell_resistance rows mismatch");
+      auto& states = dc_entries[k].memristor_states;
+      states.reserve(rows * cols);
+      for (const auto& row : e.cell_resistance) {
+        if (row.size() != cols)
+          throw std::invalid_argument(
+              "solve_crossbar_batch: cell_resistance cols mismatch");
+        states.insert(states.end(), row.begin(), row.end());
+      }
+    }
+  }
+
+  DcBatchOptions batch_opt;
+  batch_opt.dc = options;
+  batch_opt.threads = threads;
+  batch_opt.warm_start_voltages = warm_start_voltages;
+  solve_dc_batch_visit(
+      nl, dc_entries, batch_opt,
+      [&](std::size_t index, const Netlist& programmed, const DcResult& dc) {
+        CrossbarBatchResult& out = results[index];
+        out.column_output_voltage.reserve(column_nodes.size());
+        for (NodeId node : column_nodes)
+          out.column_output_voltage.push_back(dc.voltage(node));
+        out.total_power = total_source_power(programmed, dc);
+        out.converged = dc.converged;
+        out.diagnostics = dc.diagnostics;
+      });
+  return results;
 }
 
 std::vector<double> ideal_column_outputs(const CrossbarSpec& spec) {

@@ -81,6 +81,40 @@ CrossbarSolution solve_crossbar(const CrossbarSpec& spec,
                                 const DcOptions& options = {},
                                 CrossbarSolveCache* cache = nullptr);
 
+// --- batched crossbar solves ------------------------------------------
+//
+// Sweep-shaped workloads (Monte-Carlo trials, per-input inference) are
+// many solves of one crossbar topology with varying values. This driver
+// rides spice::solve_dc_batch: the netlist is built once, preflight and
+// pattern priming happen once, and when only input voltages vary (linear
+// cells) the structured solver factors once for the whole batch. Results
+// are bit-identical to per-entry solve_crossbar calls served from caches
+// primed on the base spec, at any thread count.
+
+// Value-only overrides; empty containers keep the base spec's values.
+// Non-empty ones must match the base shape (rows / rows x cols).
+struct CrossbarBatchEntry {
+  std::vector<double> input_voltages;
+  std::vector<std::vector<double>> cell_resistance;
+};
+
+// The per-entry reduction of a batched solve: what sweep engines score
+// on, without retaining every node voltage of every entry.
+struct CrossbarBatchResult {
+  std::vector<double> column_output_voltage;  // V at each sense resistor
+  double total_power = 0.0;                   // delivered by the sources
+  bool converged = false;
+  SolverDiagnostics diagnostics;
+};
+
+// result[i] corresponds to entries[i]. `warm_start_voltages` (by node
+// id, typically the base spec's solved operating point; empty = cold)
+// seeds every entry identically so results stay schedule-independent.
+std::vector<CrossbarBatchResult> solve_crossbar_batch(
+    const CrossbarSpec& base, const std::vector<CrossbarBatchEntry>& entries,
+    const DcOptions& options = {}, int threads = 1,
+    const std::vector<double>& warm_start_voltages = {});
+
 // The ideal (wire-free, linear-cell) column outputs from the voltage
 // divider Eq. 9 generalized to per-cell states: the analytic reference
 // the error rate is measured against.

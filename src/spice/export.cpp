@@ -24,6 +24,20 @@ std::string export_spice(const Netlist& nl, const std::string& title) {
   std::ostringstream os;
   os << "* " << title << "\n";
 
+  // Wire-structure metadata rides along as comment directives so a
+  // re-imported deck keeps the structured solver path (and therefore
+  // solves bit-identically); stock SPICE tools skip '*' lines.
+  const auto& ws = nl.wire_structure();
+  if (!ws.empty()) {
+    auto chain_line = [&os](const char* tag, const std::vector<NodeId>& chain) {
+      os << "*.mnsim " << tag;
+      for (NodeId n : chain) os << ' ' << node_name(n);
+      os << "\n";
+    };
+    for (const auto& c : ws.row_chains) chain_line("rowchain", c);
+    for (const auto& c : ws.col_chains) chain_line("colchain", c);
+  }
+
   int auto_id = 0;
   auto name_or = [&auto_id](const std::string& name, const char* prefix) {
     if (!name.empty()) return name;

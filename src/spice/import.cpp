@@ -91,12 +91,37 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
   std::vector<PendingCapacitor> capacitors;
   std::vector<PendingSource> sources;
   std::vector<PendingMemristor> memristors;
+  WireStructure structure;
   int max_node = 0;
   double vt = 0.0;
 
   while (std::getline(in, line)) {
     ++line_no;
     line = util::trim(line);
+    if (line.rfind("*.mnsim ", 0) == 0) {
+      // MNSIM extension directive inside a SPICE comment: wire-structure
+      // chains emitted by export_spice. Unknown tags are ignored so
+      // newer decks still load.
+      std::istringstream ds(line.substr(8));
+      std::string tag;
+      ds >> tag;
+      if (tag == "rowchain" || tag == "colchain") {
+        std::vector<NodeId> chain;
+        std::string token;
+        while (ds >> token) {
+          const int node = parse_node(token, line_no);
+          max_node = std::max(max_node, node);
+          chain.push_back(node);
+        }
+        if (!chain.empty()) {
+          if (tag == "rowchain")
+            structure.row_chains.push_back(std::move(chain));
+          else
+            structure.col_chains.push_back(std::move(chain));
+        }
+      }
+      continue;
+    }
     if (line.empty() || line[0] == '*') continue;
     if (line[0] == '.') continue;  // .op / .end
 
@@ -179,6 +204,7 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
            "the coefficient is vt / r_state and must be > 0");
     nl.add_memristor(m.a, m.b, m.vt / m.coef, m.name);
   }
+  if (!structure.empty()) nl.set_wire_structure(std::move(structure));
   nl.validate();
   return nl;
 }

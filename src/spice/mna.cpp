@@ -11,6 +11,7 @@
 #include "obs/trace.hpp"
 #include "spice/mna_internal.hpp"
 #include "util/cancel.hpp"
+#include "util/parallel.hpp"
 
 namespace mnsim::spice {
 
@@ -51,6 +52,11 @@ void SolverDiagnostics::absorb(const SolverDiagnostics& other) {
   faults_injected += other.faults_injected;
   cache_hits += other.cache_hits;
   warm_starts += other.warm_starts;
+  schur_solves += other.schur_solves;
+  schur_iterations += other.schur_iterations;
+  schur_rejects += other.schur_rejects;
+  factor_reuses += other.factor_reuses;
+  condition_estimate = std::max(condition_estimate, other.condition_estimate);
   threads = std::max(threads, other.threads);
 }
 
@@ -89,10 +95,51 @@ void assemble(const Netlist& nl, const Indexer& ix,
   }
 }
 
+// Translates wire-chain node ids to reduced-system unknown indices. An
+// unusable structure (a pinned node inside a chain, chains that do not
+// cover every unknown exactly once) yields an empty partition — the
+// solver then simply skips the Schur rung.
+numeric::BipartitePartition translate_partition(const WireStructure& ws,
+                                                const Indexer& ix,
+                                                std::size_t n_unknowns) {
+  numeric::BipartitePartition p;
+  std::size_t covered = 0;
+  const auto convert = [&](const std::vector<std::vector<NodeId>>& chains,
+                           std::vector<std::vector<std::size_t>>& out) {
+    out.reserve(chains.size());
+    for (const auto& chain : chains) {
+      std::vector<std::size_t> c;
+      c.reserve(chain.size());
+      for (NodeId node : chain) {
+        if (node <= 0 ||
+            static_cast<std::size_t>(node) >= ix.unknown_of_node.size())
+          return false;
+        const int u = ix.unknown_of_node[static_cast<std::size_t>(node)];
+        if (u < 0) return false;
+        c.push_back(static_cast<std::size_t>(u));
+      }
+      if (!c.empty()) {
+        covered += c.size();
+        out.push_back(std::move(c));
+      }
+    }
+    return true;
+  };
+  if (!convert(ws.row_chains, p.eliminated_chains) ||
+      !convert(ws.col_chains, p.kept_chains) || covered != n_unknowns)
+    return {};
+  return p;
+}
+
 // The actual solve; the public solve_dc wraps it in a trace span and
-// publishes the diagnostics into the metrics registry on every exit path.
+// publishes the diagnostics into the metrics registry on every exit
+// path. `prefactored` is the batch engine's factor-once Schur handle
+// (null outside solve_dc_batch); it is only consulted while the cached
+// matrix is being value-refilled, i.e. while the batch's shared-matrix
+// guarantee holds.
 DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
-                       MnaCache* cache) {
+                       MnaCache* cache,
+                       const numeric::SchurFactorization* prefactored) {
   // Refuse-with-diagnosis: vet the topology before any numeric work.
   // A cache with a valid pattern means this structure already passed, so
   // sweep iterations skip straight to assembly.
@@ -116,6 +163,18 @@ DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
   MnaCache local_cache;
   const bool external = cache != nullptr;
   MnaCache& mc = external ? *cache : local_cache;
+
+  // Unknown-index partition for the Schur rung, cached alongside the
+  // CSR pattern (it encodes the same topology). A failed mid-solve
+  // refill invalidates both.
+  const numeric::BipartitePartition* partition = nullptr;
+  if (opt.allow_schur && !nl.wire_structure().empty()) {
+    if (!mc.partition_valid) {
+      mc.partition = translate_partition(nl.wire_structure(), ix, n_unknowns);
+      mc.partition_valid = true;
+    }
+    if (!mc.partition.empty()) partition = &mc.partition;
+  }
 
   DcResult result;
   result.node_voltages.assign(nodes, 0.0);
@@ -149,9 +208,9 @@ DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
     // Assembly: refill the cached CSR pattern in place when its topology
     // matches, else (first solve, or structure changed) rebuild from a
     // SparseBuilder and re-prime the cache.
+    bool refilled = false;
     {
       obs::Span asm_span("spice.assemble");
-      bool refilled = false;
       if (mc.pattern_valid && mc.matrix.size() == n_unknowns) {
         mc.matrix.zero_values();
         CsrRefillSink sink{&mc.matrix};
@@ -161,6 +220,12 @@ DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
         } else {
           std::fill(rhs.begin(), rhs.end(), 0.0);
           mc.pattern_valid = false;
+          // The structure this solve was indexed against has changed;
+          // the cached partition (and any prefactored handle built on
+          // it) no longer describes this matrix.
+          mc.partition_valid = false;
+          partition = nullptr;
+          prefactored = nullptr;
         }
       }
       if (!refilled) {
@@ -198,6 +263,11 @@ DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
     solve_opt.allow_dense_fallback = opt.allow_dense_fallback;
     solve_opt.dense_fallback_limit = opt.dense_fallback_limit;
     solve_opt.initial_guess = have_guess ? &guess : nullptr;
+    solve_opt.partition = partition;
+    // The batch engine's factor-once handle is only valid while the
+    // matrix is a value-refill of the pattern it was built from.
+    solve_opt.schur_factorization =
+        (prefactored != nullptr && refilled) ? prefactored : nullptr;
     const auto solve = [&] {
       obs::Span solve_span("spice.linear_solve");
       return numeric::solve_spd_resilient(a, rhs, solve_opt);
@@ -206,6 +276,16 @@ DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
         static_cast<long>(solve.cg_iterations);
     result.diagnostics.cg_retries += solve.cg_retries;
     result.diagnostics.lu_fallbacks += solve.lu_fallbacks;
+    result.diagnostics.schur_iterations +=
+        static_cast<long>(solve.schur_iterations);
+    result.diagnostics.schur_rejects += solve.schur_rejects;
+    if (solve.method == numeric::SolveMethod::kSchur) {
+      ++result.diagnostics.schur_solves;
+      if (solve_opt.schur_factorization != nullptr)
+        ++result.diagnostics.factor_reuses;
+    }
+    result.diagnostics.condition_estimate = std::max(
+        result.diagnostics.condition_estimate, solve.condition_estimate);
     result.diagnostics.linear_residual = std::max(
         result.diagnostics.linear_residual, solve.relative_residual);
     if (!solve.converged)
@@ -272,11 +352,14 @@ DcResult solve_dc_impl(const Netlist& nl, const DcOptions& opt,
   return result;
 }
 
-}  // namespace
-
-DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
+// The traced + metered entry every public solve goes through; the batch
+// engine calls it per entry so batched solves are observable exactly
+// like scalar ones.
+DcResult solve_dc_traced(const Netlist& nl, const DcOptions& opt,
+                         MnaCache* cache,
+                         const numeric::SchurFactorization* prefactored) {
   obs::Span span("spice.solve_dc");
-  DcResult result = solve_dc_impl(nl, opt, cache);
+  DcResult result = solve_dc_impl(nl, opt, cache, prefactored);
 
   // Publish the per-solve diagnostics into the uniform metrics layer.
   // The struct keeps riding in DcResult for per-result reporting; the
@@ -293,10 +376,165 @@ DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
     if (d.damped_steps) reg.add("spice.damped_steps", d.damped_steps);
     if (d.cache_hits) reg.add("spice.cache_hits", d.cache_hits);
     if (d.warm_starts) reg.add("spice.warm_starts", d.warm_starts);
+    if (d.schur_solves) reg.add("spice.schur_solves", d.schur_solves);
+    if (d.schur_iterations)
+      reg.add("spice.schur_iterations", d.schur_iterations);
+    if (d.schur_rejects) reg.add("spice.schur_rejects", d.schur_rejects);
+    if (d.factor_reuses) reg.add("spice.factor_reuses", d.factor_reuses);
     if (!result.converged) reg.add("spice.nonconverged_solves");
     reg.observe("spice.linear_residual", d.linear_residual);
   }
   return result;
+}
+
+}  // namespace
+
+DcResult solve_dc(const Netlist& nl, const DcOptions& opt, MnaCache* cache) {
+  return solve_dc_traced(nl, opt, cache, nullptr);
+}
+
+void solve_dc_batch_visit(
+    const Netlist& base, const std::vector<DcBatchEntry>& entries,
+    const DcBatchOptions& opt,
+    const std::function<void(std::size_t, const Netlist&, const DcResult&)>&
+        visit) {
+  obs::Span span("spice.solve_dc_batch");
+  if (entries.empty()) return;
+
+  const std::size_t n_src = base.sources().size();
+  const std::size_t n_mem = base.memristors().size();
+  for (const auto& e : entries) {
+    if (!e.source_voltages.empty() && e.source_voltages.size() != n_src)
+      throw std::invalid_argument(
+          "solve_dc_batch: entry source_voltages size mismatch");
+    if (!e.memristor_states.empty() && e.memristor_states.size() != n_mem)
+      throw std::invalid_argument(
+          "solve_dc_batch: entry memristor_states size mismatch");
+  }
+
+  // Vet the topology once — value overrides cannot change structure, so
+  // per-entry preflight would re-prove the same facts N times.
+  if (opt.dc.preflight) {
+    obs::Span preflight_span("spice.preflight");
+    check::DiagnosticList diags = check::check_netlist(base);
+    if (diags.has_errors()) throw check::CheckError(std::move(diags));
+  } else {
+    base.validate();
+  }
+
+  // Prime the master cache with one assembly of the base netlist: the
+  // CSR pattern (and the partition) depend only on topology, so every
+  // worker clone starts with a valid pattern and each entry is a pure
+  // value-refill — the same floats a fresh build would produce.
+  const Indexer ix = build_indexer(base);
+  const int nodes = base.node_count() + 1;
+  const auto n_unknowns = static_cast<std::size_t>(ix.unknown_count);
+  MnaCache master;
+  {
+    obs::Span asm_span("spice.assemble");
+    std::vector<double> voltages(static_cast<std::size_t>(nodes), 0.0);
+    for (int n = 0; n < nodes; ++n)
+      if (ix.unknown_of_node[static_cast<std::size_t>(n)] < 0)
+        voltages[static_cast<std::size_t>(n)] =
+            ix.pinned_voltage[static_cast<std::size_t>(n)];
+    std::vector<double> rhs(n_unknowns, 0.0);
+    numeric::SparseBuilder builder(n_unknowns);
+    assemble(base, ix, voltages, builder, rhs);
+    master.matrix = numeric::CsrMatrix(builder);
+    master.pattern_valid = true;
+  }
+  if (opt.warm_start_voltages.size() == static_cast<std::size_t>(nodes))
+    master.warm_start_voltages = opt.warm_start_voltages;
+
+  if (opt.dc.allow_schur && !base.wire_structure().empty()) {
+    master.partition =
+        translate_partition(base.wire_structure(), ix, n_unknowns);
+    master.partition_valid = true;
+  }
+
+  // Factor-once fast path, decided statically from the batch shape so
+  // results and diagnostics cannot depend on scheduling: with linear
+  // memristors and no per-entry state overrides, every entry's
+  // conductance matrix is value-identical to the master's (sources only
+  // enter the right-hand side), so one Schur factorization serves the
+  // whole batch.
+  const bool linear = base.linear_memristors() || base.memristors().empty();
+  bool shared_matrix = linear;
+  for (const auto& e : entries)
+    if (!e.memristor_states.empty()) {
+      shared_matrix = false;
+      break;
+    }
+  numeric::SchurFactorization prefactored;
+  if (shared_matrix && master.partition_valid &&
+      !master.partition.empty()) {
+    obs::Span factor_span("numeric.batch");
+    prefactored =
+        numeric::SchurFactorization::build(master.matrix, master.partition);
+  }
+  const numeric::SchurFactorization* handle =
+      prefactored.valid() ? &prefactored : nullptr;
+
+  DcOptions entry_opt = opt.dc;
+  entry_opt.preflight = false;  // vetted above; clones carry a valid pattern
+
+  util::ThreadPool pool(opt.threads);
+  std::vector<MnaCache> caches(pool.worker_count(), master);
+  std::vector<Netlist> netlists(pool.worker_count(), base);
+  // Workers restore base values before an entry that does not override
+  // them, so entries never see a previous entry's programming.
+  std::vector<double> base_sources(n_src), base_states(n_mem);
+  for (std::size_t s = 0; s < n_src; ++s)
+    base_sources[s] = base.sources()[s].volts;
+  for (std::size_t m = 0; m < n_mem; ++m)
+    base_states[m] = base.memristors()[m].r_state;
+  std::vector<char> src_dirty(pool.worker_count(), 0);
+  std::vector<char> mem_dirty(pool.worker_count(), 0);
+
+  obs::Registry& reg = obs::Registry::global();
+  if (reg.enabled()) {
+    reg.add("spice.dc_batches");
+    reg.add("spice.dc_batch_entries", static_cast<long>(entries.size()));
+  }
+
+  pool.for_each_index(
+      entries.size(), [&](std::size_t index, std::size_t worker) {
+        Netlist& nl = netlists[worker];
+        const DcBatchEntry& e = entries[index];
+        if (!e.source_voltages.empty()) {
+          for (std::size_t s = 0; s < n_src; ++s)
+            nl.set_source_voltage(s, e.source_voltages[s]);
+          src_dirty[worker] = 1;
+        } else if (src_dirty[worker]) {
+          for (std::size_t s = 0; s < n_src; ++s)
+            nl.set_source_voltage(s, base_sources[s]);
+          src_dirty[worker] = 0;
+        }
+        if (!e.memristor_states.empty()) {
+          for (std::size_t m = 0; m < n_mem; ++m)
+            nl.set_memristor_state(m, e.memristor_states[m]);
+          mem_dirty[worker] = 1;
+        } else if (mem_dirty[worker]) {
+          for (std::size_t m = 0; m < n_mem; ++m)
+            nl.set_memristor_state(m, base_states[m]);
+          mem_dirty[worker] = 0;
+        }
+        const DcResult result =
+            solve_dc_traced(nl, entry_opt, &caches[worker], handle);
+        visit(index, nl, result);
+      });
+}
+
+std::vector<DcResult> solve_dc_batch(const Netlist& base,
+                                     const std::vector<DcBatchEntry>& entries,
+                                     const DcBatchOptions& options) {
+  std::vector<DcResult> out(entries.size());
+  solve_dc_batch_visit(
+      base, entries, options,
+      [&out](std::size_t index, const Netlist&, const DcResult& result) {
+        out[index] = result;
+      });
+  return out;
 }
 
 double memristor_current(const Netlist& nl, const MemristorElement& m,

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
+#include "numeric/schur.hpp"
 #include "numeric/sparse.hpp"
 #include "spice/netlist.hpp"
 
@@ -35,6 +37,13 @@ struct DcOptions {
   bool allow_cg_retry = true;
   bool allow_dense_fallback = true;
   std::size_t dense_fallback_limit = 4096;
+
+  // Structure-exploiting rung: when the netlist carries wire-chain
+  // metadata (WireStructure, attached by build_crossbar_netlist), try
+  // the bipartite Schur solver before generic CG. Acceptance is judged
+  // on the true residual, so disabling this only costs performance.
+  // Config key: [solver] Structured.
+  bool allow_schur = true;
 
   // Newton step damping: when an iterate comes back non-finite or the
   // update grows instead of shrinking, the step is halved and re-applied,
@@ -68,6 +77,17 @@ struct SolverDiagnostics {
   // of the same topology.
   long cache_hits = 0;
   long warm_starts = 0;
+  // Structure-exploiting solver bookkeeping: linear solves served by the
+  // bipartite Schur rung, PCG iterations it spent, attempts it rejected
+  // back to the generic ladder, and solves that reused a prefactored
+  // Schur handle built once for a whole batch (solve_dc_batch).
+  long schur_solves = 0;
+  long schur_iterations = 0;
+  int schur_rejects = 0;
+  long factor_reuses = 0;
+  // Worst diagonal-growth condition estimate reported by the dense
+  // direct rung (0 when that rung never factored a matrix).
+  double condition_estimate = 0.0;
   // Worker threads that produced this (aggregated) report; 1 for a
   // single solve, the sweep's pool size after absorb() across a
   // parallel sweep.
@@ -98,6 +118,11 @@ struct MnaCache {
   std::vector<double> warm_start_voltages;  // by node id; empty = cold
   long cache_hits = 0;    // assemblies that reused the pattern
   long warm_starts = 0;   // solves that started from warm_start_voltages
+  // Wire-structure partition translated to unknown indices (empty when
+  // the netlist carries no usable structure); recomputed whenever the
+  // pattern is re-primed, like the CSR pattern itself.
+  bool partition_valid = false;
+  numeric::BipartitePartition partition;
 };
 
 struct DcResult {
@@ -120,6 +145,57 @@ struct DcResult {
 // (the pattern is still reused across Newton iterations internally).
 DcResult solve_dc(const Netlist& netlist, const DcOptions& options = {},
                   MnaCache* cache = nullptr);
+
+// --- batched DC solves ------------------------------------------------
+//
+// A sweep-shaped workload — many solves of one topology with varying
+// element values — pays per-solve overheads N times through the scalar
+// API: preflight, pattern priming, and (for the structured rung) Schur
+// extraction + chain factorization. solve_dc_batch amortizes them:
+// preflight and assembly pattern are primed once, every entry is served
+// from a worker-cloned cache, and when the batch provably shares one
+// conductance matrix (linear memristors, no per-entry state overrides)
+// the Schur factorization is built once and reused for every entry.
+//
+// Determinism: results are bit-identical to N independent solve_dc
+// calls (each with a fresh cache primed on the base netlist and the
+// same warm-start vector) at any thread count. Entries never see each
+// other's values, warm starts come only from the fixed base reference,
+// and the factor-reuse fast path is decided statically from the batch
+// shape — never from per-worker history — so per-entry results and
+// diagnostics are schedule-independent.
+
+// Value-only overrides for one batch entry; empty vectors keep the base
+// netlist's values. Non-empty vectors must match the base element
+// counts exactly (sources / memristors, in insertion order).
+struct DcBatchEntry {
+  std::vector<double> source_voltages;
+  std::vector<double> memristor_states;
+};
+
+struct DcBatchOptions {
+  DcOptions dc;
+  int threads = 1;  // 0 = all hardware threads
+  // Warm-start reference by node id (typically the base operating
+  // point); applied identically to every entry. Empty = cold starts.
+  std::vector<double> warm_start_voltages;
+};
+
+// Streaming form: `visit(index, netlist, result)` runs once per entry
+// with the worker's netlist programmed to that entry's values — use it
+// to reduce (column outputs, power) without retaining every full
+// DcResult. Called concurrently for distinct indices; it must be safe
+// for that (e.g. write to a preallocated slot per index).
+void solve_dc_batch_visit(
+    const Netlist& base, const std::vector<DcBatchEntry>& entries,
+    const DcBatchOptions& options,
+    const std::function<void(std::size_t, const Netlist&, const DcResult&)>&
+        visit);
+
+// Collecting form: result[i] corresponds to entries[i].
+std::vector<DcResult> solve_dc_batch(const Netlist& base,
+                                     const std::vector<DcBatchEntry>& entries,
+                                     const DcBatchOptions& options = {});
 
 // Current through a memristor element at the solved operating point
 // (positive a -> b); honours the netlist's linear_memristors flag.

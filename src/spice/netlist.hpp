@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tech/memristor.hpp"
@@ -49,6 +50,24 @@ struct Capacitor {
   std::string name;
 };
 
+// Optional crossbar wire metadata a netlist builder can attach: the
+// node-id chains (in wire order) of each row wire and each column wire
+// (column chains include the sense node). Adjacent chain entries are
+// coupled by wire-segment resistors, the two sides only by one
+// memristor per tap pair — exactly the bipartite structure the Schur
+// rung of the linear-solve ladder exploits (numeric/schur.hpp). The
+// solver verifies the claim against the assembled matrix and falls back
+// to the generic ladder when it does not hold, so stale or wrong
+// structure degrades performance, never correctness.
+struct WireStructure {
+  std::vector<std::vector<NodeId>> row_chains;  // row taps, wire order
+  std::vector<std::vector<NodeId>> col_chains;  // column taps + sense node
+
+  [[nodiscard]] bool empty() const {
+    return row_chains.empty() || col_chains.empty();
+  }
+};
+
 class Netlist {
  public:
   // The shared nonlinear device law for all memristor elements.
@@ -71,6 +90,16 @@ class Netlist {
   // reconstructed (node allocation + element names dominate build cost).
   void set_memristor_state(std::size_t index, double r_state);
   void set_source_voltage(std::size_t index, double volts);
+
+  // Wire-structure metadata for structure-exploiting solves; empty by
+  // default (generic netlists). Value-only mutation never invalidates
+  // it — it describes topology, not element values.
+  void set_wire_structure(WireStructure ws) {
+    wire_structure_ = std::move(ws);
+  }
+  [[nodiscard]] const WireStructure& wire_structure() const {
+    return wire_structure_;
+  }
 
   // Treat memristors as linear resistors at their programmed state
   // (disables the Newton loop; used for the nonlinearity ablation).
@@ -107,6 +136,7 @@ class Netlist {
   tech::MemristorModel device_;
   NodeId next_node_ = 1;
   bool linear_memristors_ = false;
+  WireStructure wire_structure_;
   std::vector<Resistor> resistors_;
   std::vector<MemristorElement> memristors_;
   std::vector<VoltageSource> sources_;

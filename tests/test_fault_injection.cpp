@@ -317,6 +317,9 @@ TEST(SolverDegradation, IterationStarvedCgFallsBackToLu) {
   opt.cg_max_iterations = 2;  // starve CG: it cannot converge in 2 steps
   opt.allow_cg_retry = false;
   opt.allow_dense_fallback = true;
+  // The structured Schur rung would rescue this solve before CG ever
+  // starves; disable it so the test still exercises the LU fallback.
+  opt.allow_schur = false;
 
   const auto sol = spice::solve_crossbar(spec, opt);
   EXPECT_TRUE(sol.dc.converged);
@@ -340,6 +343,7 @@ TEST(SolverDegradation, AllFallbacksDisabledThrows) {
   opt.cg_max_iterations = 2;
   opt.allow_cg_retry = false;
   opt.allow_dense_fallback = false;
+  opt.allow_schur = false;  // no rescue rung: the ladder must exhaust
   EXPECT_THROW(spice::solve_crossbar(spec, opt), std::runtime_error);
 }
 
@@ -433,8 +437,10 @@ TEST(ArchFlow, CircuitCheckRecordsSolverDiagnostics) {
   cfg.fault.stuck_at_one_rate = 0.05;
   cfg.fault.circuit_check = true;
   cfg.fault.circuit_check_size = 16;
-  // Starve the CG budget so the validation solve must take the ladder.
+  // Starve the CG budget so the validation solve must take the ladder;
+  // the structured rung would otherwise absorb the starvation.
   cfg.solver_cg_max_iterations = 2;
+  cfg.solver_structured = false;
 
   const auto rep = arch::simulate_accelerator(net, cfg);
   EXPECT_GT(rep.solver.newton_iterations, 0);
@@ -489,6 +495,7 @@ TEST(DseFlow, SweepCompletesWithFaultsAndStarvedSolver) {
   base.fault.circuit_check = true;
   base.fault.circuit_check_size = 12;
   base.solver_cg_max_iterations = 2;
+  base.solver_structured = false;  // keep the starved solves on the ladder
 
   dse::DesignSpace space;
   space.crossbar_sizes = {32, 64};
@@ -515,6 +522,7 @@ TEST(DseFlow, ThrowingPointIsRecordedNotFatal) {
   base.fault.circuit_check_size = 12;
   base.solver_cg_max_iterations = 2;
   base.solver_allow_fallback = false;
+  base.solver_structured = false;  // the rescue rung would mask the failure
 
   dse::DesignSpace space;
   space.crossbar_sizes = {32};

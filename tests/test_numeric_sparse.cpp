@@ -278,15 +278,18 @@ TEST(ResilientSolve, StarvedCgEscalatesToRetryThenConverges) {
   EXPECT_TRUE(rep.degraded());
 }
 
-TEST(ResilientSolve, ExhaustedCgFallsBackToDenseLu) {
+TEST(ResilientSolve, ExhaustedCgFallsBackToDenseDirect) {
   const int n = 40;
   ResilientSolveOptions opt;
   opt.max_iterations = 2;
   opt.retry_budget_factor = 2;  // retry still starved (4 iterations)
   auto rep = solve_spd_resilient(chain_matrix(n), chain_rhs(n), opt);
   EXPECT_TRUE(rep.converged);
-  EXPECT_EQ(rep.method, SolveMethod::kDenseLu);
+  // The dense rung tries Cholesky first; this chain matrix is SPD, so
+  // it never needs the pivoted-LU half of the rung.
+  EXPECT_EQ(rep.method, SolveMethod::kDenseCholesky);
   EXPECT_EQ(rep.lu_fallbacks, 1);
+  EXPECT_GT(rep.condition_estimate, 0.0);
   EXPECT_LT(rep.relative_residual, 1e-8);
 
   // The fallback reproduces the well-budgeted CG answer.

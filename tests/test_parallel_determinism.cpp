@@ -9,6 +9,8 @@
 #include "dse/report.hpp"
 #include "nn/functional_sim.hpp"
 #include "nn/topologies.hpp"
+#include "spice/crossbar_netlist.hpp"
+#include "spice/mna.hpp"
 
 namespace mnsim {
 namespace {
@@ -162,6 +164,140 @@ TEST(ParallelDeterminism, FunctionalMcFaultedMatchesSerial) {
   const auto parallel = run_monte_carlo_faulted(net, eps, mc, faults);
   expect_identical(serial, parallel);
   EXPECT_GT(serial.faults_injected, 0);  // the defect maps actually bit
+}
+
+// --- batched DC solves -----------------------------------------------------
+//
+// solve_dc_batch's contract: bit-identical to N independent solve_dc
+// calls, at any thread count, for both batch shapes — the factor-once
+// shared-matrix path (linear cells, only sources vary) and the general
+// per-entry-matrix path (nonlinear cells, per-entry conductance maps).
+
+void expect_bitwise_equal(const spice::DcResult& a, const spice::DcResult& b,
+                          std::size_t entry) {
+  ASSERT_EQ(a.node_voltages.size(), b.node_voltages.size());
+  for (std::size_t n = 0; n < a.node_voltages.size(); ++n)
+    ASSERT_EQ(a.node_voltages[n], b.node_voltages[n])
+        << "entry " << entry << " node " << n;
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.newton_iterations, b.newton_iterations);
+}
+
+TEST(ParallelDeterminism, DcBatchSharedMatrixMatchesIndependentSolves) {
+  const auto device = tech::default_rram();
+  auto spec = spice::CrossbarSpec::uniform(10, 8, device, 0.022, 60.0,
+                                           device.r_min.value());
+  spec.linear_memristors = true;
+  const spice::Netlist base = spice::build_crossbar_netlist(spec, nullptr);
+
+  // Only source voltages vary: every entry shares one conductance
+  // matrix, so the batch engine factors the Schur system once.
+  std::vector<spice::DcBatchEntry> entries(9);
+  for (std::size_t k = 0; k < entries.size(); ++k)
+    entries[k].source_voltages.assign(
+        10, device.v_read.value() * (0.3 + 0.07 * static_cast<double>(k)));
+
+  std::vector<spice::DcResult> reference;
+  for (const auto& e : entries) {
+    spice::Netlist nl = base;
+    for (std::size_t s = 0; s < e.source_voltages.size(); ++s)
+      nl.set_source_voltage(s, e.source_voltages[s]);
+    reference.push_back(spice::solve_dc(nl));
+  }
+
+  std::vector<std::vector<spice::DcResult>> runs;
+  for (int threads : {1, 4, 8}) {
+    spice::DcBatchOptions opt;
+    opt.threads = threads;
+    runs.push_back(spice::solve_dc_batch(base, entries, opt));
+  }
+  for (const auto& run : runs) {
+    ASSERT_EQ(run.size(), reference.size());
+    for (std::size_t k = 0; k < run.size(); ++k)
+      expect_bitwise_equal(run[k], reference[k], k);
+  }
+  // The factor-once fast path actually engaged, identically per entry
+  // at every thread count (the decision is static, never per-worker).
+  for (const auto& run : runs)
+    for (std::size_t k = 0; k < run.size(); ++k) {
+      EXPECT_EQ(run[k].diagnostics.factor_reuses, 1) << "entry " << k;
+      EXPECT_EQ(run[k].diagnostics.schur_solves, 1) << "entry " << k;
+      EXPECT_EQ(run[k].diagnostics.cache_hits,
+                runs[0][k].diagnostics.cache_hits);
+      EXPECT_EQ(run[k].diagnostics.schur_iterations,
+                runs[0][k].diagnostics.schur_iterations);
+    }
+}
+
+TEST(ParallelDeterminism, DcBatchPerEntryMatricesMatchIndependentSolves) {
+  const auto device = tech::default_rram();
+  const auto spec = spice::CrossbarSpec::uniform(8, 8, device, 0.022, 60.0,
+                                                 device.r_min.value());
+  const spice::Netlist base = spice::build_crossbar_netlist(spec, nullptr);
+  const std::size_t cells = base.memristors().size();
+
+  // Per-entry conductance maps on the nonlinear device: every entry
+  // assembles (and Schur-factors) its own matrices per Newton iterate.
+  std::vector<spice::DcBatchEntry> entries(7);
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    entries[k].memristor_states.resize(cells);
+    for (std::size_t c = 0; c < cells; ++c)
+      entries[k].memristor_states[c] =
+          device.r_min.value() *
+          (1.0 + 0.03 * static_cast<double>((k + c) % 11));
+  }
+
+  std::vector<spice::DcResult> reference;
+  for (const auto& e : entries) {
+    spice::Netlist nl = base;
+    for (std::size_t c = 0; c < cells; ++c)
+      nl.set_memristor_state(c, e.memristor_states[c]);
+    reference.push_back(spice::solve_dc(nl));
+  }
+
+  for (int threads : {1, 4, 8}) {
+    spice::DcBatchOptions opt;
+    opt.threads = threads;
+    const auto batch = spice::solve_dc_batch(base, entries, opt);
+    ASSERT_EQ(batch.size(), reference.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      expect_bitwise_equal(batch[k], reference[k], k);
+      // No shared matrix, so no factor reuse — but the structured rung
+      // still serves every Newton iterate.
+      EXPECT_EQ(batch[k].diagnostics.factor_reuses, 0);
+      EXPECT_GT(batch[k].diagnostics.schur_solves, 0);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CrossbarBatchMatchesScalarSolves) {
+  const auto device = tech::default_rram();
+  auto spec = spice::CrossbarSpec::uniform(8, 6, device, 0.022, 60.0,
+                                           device.r_min.value());
+  spec.linear_memristors = true;
+
+  std::vector<spice::CrossbarBatchEntry> entries(5);
+  for (std::size_t k = 0; k < entries.size(); ++k)
+    entries[k].input_voltages.assign(
+        8, device.v_read.value() * (0.4 + 0.1 * static_cast<double>(k)));
+
+  for (int threads : {1, 4}) {
+    const auto batch =
+        spice::solve_crossbar_batch(spec, entries, {}, threads);
+    ASSERT_EQ(batch.size(), entries.size());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      auto scalar_spec = spec;
+      scalar_spec.input_voltages = entries[k].input_voltages;
+      const auto scalar = spice::solve_crossbar(scalar_spec);
+      ASSERT_EQ(batch[k].column_output_voltage.size(),
+                scalar.column_output_voltage.size());
+      for (std::size_t j = 0; j < scalar.column_output_voltage.size(); ++j)
+        EXPECT_EQ(batch[k].column_output_voltage[j],
+                  scalar.column_output_voltage[j])
+            << "entry " << k << " column " << j;
+      EXPECT_EQ(batch[k].total_power, scalar.total_power);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Solver-performance gate, run by the CI solver-perf job (and locally).
+
+Compares the machine-independent speedup ratios reported by
+bench_solver_batch (results/solver_batch.csv: sequential wall-clock over
+batched wall-clock, both measured in the same process on the same host)
+against the floors recorded in BENCH_solver.json under "gates". Ratios
+are gated instead of absolute seconds so the check is meaningful on any
+CI runner; a failure means the batched / structured solver path lost its
+advantage over issuing the same work as independent scalar solves.
+
+Usage:
+    python3 tools/perf_gate.py [--baseline BENCH_solver.json]
+                               [--results results/solver_batch.csv]
+
+Exit status 0 when every gated workload meets its floor, 1 otherwise
+(including missing workloads: silently dropping a workload from the
+bench must not pass the gate).
+"""
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="BENCH_solver.json",
+                        help="baseline JSON with the 'gates' ratio floors")
+    parser.add_argument("--results", default="results/solver_batch.csv",
+                        help="CSV written by bench_solver_batch")
+    args = parser.parse_args()
+
+    baseline_path = Path(args.baseline)
+    results_path = Path(args.results)
+    try:
+        gates = json.loads(baseline_path.read_text())["gates"]
+    except (OSError, KeyError, json.JSONDecodeError) as err:
+        print(f"perf-gate: cannot load gates from {baseline_path}: {err}")
+        return 1
+    try:
+        with results_path.open(newline="") as fh:
+            rows = {row["workload"]: row for row in csv.DictReader(fh)}
+    except OSError as err:
+        print(f"perf-gate: cannot read bench results {results_path}: {err}")
+        return 1
+
+    failed = False
+    for workload, floor in sorted(gates.items()):
+        row = rows.get(workload)
+        if row is None:
+            print(f"FAIL {workload}: missing from {results_path} "
+                  f"(bench no longer measures a gated workload)")
+            failed = True
+            continue
+        try:
+            speedup = float(row["speedup"])
+        except (KeyError, TypeError, ValueError):
+            print(f"FAIL {workload}: unparsable speedup column in "
+                  f"{results_path}")
+            failed = True
+            continue
+        verdict = "ok" if speedup >= float(floor) else "FAIL"
+        print(f"{verdict:4} {workload}: batched speedup {speedup:.2f}x "
+              f"(floor {float(floor):.2f}x, sequential "
+              f"{row.get('sequential_s', '?')}s vs batched "
+              f"{row.get('batched_s', '?')}s)")
+        failed = failed or verdict == "FAIL"
+
+    if failed:
+        print("perf-gate: solver batch performance regressed "
+              "(see BENCH_solver.json for the recorded baseline)")
+        return 1
+    print("perf-gate: all solver ratios at or above their floors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "spice/mna.hpp"
+#include "util/fp.hpp"
 
 namespace mnsim::accuracy {
 
@@ -62,7 +63,8 @@ HalfSelectSolution solve_half_select(const ReadMarginInputs& in,
   double i_total = i_selected;
   for (std::size_t k = 1; k < nl.memristors().size(); ++k)
     i_total += spice::memristor_current(nl, nl.memristors()[k], dc);
-  sol.sneak_share = i_total != 0.0 ? 1.0 - i_selected / i_total : 0.0;
+  sol.sneak_share =
+      !util::exactly_zero(i_total) ? 1.0 - i_selected / i_total : 0.0;
   return sol;
 }
 

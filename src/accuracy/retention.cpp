@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "util/fp.hpp"
 
 namespace mnsim::accuracy {
 
@@ -21,7 +22,7 @@ double drift_factor(double nu, double elapsed, double reference_time) {
   if (nu < 0) throw std::invalid_argument("drift_factor: nu must be >= 0");
   if (!(reference_time > 0))
     throw std::invalid_argument("drift_factor: reference time");
-  if (elapsed <= reference_time || nu == 0.0) return 1.0;
+  if (elapsed <= reference_time || util::exactly_zero(nu)) return 1.0;
   return std::pow(elapsed / reference_time, nu);
 }
 

@@ -53,6 +53,9 @@ class Watchdog {
  public:
   Watchdog(double deadline_ms, std::size_t slots)
       : deadline_ms_(deadline_ms), entries_(slots) {
+    // A pool task cannot detect the pool's own threads wedging, so the
+    // scanner runs on a dedicated thread, joined in ~Watchdog.
+    // mnsim-analyze: allow(lock-discipline, watchdog scans independently of the pool it supervises; joined in ~Watchdog)
     if (enabled()) scanner_ = std::thread([this] { loop(); });
   }
 
@@ -117,6 +120,7 @@ class Watchdog {
 
   const double deadline_ms_;
   std::vector<Entry> entries_;
+  // mnsim-analyze: allow(lock-discipline, owned member thread of the supervisor; see constructor note)
   std::thread scanner_;
   std::mutex mutex_;
   std::condition_variable cv_;

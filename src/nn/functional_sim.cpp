@@ -50,6 +50,18 @@ std::vector<double> forward(const std::vector<MatrixT>& weights,
   return x;
 }
 
+// Quantizer level count for the deviation statistics. signal_bits = 0
+// would make k = 1 and the LSB below divide by zero — under FP traps a
+// SIGFPE, without them inf LSBs that quantize every output to bucket 0
+// and report a zero error rate for any perturbation; >= 31 overflows
+// the shift. Reject both instead of mis-reporting.
+int quantizer_levels(int signal_bits) {
+  if (signal_bits < 1 || signal_bits > 30)
+    throw std::invalid_argument(
+        "monte carlo: signal_bits outside [1, 30]");
+  return 1 << signal_bits;
+}
+
 }  // namespace
 
 MonteCarloResult run_monte_carlo(const Network& network,
@@ -67,7 +79,7 @@ MonteCarloResult run_monte_carlo(const Network& network,
   if (config.samples <= 0 || config.weight_draws <= 0)
     throw std::invalid_argument("run_monte_carlo: sample counts");
 
-  const int k = 1 << config.signal_bits;
+  const int k = quantizer_levels(config.signal_bits);
 
   obs::Span mc_span("nn.monte_carlo");
   util::ThreadPool pool(config.threads);
@@ -184,7 +196,7 @@ MonteCarloResult run_monte_carlo_faulted(const Network& network,
         pos_maps.back().fault_count() + neg_maps.back().fault_count();
   }
 
-  const int k = 1 << config.signal_bits;
+  const int k = quantizer_levels(config.signal_bits);
 
   obs::Span mc_span("nn.monte_carlo_faulted");
   util::ThreadPool pool(config.threads);
@@ -406,7 +418,7 @@ MonteCarloResult run_monte_carlo_network(const Network& network,
   const int in_h = conv_input ? first.in_height : 1;
   const int in_w = conv_input ? first.in_width : 1;
 
-  const int k = 1 << config.signal_bits;
+  const int k = quantizer_levels(config.signal_bits);
 
   obs::Span mc_span("nn.monte_carlo_network");
   util::ThreadPool pool(config.threads);

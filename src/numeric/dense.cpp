@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "numeric/factorization.hpp"
+#include "util/fp.hpp"
 
 namespace mnsim::numeric {
 
@@ -30,7 +31,7 @@ DenseMatrix DenseMatrix::operator*(const DenseMatrix& rhs) const {
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
       double a = (*this)(r, k);
-      if (a == 0.0) continue;
+      if (util::exactly_zero(a)) continue;
       for (std::size_t c = 0; c < rhs.cols_; ++c) out(r, c) += a * rhs(k, c);
     }
   }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/cancel.hpp"
+#include "util/fp.hpp"
 
 namespace mnsim::numeric {
 
@@ -60,7 +61,7 @@ LuFactorization::LuFactorization(DenseMatrix a) {
       if (r == col + 1) util::throw_if_cancelled("numeric.lu");
       double f = a(r, col) / a(col, col);
       a(r, col) = f;  // store the multiplier: the unit-lower L factor
-      if (f == 0.0) continue;
+      if (util::exactly_zero(f)) continue;
       for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
     }
   }
@@ -81,10 +82,10 @@ void LuFactorization::solve_in_place(std::vector<double>& b) const {
     if (pivot_[col] != col) std::swap(b[col], b[pivot_[col]]);
   for (std::size_t col = 0; col < n; ++col) {
     const double bc = b[col];
-    if (bc == 0.0) continue;
+    if (util::exactly_zero(bc)) continue;
     for (std::size_t r = col + 1; r < n; ++r) {
       const double f = lu_(r, col);
-      if (f != 0.0) b[r] -= f * bc;
+      if (!util::exactly_zero(f)) b[r] -= f * bc;
     }
   }
   for (std::size_t i = n; i-- > 0;) {

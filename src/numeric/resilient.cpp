@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "numeric/dense.hpp"
@@ -116,6 +117,10 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
       return report;
     }
     ++report.schur_rejects;
+    report.rung_notes.push_back(
+        sr.converged ? "schur: converged iterate rejected by true-residual "
+                       "acceptance check"
+                     : "schur: inner PCG did not converge");
   }
 
   // Rung 1: preconditioned CG, warm-started when the caller supplied a
@@ -135,6 +140,12 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
     fill_residual(a, b, report);
     return report;
   }
+  report.rung_notes.push_back(
+      cg.diagonal_defect ? "cg: zero/missing diagonal entry (Jacobi "
+                           "preconditioner undefined)"
+      : cg.breakdown     ? "cg: p'Ap <= 0 breakdown (matrix not SPD)"
+      : !finite(cg.x)    ? "cg: non-finite iterate"
+                         : "cg: stalled above tolerance");
 
   // Rung 2: warm-started retry with a larger iteration budget. The
   // stalled iterate is usually a good starting point, and the extra
@@ -152,6 +163,10 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
     }();
     report.cg_iterations += retry.iterations;
     report.cg_breakdown = report.cg_breakdown || retry.breakdown;
+    if (!(retry.converged && finite(retry.x)))
+      report.rung_notes.push_back(
+          retry.breakdown ? "cg_retry: p'Ap <= 0 breakdown"
+                          : "cg_retry: stalled above tolerance");
     if (retry.converged && finite(retry.x)) {
       report.x = std::move(retry.x);
       report.method = SolveMethod::kCgRetry;
@@ -192,8 +207,10 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
       // A watchdog expiry is a policy decision, not a singular matrix:
       // it must unwind to the sweep layer, never degrade to kFailed.
       throw;
-    } catch (const std::runtime_error&) {
-      // Not numerically SPD — pivoted LU below handles it.
+    } catch (const std::runtime_error& e) {
+      // Not numerically SPD — pivoted LU below handles it; keep the
+      // rejection reason so a kFailed report explains the whole ladder.
+      report.rung_notes.push_back(std::string("cholesky: ") + e.what());
     }
     try {
       const LuFactorization lu(std::move(dense));
@@ -208,8 +225,10 @@ ResilientSolveReport solve_spd_resilient(const CsrMatrix& a,
       }
     } catch (const util::CancelledError&) {
       throw;
-    } catch (const std::runtime_error&) {
-      // Singular matrix: fall through to the failure report.
+    } catch (const std::runtime_error& e) {
+      // Singular matrix: fall through to the failure report, reason
+      // attached.
+      report.rung_notes.push_back(std::string("lu: ") + e.what());
     }
   }
 

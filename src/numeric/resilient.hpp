@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "numeric/schur.hpp"
@@ -70,6 +71,11 @@ struct ResilientSolveReport {
   double condition_estimate = 0.0;
   double residual_norm = 0.0;     // ||b - A x|| of the returned x
   double relative_residual = 0.0; // residual_norm / ||b||
+  // One entry per rung that ran and was rejected, carrying the reason
+  // (e.g. the factorization's exception message). A kFailed report
+  // always explains *why* every rung failed; callers surfacing degraded
+  // solves can forward these verbatim.
+  std::vector<std::string> rung_notes;
 
   [[nodiscard]] bool degraded() const {
     return cg_retries > 0 || lu_fallbacks > 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/cancel.hpp"
+#include "util/fp.hpp"
 
 namespace mnsim::numeric {
 
@@ -205,7 +206,7 @@ void SchurFactorization::apply_schur(const std::vector<double>& x,
   acc_multiply(x, y);
   for (std::size_t lb = 0; lb < nb; ++lb) {
     const double w = scratch[lb];
-    if (w == 0.0) continue;
+    if (util::exactly_zero(w)) continue;
     for (std::size_t k = bc_start_[lb]; k < bc_start_[lb + 1]; ++k)
       y[bc_col_[k]] -= bc_val_[k] * w;
   }
@@ -230,7 +231,7 @@ SchurSolveResult SchurFactorization::solve(
   std::vector<double> rhs = b_c;
   for (std::size_t lb = 0; lb < nb; ++lb) {
     const double w = t[lb];
-    if (w == 0.0) continue;
+    if (util::exactly_zero(w)) continue;
     for (std::size_t k = bc_start_[lb]; k < bc_start_[lb + 1]; ++k)
       rhs[bc_col_[k]] -= bc_val_[k] * w;
   }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "util/fp.hpp"
 
 namespace mnsim::numeric {
 
@@ -10,8 +11,8 @@ RootResult newton_bisect(const std::function<double(double)>& f, double lo,
                          std::size_t max_iterations) {
   double flo = f(lo);
   double fhi = f(hi);
-  if (flo == 0.0) return {lo, 0, true};
-  if (fhi == 0.0) return {hi, 0, true};
+  if (util::exactly_zero(flo)) return {lo, 0, true};
+  if (util::exactly_zero(fhi)) return {hi, 0, true};
   if ((flo > 0) == (fhi > 0))
     throw std::invalid_argument("newton_bisect: root not bracketed");
 
@@ -37,7 +38,7 @@ RootResult newton_bisect(const std::function<double(double)>& f, double lo,
     // bisection when the step leaves the bracket.
     double h = 1e-7 * (std::fabs(x) + 1.0);
     double dfx = (f(x + h) - fx) / h;
-    double next = (dfx != 0.0) ? x - fx / dfx : lo;
+    double next = !util::exactly_zero(dfx) ? x - fx / dfx : lo;
     if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
     x = next;
   }

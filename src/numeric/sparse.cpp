@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/cancel.hpp"
+#include "util/fp.hpp"
 
 namespace mnsim::numeric {
 
@@ -59,7 +60,7 @@ std::vector<double> CsrMatrix::jacobi_diagonal(bool* defect) const {
   for (std::size_t r = 0; r < n_; ++r) {
     bool found = false;
     for (std::size_t k = row_start_[r]; k < row_start_[r + 1]; ++k) {
-      if (col_[k] == r && values_[k] != 0.0) {
+      if (col_[k] == r && !util::exactly_zero(values_[k])) {
         d[r] = values_[k];
         found = true;
       }

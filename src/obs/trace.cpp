@@ -217,6 +217,7 @@ bool Tracer::write_chrome_trace(const std::string& path) const {
   try {
     util::atomic_write_file(path, chrome_trace_json());
     return true;
+    // mnsim-analyze: allow(swallowed-exception, the bool return is the error report; trace output is best-effort by contract)
   } catch (const std::runtime_error&) {
     return false;
   }

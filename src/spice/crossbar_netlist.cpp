@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/trace.hpp"
+#include "util/fp.hpp"
 
 namespace mnsim::spice {
 
@@ -176,8 +177,8 @@ bool CrossbarSolveCache::matches(const CrossbarSpec& spec) const {
   // topology (or enters the device law), so any difference forces a
   // rebuild. The shapes of the value arrays are implied by rows/cols.
   return k.rows == spec.rows && k.cols == spec.cols &&
-         k.segment_resistance == spec.segment_resistance &&
-         k.sense_resistance == spec.sense_resistance &&
+         util::exactly_equal(k.segment_resistance, spec.segment_resistance) &&
+         util::exactly_equal(k.sense_resistance, spec.sense_resistance) &&
          k.linear_memristors == spec.linear_memristors &&
          k.ideal_wires == spec.ideal_wires &&
          k.segment_capacitance == spec.segment_capacitance &&

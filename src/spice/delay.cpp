@@ -1,6 +1,7 @@
 #include "spice/delay.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace mnsim::spice {
 
@@ -27,6 +28,12 @@ double crossbar_elmore_tau(const CrossbarSpec& spec,
 double crossbar_settling_latency(const CrossbarSpec& spec,
                                  double segment_capacitance,
                                  int output_bits) {
+  // Same resolution range the noise model accepts; without the check,
+  // pow(2, bits + 1) silently overflows to inf for absurd inputs and
+  // the latency model returns inf instead of failing.
+  if (output_bits < 1 || output_bits > 16)
+    throw std::invalid_argument(
+        "crossbar_settling_latency: output_bits outside [1, 16]");
   const double tau = crossbar_elmore_tau(spec, segment_capacitance);
   const double settle = std::log(std::pow(2.0, output_bits + 1)) * tau;
   return spec.device.read_latency.value() + settle;

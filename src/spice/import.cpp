@@ -7,6 +7,7 @@
 
 #include "check/diagnostic.hpp"
 #include "util/config.hpp"
+#include "util/fp.hpp"
 
 namespace mnsim::spice {
 
@@ -178,7 +179,22 @@ Netlist import_spice(const std::string& deck, tech::MemristorModel device) {
           parse_value(expr.substr(2, star - 2), line_no);
       const double this_vt =
           parse_value(expr.substr(slash + 1, close - slash - 1), line_no);
-      if (vt == 0.0) vt = this_vt;
+      if (!(this_vt > 0.0))
+        fail("MN-SPI-010", line_no,
+             "non-positive sinh v_t in B-source '" + name + "'",
+             "v_t is the device nonlinearity scale and must be > 0");
+      if (util::exactly_zero(vt)) {
+        vt = this_vt;
+      } else if (!util::approx_equal(this_vt, vt)) {
+        // The netlist carries ONE device law (Netlist::device()): every
+        // B-source's v_t becomes that single nonlinearity_vt. Silently
+        // adopting the first card's v_t while deriving each r_state from
+        // its own would mis-model every later card.
+        fail("MN-SPI-011", line_no,
+             "inconsistent sinh v_t in B-source '" + name + "'",
+             "all B-sources in a deck must share one v_t (the netlist "
+             "has a single device law)");
+      }
       const int a = parse_node(na, line_no);
       const int b = parse_node(nb, line_no);
       max_node = std::max({max_node, a, b});

@@ -72,7 +72,6 @@ void assemble(const Netlist& nl, const Indexer& ix,
   // The sinh/cosh companion model overflows for iterates far outside the
   // physical range; clamp the argument so a wild Newton step degrades
   // into damping instead of NaN propagation.
-  constexpr double max_arg = 40.0;
 
   for (const auto& r : nl.resistors())
     stamp(ix, sink, rhs, r.a, r.b, 1.0 / r.ohms, 0.0);
@@ -82,16 +81,20 @@ void assemble(const Netlist& nl, const Indexer& ix,
       stamp(ix, sink, rhs, m.a, m.b, 1.0 / m.r_state, 0.0);
       continue;
     }
-    // Companion model around the previous iterate v0:
-    //   I(v) ~= I(v0) + g_d (v - v0), g_d = dI/dV(v0)
-    // stamped as conductance g_d plus current source I(v0) - g_d v0.
+    // Companion model around the previous iterate, linearized at the
+    // saturated point vc = clamp(v0, +-max_arg * vt):
+    //   I(v) ~= I(vc) + g_d (v - vc), g_d = dI/dV(vc)
+    // stamped as conductance g_d plus current source I(vc) - g_d vc.
+    // Linearizing at vc (not v0) keeps the tangent consistent with the
+    // point the law was evaluated at when an iterate overshoots.
     const double v0 = voltages[m.a] - voltages[m.b];
-    const double arg =
-        std::clamp(v0 / dev.nonlinearity_vt.value(), -max_arg, max_arg);
-    const double a_coef = dev.nonlinearity_vt.value() / m.r_state;
-    const double i0 = a_coef * std::sinh(arg);
-    const double gd = std::cosh(arg) / m.r_state;
-    stamp(ix, sink, rhs, m.a, m.b, gd, i0 - gd * v0);
+    const double vt = dev.nonlinearity_vt.value();
+    const double vc = std::clamp(v0, -tech::kMaxSinhArg * vt,
+                                 tech::kMaxSinhArg * vt);
+    const double a_coef = vt / m.r_state;
+    const double i0 = a_coef * std::sinh(vc / vt);
+    const double gd = std::cosh(vc / vt) / m.r_state;
+    stamp(ix, sink, rhs, m.a, m.b, gd, i0 - gd * vc);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "spice/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -85,9 +86,16 @@ TransientResult solve_transient(const Netlist& nl,
         }
         const double v0 = v_next[m.a] - v_next[m.b];
         const double vt = dev.nonlinearity_vt.value();
-        const double i0 = (vt / m.r_state) * std::sinh(v0 / vt);
-        const double gd = std::cosh(v0 / vt) / m.r_state;
-        internal::stamp(ix, builder, rhs, m.a, m.b, gd, i0 - gd * v0);
+        // Saturate the companion model at the same bound as the DC
+        // stamp (tech::kMaxSinhArg): a Newton iterate that overshoots
+        // must yield a huge-but-finite conductance, not overflow sinh
+        // into inf and poison the whole matrix. Clamping in volts keeps
+        // the in-range path bit-identical to the unclamped formula.
+        const double vc = std::clamp(v0, -tech::kMaxSinhArg * vt,
+                                     tech::kMaxSinhArg * vt);
+        const double i0 = (vt / m.r_state) * std::sinh(vc / vt);
+        const double gd = std::cosh(vc / vt) / m.r_state;
+        internal::stamp(ix, builder, rhs, m.a, m.b, gd, i0 - gd * vc);
       }
 
       // Backward-Euler capacitor companion: G = C/dt with a history

@@ -40,13 +40,16 @@ Joules MemristorModel::write_pulse_energy() const {
 
 Amps MemristorModel::current(Ohms r_state, Volts v) const {
   // I = A*sinh(v / vt), with A = vt / r_state so that dI/dV at V=0 is
-  // 1/r_state (linear-limit calibration).
+  // 1/r_state (linear-limit calibration). The argument saturates at
+  // kMaxSinhArg: beyond it sinh would overflow double long before any
+  // physical bias is reached (see memristor.hpp).
   const Amps a = nonlinearity_vt / r_state;
-  return a * std::sinh(v / nonlinearity_vt);
+  const double u = std::clamp(v / nonlinearity_vt, -kMaxSinhArg, kMaxSinhArg);
+  return a * std::sinh(u);
 }
 
 Ohms MemristorModel::actual_resistance(Ohms r_state, Volts v) const {
-  const double u = abs(v) / nonlinearity_vt;
+  const double u = std::min(abs(v) / nonlinearity_vt, kMaxSinhArg);
   if (u < 1e-9) return r_state;
   return r_state * u / std::sinh(u);
 }

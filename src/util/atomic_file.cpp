@@ -2,8 +2,8 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <stdexcept>
+#include <system_error>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -14,7 +14,11 @@ namespace mnsim::util {
 namespace {
 
 [[noreturn]] void fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+  // system_category().message() instead of strerror(): the latter
+  // returns a shared buffer and is not thread-safe under the
+  // parallel sweep writers (clang-tidy concurrency-mt-unsafe).
+  throw std::runtime_error(
+      what + " " + path + ": " + std::system_category().message(errno));
 }
 
 void write_fully(int fd, const std::string& data, const std::string& path) {

@@ -1,0 +1,39 @@
+// Floating-point-exception tripwire for the test suite.
+//
+// Linked into every test executable when -DMNSIM_FPE=ON. A static
+// initializer unmasks the three "this number is now garbage" IEEE-754
+// exceptions — invalid operation (0/0, inf-inf, sqrt of a negative),
+// division by zero, and overflow — so any test that would silently
+// propagate a NaN or inf through a simulation result dies with SIGFPE at
+// the instruction that produced it instead of reporting a plausible-looking
+// wrong number. FE_UNDERFLOW and FE_INEXACT stay masked: both are routine
+// in correct floating-point code.
+//
+// Intentional non-finite arithmetic in library code must be fenced with
+// util::fpe_guard (util/fp.hpp), which masks the traps over a scope and
+// restores them on exit.
+
+#ifdef MNSIM_FPE
+
+#include <cfenv>
+
+#if defined(__GLIBC__) && defined(__x86_64__)
+#define MNSIM_FPE_SUPPORTED 1
+#endif
+
+namespace {
+
+struct FpeEnabler {
+  FpeEnabler() {
+#ifdef MNSIM_FPE_SUPPORTED
+    std::feclearexcept(FE_ALL_EXCEPT);
+    ::feenableexcept(FE_INVALID | FE_DIVBYZERO | FE_OVERFLOW);
+#endif
+  }
+};
+
+const FpeEnabler mnsim_fpe_enabler{};
+
+}  // namespace
+
+#endif  // MNSIM_FPE

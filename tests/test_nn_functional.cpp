@@ -1,6 +1,7 @@
 #include "nn/functional_sim.hpp"
 
 #include <gtest/gtest.h>
+#include <stdexcept>
 
 #include "nn/topologies.hpp"
 
@@ -96,5 +97,20 @@ TEST(Electrical, InputCodeRangeChecked) {
                std::invalid_argument);
 }
 
+
+TEST(MonteCarlo, RejectsDegenerateSignalBits) {
+  // signal_bits = 0 makes the quantizer LSB a division by zero: every
+  // output lands in bucket 0 and the run silently reports a zero error
+  // rate for ANY perturbation (and SIGFPEs under -DMNSIM_FPE). The
+  // config must be rejected up front.
+  auto net = make_autoencoder_64_16_64();
+  auto cfg = fast();
+  cfg.signal_bits = 0;
+  EXPECT_THROW(run_monte_carlo(net, {0.1, 0.1}, cfg),
+               std::invalid_argument);
+  cfg.signal_bits = 31;  // would overflow the int shift
+  EXPECT_THROW(run_monte_carlo(net, {0.1, 0.1}, cfg),
+               std::invalid_argument);
+}
 }  // namespace
 }  // namespace mnsim::nn

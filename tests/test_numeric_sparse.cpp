@@ -341,5 +341,48 @@ TEST(ResilientSolve, DenseFallbackRespectsSizeLimit) {
   EXPECT_EQ(rep.lu_fallbacks, 0);
 }
 
+
+TEST(ResilientSolve, RungNotesExplainRejectedRungs) {
+  // Hollow permutation: CG refuses (diagonal defect), Cholesky rejects
+  // (not positive definite), pivoted LU finishes. Each rejected rung
+  // must leave its reason in the report instead of vanishing.
+  SparseBuilder b(2);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  auto rep = solve_spd_resilient(CsrMatrix(b), {1.0, 2.0}, {});
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.method, SolveMethod::kDenseLu);
+  ASSERT_GE(rep.rung_notes.size(), 2u);
+  EXPECT_NE(rep.rung_notes[0].find("cg:"), std::string::npos)
+      << rep.rung_notes[0];
+  bool cholesky_explained = false;
+  for (const auto& note : rep.rung_notes)
+    if (note.find("cholesky:") != std::string::npos &&
+        note.find("positive definite") != std::string::npos)
+      cholesky_explained = true;
+  EXPECT_TRUE(cholesky_explained);
+}
+
+TEST(ResilientSolve, FailedLadderExplainsEveryRung) {
+  // Singular matrix, inconsistent rhs: every rung fails. The kFailed
+  // report must say why each one did — previously the dense rung's
+  // exception messages were swallowed.
+  SparseBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 1.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 1.0);
+  ResilientSolveOptions opt;
+  opt.max_iterations = 4;
+  auto rep = solve_spd_resilient(CsrMatrix(b), {1.0, 2.0}, opt);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.method, SolveMethod::kFailed);
+  bool lu_explained = false;
+  for (const auto& note : rep.rung_notes)
+    if (note.find("lu:") != std::string::npos &&
+        note.find("singular") != std::string::npos)
+      lu_explained = true;
+  EXPECT_TRUE(lu_explained) << "notes: " << rep.rung_notes.size();
+}
 }  // namespace
 }  // namespace mnsim::numeric

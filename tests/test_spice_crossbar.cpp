@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "spice/delay.hpp"
 
@@ -127,5 +128,18 @@ TEST(Delay, SettlingLatencyIncludesDeviceRead) {
   EXPECT_GT(crossbar_settling_latency(spec, 0.06e-15, 12), lat);
 }
 
+
+TEST(CrossbarDelay, SettlingLatencyRejectsAbsurdResolution) {
+  // Without the range check, pow(2, bits + 1) overflows to inf for
+  // garbage resolutions and the latency model reports an inf latency
+  // instead of failing.
+  auto spec = CrossbarSpec::uniform(8, 8, tech::default_rram(), 0.022,
+                                    60.0, 1e3);
+  EXPECT_THROW(crossbar_settling_latency(spec, 0.06e-15, 0),
+               std::invalid_argument);
+  EXPECT_THROW(crossbar_settling_latency(spec, 0.06e-15, 17),
+               std::invalid_argument);
+  EXPECT_TRUE(std::isfinite(crossbar_settling_latency(spec, 0.06e-15, 8)));
+}
 }  // namespace
 }  // namespace mnsim::spice

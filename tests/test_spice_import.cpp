@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/diagnostic.hpp"
+
 #include "spice/crossbar_netlist.hpp"
 #include "spice/export.hpp"
 #include "spice/mna.hpp"
@@ -74,5 +76,34 @@ TEST(Import, RejectsUnsupportedCards) {
   EXPECT_THROW(import_spice("Bx n1 0 V=1\n"), std::runtime_error);
 }
 
+
+TEST(Import, RejectsNonPositiveVt) {
+  // v_t = 0 would put a division by zero into the device law; the deck
+  // must be rejected with MN-SPI-010, not imported.
+  try {
+    (void)import_spice("Bx n1 0 I=0.001*sinh(V(n1,0)/0)\nVs n1 0 DC 1\n");
+    FAIL() << "expected MN-SPI-010";
+  } catch (const check::ParseError& e) {
+    EXPECT_EQ(e.diagnostic().code, "MN-SPI-010") << e.what();
+    EXPECT_EQ(e.diagnostic().line, 1);
+  }
+}
+
+TEST(Import, RejectsInconsistentVt) {
+  // The netlist carries a single device law. Two B-sources with
+  // different v_t used to import silently with the first card's v_t —
+  // mis-modeling the second — and must now fail with MN-SPI-011.
+  const std::string deck =
+      "Bx n1 0 I=0.001*sinh(V(n1,0)/0.05)\n"
+      "By n2 0 I=0.001*sinh(V(n2,0)/0.10)\n"
+      "Vs n1 0 DC 1\nVt n2 0 DC 1\n";
+  try {
+    (void)import_spice(deck);
+    FAIL() << "expected MN-SPI-011";
+  } catch (const check::ParseError& e) {
+    EXPECT_EQ(e.diagnostic().code, "MN-SPI-011") << e.what();
+    EXPECT_EQ(e.diagnostic().line, 2);
+  }
+}
 }  // namespace
 }  // namespace mnsim::spice

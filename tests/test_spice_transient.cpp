@@ -124,5 +124,32 @@ TEST(Transient, InvalidArgumentsThrow) {
   EXPECT_THROW((void)res.settling_time(5), std::out_of_range);
 }
 
+
+TEST(Transient, StronglyNonlinearDeviceStaysFinite) {
+  // A device with a tiny nonlinearity scale drives |v / v_t| far above
+  // sinh's overflow threshold during the step: before the companion
+  // model saturated its argument (tech::kMaxSinhArg, the same clamp the
+  // DC stamp uses), the first Newton iterate produced inf conductance
+  // and the solve failed. It must now converge to the DC operating
+  // point like any other deck.
+  auto device = tech::default_rram();
+  device.nonlinearity_vt = units::Volts{1e-4};  // v_read / v_t = 500
+  Netlist nl(device);
+  NodeId in = nl.add_node();
+  NodeId mid = nl.add_node();
+  nl.add_source(in, device.v_read.value());
+  nl.add_resistor(in, mid, 1e3);
+  nl.add_memristor(mid, kGround, 10e3);
+  nl.add_capacitor(mid, kGround, 1e-15);
+
+  TransientOptions opt;
+  opt.time_step = 20e-12;
+  opt.end_time = 2e-9;
+  auto res = solve_transient(nl, {mid}, opt);
+  ASSERT_TRUE(res.converged);
+  for (double v : res.probe_voltages[0]) ASSERT_TRUE(std::isfinite(v));
+  const auto dc = solve_dc(nl);
+  EXPECT_NEAR(res.probe_voltages[0].back(), dc.node_voltages[mid], 1e-6);
+}
 }  // namespace
 }  // namespace mnsim::spice

@@ -151,5 +151,26 @@ TEST(CellArea, Equation7And8) {
             cell_area(m, CellType::k0T1R).value());
 }
 
+
+TEST(DeviceLaw, SaturatesInsteadOfOverflowing) {
+  // sinh(u) overflows double near u ~ 710; a Newton overshoot or an
+  // aggressive bias sweep can push |v| / v_t far beyond that. The law
+  // saturates at kMaxSinhArg, so it must stay finite for any input.
+  auto m = default_rram();
+  const Volts extreme{1e6 * m.nonlinearity_vt.value()};
+  EXPECT_TRUE(std::isfinite(m.current(m.r_min, extreme).value()));
+  EXPECT_TRUE(std::isfinite(m.current(m.r_min, -1.0 * extreme).value()));
+  const Ohms r = m.actual_resistance(m.r_min, extreme);
+  EXPECT_TRUE(std::isfinite(r.value()));
+  EXPECT_GT(r.value(), 0.0);
+  // Beyond the bound the law is exactly the value at the bound.
+  const Volts at_bound{kMaxSinhArg * m.nonlinearity_vt.value()};
+  EXPECT_DOUBLE_EQ(m.current(m.r_min, extreme).value(),
+                   m.current(m.r_min, at_bound).value());
+  // Below the bound the clamp is inert: the chord still bends.
+  const Volts half{0.5 * kMaxSinhArg * m.nonlinearity_vt.value()};
+  EXPECT_LT(m.actual_resistance(m.r_min, half).value(),
+            m.actual_resistance(m.r_min, 0.5 * half).value());
+}
 }  // namespace
 }  // namespace mnsim::tech

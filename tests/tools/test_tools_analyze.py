@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/analyze (ctest: test_tools_analyze).
+
+Each test drives the analyzer as a subprocess over a fixture mini-repo
+(compile database + src tree + catalogue) with the tokens backend, so
+the tests run in any environment the repo builds in. Covered contract:
+finding detection, both escape placements, the mandatory escape reason,
+the baseline lifecycle (write, honor, go-stale), SARIF output shape, and
+the --mn-codes-out map that tools/lint.py rule 3 delegates to.
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+ANALYZE = REPO / "tools" / "analyze"
+
+FP_VIOLATION = (
+    "double pick(double a, double b) {\n"
+    "  if (a == b) return a;\n"
+    "  return b;\n"
+    "}\n"
+)
+
+
+class AnalyzeFixture(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.repo = pathlib.Path(self._tmp.name)
+        (self.repo / "build").mkdir()
+        (self.repo / "docs").mkdir()
+        (self.repo / "docs" / "DIAGNOSTICS.md").write_text("# Diagnostics\n")
+
+    def add_source(self, rel: str, text: str) -> None:
+        path = self.repo / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        db = self.repo / "build" / "compile_commands.json"
+        entries = json.loads(db.read_text()) if db.is_file() else []
+        entries.append(
+            {
+                "directory": str(self.repo),
+                "command": f"g++ -std=c++20 -c {rel}",
+                "file": rel,
+            }
+        )
+        db.write_text(json.dumps(entries))
+
+    def run_analyze(self, *extra: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [
+                sys.executable,
+                str(ANALYZE),
+                "-p",
+                "build",
+                "--repo",
+                str(self.repo),
+                "--backend",
+                "tokens",
+                "--baseline",
+                "baseline.json",
+                *extra,
+            ],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_fp_equality_violation_fails_the_gate(self):
+        self.add_source("src/numeric/demo.cpp", FP_VIOLATION)
+        proc = self.run_analyze()
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("fp-equality", proc.stdout)
+        self.assertIn("src/numeric/demo.cpp:2", proc.stdout)
+
+    def test_same_line_escape_is_honored(self):
+        self.add_source(
+            "src/numeric/demo.cpp",
+            FP_VIOLATION.replace(
+                "return a;",
+                "return a;  // mnsim-analyze: allow(fp-equality, fixture)",
+            ),
+        )
+        proc = self.run_analyze()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_previous_line_escape_is_honored(self):
+        self.add_source(
+            "src/numeric/demo.cpp",
+            FP_VIOLATION.replace(
+                "  if (a == b)",
+                "  // mnsim-analyze: allow(fp-equality, fixture)\n"
+                "  if (a == b)",
+            ),
+        )
+        proc = self.run_analyze()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_escape_without_reason_is_itself_a_finding(self):
+        self.add_source(
+            "src/numeric/demo.cpp",
+            FP_VIOLATION.replace(
+                "return a;",
+                "return a;  // mnsim-analyze: allow(fp-equality)",
+            ),
+        )
+        proc = self.run_analyze()
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("malformed-escape", proc.stdout)
+
+    def test_baseline_lifecycle(self):
+        self.add_source("src/numeric/demo.cpp", FP_VIOLATION)
+        # 1. Accept the current findings with a written reason.
+        wrote = self.run_analyze("--write-baseline", "known fixture defect")
+        self.assertEqual(wrote.returncode, 0, wrote.stdout + wrote.stderr)
+        baseline = json.loads((self.repo / "baseline.json").read_text())
+        self.assertTrue(
+            all(e["reason"] == "known fixture defect"
+                for e in baseline["findings"])
+        )
+        # 2. The baselined finding no longer fails the gate.
+        honored = self.run_analyze()
+        self.assertEqual(honored.returncode, 0, honored.stdout + honored.stderr)
+        self.assertIn("1 baselined", honored.stderr)
+        # 3. Fixing the defect makes the baseline entry stale — the gate
+        # fails until the baseline is consciously regenerated.
+        (self.repo / "src/numeric/demo.cpp").write_text(
+            "double pick(double a, double) { return a; }\n"
+        )
+        stale = self.run_analyze()
+        self.assertEqual(stale.returncode, 1)
+        self.assertIn("stale baseline", stale.stdout)
+
+    def test_sarif_report_shape(self):
+        self.add_source("src/numeric/demo.cpp", FP_VIOLATION)
+        sarif_path = self.repo / "report.sarif"
+        self.run_analyze("--sarif", str(sarif_path))
+        report = json.loads(sarif_path.read_text())
+        self.assertEqual(report["version"], "2.1.0")
+        run = report["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "mnsim-analyze")
+        results = run["results"]
+        self.assertTrue(results)
+        self.assertEqual(results[0]["ruleId"], "fp-equality")
+
+    def test_mn_codes_out_map_and_catalogue_sync(self):
+        self.add_source(
+            "src/check/diag.cpp",
+            'const char* code() { return "MN-TST-001: boom"; }\n',
+        )
+        # Undocumented: the gate fails and names the code.
+        missing = self.run_analyze()
+        self.assertEqual(missing.returncode, 1)
+        self.assertIn("MN-TST-001", missing.stdout)
+        # Documented: clean, and the exported map carries the code with
+        # its source location (the contract lint.py rule 3 delegates to).
+        (self.repo / "docs" / "DIAGNOSTICS.md").write_text(
+            "| MN-TST-001 | fixture |\n"
+        )
+        map_path = self.repo / "mn_codes.json"
+        clean = self.run_analyze("--mn-codes-out", str(map_path))
+        self.assertEqual(clean.returncode, 0, clean.stdout + clean.stderr)
+        payload = json.loads(map_path.read_text())
+        self.assertEqual(
+            payload["codes"], {"MN-TST-001": "src/check/diag.cpp:1"}
+        )
+
+    def test_comment_mention_is_not_an_emitted_code(self):
+        # Exactly the false positive the lint.py delegation removes: a
+        # code named in a comment must not count as emitted.
+        self.add_source(
+            "src/check/diag.cpp",
+            "// retired long ago: MN-TST-099\nint x;\n",
+        )
+        proc = self.run_analyze()
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_missing_compile_db_is_usage_error(self):
+        proc = self.run_analyze("-p", "no-such-dir")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("no compile database", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

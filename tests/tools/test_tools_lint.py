@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint.py (ctest: test_tools_lint).
+
+Covers the escape machinery (same-line, previous-line, file-start, CRLF,
+block comments), each per-file rule against fixture sources, the
+diagnostic-catalogue sync in both directions, and the --mn-codes
+delegation contract (valid map, malformed map, comment-only codes).
+"""
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+from unittest import mock
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO / "tools"))
+
+import lint  # noqa: E402
+
+
+class EscapeCoveredLines(unittest.TestCase):
+    def test_same_line_and_next_line_covered(self):
+        text = "double x;\ndouble y; // lint: allow-raw-double(calib)\ndouble z;\n"
+        covered = lint.escape_covered_lines(text, lint.RAW_DOUBLE_ALLOW)
+        self.assertEqual(covered, {2, 3})
+
+    def test_file_start_escape_covers_line_one_and_two(self):
+        text = "// lint: allow-raw-double(top of file)\ndouble wire_resistance;\n"
+        covered = lint.escape_covered_lines(text, lint.RAW_DOUBLE_ALLOW)
+        self.assertIn(1, covered)
+        self.assertIn(2, covered)
+
+    def test_crlf_line_endings_do_not_hide_the_escape(self):
+        # As read with newline="" (or from a tool that does not normalize):
+        # the trailing \r used to sit inside the match window.
+        text = "double r; // lint: allow-raw-double(crlf file)\r\ndouble s;\r\n"
+        covered = lint.escape_covered_lines(text, lint.RAW_DOUBLE_ALLOW)
+        self.assertEqual(covered, {1, 2})
+
+    def test_block_comment_escape_covers_whole_block_and_next_line(self):
+        text = (
+            "/* lint: allow-raw-chrono(rationale that\n"
+            "   needs several lines to state)\n"
+            "*/\n"
+            "std::chrono::steady_clock tick;\n"
+            "std::chrono::steady_clock uncovered;\n"
+        )
+        covered = lint.escape_covered_lines(text, lint.RAW_CHRONO_ALLOW)
+        self.assertTrue({1, 2, 3, 4} <= covered)
+        self.assertNotIn(5, covered)
+
+    def test_unrelated_block_comment_covers_nothing(self):
+        text = "/* just a comment\n   spanning lines */\ndouble voltage_x;\n"
+        self.assertEqual(
+            lint.escape_covered_lines(text, lint.RAW_DOUBLE_ALLOW), set()
+        )
+
+
+class FixtureFileMixin:
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.tmp = pathlib.Path(self._tmp.name)
+
+    def fixture(self, name: str, text: str) -> pathlib.Path:
+        path = self.tmp / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+
+class RawDoubleRule(FixtureFileMixin, unittest.TestCase):
+    REL = "src/tech/fixture.hpp"
+
+    def run_rule(self, text: str) -> list[str]:
+        findings: list[str] = []
+        lint.check_raw_double(self.fixture("f.hpp", text), self.REL, findings)
+        return findings
+
+    def test_physical_double_is_flagged(self):
+        findings = self.run_rule("struct S { double segment_resistance; };\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("raw-double-physical-param", findings[0])
+
+    def test_nm_suffix_is_documented_raw(self):
+        self.assertEqual(self.run_rule("double feature_size_nm;\n"), [])
+
+    def test_same_line_escape(self):
+        self.assertEqual(
+            self.run_rule(
+                "double vdd_rail;  // lint: allow-raw-double(boundary)\n"
+            ),
+            [],
+        )
+
+    def test_previous_line_escape(self):
+        self.assertEqual(
+            self.run_rule(
+                "// lint: allow-raw-double(boundary)\ndouble vdd_rail;\n"
+            ),
+            [],
+        )
+
+    def test_allowed_file_is_exempt(self):
+        findings: list[str] = []
+        lint.check_raw_double(
+            self.fixture("m.hpp", "double read_voltage;\n"),
+            "src/circuit/module.hpp",
+            findings,
+        )
+        self.assertEqual(findings, [])
+
+
+class RngRule(FixtureFileMixin, unittest.TestCase):
+    def run_rule(self, text: str, rel: str = "src/nn/fixture.cpp") -> list[str]:
+        findings: list[str] = []
+        lint.check_rng(self.fixture("f.cpp", text), rel, findings)
+        return findings
+
+    def test_random_device_flagged(self):
+        findings = self.run_rule("std::random_device rd;\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("nondeterministic-rng", findings[0])
+
+    def test_unseeded_engine_flagged(self):
+        self.assertEqual(len(self.run_rule("std::mt19937 rng;\n")), 1)
+
+    def test_seeded_engine_clean(self):
+        self.assertEqual(self.run_rule("std::mt19937 rng(seed);\n"), [])
+
+    def test_src_util_exempt(self):
+        self.assertEqual(
+            self.run_rule("std::random_device rd;\n", rel="src/util/rng.cpp"),
+            [],
+        )
+
+
+class ChronoAndOfstreamRules(FixtureFileMixin, unittest.TestCase):
+    def test_chrono_flagged_outside_obs(self):
+        findings: list[str] = []
+        lint.check_raw_chrono(
+            self.fixture("f.cpp", "auto t = std::chrono::steady_clock::now();\n"),
+            "src/dse/fixture.cpp",
+            findings,
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertIn("raw-chrono-timing", findings[0])
+
+    def test_chrono_allowed_in_obs_and_tests(self):
+        for rel in ("src/obs/trace.cpp", "tests/test_x.cpp"):
+            findings: list[str] = []
+            lint.check_raw_chrono(
+                self.fixture("f.cpp", "std::chrono::seconds s{1};\n"),
+                rel,
+                findings,
+            )
+            self.assertEqual(findings, [], rel)
+
+    def test_ofstream_flagged_and_escapable(self):
+        flagged: list[str] = []
+        lint.check_raw_ofstream(
+            self.fixture("a.cpp", "std::ofstream out(path);\n"),
+            "src/dse/report.cpp",
+            flagged,
+        )
+        self.assertEqual(len(flagged), 1)
+        escaped: list[str] = []
+        lint.check_raw_ofstream(
+            self.fixture(
+                "b.cpp",
+                "// lint: allow-raw-ofstream(failure path)\n"
+                "std::ofstream out(path);\n",
+            ),
+            "src/dse/report.cpp",
+            escaped,
+        )
+        self.assertEqual(escaped, [])
+
+
+class DiagnosticCatalogue(FixtureFileMixin, unittest.TestCase):
+    def with_repo(self, sources: dict[str, str], catalogue: str) -> list[str]:
+        for rel, text in sources.items():
+            self.fixture(rel, text)
+        self.fixture("docs/DIAGNOSTICS.md", catalogue)
+        findings: list[str] = []
+        with mock.patch.object(lint, "REPO", self.tmp):
+            lint.check_diagnostic_catalogue(findings)
+        return findings
+
+    def test_agreement_is_clean(self):
+        self.assertEqual(
+            self.with_repo(
+                {"src/check/x.cpp": 'fail("MN-TST-001", ...);\n'},
+                "| MN-TST-001 | test |\n",
+            ),
+            [],
+        )
+
+    def test_undocumented_code_flagged(self):
+        findings = self.with_repo(
+            {"src/check/x.cpp": 'fail("MN-TST-002", ...);\n'}, "nothing\n"
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertIn("MN-TST-002", findings[0])
+        self.assertIn("not catalogued", findings[0])
+
+    def test_stale_catalogue_entry_flagged(self):
+        findings = self.with_repo({}, "| MN-TST-003 | stale |\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("no longer constructed", findings[0])
+
+    def test_delegated_map_ignores_comment_mentions(self):
+        # The grep fallback counts a comment mention as emitted; the
+        # analyzer map (string literals only) must win when supplied.
+        self.fixture("src/check/x.cpp", "// historical note: MN-TST-004\n")
+        self.fixture("docs/DIAGNOSTICS.md", "nothing\n")
+        findings: list[str] = []
+        with mock.patch.object(lint, "REPO", self.tmp):
+            lint.check_diagnostic_catalogue(findings, emitted={})
+        self.assertEqual(findings, [])
+
+
+class AnalyzerCodeMap(FixtureFileMixin, unittest.TestCase):
+    def test_valid_map_loads(self):
+        path = self.fixture(
+            "codes.json",
+            '{"generator": "mnsim-analyze 1.0", "backend": "tokens",'
+            ' "codes": {"MN-TST-001": "src/a.cpp:3"}}\n',
+        )
+        self.assertEqual(
+            lint.load_analyzer_codes(path), {"MN-TST-001": "src/a.cpp:3"}
+        )
+
+    def test_malformed_json_raises(self):
+        path = self.fixture("bad.json", "not json\n")
+        with self.assertRaises(ValueError):
+            lint.load_analyzer_codes(path)
+
+    def test_missing_codes_mapping_raises(self):
+        path = self.fixture("empty.json", '{"backend": "tokens"}\n')
+        with self.assertRaises(ValueError):
+            lint.load_analyzer_codes(path)
+
+
+class EndToEnd(unittest.TestCase):
+    def test_repo_tree_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint.py")],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_missing_file_is_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "lint.py"), "/no/such.cpp"],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

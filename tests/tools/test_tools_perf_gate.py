@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/perf_gate.py (ctest: test_tools_perf_gate).
+
+Drives the gate as a subprocess against fixture baselines/results:
+pass, regression, missing workload, unparsable speedup, and the two
+malformed-baseline shapes (invalid JSON, missing "gates" key). The gate
+is the last line of defence for the batched-solver speedups, so its
+failure modes are contract, not incidental behavior.
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+PERF_GATE = REPO / "tools" / "perf_gate.py"
+
+
+class PerfGate(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+        self.tmp = pathlib.Path(self._tmp.name)
+
+    def write(self, name: str, text: str) -> pathlib.Path:
+        path = self.tmp / name
+        path.write_text(text)
+        return path
+
+    def run_gate(self, baseline: str, results: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [
+                sys.executable,
+                str(PERF_GATE),
+                "--baseline",
+                str(self.write("baseline.json", baseline)),
+                "--results",
+                str(self.write("results.csv", results)),
+            ],
+            capture_output=True,
+            text=True,
+        )
+
+    BASELINE = json.dumps({"gates": {"chain64": 1.5, "grid32": 2.0}})
+    HEADER = "workload,speedup,sequential_s,batched_s\n"
+
+    def test_all_floors_met_passes(self):
+        proc = self.run_gate(
+            self.BASELINE, self.HEADER + "chain64,2.1,1.0,0.48\ngrid32,3.0,2.0,0.66\n"
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("all solver ratios at or above their floors", proc.stdout)
+
+    def test_regressed_ratio_fails(self):
+        proc = self.run_gate(
+            self.BASELINE, self.HEADER + "chain64,1.1,1.0,0.9\ngrid32,3.0,2.0,0.66\n"
+        )
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("FAIL chain64", proc.stdout)
+
+    def test_missing_gated_workload_fails(self):
+        # Silently dropping a workload from the bench must not pass.
+        proc = self.run_gate(self.BASELINE, self.HEADER + "chain64,2.1,1.0,0.48\n")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("missing from", proc.stdout)
+
+    def test_unparsable_speedup_fails(self):
+        proc = self.run_gate(
+            self.BASELINE,
+            self.HEADER + "chain64,fast,1.0,0.48\ngrid32,3.0,2.0,0.66\n",
+        )
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("unparsable speedup", proc.stdout)
+
+    def test_invalid_json_baseline_fails(self):
+        proc = self.run_gate("{not json", self.HEADER + "chain64,2.1,1.0,0.48\n")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("cannot load gates", proc.stdout)
+
+    def test_baseline_without_gates_key_fails(self):
+        proc = self.run_gate(
+            json.dumps({"note": "no gates here"}),
+            self.HEADER + "chain64,2.1,1.0,0.48\n",
+        )
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("cannot load gates", proc.stdout)
+
+    def test_missing_results_file_fails(self):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(PERF_GATE),
+                "--baseline",
+                str(self.write("baseline.json", self.BASELINE)),
+                "--results",
+                str(self.tmp / "nope.csv"),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("cannot read bench results", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,121 @@
+"""compile_commands.json handling for mnsim-analyze.
+
+The analyzer is driven by the compile database CMake exports
+(-DCMAKE_EXPORT_COMPILE_COMMANDS=ON): the database defines the exact set
+of translation units the build actually compiles, and — for the libclang
+backend — the exact flags each one is compiled with, so the analysis sees
+the same preprocessor world the compiler did.
+
+Headers never appear in a compile database. The libclang backend reaches
+them through their including TUs (cursors are attributed to the header's
+own file); the token backend adds repo headers under the analyzed roots
+as pseudo-TUs so header-only code is not a blind spot there either.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import shlex
+
+
+class CompileDbError(ValueError):
+    pass
+
+
+@dataclasses.dataclass(frozen=True)
+class TranslationUnit:
+    path: pathlib.Path  # absolute, resolved
+    args: tuple[str, ...]  # clang-style args (no compiler, no -c/-o/input)
+    directory: pathlib.Path
+
+
+# Flags that drive codegen/deps, not semantics; libclang chokes on or
+# ignores them, so strip them before reparsing.
+_DROP_WITH_VALUE = {"-o", "-MF", "-MT", "-MQ", "--output"}
+_DROP_BARE = {"-c", "-MD", "-MMD", "-MP", "-pipe"}
+
+
+def _clean_args(argv: list[str], source: str) -> tuple[str, ...]:
+    out: list[str] = []
+    skip = False
+    for arg in argv[1:]:  # argv[0] is the compiler
+        if skip:
+            skip = False
+            continue
+        if arg in _DROP_WITH_VALUE:
+            skip = True
+            continue
+        if arg in _DROP_BARE or arg == source:
+            continue
+        out.append(arg)
+    return tuple(out)
+
+
+def locate(hint: pathlib.Path) -> pathlib.Path:
+    """Accept either the JSON file itself or a build directory."""
+    if hint.is_dir():
+        hint = hint / "compile_commands.json"
+    if not hint.is_file():
+        raise CompileDbError(
+            f"no compile database at {hint}; configure with "
+            f"`cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON`"
+        )
+    return hint
+
+
+def load(db_path: pathlib.Path) -> list[TranslationUnit]:
+    db_path = locate(db_path)
+    try:
+        entries = json.loads(db_path.read_text())
+    except json.JSONDecodeError as err:
+        raise CompileDbError(f"{db_path}: invalid JSON: {err}") from err
+    if not isinstance(entries, list) or not entries:
+        raise CompileDbError(f"{db_path}: empty compile database")
+
+    tus: list[TranslationUnit] = []
+    seen: set[pathlib.Path] = set()
+    for entry in entries:
+        directory = pathlib.Path(entry["directory"])
+        raw = entry.get("arguments")
+        if raw is None:
+            raw = shlex.split(entry["command"])
+        source = entry["file"]
+        path = (directory / source).resolve()
+        if path in seen:  # a TU compiled into several targets
+            continue
+        seen.add(path)
+        tus.append(
+            TranslationUnit(
+                path=path,
+                args=_clean_args(list(raw), source),
+                directory=directory,
+            )
+        )
+    return tus
+
+
+def select(tus: list[TranslationUnit], repo: pathlib.Path,
+           roots: list[str]) -> list[TranslationUnit]:
+    """Keep TUs whose file lives under one of the repo-relative roots."""
+    prefixes = tuple(str((repo / r).resolve()) + "/" for r in roots)
+    return [tu for tu in tus if str(tu.path).startswith(prefixes)]
+
+
+def header_pseudo_tus(repo: pathlib.Path,
+                      roots: list[str]) -> list[TranslationUnit]:
+    """Repo headers under the analyzed roots, for the token backend."""
+    out: list[TranslationUnit] = []
+    for root in roots:
+        base = repo / root
+        if not base.is_dir():
+            continue
+        for ext in ("*.hpp", "*.h"):
+            for path in sorted(base.rglob(ext)):
+                out.append(
+                    TranslationUnit(
+                        path=path.resolve(), args=(), directory=repo
+                    )
+                )
+    return out

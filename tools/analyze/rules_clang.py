@@ -1,0 +1,265 @@
+"""mnsim-analyze libclang backend.
+
+Parses every translation unit in the compile database with clang.cindex
+(using the TU's own flags, so the analysis sees the preprocessor world
+the compiler saw) and upgrades the two type-sensitive rules with real
+semantic types:
+
+  fp-equality          operand types from the canonical AST type, so a
+                       `Quantity<Dim>`-typed comparison, a templated
+                       alias, or an int/int compare are classified
+                       exactly instead of by name heuristics
+  quantity-narrowing   implicit double->float/int conversions read off
+                       VAR_DECL initializer types
+
+The other rules (swallowed-exception, lock-discipline, unseeded-rng,
+mn-code-extraction) operate on constructs where the exact token stream
+is already authoritative; the shared implementations in rules_tokens run
+over every file the TUs pull in, so both backends agree on them by
+construction.
+
+This module must import cleanly on machines without libclang: call
+available() before use. CI installs python3-clang + libclang; the
+analyzer falls back to the token backend elsewhere.
+"""
+
+from __future__ import annotations
+
+import glob
+import pathlib
+
+import cpptok
+import rules_tokens
+from engine import Finding
+
+try:
+    from clang import cindex  # type: ignore
+    _IMPORT_ERROR: Exception | None = None
+except Exception as err:  # pragma: no cover - exercised only sans libclang
+    cindex = None  # type: ignore
+    _IMPORT_ERROR = err
+
+_CONFIGURED = False
+
+
+def _configure() -> bool:
+    """Point cindex at a libclang shared object if one can be found."""
+    global _CONFIGURED
+    if cindex is None:
+        return False
+    if _CONFIGURED:
+        return True
+    try:
+        cindex.Index.create()
+        _CONFIGURED = True
+        return True
+    except Exception:
+        pass
+    candidates = sorted(
+        glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+        + glob.glob("/usr/lib/*/libclang-*.so*")
+        + glob.glob("/usr/lib/libclang.so*"),
+        reverse=True,
+    )
+    for candidate in candidates:
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(candidate)
+            cindex.Index.create()
+            _CONFIGURED = True
+            return True
+        except Exception:
+            continue
+    return False
+
+
+def available() -> bool:
+    return _configure()
+
+
+def unavailable_reason() -> str:
+    if cindex is None:
+        return f"python clang bindings not importable ({_IMPORT_ERROR})"
+    return "no usable libclang shared library found"
+
+
+_FLOAT_KINDS = None
+_INT_KINDS = None
+
+
+def _type_kinds():
+    global _FLOAT_KINDS, _INT_KINDS
+    if _FLOAT_KINDS is None:
+        tk = cindex.TypeKind
+        _FLOAT_KINDS = {tk.FLOAT, tk.DOUBLE, tk.LONGDOUBLE}
+        for name in ("FLOAT16", "FLOAT128", "HALF"):
+            if hasattr(tk, name):
+                _FLOAT_KINDS.add(getattr(tk, name))
+        _INT_KINDS = {
+            tk.INT, tk.UINT, tk.LONG, tk.ULONG, tk.LONGLONG, tk.ULONGLONG,
+            tk.SHORT, tk.USHORT, tk.CHAR_S, tk.CHAR_U, tk.SCHAR, tk.UCHAR,
+        }
+    return _FLOAT_KINDS, _INT_KINDS
+
+
+def _is_floating(type_obj) -> bool:
+    float_kinds, _ = _type_kinds()
+    return type_obj.get_canonical().kind in float_kinds
+
+
+def _binary_op_token(cursor):
+    """The operator token of a BINARY_OPERATOR cursor.
+
+    libclang 14 does not expose the opcode, so locate the token sitting
+    in the gap between the two operand extents — exact, because operand
+    extents are exact.
+    """
+    children = list(cursor.get_children())
+    if len(children) != 2:
+        return None
+    lhs_end = children[0].extent.end.offset
+    rhs_start = children[1].extent.start.offset
+    for token in cursor.get_tokens():
+        off = token.extent.start.offset
+        if lhs_end <= off < rhs_start and token.spelling in ("==", "!="):
+            return token
+    return None
+
+
+class ClangAnalyzer:
+    def __init__(self, repo: pathlib.Path):
+        self.repo = repo
+        self.index = cindex.Index.create()
+        self.parse_errors: list[str] = []
+
+    def _relpath(self, file_obj) -> str | None:
+        if file_obj is None:
+            return None
+        try:
+            p = pathlib.Path(str(file_obj.name)).resolve()
+            return p.relative_to(self.repo).as_posix()
+        except ValueError:
+            return None  # outside the repo (system headers)
+
+    def analyze_tu(self, tu_path: pathlib.Path, args: tuple[str, ...],
+                   visited_files: set[str],
+                   contexts: dict[str, rules_tokens.FileContext],
+                   ) -> list[Finding]:
+        """AST findings for one TU, deduplicated against already-visited
+        header files. Also records which repo files the TU covers."""
+        try:
+            tu = self.index.parse(str(tu_path), args=list(args))
+        except Exception as err:
+            self.parse_errors.append(f"{tu_path}: {err}")
+            return []
+        severe = [d for d in tu.diagnostics if d.severity >= 3]
+        if severe:
+            self.parse_errors.append(
+                f"{tu_path}: {severe[0].spelling} "
+                f"(+{len(severe) - 1} more)" if len(severe) > 1
+                else f"{tu_path}: {severe[0].spelling}"
+            )
+
+        findings: list[Finding] = []
+        claimed: set[str] = set()
+        for cursor in tu.cursor.walk_preorder():
+            rel = self._relpath(cursor.location.file)
+            if rel is None:
+                continue
+            if rel != tu_path.relative_to(self.repo).as_posix():
+                # Header cursor: the first TU to include a header owns
+                # its findings; later TUs skip it.
+                if rel in visited_files and rel not in claimed:
+                    continue
+                claimed.add(rel)
+            ctx = contexts.get(rel)
+            if ctx is None:
+                continue
+            kind = cursor.kind
+            if (kind == cindex.CursorKind.BINARY_OPERATOR
+                    and rules_tokens.rule_applies("fp-equality", rel)):
+                findings.extend(self._check_fp_equality(cursor, rel, ctx))
+            elif (kind == cindex.CursorKind.VAR_DECL
+                    and rules_tokens.rule_applies("quantity-narrowing", rel)):
+                findings.extend(self._check_narrowing(cursor, rel, ctx))
+        visited_files.update(claimed)
+        return findings
+
+    def _check_fp_equality(self, cursor, rel: str,
+                           ctx: rules_tokens.FileContext) -> list[Finding]:
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return []
+        if not (_is_floating(children[0].type)
+                or _is_floating(children[1].type)):
+            return []
+        op = _binary_op_token(cursor)
+        if op is None:
+            return []
+        loc = op.extent.start
+        return [Finding(
+            rule="fp-equality",
+            path=rel,
+            line=loc.line,
+            col=loc.column,
+            message=(
+                f"floating-point `{op.spelling}` (operand type "
+                f"{children[0].type.spelling} vs "
+                f"{children[1].type.spelling}); use util::approx_equal "
+                f"for computed values or util::exactly_zero/"
+                f"exactly_equal for sentinel/stored-value semantics "
+                f"(util/fp.hpp)"
+            ),
+            line_text=ctx.line_text(loc.line),
+        )]
+
+    def _check_narrowing(self, cursor, rel: str,
+                         ctx: rules_tokens.FileContext) -> list[Finding]:
+        float_kinds, int_kinds = _type_kinds()
+        tk = cursor.type.get_canonical().kind
+        target = None
+        if tk in int_kinds:
+            target = "integer"
+        elif tk == cindex.TypeKind.FLOAT:
+            target = "float"
+        if target is None:
+            return []
+        children = [
+            c for c in cursor.get_children()
+            if c.kind.is_expression()
+        ]
+        if not children:
+            return []
+        init = children[-1]
+        src = init.type.get_canonical().kind
+        if src not in (cindex.TypeKind.DOUBLE, cindex.TypeKind.LONGDOUBLE):
+            return []
+        if init.kind in (cindex.CursorKind.CXX_STATIC_CAST_EXPR,
+                         cindex.CursorKind.CSTYLE_CAST_EXPR,
+                         cindex.CursorKind.CXX_FUNCTIONAL_CAST_EXPR):
+            return []
+        # Same physical-boundary filter as the token backend: flag the
+        # narrowings that lose physical values, not every int cast.
+        init_tokens = [
+            cpptok.Token("id" if t.kind == cindex.TokenKind.IDENTIFIER
+                         else "punct", t.spelling,
+                         t.extent.start.line, t.extent.start.column)
+            for t in init.get_tokens()
+        ]
+        phys = rules_tokens._physical_evidence(init_tokens)
+        if phys is None:
+            return []
+        loc = cursor.location
+        return [Finding(
+            rule="quantity-narrowing",
+            path=rel,
+            line=loc.line,
+            col=loc.column,
+            message=(
+                f"`{cursor.type.spelling} {cursor.spelling}` implicitly "
+                f"narrows a double initializer involving {phys}; keep "
+                f"the double or make the conversion explicit "
+                f"(static_cast/lround)"
+            ),
+            line_text=ctx.line_text(loc.line),
+        )]

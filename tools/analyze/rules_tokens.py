@@ -1,0 +1,573 @@
+"""mnsim-analyze rules, token-stream implementations.
+
+These run on the exact token stream from cpptok (comments and strings
+can never confuse them, constructs may span lines) plus a flow-insensitive
+per-file symbol table of floating-point names. The libclang backend
+(rules_clang) upgrades the type-sensitive rules with real semantic types
+when a libclang is available; the rule *semantics* — what counts as a
+violation, what counts as handled — live here and are shared.
+
+Rule catalogue (see docs/STATIC_ANALYSIS.md for the workflow):
+
+  fp-equality          == / != with a floating operand in the numeric core
+  quantity-narrowing   double -> float/int at physical-value boundaries
+  swallowed-exception  catch blocks that eat errors silently
+  lock-discipline      bare mutex.lock(), raw/detached std::thread
+  unseeded-rng         RNG engines constructed without an explicit seed
+  mn-code-extraction   MN-* codes in string literals vs DIAGNOSTICS.md
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from cpptok import Token, match_forward
+from engine import Finding
+
+# ---- rule metadata -----------------------------------------------------------
+
+RULE_DOCS: dict[str, str] = {
+    "fp-equality": (
+        "floating-point == / != in src/numeric, src/spice, src/accuracy; "
+        "route through util::approx_equal / util::exactly_equal "
+        "(util/fp.hpp) so the intended semantics are visible"
+    ),
+    "quantity-narrowing": (
+        "implicit double->float/int at a physical-value boundary "
+        "(.value() results, physical-parameter members); make the "
+        "narrowing explicit or keep the value wide"
+    ),
+    "swallowed-exception": (
+        "catch block that neither rethrows, records the message, nor "
+        "emits an MN-*/SolverDiagnostics entry; errors must never "
+        "vanish silently"
+    ),
+    "lock-discipline": (
+        "bare mutex.lock() without an RAII guard, raw std::thread, or "
+        "thread.detach() outside src/util/parallel"
+    ),
+    "unseeded-rng": (
+        "RNG engine constructed without an explicit seed outside "
+        "src/util; fresh entropy breaks bit-identical reproducibility"
+    ),
+    "mn-code-extraction": (
+        "MN-* diagnostic codes in string literals must match "
+        "docs/DIAGNOSTICS.md exactly, in both directions"
+    ),
+    "malformed-escape": (
+        "mnsim-analyze: allow(...) escape without a written reason"
+    ),
+}
+
+# Which repo-relative prefixes each rule applies to (None = all analyzed
+# files), and which it is excluded from.
+RULE_SCOPE: dict[str, tuple[tuple[str, ...] | None, tuple[str, ...]]] = {
+    "fp-equality": (("src/numeric/", "src/spice/", "src/accuracy/"), ()),
+    "quantity-narrowing": (("src/",), ()),
+    "swallowed-exception": (("src/",), ()),
+    "lock-discipline": (("src/",), ("src/util/parallel.",)),
+    "unseeded-rng": (("src/",), ("src/util/",)),
+    "mn-code-extraction": (("src/",), ()),
+}
+
+
+def rule_applies(rule: str, relpath: str) -> bool:
+    prefixes, excludes = RULE_SCOPE[rule]
+    if any(relpath.startswith(e) for e in excludes):
+        return False
+    return prefixes is None or any(relpath.startswith(p) for p in prefixes)
+
+
+# ---- floating-point classification ------------------------------------------
+
+_FP_SUFFIX = re.compile(r"[fF]$")
+_INT_SUFFIX = re.compile(r"[uUlLzZ]+$")
+_EXP = re.compile(r"^[0-9][0-9']*[eE][+-]?[0-9]")
+
+# Functions whose result is floating-point by contract. `value` is the
+# Quantity<Dim> raw-double escape hatch; its presence is also what marks
+# an expression as "physical" for quantity-narrowing.
+FP_FUNCS = frozenset({
+    "fabs", "sqrt", "cbrt", "exp", "exp2", "expm1", "log", "log2", "log10",
+    "log1p", "pow", "hypot", "sinh", "cosh", "tanh", "sin", "cos", "tan",
+    "atan", "atan2", "asin", "acos", "erf", "erfc", "floor", "ceil",
+    "round", "trunc", "fmax", "fmin", "fmod", "copysign", "lerp", "value",
+})
+
+# Conversions that make a narrowing visible and intentional.
+EXPLICIT_NARROWERS = frozenset({
+    "static_cast", "lround", "llround", "lrint", "llrint", "narrow_cast",
+})
+
+INT_TYPES = frozenset({
+    "int", "long", "short", "unsigned", "signed", "size_t", "ptrdiff_t",
+    "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
+    "uint32_t", "uint64_t", "uintptr_t", "intptr_t",
+})
+
+PHYSICAL_NAME = re.compile(
+    r"""(?x)^\w*(
+        resist | conduct | volt | vdd | current | amp |
+        power | leakage | energy |
+        latency | delay | _time | time_ | duration |
+        capacit | inductance |
+        clock | freq | bandwidth |
+        area | feature_size
+    )\w*$"""
+)
+
+
+def is_fp_literal(text: str) -> bool:
+    if text.startswith(("0x", "0X")):
+        return "p" in text or "P" in text  # hex floats
+    body = _INT_SUFFIX.sub("", text)
+    if _FP_SUFFIX.search(text):
+        return True
+    return "." in body or bool(_EXP.match(body))
+
+
+@dataclasses.dataclass
+class FileContext:
+    relpath: str
+    text: str
+    tokens: list[Token]
+    fp_names: frozenset[str] = frozenset()
+
+    def line_text(self, line: int) -> str:
+        lines = self.text.splitlines()
+        return lines[line - 1] if 1 <= line <= len(lines) else ""
+
+
+_QUALIFIERS = frozenset({"const", "constexpr", "static", "inline", "*", "&",
+                         "&&", "volatile", "mutable"})
+
+
+def collect_fp_names(tokens: list[Token]) -> frozenset[str]:
+    """Names declared with type double/float anywhere in the file.
+
+    Matches `double [qualifiers] name` — variables, parameters, members,
+    and functions returning double (a call through such a name is fp
+    evidence too, which is exactly what the equality rule needs).
+    """
+    names: set[str] = set()
+    i = 0
+    while i < len(tokens):
+        t = tokens[i]
+        if t.kind == "id" and t.text in ("double", "float"):
+            j = i + 1
+            while j < len(tokens) and tokens[j].text in _QUALIFIERS:
+                j += 1
+            if j < len(tokens) and tokens[j].kind == "id":
+                names.add(tokens[j].text)
+                i = j
+        i += 1
+    return frozenset(names)
+
+
+def make_context(relpath: str, text: str, tokens: list[Token]) -> FileContext:
+    return FileContext(relpath, text, tokens,
+                       fp_names=collect_fp_names(tokens))
+
+
+# ---- operand spans -----------------------------------------------------------
+
+_STOP_PUNCT = frozenset({
+    ",", ";", "?", ":", "&&", "||", "=", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "<<=", ">>=", "{", "}", "<", ">", "<=", ">=",
+    "==", "!=", "return",
+})
+
+
+def _operand_span_left(tokens: list[Token], op_index: int) -> list[Token]:
+    out: list[Token] = []
+    depth = 0
+    j = op_index - 1
+    while j >= 0:
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text in (")", "]"):
+                depth += 1
+            elif t.text in ("(", "["):
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and t.text in _STOP_PUNCT:
+                break
+        elif depth == 0 and t.kind == "id" and t.text == "return":
+            break
+        out.append(t)
+        j -= 1
+    out.reverse()
+    return out
+
+
+def _operand_span_right(tokens: list[Token], op_index: int) -> list[Token]:
+    out: list[Token] = []
+    depth = 0
+    j = op_index + 1
+    while j < len(tokens):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text in ("(", "["):
+                depth += 1
+            elif t.text in (")", "]"):
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and t.text in _STOP_PUNCT:
+                break
+        out.append(t)
+        j += 1
+    return out
+
+
+def _fp_evidence(span: list[Token], ctx: FileContext) -> str | None:
+    """Why this operand is floating-point, or None."""
+    for k, t in enumerate(span):
+        if t.kind == "num" and is_fp_literal(t.text):
+            return f"literal {t.text}"
+        if t.kind == "id":
+            is_call = k + 1 < len(span) and span[k + 1].text == "("
+            if is_call and t.text in FP_FUNCS:
+                return f"call to {t.text}()"
+            if not is_call and t.text in ctx.fp_names:
+                # A member chain continuing past this name (`r.x.size()`)
+                # means the expression's type is whatever the chain ends
+                # in, not this name's.
+                if k + 1 < len(span) and span[k + 1].text in (".", "->"):
+                    continue
+                return f"'{t.text}' is declared double/float"
+            if is_call and t.text in ctx.fp_names:
+                return f"'{t.text}()' returns double/float"
+    return None
+
+
+_RELATIONAL = frozenset({"<", ">", "<=", ">=", "==", "!=", "!"})
+
+
+def _is_boolean_span(span: list[Token]) -> bool:
+    """True if the operand is a parenthesized comparison — `(a > 0)` —
+    whose type is bool regardless of what it compares."""
+    return any(t.kind == "punct" and t.text in _RELATIONAL for t in span)
+
+
+# ---- rule: fp-equality -------------------------------------------------------
+
+
+def check_fp_equality(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = ctx.tokens
+    for i, t in enumerate(toks):
+        if t.kind != "punct" or t.text not in ("==", "!="):
+            continue
+        # `operator==` declarations are definitions of comparison, not
+        # uses of it.
+        if i > 0 and toks[i - 1].kind == "id" and toks[i - 1].text == "operator":
+            continue
+        left = _operand_span_left(toks, i)
+        right = _operand_span_right(toks, i)
+        if _is_boolean_span(left) or _is_boolean_span(right):
+            continue
+        why = _fp_evidence(left, ctx) or _fp_evidence(right, ctx)
+        if why is None:
+            continue
+        findings.append(Finding(
+            rule="fp-equality",
+            path=ctx.relpath,
+            line=t.line,
+            col=t.col,
+            message=(
+                f"floating-point `{t.text}` ({why}); use "
+                f"util::approx_equal for computed values or "
+                f"util::exactly_zero/exactly_equal for sentinel/"
+                f"stored-value semantics (util/fp.hpp)"
+            ),
+            line_text=ctx.line_text(t.line),
+        ))
+    return findings
+
+
+# ---- rule: quantity-narrowing ------------------------------------------------
+
+
+def _physical_evidence(span: list[Token]) -> str | None:
+    for k, t in enumerate(span):
+        if t.kind != "id":
+            continue
+        if t.text == "value" and k + 1 < len(span) and span[k + 1].text == "(":
+            return ".value() result"
+        if PHYSICAL_NAME.match(t.text) and t.text not in ("time", "value"):
+            return f"physical parameter '{t.text}'"
+    return None
+
+
+def check_quantity_narrowing(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = ctx.tokens
+    i = 0
+    while i < len(toks) - 2:
+        t = toks[i]
+        if not (t.kind == "id" and (t.text in INT_TYPES or t.text == "float")):
+            i += 1
+            continue
+        target = t.text
+        j = i + 1
+        while j < len(toks) and toks[j].text in _QUALIFIERS:
+            j += 1
+        if not (j + 1 < len(toks) and toks[j].kind == "id"
+                and toks[j + 1].text == "="):
+            i += 1
+            continue
+        name_tok = toks[j]
+        # initializer span: up to the `;` (or, for default arguments and
+        # multi-declarator statements, the `,`/`)` of the enclosing
+        # context) at depth 0
+        span: list[Token] = []
+        depth = 0
+        k = j + 2
+        while k < len(toks):
+            tk = toks[k]
+            if tk.kind == "punct":
+                if tk.text in ("(", "[", "{"):
+                    depth += 1
+                elif tk.text in (")", "]", "}"):
+                    if depth == 0:
+                        break  # closes an enclosing bracket (default arg)
+                    depth -= 1
+                elif tk.text in (";", ",") and depth == 0:
+                    break
+            span.append(tk)
+            k += 1
+        has_explicit = any(
+            s.kind == "id" and s.text in EXPLICIT_NARROWERS for s in span
+        )
+        phys = _physical_evidence(span)
+        fp = _fp_evidence(span, ctx)
+        if phys and fp and not has_explicit:
+            findings.append(Finding(
+                rule="quantity-narrowing",
+                path=ctx.relpath,
+                line=name_tok.line,
+                col=name_tok.col,
+                message=(
+                    f"`{target} {name_tok.text}` initialized from a "
+                    f"floating expression involving {phys}; physical "
+                    f"values narrow silently here — keep the double or "
+                    f"make the conversion explicit (static_cast/lround)"
+                ),
+                line_text=ctx.line_text(name_tok.line),
+            ))
+        i = k
+    return findings
+
+
+# ---- rule: swallowed-exception -----------------------------------------------
+
+# A catch body "handles" the exception if it rethrows, captures the
+# message, stashes the exception object, or emits a diagnostic. These are
+# the signals the solver ladder / DSE quarantine / check layer use.
+_HANDLER_IDS = frozenset({
+    "throw", "what", "current_exception", "rethrow_exception",
+    "emit", "diagnostic", "diagnostics", "Diagnostic", "DiagnosticList",
+    "value_error",
+})
+
+
+def check_swallowed_exception(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = ctx.tokens
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.text == "catch"):
+            continue
+        try:
+            open_paren = next(
+                j for j in range(i + 1, min(i + 3, len(toks)))
+                if toks[j].text == "("
+            )
+            close_paren = match_forward(toks, open_paren, "(", ")")
+            open_brace = next(
+                j for j in range(close_paren + 1, close_paren + 3)
+                if toks[j].text == "{"
+            )
+            close_brace = match_forward(toks, open_brace, "{", "}")
+        except (StopIteration, IndexError):
+            continue  # not a catch statement shape we understand
+        body = toks[open_brace + 1:close_brace]
+        handled = any(
+            (tk.kind == "id" and tk.text in _HANDLER_IDS)
+            or (tk.kind == "str" and "MN-" in tk.text)
+            for tk in body
+        )
+        if handled:
+            continue
+        exc = " ".join(tk.text for tk in toks[open_paren + 1:close_paren])
+        detail = "empty handler" if not body else "handler drops the error"
+        findings.append(Finding(
+            rule="swallowed-exception",
+            path=ctx.relpath,
+            line=t.line,
+            col=t.col,
+            message=(
+                f"catch ({exc}): {detail}; rethrow, record e.what(), or "
+                f"emit an MN-* / SolverDiagnostics entry — errors must "
+                f"not vanish silently"
+            ),
+            line_text=ctx.line_text(t.line),
+        ))
+    return findings
+
+
+# ---- rule: lock-discipline ---------------------------------------------------
+
+
+def check_lock_discipline(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = ctx.tokens
+    for i in range(len(toks) - 2):
+        t = toks[i]
+        # receiver.lock() / receiver->lock()
+        if (t.kind == "punct" and t.text in (".", "->")
+                and toks[i + 1].kind == "id" and toks[i + 1].text == "lock"
+                and i + 2 < len(toks) and toks[i + 2].text == "("):
+            findings.append(Finding(
+                rule="lock-discipline",
+                path=ctx.relpath,
+                line=toks[i + 1].line,
+                col=toks[i + 1].col,
+                message=(
+                    "bare .lock(); an exception (or early return) between "
+                    "lock() and unlock() leaks the mutex — use "
+                    "std::lock_guard / std::scoped_lock / std::unique_lock"
+                ),
+                line_text=ctx.line_text(toks[i + 1].line),
+            ))
+        if (t.kind == "punct" and t.text in (".", "->")
+                and toks[i + 1].kind == "id" and toks[i + 1].text == "detach"
+                and i + 2 < len(toks) and toks[i + 2].text == "("):
+            findings.append(Finding(
+                rule="lock-discipline",
+                path=ctx.relpath,
+                line=toks[i + 1].line,
+                col=toks[i + 1].col,
+                message=(
+                    "thread.detach(): a detached thread outlives shutdown "
+                    "and races static destruction; keep threads joinable "
+                    "and owned (util/parallel.hpp)"
+                ),
+                line_text=ctx.line_text(toks[i + 1].line),
+            ))
+        # std::thread / std::jthread construction
+        if (t.kind == "id" and t.text == "std" and toks[i + 1].text == "::"
+                and toks[i + 2].kind == "id"
+                and toks[i + 2].text in ("thread", "jthread")):
+            after = toks[i + 3] if i + 3 < len(toks) else None
+            if after is not None and after.text != "::":
+                # a type use: declaration, temporary, or template arg —
+                # template args (vector<std::thread>) are container
+                # *storage*, which only the pool owns; flag construction.
+                if after.kind == "id" or after.text in ("(", "{"):
+                    findings.append(Finding(
+                        rule="lock-discipline",
+                        path=ctx.relpath,
+                        line=toks[i + 2].line,
+                        col=toks[i + 2].col,
+                        message=(
+                            "raw std::thread outside src/util/parallel; "
+                            "run work on the bounded pool "
+                            "(util::parallel_map) so thread counts, "
+                            "shutdown, and determinism stay centralized"
+                        ),
+                        line_text=ctx.line_text(toks[i + 2].line),
+                    ))
+    return findings
+
+
+# ---- rule: unseeded-rng ------------------------------------------------------
+
+_ENGINES = frozenset({
+    "mt19937", "mt19937_64", "default_random_engine", "minstd_rand",
+    "minstd_rand0", "ranlux24", "ranlux48", "ranlux24_base",
+    "ranlux48_base", "knuth_b",
+})
+
+
+def check_unseeded_rng(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    toks = ctx.tokens
+
+    def flag(tok: Token, msg: str) -> None:
+        findings.append(Finding(
+            rule="unseeded-rng", path=ctx.relpath, line=tok.line,
+            col=tok.col, message=msg, line_text=ctx.line_text(tok.line),
+        ))
+
+    for i in range(len(toks)):
+        t = toks[i]
+        if t.kind != "id":
+            continue
+        if t.text == "random_device":
+            flag(t, "std::random_device draws fresh entropy; take an "
+                    "explicit seed (util::derive_stream_seed) so runs "
+                    "stay bit-identical")
+            continue
+        if t.text not in _ENGINES:
+            continue
+        # Engine type name: inspect what follows to find the constructor.
+        j = i + 1
+        if j < len(toks) and toks[j].text == "::":
+            continue  # std::mt19937::result_type etc.
+        msg = ("RNG engine constructed without a seed; every stochastic "
+               "component takes an explicit seed "
+               "(util::derive_stream_seed) — default-seeded engines make "
+               "trial results non-reproducible")
+        if j < len(toks) and toks[j].kind == "id":  # declaration
+            k = j + 1
+            if k >= len(toks):
+                continue
+            nxt = toks[k]
+            if nxt.text == ";":
+                flag(toks[j], msg)
+            elif nxt.text in ("(", "{"):
+                close = match_forward(
+                    toks, k, nxt.text, ")" if nxt.text == "(" else "}"
+                )
+                if close == k + 1:
+                    flag(toks[j], msg)
+        elif j < len(toks) and toks[j].text in ("(", "{"):  # temporary
+            close = match_forward(
+                toks, j, toks[j].text, ")" if toks[j].text == "(" else "}"
+            )
+            if close == j + 1:
+                flag(t, msg)
+    return findings
+
+
+# ---- rule: mn-code-extraction ------------------------------------------------
+
+MN_CODE = re.compile(r"\bMN-[A-Z]{2,4}-\d{3}\b")
+
+
+def extract_mn_codes(ctx: FileContext) -> dict[str, tuple[int, int]]:
+    """code -> (line, col) of its first string-literal occurrence.
+
+    Exact by construction: only codes inside string literals count, so a
+    code mentioned in a comment ("see MN-SPI-008") can never masquerade
+    as an emission site the way it does for a line-regex scan.
+    """
+    out: dict[str, tuple[int, int]] = {}
+    for t in ctx.tokens:
+        if t.kind != "str":
+            continue
+        for code in MN_CODE.findall(t.text):
+            out.setdefault(code, (t.line, t.col))
+    return out
+
+
+PER_FILE_CHECKS = {
+    "fp-equality": check_fp_equality,
+    "quantity-narrowing": check_quantity_narrowing,
+    "swallowed-exception": check_swallowed_exception,
+    "lock-discipline": check_lock_discipline,
+    "unseeded-rng": check_unseeded_rng,
+}

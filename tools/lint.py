@@ -28,6 +28,10 @@ Five rules, all guarding invariants the compiler cannot see on its own:
    codes the source no longer emits. The pre-flight analyzer's codes are
    a published interface (tests, CI gates, and downstream tooling key on
    them); this keeps the contract complete in both directions.
+   With `--mn-codes <json>` (the map written by `mnsim-analyze
+   --mn-codes-out`) the emitted set comes from the analyzer's
+   string-literal extraction instead of a grep, so codes that appear
+   only in comments stop counting as emitted.
 
 4. raw-chrono-timing
    `std::chrono` is forbidden in src/ outside src/obs/. Ad-hoc timing in
@@ -54,11 +58,51 @@ Exit status: 0 clean, 1 findings, 2 usage error.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+# ---- escape handling ---------------------------------------------------------
+
+
+def escape_covered_lines(text: str, allow_re: re.Pattern[str]) -> set[int]:
+    """Line numbers excused by an escape comment matching `allow_re`.
+
+    An escape covers its own line and the next one, so it can sit either
+    on the flagged line or directly above it. Three shapes the naive
+    previous-line check used to miss are handled explicitly:
+      * CRLF line endings (a trailing ``\\r`` is stripped before matching
+        so it cannot hide inside the escape's closing paren),
+      * escapes written inside a ``/* ... */`` block comment: every line
+        of the block plus the line after its close is covered, so a
+        multi-line rationale above the construct still counts,
+      * an escape on the very first line of a file covering that line
+        (there is no previous line to have carried it).
+    """
+    covered: set[int] = set()
+    lines = [ln.rstrip("\r") for ln in text.splitlines()]
+    block_start: int | None = None  # line where the open /* block began
+    block_hit = False
+    for lineno, line in enumerate(lines, 1):
+        hit = bool(allow_re.search(line))
+        if hit:
+            covered.add(lineno)
+            covered.add(lineno + 1)
+        if block_start is not None:
+            block_hit = block_hit or hit
+            if "*/" in line:
+                if block_hit:
+                    covered.update(range(block_start, lineno + 2))
+                block_start, block_hit = None, False
+        else:
+            opener = line.find("/*")
+            if opener != -1 and "*/" not in line[opener:]:
+                block_start, block_hit = lineno, hit
+    return covered
 
 # ---- rule 1: raw-double physical parameters ---------------------------------
 
@@ -90,18 +134,17 @@ RAW_DOUBLE_HEADER_DIRS = ("src/tech", "src/circuit")
 def check_raw_double(path: pathlib.Path, rel: str, findings: list[str]) -> None:
     if rel in RAW_DOUBLE_ALLOWED_FILES:
         return
-    prev = ""
-    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+    text = path.read_text()
+    covered = escape_covered_lines(text, RAW_DOUBLE_ALLOW)
+    for lineno, line in enumerate(text.splitlines(), 1):
         m = PHYSICAL_NAME.search(line)
-        if m and not m.group("name").endswith("_nm"):
-            if not (RAW_DOUBLE_ALLOW.search(line) or RAW_DOUBLE_ALLOW.search(prev)):
-                findings.append(
-                    f"{rel}:{lineno}: raw-double-physical-param: "
-                    f"'{m.group('name')}' looks like a physical quantity; "
-                    f"use a units::Quantity type (util/quantity.hpp) or mark "
-                    f"the line with `// lint: allow-raw-double(<why>)`"
-                )
-        prev = line
+        if m and not m.group("name").endswith("_nm") and lineno not in covered:
+            findings.append(
+                f"{rel}:{lineno}: raw-double-physical-param: "
+                f"'{m.group('name')}' looks like a physical quantity; "
+                f"use a units::Quantity type (util/quantity.hpp) or mark "
+                f"the line with `// lint: allow-raw-double(<why>)`"
+            )
 
 
 # ---- rule 2: nondeterministic RNG -------------------------------------------
@@ -138,17 +181,16 @@ RAW_CHRONO_ALLOW = re.compile(r"lint:\s*allow-raw-chrono")
 def check_raw_chrono(path: pathlib.Path, rel: str, findings: list[str]) -> None:
     if not rel.startswith("src/") or rel.startswith("src/obs/"):
         return
-    prev = ""
-    for lineno, line in enumerate(path.read_text().splitlines(), 1):
-        if RAW_CHRONO.search(line):
-            if not (RAW_CHRONO_ALLOW.search(line) or RAW_CHRONO_ALLOW.search(prev)):
-                findings.append(
-                    f"{rel}:{lineno}: raw-chrono-timing: std::chrono in "
-                    f"library code bypasses the observability layer; open an "
-                    f"obs::Span (obs/trace.hpp) or mark the line with "
-                    f"`// lint: allow-raw-chrono(<why>)`"
-                )
-        prev = line
+    text = path.read_text()
+    covered = escape_covered_lines(text, RAW_CHRONO_ALLOW)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if RAW_CHRONO.search(line) and lineno not in covered:
+            findings.append(
+                f"{rel}:{lineno}: raw-chrono-timing: std::chrono in "
+                f"library code bypasses the observability layer; open an "
+                f"obs::Span (obs/trace.hpp) or mark the line with "
+                f"`// lint: allow-raw-chrono(<why>)`"
+            )
 
 
 # ---- rule 5: raw std::ofstream output outside util::atomic_file -------------
@@ -165,19 +207,16 @@ def check_raw_ofstream(path: pathlib.Path, rel: str, findings: list[str]) -> Non
         return
     if rel in RAW_OFSTREAM_ALLOWED_FILES:
         return
-    prev = ""
-    for lineno, line in enumerate(path.read_text().splitlines(), 1):
-        if RAW_OFSTREAM.search(line):
-            if not (
-                RAW_OFSTREAM_ALLOW.search(line) or RAW_OFSTREAM_ALLOW.search(prev)
-            ):
-                findings.append(
-                    f"{rel}:{lineno}: raw-ofstream-output: write output "
-                    f"through util::atomic_write_file or util::DurableAppender "
-                    f"(util/atomic_file.hpp) so a crash cannot tear the file, "
-                    f"or mark the line with `// lint: allow-raw-ofstream(<why>)`"
-                )
-        prev = line
+    text = path.read_text()
+    covered = escape_covered_lines(text, RAW_OFSTREAM_ALLOW)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if RAW_OFSTREAM.search(line) and lineno not in covered:
+            findings.append(
+                f"{rel}:{lineno}: raw-ofstream-output: write output "
+                f"through util::atomic_write_file or util::DurableAppender "
+                f"(util/atomic_file.hpp) so a crash cannot tear the file, "
+                f"or mark the line with `// lint: allow-raw-ofstream(<why>)`"
+            )
 
 
 # ---- rule 3: diagnostic codes vs docs/DIAGNOSTICS.md ------------------------
@@ -186,14 +225,47 @@ DIAG_CODE = re.compile(r"\bMN-[A-Z]{2,4}-\d{3}\b")
 DIAG_CATALOGUE = "docs/DIAGNOSTICS.md"
 
 
-def check_diagnostic_catalogue(findings: list[str]) -> None:
-    """Source codes and the catalogue must agree exactly (both directions)."""
-    emitted: dict[str, str] = {}  # code -> first "file:line" that mentions it
-    for path in sorted((REPO / "src").rglob("*.[ch]pp")):
-        rel = str(path.relative_to(REPO))
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            for code in DIAG_CODE.findall(line):
-                emitted.setdefault(code, f"{rel}:{lineno}")
+def load_analyzer_codes(path: pathlib.Path) -> dict[str, str]:
+    """MN-* code map exported by `mnsim-analyze --mn-codes-out`.
+
+    The analyzer extracts codes from *string literals only* (token-exact
+    lexing), so delegation removes this linter's one false-positive
+    class: codes mentioned in comments. Returns {code: "file:line"};
+    raises ValueError on a malformed map so the driver can exit 2 rather
+    than silently passing with an empty code set.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"cannot read MN-code map {path}: {err}") from None
+    codes = payload.get("codes") if isinstance(payload, dict) else None
+    if not isinstance(codes, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in codes.items()
+    ):
+        raise ValueError(
+            f"malformed MN-code map {path}: expected an object with a "
+            f'"codes" mapping of code -> "file:line" '
+            f"(regenerate with `python3 tools/analyze --mn-codes-out`)"
+        )
+    return dict(codes)
+
+
+def check_diagnostic_catalogue(
+    findings: list[str], emitted: dict[str, str] | None = None
+) -> None:
+    """Source codes and the catalogue must agree exactly (both directions).
+
+    `emitted` (code -> "file:line") normally comes from the analyzer's
+    AST-extracted map (--mn-codes); when None, fall back to a plain grep
+    of src/, which also matches codes in comments.
+    """
+    if emitted is None:
+        emitted = {}
+        for path in sorted((REPO / "src").rglob("*.[ch]pp")):
+            rel = str(path.relative_to(REPO))
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                for code in DIAG_CODE.findall(line):
+                    emitted.setdefault(code, f"{rel}:{lineno}")
 
     catalogue_path = REPO / DIAG_CATALOGUE
     documented = (
@@ -226,7 +298,24 @@ def main(argv: list[str]) -> int:
         nargs="*",
         help="files to lint (default: the src/, tests/, bench/, examples/ trees)",
     )
+    parser.add_argument(
+        "--mn-codes",
+        metavar="JSON",
+        default=None,
+        help="MN-* code map exported by `mnsim-analyze --mn-codes-out`; "
+        "when given, rule 3 trusts the analyzer's string-literal "
+        "extraction instead of re-grepping src/ (which also matches "
+        "codes in comments)",
+    )
     args = parser.parse_args(argv)
+
+    emitted: dict[str, str] | None = None
+    if args.mn_codes:
+        try:
+            emitted = load_analyzer_codes(pathlib.Path(args.mn_codes))
+        except ValueError as err:
+            print(f"lint.py: {err}", file=sys.stderr)
+            return 2
 
     if args.paths:
         files = [pathlib.Path(p) for p in args.paths]
@@ -250,7 +339,7 @@ def main(argv: list[str]) -> int:
 
     # Global rule: run over the whole tree, not per-file, so a stale
     # catalogue entry is caught even when linting a single file.
-    check_diagnostic_catalogue(findings)
+    check_diagnostic_catalogue(findings, emitted)
 
     for f in findings:
         print(f)

@@ -12,19 +12,19 @@ Registry& Registry::global() {
 
 void Registry::add(const std::string& name, long delta) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   counters_[name] += delta;
 }
 
 void Registry::set(const std::string& name, double value) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   gauges_[name] = value;
 }
 
 void Registry::observe(const std::string& name, double value) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Histogram& h = histograms_[name];
   if (h.count == 0) {
     h.min = value;
@@ -38,33 +38,33 @@ void Registry::observe(const std::string& name, double value) {
 }
 
 long Registry::counter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0;
 }
 
 std::map<std::string, long> Registry::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return counters_;
 }
 
 std::map<std::string, double> Registry::gauges() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return gauges_;
 }
 
 std::map<std::string, Registry::Histogram> Registry::histograms() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return histograms_;
 }
 
 bool Registry::empty() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
@@ -89,16 +89,20 @@ std::string num(double v) {
 
 }  // namespace
 
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  const util::MutexLock lock(mutex_);
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  snap.histograms = histograms_;
+  return snap;
+}
+
 std::string Registry::to_json() const {
-  std::map<std::string, long> counters;
-  std::map<std::string, double> gauges;
-  std::map<std::string, Histogram> histograms;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    counters = counters_;
-    gauges = gauges_;
-    histograms = histograms_;
-  }
+  const Snapshot snap = snapshot();
+  const auto& counters = snap.counters;
+  const auto& gauges = snap.gauges;
+  const auto& histograms = snap.histograms;
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, value] : counters) {
@@ -125,17 +129,24 @@ std::string Registry::to_json() const {
 }
 
 std::string Registry::format_text() const {
+  // One snapshot for all three categories. The previous implementation
+  // called counters()/gauges()/histograms() — three separate lock
+  // acquisitions — so concurrent producers could tear the rendered
+  // block across categories (a counter and its paired histogram from
+  // different instants). to_json() already snapshotted atomically; this
+  // now matches it (regression: test_obs_metrics "FormatTextSnapshot").
+  const Snapshot snap = snapshot();
   std::string out;
   char line[192];
-  for (const auto& [name, value] : counters()) {
+  for (const auto& [name, value] : snap.counters) {
     std::snprintf(line, sizeof(line), "%-36s %ld\n", name.c_str(), value);
     out += line;
   }
-  for (const auto& [name, value] : gauges()) {
+  for (const auto& [name, value] : snap.gauges) {
     std::snprintf(line, sizeof(line), "%-36s %g\n", name.c_str(), value);
     out += line;
   }
-  for (const auto& [name, h] : histograms()) {
+  for (const auto& [name, h] : snap.histograms) {
     std::snprintf(line, sizeof(line),
                   "%-36s count %ld  mean %g  min %g  max %g\n", name.c_str(),
                   h.count, h.mean(), h.min, h.max);

@@ -23,8 +23,9 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/thread_safety.hpp"
 
 namespace mnsim::obs {
 
@@ -53,9 +54,11 @@ class Registry {
   void observe(const std::string& name, double value);   // histogram
 
   void set_enabled(bool enabled) {
+    // mnsim-analyze: allow(atomic-order, on/off knob read per publish; no data travels with it)
     enabled_.store(enabled, std::memory_order_relaxed);
   }
   [[nodiscard]] bool enabled() const {
+    // mnsim-analyze: allow(atomic-order, fast-path gate; producers lock mutex_ before touching maps)
     return enabled_.load(std::memory_order_relaxed);
   }
 
@@ -76,11 +79,21 @@ class Registry {
   void reset();
 
  private:
+  // Consistent cross-category snapshots (to_json/format_text) must copy
+  // all three maps under one critical section, never via three separate
+  // accessor calls — see snapshot() in metrics.cpp.
+  struct Snapshot {
+    std::map<std::string, long> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram> histograms;
+  };
+  [[nodiscard]] Snapshot snapshot() const MN_EXCLUDES(mutex_);
+
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;
-  std::map<std::string, long> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, long> counters_ MN_GUARDED_BY(mutex_);
+  std::map<std::string, double> gauges_ MN_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram> histograms_ MN_GUARDED_BY(mutex_);
 };
 
 }  // namespace mnsim::obs

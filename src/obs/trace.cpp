@@ -42,29 +42,39 @@ Tracer& Tracer::instance() {
 }
 
 void Tracer::enable() {
+  // Relaxed throughout the enable/epoch pair: a span racing with
+  // enable() may record against the old epoch or drop — both are
+  // documented no-ops, and nothing else travels with these atomics.
+  // mnsim-analyze: allow(atomic-order, epoch is self-contained; a racing span drops or backdates harmlessly)
   epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  // mnsim-analyze: allow(atomic-order, enable flag gates best-effort observation only)
   enabled_.store(true, std::memory_order_relaxed);
 }
 
-void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
+void Tracer::disable() {
+  // mnsim-analyze: allow(atomic-order, disable flag gates best-effort observation only)
+  enabled_.store(false, std::memory_order_relaxed);
+}
 
 void Tracer::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   // Buffers persist for the life of their thread (thread_local handles
   // point into them); only the recorded events are dropped. Clearing the
   // child stacks is what makes a dangling end() drop its span instead of
   // recording against the new epoch — safe under the documented
   // precondition that no other thread has a span open.
   for (auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const util::MutexLock buf_lock(buf->mutex);
     buf->events.clear();
     buf->child_ns_stack.clear();
   }
+  // mnsim-analyze: allow(atomic-order, epoch re-arm under the documented no-open-spans precondition)
   epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
 std::uint64_t Tracer::now_ns() const {
   const std::int64_t delta =
+      // mnsim-analyze: allow(atomic-order, timestamps clamp at zero; cross-thread skew is bounded by the clamp)
       steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
   return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
 }
@@ -73,7 +83,11 @@ std::shared_ptr<internal::ThreadBuffer> Tracer::local_buffer() {
   thread_local std::shared_ptr<internal::ThreadBuffer> buffer;
   if (!buffer) {
     buffer = std::make_shared<internal::ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
+    // The buffer mutex is uncontended here (publication happens on the
+    // push_back below), but taking it keeps the guarded-by contract on
+    // `name` unconditional instead of relying on pre-publication timing.
+    const util::MutexLock buf_lock(buffer->mutex);
     buffer->id = static_cast<std::uint32_t>(buffers_.size());
     buffer->name = "thread-" + std::to_string(buffer->id);
     buffers_.push_back(buffer);
@@ -84,9 +98,9 @@ std::shared_ptr<internal::ThreadBuffer> Tracer::local_buffer() {
 std::vector<TraceEvent> Tracer::events() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (const auto& buf : buffers_) {
-      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      const util::MutexLock buf_lock(buf->mutex);
       out.insert(out.end(), buf->events.begin(), buf->events.end());
     }
   }
@@ -100,10 +114,10 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 std::size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const util::MutexLock buf_lock(buf->mutex);
     n += buf->events.size();
   }
   return n;
@@ -134,9 +148,9 @@ std::string Tracer::chrome_trace_json() const {
   // span, timestamps in microseconds as the format requires.
   std::vector<std::pair<std::uint32_t, std::string>> threads;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     for (const auto& buf : buffers_) {
-      std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      const util::MutexLock buf_lock(buf->mutex);
       threads.emplace_back(buf->id, buf->name);
     }
   }
@@ -252,13 +266,13 @@ void Span::end() {
   event.self_ns = duration > child ? duration - child : 0;
   event.thread = buf->id;
   event.depth = static_cast<std::uint32_t>(buf->child_ns_stack.size());
-  std::lock_guard<std::mutex> lock(buf->mutex);
+  const util::MutexLock lock(buf->mutex);
   buf->events.push_back(event);
 }
 
 void set_thread_name(std::string name) {
   auto buf = Tracer::instance().local_buffer();
-  std::lock_guard<std::mutex> lock(buf->mutex);
+  const util::MutexLock lock(buf->mutex);
   buf->name = std::move(name);
 }
 

@@ -29,9 +29,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace mnsim::obs {
 
@@ -60,13 +61,16 @@ namespace internal {
 
 // One buffer per OS thread that ever recorded a span. The owning thread
 // appends under `mutex` (uncontended except during export); the
-// child-time stack is owner-thread-only state and needs no lock.
+// child-time stack is owner-thread-only state and needs no lock. Lock
+// order: exporters take Tracer::mutex_ first, then each buffer's mutex;
+// nothing ever takes them in the other order (Span::end and
+// set_thread_name take only the buffer mutex).
 struct ThreadBuffer {
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
+  util::Mutex mutex;
+  std::vector<TraceEvent> events MN_GUARDED_BY(mutex);
   std::vector<std::uint64_t> child_ns_stack;  // owner thread only
-  std::uint32_t id = 0;
-  std::string name;  // guarded by mutex (set_thread_name vs exporters)
+  std::uint32_t id = 0;  // immutable after publication in local_buffer()
+  std::string name MN_GUARDED_BY(mutex);  // set_thread_name vs exporters
 };
 
 }  // namespace internal
@@ -88,6 +92,7 @@ class Tracer {
   void reset();
 
   [[nodiscard]] static bool enabled() {
+    // mnsim-analyze: allow(atomic-order, Span fast path; buffer state is published by the buffer mutex not this flag)
     return enabled_.load(std::memory_order_relaxed);
   }
 
@@ -121,8 +126,11 @@ class Tracer {
 
   static std::atomic<bool> enabled_;
   std::atomic<std::int64_t> epoch_ns_{0};
-  mutable std::mutex mutex_;  // guards buffers_ (registration + export)
-  std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers_;
+  // Guards registration and export; per-buffer mutexes nest inside it
+  // (see internal::ThreadBuffer's lock-order note).
+  mutable util::Mutex mutex_;
+  std::vector<std::shared_ptr<internal::ThreadBuffer>> buffers_
+      MN_GUARDED_BY(mutex_);
 };
 
 // RAII trace span. `name` must outlive the tracer (use string literals).

@@ -61,7 +61,10 @@ Netlist build_crossbar_netlist(const CrossbarSpec& spec,
 // cache re-primes itself automatically whenever the spec's topology
 // stops matching. Copyable so sweep engines can clone a serially
 // primed master per worker thread (one cache must never be shared
-// between threads); see docs/PERFORMANCE.md.
+// between threads); see docs/PERFORMANCE.md. Like MnaCache it is
+// deliberately lock-free — per-worker ownership, enforced by worker-slot
+// indexing and the parallel-capture analyzer rule, replaces locking
+// (see mna.hpp's MnaCache note and util/thread_safety.hpp).
 struct CrossbarSolveCache {
   bool valid = false;
   CrossbarSpec key;      // topology fields of the spec the netlist matches

@@ -482,6 +482,12 @@ void solve_dc_batch_visit(
   entry_opt.preflight = false;  // vetted above; clones carry a valid pattern
 
   util::ThreadPool pool(opt.threads);
+  // Master-cache-plus-clones: every mutable object the entry loop below
+  // touches is either indexed by `worker` (caches, netlists, dirty
+  // flags — one slot per pool worker, never shared) or internally
+  // locked (the obs registry). MnaCache itself is deliberately
+  // lock-free (see mna.hpp) — this worker-slot discipline, checked by
+  // mnsim-analyze's parallel-capture rule, is what makes that safe.
   std::vector<MnaCache> caches(pool.worker_count(), master);
   std::vector<Netlist> netlists(pool.worker_count(), base);
   // Workers restore base values before an entry that does not override

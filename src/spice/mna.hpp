@@ -112,6 +112,14 @@ struct SolverDiagnostics {
 // worker, cloned from a serially primed master so results stay
 // schedule-independent (see util/parallel.hpp's determinism contract:
 // warm_start_voltages is caller-managed and never auto-updated).
+//
+// Deliberately carries no mutex and no MN_GUARDED_BY annotations: the
+// thread-safety story is compartmentalization, not locking. Each worker
+// owns its clone outright, so the hot refill path stays synchronization
+// free; the worker-slot indexing that enforces this in the batch solver
+// is checked by mnsim-analyze's parallel-capture rule (the compile-time
+// capability layer in util/thread_safety.hpp covers the *locked* shared
+// state; this struct is the documented lock-free counterpart).
 struct MnaCache {
   bool pattern_valid = false;
   numeric::CsrMatrix matrix;             // pattern + last stamped values

@@ -31,6 +31,11 @@ void atomic_write_file(const std::string& path, const std::string& content);
 
 // Append-only journal with per-append durability. Not copyable; one
 // writer per file (concurrent appenders would interleave records).
+// Deliberately not internally synchronized: single-writer callers (CSV,
+// NVSim exchange, trace exporters) pay nothing, and the one concurrent
+// producer — the parallel sweep loop — wraps it in dse::CheckpointJournal,
+// whose MN_GUARDED_BY annotation makes the external lock a compile-time
+// obligation on Clang builds (see src/util/thread_safety.hpp).
 class DurableAppender {
  public:
   DurableAppender() = default;

@@ -34,7 +34,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -44,15 +44,20 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::run_slice(std::size_t worker) {
   for (;;) {
     std::size_t index;
+    const std::function<void(std::size_t, std::size_t)>* job;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (next_index_ >= job_count_) return;
       index = next_index_++;
+      // Copy the job pointer under the same critical section that hands
+      // out the index: job_ is stable while any index is outstanding,
+      // but reading it unlocked leaves that invariant unstated.
+      job = job_;
     }
     try {
-      (*job_)(index, worker);
+      (*job)(index, worker);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       errors_.emplace_back(index, std::current_exception());
     }
   }
@@ -65,17 +70,15 @@ void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation) work_cv_.wait(mutex_);
       if (stop_) return;
       seen_generation = generation_;
       ++busy_workers_;
     }
     run_slice(worker);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --busy_workers_;
     }
     done_cv_.notify_all();
@@ -95,7 +98,7 @@ void ThreadPool::for_each_index(
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_count_ = count;
     next_index_ = 0;
@@ -106,10 +109,9 @@ void ThreadPool::for_each_index(
 
   std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] {
-      return next_index_ >= job_count_ && busy_workers_ == 0;
-    });
+    MutexLock lock(mutex_);
+    while (next_index_ < job_count_ || busy_workers_ != 0)
+      done_cv_.wait(mutex_);
     job_ = nullptr;
     errors.swap(errors_);
   }

@@ -23,10 +23,11 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace mnsim::util {
 
@@ -66,21 +67,27 @@ class ThreadPool {
 
  private:
   void worker_loop(std::size_t worker);
-  void run_slice(std::size_t worker);
+  void run_slice(std::size_t worker) MN_EXCLUDES(mutex_);
 
   std::size_t pool_size_ = 1;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
-  std::size_t job_count_ = 0;
-  std::size_t next_index_ = 0;   // guarded by mutex_
-  std::size_t busy_workers_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
-  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_;
+  // All fork-join bookkeeping is guarded by mutex_; workers observe a
+  // new job through generation_ and the caller observes completion
+  // through (next_index_, busy_workers_). std::condition_variable_any
+  // because the annotated util::Mutex is Lockable but not std::mutex.
+  Mutex mutex_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_
+      MN_GUARDED_BY(mutex_) = nullptr;
+  std::size_t job_count_ MN_GUARDED_BY(mutex_) = 0;
+  std::size_t next_index_ MN_GUARDED_BY(mutex_) = 0;
+  std::size_t busy_workers_ MN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t generation_ MN_GUARDED_BY(mutex_) = 0;
+  bool stop_ MN_GUARDED_BY(mutex_) = false;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors_
+      MN_GUARDED_BY(mutex_);
 };
 
 // Order-preserving map over [0, count): result[i] = fn(i, worker).

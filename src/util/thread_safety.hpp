@@ -1,0 +1,88 @@
+#pragma once
+// Clang thread-safety capability annotations for MNSIM's shared-state
+// owners, plus an annotated mutex wrapper the analysis can reason about.
+//
+// The macros expand to Clang's `capability` attribute family when the
+// compiler is Clang (where -Wthread-safety / -Wthread-safety-beta turn
+// them into compile-time lock-discipline proofs) and to nothing on every
+// other compiler, so GCC builds see plain standard C++. libstdc++'s
+// std::mutex carries no annotations, so annotated classes hold a
+// util::Mutex instead; it wraps std::mutex 1:1 and satisfies
+// BasicLockable/Lockable, which keeps std::condition_variable_any usable
+// for waiting.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md, "Thread-safety annotations"):
+//  - every mutable member shared across threads is MN_GUARDED_BY(mutex_);
+//  - private helpers that expect the lock held are MN_REQUIRES(mutex_);
+//  - public entry points that take the lock are MN_EXCLUDES(mutex_);
+//  - scoped locking uses util::MutexLock (an MN_SCOPED_CAPABILITY), not
+//    std::lock_guard/std::unique_lock, inside annotated classes;
+//  - condition waits use explicit `while (!pred) cv_.wait(mutex_);`
+//    loops — the predicate-lambda overloads hide guarded reads in a
+//    lambda body the analysis treats as a separate unlocked function.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MN_THREAD_ANNOTATION
+#define MN_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define MN_CAPABILITY(x) MN_THREAD_ANNOTATION(capability(x))
+#define MN_SCOPED_CAPABILITY MN_THREAD_ANNOTATION(scoped_lockable)
+#define MN_GUARDED_BY(x) MN_THREAD_ANNOTATION(guarded_by(x))
+#define MN_PT_GUARDED_BY(x) MN_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MN_ACQUIRED_BEFORE(...) MN_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MN_ACQUIRED_AFTER(...) MN_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define MN_REQUIRES(...) MN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MN_REQUIRES_SHARED(...) \
+  MN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define MN_ACQUIRE(...) MN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MN_ACQUIRE_SHARED(...) \
+  MN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define MN_RELEASE(...) MN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MN_RELEASE_SHARED(...) \
+  MN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define MN_TRY_ACQUIRE(...) MN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MN_EXCLUDES(...) MN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MN_ASSERT_CAPABILITY(x) MN_THREAD_ANNOTATION(assert_capability(x))
+#define MN_RETURN_CAPABILITY(x) MN_THREAD_ANNOTATION(lock_returned(x))
+#define MN_NO_THREAD_SAFETY_ANALYSIS MN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace mnsim::util {
+
+// std::mutex with a capability the Clang analysis can track. Lockable
+// (lock/unlock/try_lock), so it works as the lock argument of
+// std::condition_variable_any::wait.
+class MN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MN_ACQUIRE() { m_.lock(); }
+  void unlock() MN_RELEASE() { m_.unlock(); }
+  bool try_lock() MN_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+// RAII guard over util::Mutex; the scoped-capability attribute tells the
+// analysis the capability is held from construction to destruction.
+class MN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) MN_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() MN_RELEASE() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace mnsim::util

@@ -217,7 +217,7 @@ TEST(CheckpointFormat, HeaderAndRecordRoundTrip) {
 }
 
 TEST(CheckpointFormat, RejectsForeignAndEmptyFiles) {
-  for (const std::string text :
+  for (const std::string& text :
        {std::string(""), std::string("not a checkpoint\n"),
         std::string("{\"json\": 1}\n")}) {
     try {

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "sim/json_report.hpp"
 #include "spice/mna.hpp"
+#include "util/parallel.hpp"
 
 namespace mnsim::obs {
 namespace {
@@ -91,6 +93,56 @@ TEST(Metrics, TextFormatListsEveryMetric) {
   EXPECT_NE(text.find("nn.mc_draws"), std::string::npos);
   EXPECT_NE(text.find("sweep.progress"), std::string::npos);
   EXPECT_NE(text.find("spice.linear_residual"), std::string::npos);
+}
+
+// First integer after `key` in a format_text block (strtol skips the
+// padding between the metric name and its value).
+long value_after(const std::string& text, const std::string& key) {
+  const std::size_t pos = text.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::strtol(text.c_str() + pos + key.size(), nullptr, 10);
+}
+
+// Regression for the torn format_text snapshot: it used to copy the
+// counter, gauge and histogram maps via three separate lock
+// acquisitions, so a rendered block could pair a counter with a
+// histogram from a different instant. With the single-lock snapshot()
+// the invariant below is exact: pre-registration puts the histogram one
+// observation ahead, and the writer bumps the counter *before* observing
+// into the histogram, so every rendered block must satisfy
+// hist.count - 1 <= counter <= hist.count, no matter when the render
+// lands relative to the writer.
+TEST(Metrics, FormatTextSnapshot) {
+  Registry reg;
+  reg.add("pair.count", 0);     // pre-register both metrics so every
+  reg.observe("pair.obs", 0.0);  // render has both lines to compare
+  constexpr long kWrites = 2000;
+
+  util::ThreadPool pool(3);
+  pool.for_each_index(3, [&](std::size_t task, std::size_t) {
+    if (task == 0) {
+      for (long i = 0; i < kWrites; ++i) {
+        reg.add("pair.count");
+        reg.observe("pair.obs", 1.0);
+      }
+    } else {
+      for (int i = 0; i < 200; ++i) {
+        const std::string text = reg.format_text();
+        const long counter = value_after(text, "pair.count");
+        const std::size_t hist_pos = text.find("pair.obs");
+        ASSERT_NE(hist_pos, std::string::npos);
+        const long observed =
+            value_after(text.substr(hist_pos), "count");
+        ASSERT_GE(counter, observed - 1);
+        ASSERT_LE(counter, observed);
+      }
+    }
+  });
+
+  // Quiescent render agrees with the accessors exactly.
+  const std::string text = reg.format_text();
+  EXPECT_EQ(value_after(text, "pair.count"), kWrites);
+  EXPECT_EQ(reg.histograms().at("pair.obs").count, kWrites + 1);
 }
 
 // The absorption contract: solve_dc publishes its SolverDiagnostics into

@@ -5,8 +5,13 @@ Each test drives the analyzer as a subprocess over a fixture mini-repo
 (compile database + src tree + catalogue) with the tokens backend, so
 the tests run in any environment the repo builds in. Covered contract:
 finding detection, both escape placements, the mandatory escape reason,
-the baseline lifecycle (write, honor, go-stale), SARIF output shape, and
-the --mn-codes-out map that tools/lint.py rule 3 delegates to.
+the baseline lifecycle (write, honor, go-stale), SARIF output shape
+(including exact endColumn spans and per-rule helpUri), the
+--mn-codes-out map that tools/lint.py rule 3 delegates to, the
+--thread-uses-out map rule 6 delegates to, and the three concurrency
+rules (parallel-capture, raw-thread, atomic-order) — the latter under
+every available backend, since both backends run the shared token
+implementations of those rules.
 """
 from __future__ import annotations
 
@@ -20,6 +25,14 @@ import unittest
 REPO = pathlib.Path(__file__).resolve().parents[2]
 ANALYZE = REPO / "tools" / "analyze"
 
+sys.path.insert(0, str(ANALYZE))
+import rules_clang  # noqa: E402
+
+# The concurrency rules are token implementations shared by both
+# backends; exercising them under clang too proves the driver routes
+# them identically. Skipped (not failed) where libclang is absent.
+BACKENDS = ["tokens"] + (["clang"] if rules_clang.available() else [])
+
 FP_VIOLATION = (
     "double pick(double a, double b) {\n"
     "  if (a == b) return a;\n"
@@ -29,6 +42,8 @@ FP_VIOLATION = (
 
 
 class AnalyzeFixture(unittest.TestCase):
+    """Mini-repo fixture; the test classes below add the cases."""
+
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
         self.addCleanup(self._tmp.cleanup)
@@ -52,7 +67,9 @@ class AnalyzeFixture(unittest.TestCase):
         )
         db.write_text(json.dumps(entries))
 
-    def run_analyze(self, *extra: str) -> subprocess.CompletedProcess:
+    def run_analyze(
+        self, *extra: str, backend: str = "tokens"
+    ) -> subprocess.CompletedProcess:
         return subprocess.run(
             [
                 sys.executable,
@@ -62,7 +79,7 @@ class AnalyzeFixture(unittest.TestCase):
                 "--repo",
                 str(self.repo),
                 "--backend",
-                "tokens",
+                backend,
                 "--baseline",
                 "baseline.json",
                 *extra,
@@ -71,6 +88,7 @@ class AnalyzeFixture(unittest.TestCase):
             text=True,
         )
 
+class CoreContract(AnalyzeFixture):
     def test_fp_equality_violation_fails_the_gate(self):
         self.add_source("src/numeric/demo.cpp", FP_VIOLATION)
         proc = self.run_analyze()
@@ -184,6 +202,227 @@ class AnalyzeFixture(unittest.TestCase):
         proc = self.run_analyze("-p", "no-such-dir")
         self.assertEqual(proc.returncode, 2)
         self.assertIn("no compile database", proc.stderr)
+
+
+RAW_THREAD = (
+    "void spawn() {\n"
+    "  std::thread worker([] {});\n"
+    "  worker.join();\n"
+    "}\n"
+)
+
+RAW_ASYNC = (
+    "int run();\n"
+    "void go() {\n"
+    "  auto f = std::async(run);\n"
+    "  f.get();\n"
+    "}\n"
+)
+
+ATOMIC_ORDER = (
+    "std::atomic<bool> flag{false};\n"
+    "void request_stop() {\n"
+    "  flag.store(true, std::memory_order_relaxed);\n"
+    "}\n"
+)
+
+PAR_CAPTURE = (
+    "void sweep(int n) {\n"
+    "  int total = 0;\n"
+    "  parallel_map(0, n, [&](std::size_t i, std::size_t) {\n"
+    "    total += static_cast<int>(i);\n"
+    "  });\n"
+    "}\n"
+)
+
+PAR_WORKER_SLOTS = (
+    "void sweep(std::vector<double>& slots, int n) {\n"
+    "  parallel_map(0, n, [&](std::size_t i, std::size_t worker) {\n"
+    "    slots[worker] += static_cast<double>(i);\n"
+    "  });\n"
+    "}\n"
+)
+
+
+class ConcurrencyRules(AnalyzeFixture):
+    """The three rules that complement the Clang -Wthread-safety gate.
+
+    Every case runs under each available backend: the concurrency rules
+    are shared token implementations, so backend choice must not change
+    their verdicts.
+    """
+
+    def assert_each_backend(self, source: str, *, rel: str, rule: str,
+                            line: int | None) -> None:
+        """line=None asserts clean; otherwise one finding of `rule` there."""
+        self.add_source(rel, source)
+        for backend in BACKENDS:
+            with self.subTest(backend=backend):
+                proc = self.run_analyze(backend=backend)
+                if line is None:
+                    self.assertEqual(
+                        proc.returncode, 0, proc.stdout + proc.stderr
+                    )
+                else:
+                    self.assertEqual(
+                        proc.returncode, 1, proc.stdout + proc.stderr
+                    )
+                    self.assertIn(f"{rel}:{line}", proc.stdout)
+                    self.assertIn(rule, proc.stdout)
+
+    def test_raw_thread_construction_is_flagged(self):
+        self.assert_each_backend(
+            RAW_THREAD, rel="src/dse/fixture.cpp", rule="raw-thread", line=2
+        )
+
+    def test_raw_async_is_flagged(self):
+        self.assert_each_backend(
+            RAW_ASYNC, rel="src/dse/fixture.cpp", rule="raw-thread", line=3
+        )
+
+    def test_raw_thread_escape_is_honored(self):
+        self.assert_each_backend(
+            RAW_THREAD.replace(
+                "  std::thread worker",
+                "  // mnsim-analyze: allow(raw-thread, fixture supervisor)\n"
+                "  std::thread worker",
+            ),
+            rel="src/dse/fixture.cpp",
+            rule="raw-thread",
+            line=None,
+        )
+
+    def test_raw_thread_allowed_inside_the_pool(self):
+        # util::ThreadPool is where threads are *supposed* to live.
+        self.assert_each_backend(
+            RAW_THREAD, rel="src/util/parallel.cpp", rule="raw-thread",
+            line=None,
+        )
+
+    def test_atomic_order_explicit_ordering_is_flagged(self):
+        self.assert_each_backend(
+            ATOMIC_ORDER, rel="src/util/fixture.hpp", rule="atomic-order",
+            line=3,
+        )
+
+    def test_atomic_order_scoped_enumerator_form_is_flagged(self):
+        self.assert_each_backend(
+            ATOMIC_ORDER.replace(
+                "std::memory_order_relaxed", "std::memory_order::relaxed"
+            ),
+            rel="src/util/fixture.hpp",
+            rule="atomic-order",
+            line=3,
+        )
+
+    def test_atomic_order_escape_is_honored(self):
+        self.assert_each_backend(
+            ATOMIC_ORDER.replace(
+                "  flag.store",
+                "  // mnsim-analyze: allow(atomic-order, standalone flag, "
+                "no payload)\n"
+                "  flag.store",
+            ),
+            rel="src/util/fixture.hpp",
+            rule="atomic-order",
+            line=None,
+        )
+
+    def test_atomic_order_default_ordering_is_clean(self):
+        self.assert_each_backend(
+            "std::atomic<bool> flag{false};\n"
+            "void request_stop() { flag.store(true); }\n",
+            rel="src/util/fixture.hpp",
+            rule="atomic-order",
+            line=None,
+        )
+
+    def test_parallel_capture_shared_write_is_flagged(self):
+        self.assert_each_backend(
+            PAR_CAPTURE, rel="src/nn/fixture.cpp", rule="parallel-capture",
+            line=4,
+        )
+
+    def test_parallel_capture_worker_slot_idiom_is_clean(self):
+        self.assert_each_backend(
+            PAR_WORKER_SLOTS, rel="src/nn/fixture.cpp",
+            rule="parallel-capture", line=None,
+        )
+
+    def test_parallel_capture_escape_is_honored(self):
+        self.assert_each_backend(
+            PAR_CAPTURE.replace(
+                "    total +=",
+                "    // mnsim-analyze: allow(parallel-capture, fixture: "
+                "serialized elsewhere)\n"
+                "    total +=",
+            ),
+            rel="src/nn/fixture.cpp",
+            rule="parallel-capture",
+            line=None,
+        )
+
+    def test_concurrency_rules_baseline_lifecycle(self):
+        self.add_source("src/util/fixture.hpp", ATOMIC_ORDER)
+        wrote = self.run_analyze("--write-baseline", "pre-annotation site")
+        self.assertEqual(wrote.returncode, 0, wrote.stdout + wrote.stderr)
+        honored = self.run_analyze()
+        self.assertEqual(honored.returncode, 0, honored.stdout + honored.stderr)
+        self.assertIn("1 baselined", honored.stderr)
+        # Dropping the explicit ordering makes the entry stale: the gate
+        # demands the baseline shrink with the fix.
+        (self.repo / "src/util/fixture.hpp").write_text(
+            ATOMIC_ORDER.replace(", std::memory_order_relaxed", "")
+        )
+        stale = self.run_analyze()
+        self.assertEqual(stale.returncode, 1)
+        self.assertIn("stale baseline", stale.stdout)
+
+    def test_concurrency_rules_are_listed(self):
+        proc = self.run_analyze("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("parallel-capture", "raw-thread", "atomic-order"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_sarif_exact_span_and_help_uri(self):
+        self.add_source("src/util/fixture.hpp", ATOMIC_ORDER)
+        sarif_path = self.repo / "report.sarif"
+        self.run_analyze("--sarif", str(sarif_path))
+        report = json.loads(sarif_path.read_text())
+        driver = report["runs"][0]["tool"]["driver"]
+        by_id = {r["id"]: r for r in driver["rules"]}
+        for rule in ("parallel-capture", "raw-thread", "atomic-order"):
+            self.assertEqual(
+                by_id[rule]["helpUri"], f"docs/STATIC_ANALYSIS.md#{rule}"
+            )
+        (result,) = report["runs"][0]["results"]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        # Exact token span: the annotation must cover precisely
+        # `memory_order_relaxed`, not a one-column fallback stub.
+        self.assertEqual(
+            region["endColumn"] - region["startColumn"],
+            len("memory_order_relaxed"),
+        )
+
+    def test_thread_uses_out_map(self):
+        # The delegation contract for lint.py rule 6: construction
+        # sites, keyed by file, even when escaped in the source (the map
+        # is diagnosis, not a gate).
+        self.add_source(
+            "src/dse/fixture.cpp",
+            RAW_THREAD.replace(
+                "  std::thread worker",
+                "  // mnsim-analyze: allow(raw-thread, fixture supervisor)\n"
+                "  std::thread worker",
+            ),
+        )
+        map_path = self.repo / "thread_uses.json"
+        proc = self.run_analyze("--thread-uses-out", str(map_path))
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        payload = json.loads(map_path.read_text())
+        self.assertEqual(list(payload["uses"]), ["src/dse/fixture.cpp"])
+        (site,) = payload["uses"]["src/dse/fixture.cpp"]
+        self.assertEqual(site.split(":")[0], "3")
 
 
 if __name__ == "__main__":

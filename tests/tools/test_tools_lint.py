@@ -3,8 +3,10 @@
 
 Covers the escape machinery (same-line, previous-line, file-start, CRLF,
 block comments), each per-file rule against fixture sources, the
-diagnostic-catalogue sync in both directions, and the --mn-codes
-delegation contract (valid map, malformed map, comment-only codes).
+diagnostic-catalogue sync in both directions, and both analyzer
+delegation contracts: --mn-codes (rule 3: valid map, malformed map,
+comment-only codes) and --thread-uses (rule 6: construction sites cited
+in the finding, dead-include diagnosis, malformed map).
 """
 from __future__ import annotations
 
@@ -178,6 +180,97 @@ class ChronoAndOfstreamRules(FixtureFileMixin, unittest.TestCase):
             escaped,
         )
         self.assertEqual(escaped, [])
+
+
+class ThreadIncludeRule(FixtureFileMixin, unittest.TestCase):
+    def run_rule(
+        self,
+        text: str,
+        rel: str = "src/dse/fixture.cpp",
+        thread_uses: dict[str, list[str]] | None = None,
+    ) -> list[str]:
+        findings: list[str] = []
+        lint.check_thread_include(
+            self.fixture("f.cpp", text), rel, findings, thread_uses
+        )
+        return findings
+
+    def test_thread_and_future_includes_flagged(self):
+        for header in ("thread", "future"):
+            findings = self.run_rule(f"#include <{header}>\n")
+            self.assertEqual(len(findings), 1, header)
+            self.assertIn("thread-include", findings[0])
+            self.assertIn(f"<{header}>", findings[0])
+
+    def test_src_util_and_tests_exempt(self):
+        for rel in ("src/util/parallel.hpp", "tests/test_x.cpp"):
+            self.assertEqual(
+                self.run_rule("#include <thread>\n", rel=rel), [], rel
+            )
+
+    def test_same_and_previous_line_escapes(self):
+        self.assertEqual(
+            self.run_rule(
+                "#include <thread>  // lint: allow-thread-include(watchdog)\n"
+            ),
+            [],
+        )
+        self.assertEqual(
+            self.run_rule(
+                "// lint: allow-thread-include(watchdog)\n"
+                "#include <thread>\n"
+            ),
+            [],
+        )
+
+    def test_delegated_map_cites_construction_sites(self):
+        findings = self.run_rule(
+            "#include <thread>\n",
+            thread_uses={"src/dse/fixture.cpp": ["7:3", "41:10"]},
+        )
+        self.assertEqual(len(findings), 1)
+        self.assertIn("src/dse/fixture.cpp:7:3", findings[0])
+        self.assertIn("src/dse/fixture.cpp:41:10", findings[0])
+
+    def test_delegated_map_diagnoses_dead_include(self):
+        findings = self.run_rule("#include <thread>\n", thread_uses={})
+        self.assertEqual(len(findings), 1)
+        self.assertIn("may be dead", findings[0])
+
+    def test_without_map_points_at_the_analyzer(self):
+        findings = self.run_rule("#include <thread>\n")
+        self.assertEqual(len(findings), 1)
+        self.assertIn("tools/analyze --rules raw-thread", findings[0])
+
+
+class ThreadUseMap(FixtureFileMixin, unittest.TestCase):
+    def test_valid_map_loads(self):
+        path = self.fixture(
+            "uses.json",
+            '{"generator": "mnsim-analyze 1.0", "backend": "tokens",'
+            ' "uses": {"src/dse/shard.cpp": ["60:36", "124:8"]}}\n',
+        )
+        self.assertEqual(
+            lint.load_thread_uses(path),
+            {"src/dse/shard.cpp": ["60:36", "124:8"]},
+        )
+
+    def test_malformed_json_raises(self):
+        path = self.fixture("bad.json", "not json\n")
+        with self.assertRaises(ValueError):
+            lint.load_thread_uses(path)
+
+    def test_missing_uses_mapping_raises(self):
+        path = self.fixture("empty.json", '{"backend": "tokens"}\n')
+        with self.assertRaises(ValueError):
+            lint.load_thread_uses(path)
+
+    def test_non_list_sites_raise(self):
+        path = self.fixture(
+            "wrong.json", '{"uses": {"src/a.cpp": "60:36"}}\n'
+        )
+        with self.assertRaises(ValueError):
+            lint.load_thread_uses(path)
 
 
 class DiagnosticCatalogue(FixtureFileMixin, unittest.TestCase):

@@ -3,9 +3,12 @@
 
 Run as `python3 tools/analyze` from the repo root (or anywhere, with
 --repo). The compile database defines the analyzed translation-unit set;
-six rules guard the invariants that keep the simulator's numbers
-trustworthy (see docs/STATIC_ANALYSIS.md for the catalogue and the
-escape/baseline workflow).
+nine rules guard the invariants that keep the simulator's numbers
+trustworthy — numeric hygiene, diagnostic-code integrity, and the
+concurrency discipline (parallel-capture / raw-thread / atomic-order)
+that complements the Clang -Wthread-safety capability annotations (see
+docs/STATIC_ANALYSIS.md for the catalogue and the escape/baseline
+workflow).
 
 Backends:
   clang   libclang (clang.cindex) semantic AST — real operand types.
@@ -121,6 +124,10 @@ def run(argv: list[str]) -> int:
     parser.add_argument("--mn-codes-out", default=None,
                         help="write the extracted MN-* code map (JSON) "
                              "for tools/lint.py delegation")
+    parser.add_argument("--thread-uses-out", default=None,
+                        help="write the raw-thread construction-site map "
+                             "(JSON) for tools/lint.py thread-include "
+                             "delegation")
     parser.add_argument("--list-rules", action="store_true")
     parser.add_argument("--version", action="version",
                         version=f"mnsim-analyze {VERSION}")
@@ -239,6 +246,26 @@ def run(argv: list[str]) -> int:
             "codes": {code: f"{rel}:{line}"
                       for code, (rel, line, _c) in sorted(
                           emitted_codes.items())},
+        }, indent=2) + "\n")
+
+    if args.thread_uses_out:
+        # Raw construction sites (std::thread/jthread/async), escaped or
+        # not: lint.py's thread-include rule cites them as diagnosis, so
+        # an escaped-but-present use must still appear here.
+        import json
+        uses: dict[str, list[str]] = {}
+        for rel in sorted(contexts):
+            if not rules_tokens.rule_applies("raw-thread", rel):
+                continue
+            sites = [f"{f.line}:{f.col}" for f in
+                     rules_tokens.PER_FILE_CHECKS["raw-thread"](
+                         contexts[rel])]
+            if sites:
+                uses[rel] = sites
+        pathlib.Path(args.thread_uses_out).write_text(json.dumps({
+            "generator": f"mnsim-analyze {VERSION}",
+            "backend": backend,
+            "uses": uses,
         }, indent=2) + "\n")
 
     baseline_path = repo / args.baseline

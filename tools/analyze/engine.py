@@ -38,6 +38,9 @@ class Finding:
     col: int
     message: str
     line_text: str = ""  # the source line, for fingerprints and reports
+    # One-past-the-end column of the flagged token, for exact-span SARIF
+    # regions (endColumn). 0 = unknown; exporters fall back to col + 1.
+    end_col: int = 0
     baselined: bool = False
 
     def location(self) -> str:

@@ -13,10 +13,11 @@ semantic types:
                        VAR_DECL initializer types
 
 The other rules (swallowed-exception, lock-discipline, unseeded-rng,
-mn-code-extraction) operate on constructs where the exact token stream
-is already authoritative; the shared implementations in rules_tokens run
-over every file the TUs pull in, so both backends agree on them by
-construction.
+mn-code-extraction, and the concurrency trio parallel-capture /
+raw-thread / atomic-order) operate on constructs where the exact token
+stream is already authoritative; the shared implementations in
+rules_tokens run over every file the TUs pull in, so both backends
+agree on them by construction.
 
 This module must import cleanly on machines without libclang: call
 available() before use. CI installs python3-clang + libclang; the

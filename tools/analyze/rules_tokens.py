@@ -12,9 +12,19 @@ Rule catalogue (see docs/STATIC_ANALYSIS.md for the workflow):
   fp-equality          == / != with a floating operand in the numeric core
   quantity-narrowing   double -> float/int at physical-value boundaries
   swallowed-exception  catch blocks that eat errors silently
-  lock-discipline      bare mutex.lock(), raw/detached std::thread
+  lock-discipline      bare mutex.lock(), thread.detach()
   unseeded-rng         RNG engines constructed without an explicit seed
   mn-code-extraction   MN-* codes in string literals vs DIAGNOSTICS.md
+  parallel-capture     unguarded mutable shared capture in a pool lambda
+  raw-thread           std::thread/std::async outside src/util/parallel
+  atomic-order         explicit memory_order arguments need a written why
+
+The three concurrency rules cover what Clang's -Wthread-safety pass
+cannot see (capture discipline, thread provenance, ordering rationale);
+the capability annotations in src/util/thread_safety.hpp cover lock/
+data associations. Both backends run these token implementations — the
+libclang backend upgrades only the type-sensitive rules — so the two
+backends agree on concurrency findings by construction.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ from __future__ import annotations
 import dataclasses
 import re
 
-from cpptok import Token, match_forward
+from cpptok import Token, match_backward, match_forward
 from engine import Finding
 
 # ---- rule metadata -----------------------------------------------------------
@@ -44,8 +54,9 @@ RULE_DOCS: dict[str, str] = {
         "vanish silently"
     ),
     "lock-discipline": (
-        "bare mutex.lock() without an RAII guard, raw std::thread, or "
-        "thread.detach() outside src/util/parallel"
+        "bare mutex.lock() without an RAII guard, or thread.detach(), "
+        "outside src/util/parallel; locks are held by scope "
+        "(util::MutexLock), threads stay joinable and owned"
     ),
     "unseeded-rng": (
         "RNG engine constructed without an explicit seed outside "
@@ -54,6 +65,24 @@ RULE_DOCS: dict[str, str] = {
     "mn-code-extraction": (
         "MN-* diagnostic codes in string literals must match "
         "docs/DIAGNOSTICS.md exactly, in both directions"
+    ),
+    "parallel-capture": (
+        "a parallel_map/for_each_index lambda mutates a by-reference "
+        "capture that is not worker-slot indexed, locally declared, "
+        "atomic, or behind a lock guard; shared writes from pool tasks "
+        "break the determinism contract (util/parallel.hpp)"
+    ),
+    "raw-thread": (
+        "direct std::thread/std::jthread/std::async outside "
+        "src/util/parallel; run work on the bounded pool "
+        "(util::parallel_map) so thread counts, shutdown, and "
+        "determinism stay centralized"
+    ),
+    "atomic-order": (
+        "explicit std::memory_order argument; weaker-than-seq_cst "
+        "orderings are correctness claims — justify each with "
+        "`mnsim-analyze: allow(atomic-order, <why>)` or drop the "
+        "argument for the sequentially-consistent default"
     ),
     "malformed-escape": (
         "mnsim-analyze: allow(...) escape without a written reason"
@@ -66,9 +95,17 @@ RULE_SCOPE: dict[str, tuple[tuple[str, ...] | None, tuple[str, ...]]] = {
     "fp-equality": (("src/numeric/", "src/spice/", "src/accuracy/"), ()),
     "quantity-narrowing": (("src/",), ()),
     "swallowed-exception": (("src/",), ()),
-    "lock-discipline": (("src/",), ("src/util/parallel.",)),
+    # thread_safety.hpp implements the annotated lock primitives (its
+    # Mutex::lock() forwards to std::mutex::lock), so the lock rule
+    # cannot apply to it, same as the pool itself.
+    "lock-discipline": (
+        ("src/",), ("src/util/parallel.", "src/util/thread_safety.")
+    ),
     "unseeded-rng": (("src/",), ("src/util/",)),
     "mn-code-extraction": (("src/",), ()),
+    "parallel-capture": (("src/",), ("src/util/parallel.",)),
+    "raw-thread": (("src/",), ("src/util/parallel.",)),
+    "atomic-order": (("src/",), ()),
 }
 
 
@@ -438,9 +475,10 @@ def check_lock_discipline(ctx: FileContext) -> list[Finding]:
                 message=(
                     "bare .lock(); an exception (or early return) between "
                     "lock() and unlock() leaks the mutex — use "
-                    "std::lock_guard / std::scoped_lock / std::unique_lock"
+                    "util::MutexLock (annotated classes) or std::lock_guard"
                 ),
                 line_text=ctx.line_text(toks[i + 1].line),
+                end_col=toks[i + 1].col + len("lock"),
             ))
         if (t.kind == "punct" and t.text in (".", "->")
                 and toks[i + 1].kind == "id" and toks[i + 1].text == "detach"
@@ -456,31 +494,387 @@ def check_lock_discipline(ctx: FileContext) -> list[Finding]:
                     "and owned (util/parallel.hpp)"
                 ),
                 line_text=ctx.line_text(toks[i + 1].line),
+                end_col=toks[i + 1].col + len("detach"),
             ))
-        # std::thread / std::jthread construction
-        if (t.kind == "id" and t.text == "std" and toks[i + 1].text == "::"
-                and toks[i + 2].kind == "id"
-                and toks[i + 2].text in ("thread", "jthread")):
-            after = toks[i + 3] if i + 3 < len(toks) else None
-            if after is not None and after.text != "::":
-                # a type use: declaration, temporary, or template arg —
-                # template args (vector<std::thread>) are container
-                # *storage*, which only the pool owns; flag construction.
-                if after.kind == "id" or after.text in ("(", "{"):
-                    findings.append(Finding(
-                        rule="lock-discipline",
-                        path=ctx.relpath,
-                        line=toks[i + 2].line,
-                        col=toks[i + 2].col,
-                        message=(
-                            "raw std::thread outside src/util/parallel; "
-                            "run work on the bounded pool "
-                            "(util::parallel_map) so thread counts, "
-                            "shutdown, and determinism stay centralized"
-                        ),
-                        line_text=ctx.line_text(toks[i + 2].line),
-                    ))
+        # Raw thread *construction* moved to the raw-thread rule in its
+        # own right (provenance, not lock hygiene) — see check_raw_thread.
     return findings
+
+
+# ---- rule: raw-thread --------------------------------------------------------
+
+
+def check_raw_thread(ctx: FileContext) -> list[Finding]:
+    """std::thread/std::jthread type uses and std::async calls.
+
+    Thread provenance is centralized in util::ThreadPool: ad-hoc threads
+    bypass the [parallel] Threads knob, the deterministic scheduling
+    contract, and pool shutdown. Template args (vector<std::thread>) are
+    container *storage*, which only the pool owns — still flagged, since
+    storage outside the pool implies construction outside the pool.
+    """
+    findings: list[Finding] = []
+    toks = ctx.tokens
+
+    def flag(tok: Token, what: str, advice: str) -> None:
+        findings.append(Finding(
+            rule="raw-thread",
+            path=ctx.relpath,
+            line=tok.line,
+            col=tok.col,
+            message=f"{what} outside src/util/parallel; {advice}",
+            line_text=ctx.line_text(tok.line),
+            end_col=tok.col + len(tok.text),
+        ))
+
+    for i in range(len(toks) - 2):
+        t = toks[i]
+        if not (t.kind == "id" and t.text == "std"
+                and toks[i + 1].text == "::"):
+            continue
+        name = toks[i + 2]
+        after = toks[i + 3] if i + 3 < len(toks) else None
+        if name.kind == "id" and name.text in ("thread", "jthread"):
+            # `std::thread::id` etc. is a nested-name use, not a thread.
+            if after is not None and after.text != "::":
+                if after.kind == "id" or after.text in ("(", "{"):
+                    flag(name, f"raw std::{name.text}",
+                         "run work on the bounded pool "
+                         "(util::parallel_map) so thread counts, "
+                         "shutdown, and determinism stay centralized")
+        elif name.kind == "id" and name.text == "async":
+            if after is not None and after.text == "(":
+                flag(name, "std::async",
+                     "its launch policy and thread lifetime are "
+                     "implementation-defined; use util::parallel_map "
+                     "for compute, or a pool task for background work")
+    return findings
+
+
+# ---- rule: atomic-order ------------------------------------------------------
+
+_MEMORY_ORDERS = frozenset({
+    "memory_order_relaxed", "memory_order_consume", "memory_order_acquire",
+    "memory_order_release", "memory_order_acq_rel", "memory_order_seq_cst",
+})
+_MEMORY_ORDER_MEMBERS = frozenset({
+    "relaxed", "consume", "acquire", "release", "acq_rel", "seq_cst",
+})
+
+
+def check_atomic_order(ctx: FileContext) -> list[Finding]:
+    """Every explicit memory_order argument is a finding by design.
+
+    A non-default ordering is a proof obligation the compiler cannot
+    check; the rule forces each site to carry a reviewed justification
+    (escape or baseline). Spelling out seq_cst is flagged too: it either
+    means the default (drop it) or documents a subtle fence (say why).
+    """
+    findings: list[Finding] = []
+    toks = ctx.tokens
+
+    def flag(tok: Token, order: str, end: int) -> None:
+        findings.append(Finding(
+            rule="atomic-order",
+            path=ctx.relpath,
+            line=tok.line,
+            col=tok.col,
+            message=(
+                f"explicit {order}: relaxed/acquire/release orderings "
+                f"are unverified correctness claims — justify with "
+                f"`mnsim-analyze: allow(atomic-order, <why>)` or use "
+                f"the sequentially-consistent default"
+            ),
+            line_text=ctx.line_text(tok.line),
+            end_col=end,
+        ))
+
+    for i, t in enumerate(toks):
+        if t.kind != "id":
+            continue
+        if t.text in _MEMORY_ORDERS:
+            flag(t, f"std::{t.text}", t.col + len(t.text))
+        elif (t.text == "memory_order" and i + 2 < len(toks)
+                and toks[i + 1].text == "::"
+                and toks[i + 2].kind == "id"
+                and toks[i + 2].text in _MEMORY_ORDER_MEMBERS):
+            flag(t, f"std::memory_order::{toks[i + 2].text}",
+                 toks[i + 2].col + len(toks[i + 2].text))
+    return findings
+
+
+# ---- rule: parallel-capture --------------------------------------------------
+
+_PAR_ENTRY_POINTS = frozenset({"parallel_map", "for_each_index"})
+# Mutating container/stream methods. Deliberately excludes read-mostly
+# accessors; a miss here is a false negative, never a false positive.
+_MUTATOR_METHODS = frozenset({
+    "push_back", "emplace_back", "pop_back", "insert", "emplace", "erase",
+    "clear", "append", "push", "pop", "resize", "assign", "store",
+})
+_COMPOUND_ASSIGN = frozenset({
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+})
+# RAII guard types: a guard constructed earlier in the lambda body makes
+# later writes lock-protected. Flow-insensitive on purpose — the Clang
+# -Wthread-safety pass owns the exact lock-region analysis; this rule
+# only has to catch writes with no locking story at all.
+_GUARD_TYPES = frozenset({
+    "lock_guard", "scoped_lock", "unique_lock", "shared_lock", "MutexLock",
+})
+_DECL_STOPWORDS = frozenset({
+    "return", "throw", "new", "delete", "else", "do", "goto", "case",
+    "typename", "template", "operator", "public", "private", "protected",
+    "break", "continue",
+})
+
+
+def _collect_atomic_names(tokens: list[Token]) -> frozenset[str]:
+    """Names declared as std::atomic<...> anywhere in the file."""
+    names: set[str] = set()
+    for i, t in enumerate(tokens):
+        if not (t.kind == "id" and t.text == "atomic"):
+            continue
+        if i + 1 < len(tokens) and tokens[i + 1].text == "<":
+            try:
+                close = match_forward(tokens, i + 1, "<", ">")
+            except IndexError:
+                continue
+            j = close + 1
+            if j < len(tokens) and tokens[j].kind == "id":
+                names.add(tokens[j].text)
+    return frozenset(names)
+
+
+def _body_declared_names(body: list[Token]) -> set[str]:
+    """Names plausibly *declared* inside the lambda body.
+
+    An identifier directly preceded by another identifier (its type), or
+    by `&`/`*`/`&&` (reference/pointer declarator, range-for bindings),
+    is treated as a local declaration. C++ gives adjacent identifiers no
+    other legal meaning at statement scope, so the approximation errs
+    toward false negatives for this rule's purposes (a name wrongly
+    marked declared is a missed finding, not a false alarm).
+    """
+    declared: set[str] = set()
+    for k in range(1, len(body)):
+        t = body[k]
+        if t.kind != "id" or t.text in _DECL_STOPWORDS:
+            continue
+        prev = body[k - 1]
+        if prev.kind == "id" and prev.text not in _DECL_STOPWORDS:
+            declared.add(t.text)
+        elif prev.kind == "punct" and prev.text in ("&", "*", "&&", ">"):
+            # `double& v : row`, `Foo* p = ...`, `vector<T> name`
+            declared.add(t.text)
+        elif (prev.kind == "punct" and prev.text == ","
+                and k >= 2 and body[k - 2].kind == "id"
+                and body[k - 2].text in declared):
+            # Multi-declarator statements: `vector<M> clean, faulted;`.
+            # Overshoots onto call arguments (`f(a, b)` marks b if a is
+            # declared) — a false *negative* for this rule, per the
+            # err-toward-silence policy above.
+            declared.add(t.text)
+    return declared
+
+
+def _target_root(toks: list[Token], end: int,
+                 start: int) -> tuple[Token | None, list[Token]]:
+    """Root identifier and subscript tokens of the postfix chain ending
+    just before token index `end`, never scanning left of `start`.
+
+    `caches[worker].hits` -> (caches, [worker]); `a.b.c` -> (a, []);
+    anything ending in `)` (call results) gives up with (None, [])."""
+    subs: list[Token] = []
+    j = end - 1
+    root: Token | None = None
+    while j >= start:
+        t = toks[j]
+        if t.kind == "punct" and t.text == "]":
+            try:
+                open_b = match_backward(toks, j, "[", "]")
+            except IndexError:
+                return None, []
+            if open_b <= start:
+                return None, []
+            subs.extend(toks[open_b + 1:j])
+            j = open_b - 1
+        elif t.kind == "id":
+            root = t
+            if j - 1 >= start and toks[j - 1].kind == "punct" \
+                    and toks[j - 1].text in (".", "->"):
+                j -= 2  # member access: keep walking to the receiver
+            else:
+                break
+        else:
+            return None, []  # `(expr).x`, `get().x`, literals, ...
+    return root, subs
+
+
+def check_parallel_capture(ctx: FileContext) -> list[Finding]:
+    """Mutable shared captures inside pool-task lambdas.
+
+    For every lambda passed to parallel_map/for_each_index with a
+    by-reference capture, flag writes (assignment, compound assignment,
+    ++/--, mutating method calls) whose target is a captured name that
+    is not (a) declared inside the lambda, (b) a lambda parameter,
+    (c) subscripted by a lambda parameter (the worker-slot / out[index]
+    idiom), (d) declared std::atomic, or (e) preceded by an RAII lock
+    guard in the body. Internally-synchronized objects take a reasoned
+    `allow(parallel-capture, ...)` escape.
+    """
+    findings: list[Finding] = []
+    toks = ctx.tokens
+    atomics = _collect_atomic_names(toks)
+
+    for i, t in enumerate(toks):
+        if not (t.kind == "id" and t.text in _PAR_ENTRY_POINTS):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        try:
+            call_close = match_forward(toks, i + 1, "(", ")")
+        except IndexError:
+            continue
+        # Lambda introducers among the call arguments: a `[` directly
+        # after `(` or `,` can only start a lambda capture list.
+        j = i + 1
+        while j < call_close:
+            if not (toks[j].kind == "punct" and toks[j].text == "["
+                    and toks[j - 1].text in ("(", ",")):
+                j += 1
+                continue
+            j = _scan_lambda(ctx, toks, j, atomics, findings)
+    return findings
+
+
+def _scan_lambda(ctx: FileContext, toks: list[Token], lb: int,
+                 atomics: frozenset[str], findings: list[Finding]) -> int:
+    """Analyze the lambda whose capture list opens at toks[lb]; returns
+    the index to resume the caller's scan at."""
+    try:
+        cap_close = match_forward(toks, lb, "[", "]")
+    except IndexError:
+        return lb + 1
+
+    # Parse the capture list: default `&`, named `&x` refs.
+    default_ref = False
+    by_ref: set[str] = set()
+    k = lb + 1
+    while k < cap_close:
+        t = toks[k]
+        if t.kind == "punct" and t.text == "&":
+            nxt = toks[k + 1]
+            if nxt.kind == "id":
+                by_ref.add(nxt.text)
+                k += 2
+                continue
+            default_ref = True
+        k += 1
+    if not default_ref and not by_ref:
+        return cap_close + 1  # by-value / empty capture: nothing shared
+
+    # Parameter names (worker-slot evidence for subscripted writes).
+    params: set[str] = set()
+    p = cap_close + 1
+    body_open = None
+    if p < len(toks) and toks[p].text == "(":
+        try:
+            p_close = match_forward(toks, p, "(", ")")
+        except IndexError:
+            return cap_close + 1
+        chunk_last_id: Token | None = None
+        depth = 0
+        for q in range(p + 1, p_close):
+            tq = toks[q]
+            if tq.kind == "punct":
+                if tq.text in ("(", "[", "{", "<"):
+                    depth += 1
+                elif tq.text in (")", "]", "}", ">"):
+                    depth -= 1
+                elif tq.text == "," and depth == 0:
+                    if chunk_last_id is not None:
+                        params.add(chunk_last_id.text)
+                    chunk_last_id = None
+                continue
+            if tq.kind == "id" and depth == 0:
+                chunk_last_id = tq
+        if chunk_last_id is not None:
+            params.add(chunk_last_id.text)
+        p = p_close + 1
+    # Skip specifiers (mutable, noexcept, -> Ret) to the body brace; a
+    # long gap means this isn't a lambda shape we recognize.
+    limit = p + 12
+    while p < min(limit, len(toks)) and toks[p].text != "{":
+        p += 1
+    if p >= len(toks) or toks[p].text != "{":
+        return cap_close + 1
+    body_open = p
+    try:
+        body_close = match_forward(toks, body_open, "{", "}")
+    except IndexError:
+        return cap_close + 1
+    body = toks[body_open + 1:body_close]
+    declared = _body_declared_names(body) | params
+
+    guard_at: list[int] = [
+        bi for bi, bt in enumerate(body)
+        if bt.kind == "id" and bt.text in _GUARD_TYPES
+    ]
+
+    def is_safe(root: Token | None, subs: list[Token], at: int) -> bool:
+        if root is None:
+            return True  # could not resolve: stay silent
+        if root.text in declared or root.text in atomics:
+            return True
+        if any(s.kind == "id" and s.text in params for s in subs):
+            return True  # worker-slot / out[index] idiom
+        if any(g < at for g in guard_at):
+            return True  # a lock guard precedes the write
+        if not default_ref and root.text not in by_ref:
+            return True  # not captured by reference
+        return False
+
+    def flag(root: Token, how: str) -> None:
+        findings.append(Finding(
+            rule="parallel-capture",
+            path=ctx.relpath,
+            line=root.line,
+            col=root.col,
+            message=(
+                f"pool-task lambda {how} by-reference capture "
+                f"`{root.text}` with no worker-slot index, atomic, or "
+                f"lock guard; concurrent tasks race on it — index by "
+                f"the lambda's worker/index parameter, make it atomic, "
+                f"or guard it (see util/parallel.hpp's determinism "
+                f"contract)"
+            ),
+            line_text=ctx.line_text(root.line),
+            end_col=root.col + len(root.text),
+        ))
+
+    for bi, bt in enumerate(body):
+        if bt.kind != "punct":
+            continue
+        if bt.text == "=" or bt.text in _COMPOUND_ASSIGN:
+            root, subs = _target_root(body, bi, 0)
+            if not is_safe(root, subs, bi):
+                flag(root, f"writes (`{bt.text}`) the")
+        elif bt.text in ("++", "--"):
+            if bi + 1 < len(body) and body[bi + 1].kind == "id":
+                root, subs = body[bi + 1], []
+            else:
+                root, subs = _target_root(body, bi, 0)
+            if not is_safe(root, subs, bi):
+                flag(root, f"mutates (`{bt.text}`) the")
+        elif (bt.text in (".", "->") and bi + 2 < len(body)
+                and body[bi + 1].kind == "id"
+                and body[bi + 1].text in _MUTATOR_METHODS
+                and body[bi + 2].text == "("):
+            root, subs = _target_root(body, bi, 0)
+            if not is_safe(root, subs, bi):
+                flag(root, f"calls `{body[bi + 1].text}()` on the")
+    return body_close + 1
 
 
 # ---- rule: unseeded-rng ------------------------------------------------------
@@ -570,4 +964,7 @@ PER_FILE_CHECKS = {
     "swallowed-exception": check_swallowed_exception,
     "lock-discipline": check_lock_discipline,
     "unseeded-rng": check_unseeded_rng,
+    "parallel-capture": check_parallel_capture,
+    "raw-thread": check_raw_thread,
+    "atomic-order": check_atomic_order,
 }

@@ -17,6 +17,15 @@ from rules_tokens import RULE_DOCS
 SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
           "Schemata/sarif-schema-2.1.0.json")
 
+# Rule documentation anchors; code-scanning UIs surface helpUri as the
+# "learn more" link on each annotation. Repo-relative like
+# informationUri: the docs travel with the commit being annotated.
+DOCS_URI = "docs/STATIC_ANALYSIS.md"
+
+
+def rule_help_uri(rule: str) -> str:
+    return f"{DOCS_URI}#{rule}"
+
 
 def render(findings: list[Finding], *, backend: str,
            tool_version: str) -> str:
@@ -25,6 +34,7 @@ def render(findings: list[Finding], *, backend: str,
         {
             "id": rule,
             "shortDescription": {"text": doc},
+            "helpUri": rule_help_uri(rule),
             "defaultConfiguration": {"level": "error"},
         }
         for rule, doc in sorted(RULE_DOCS.items())
@@ -45,6 +55,11 @@ def render(findings: list[Finding], *, backend: str,
                     "region": {
                         "startLine": f.line,
                         "startColumn": f.col,
+                        # Exact token span when the rule recorded one;
+                        # the col+1 fallback still satisfies viewers
+                        # that require endColumn > startColumn.
+                        "endColumn": f.end_col if f.end_col > f.col
+                        else f.col + 1,
                     },
                 }
             }],

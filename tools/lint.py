@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """MNSIM custom lints, run by the CI static-analysis job (and locally).
 
-Five rules, all guarding invariants the compiler cannot see on its own:
+Six rules, all guarding invariants the compiler cannot see on its own:
 
 1. raw-double-physical-param
    Headers in src/tech and src/circuit must not declare new raw-`double`
@@ -51,6 +51,20 @@ Five rules, all guarding invariants the compiler cannot see on its own:
    is silently dropped unless every caller remembers to check it.
    Escape: `// lint: allow-raw-ofstream(<why>)` on the same or previous
    line. Benches and tests are exempt (scratch output, failure paths).
+
+6. thread-include
+   `#include <thread>` / `#include <future>` are forbidden in src/
+   outside src/util/. Concurrency goes through util::ThreadPool
+   (src/util/parallel.hpp): a bare std::thread bypasses the pool's
+   deterministic slicing, error aggregation, and the MN_* capability
+   annotations the Clang thread-safety gate checks. Detailed diagnosis
+   of *construction* sites belongs to the analyzer's `raw-thread` rule;
+   with `--thread-uses <json>` (the map written by `mnsim-analyze
+   --thread-uses-out`) the finding cites the analyzer's token-exact
+   construction sites instead of just the include line — the same
+   delegation shape rule 3 uses for MN-* codes.
+   Escape: `// lint: allow-thread-include(<why>)` on the same or
+   previous line.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -219,6 +233,76 @@ def check_raw_ofstream(path: pathlib.Path, rel: str, findings: list[str]) -> Non
             )
 
 
+# ---- rule 6: <thread>/<future> includes outside src/util --------------------
+
+THREAD_INCLUDE = re.compile(r"#\s*include\s*<(?P<header>thread|future)>")
+THREAD_INCLUDE_ALLOW = re.compile(r"lint:\s*allow-thread-include")
+
+
+def load_thread_uses(path: pathlib.Path) -> dict[str, list[str]]:
+    """raw-thread use map exported by `mnsim-analyze --thread-uses-out`.
+
+    Maps repo-relative file -> ["line:col", ...] construction sites
+    (std::thread / std::jthread / std::async), extracted token-exactly,
+    so the finding can point at the construct the include feeds instead
+    of the include line alone. Raises ValueError on a malformed map so
+    the driver exits 2 rather than silently linting with no sites.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ValueError(f"cannot read thread-use map {path}: {err}") from None
+    uses = payload.get("uses") if isinstance(payload, dict) else None
+    if not isinstance(uses, dict) or not all(
+        isinstance(k, str)
+        and isinstance(v, list)
+        and all(isinstance(s, str) for s in v)
+        for k, v in uses.items()
+    ):
+        raise ValueError(
+            f"malformed thread-use map {path}: expected an object with a "
+            f'"uses" mapping of file -> ["line:col", ...] '
+            f"(regenerate with `python3 tools/analyze --thread-uses-out`)"
+        )
+    return {k: list(v) for k, v in uses.items()}
+
+
+def check_thread_include(
+    path: pathlib.Path,
+    rel: str,
+    findings: list[str],
+    thread_uses: dict[str, list[str]] | None = None,
+) -> None:
+    if not rel.startswith("src/") or rel.startswith("src/util/"):
+        return
+    text = path.read_text()
+    covered = escape_covered_lines(text, THREAD_INCLUDE_ALLOW)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = THREAD_INCLUDE.search(line)
+        if not m or lineno in covered:
+            continue
+        if thread_uses is None:
+            detail = (
+                "run `python3 tools/analyze --rules raw-thread` for the "
+                "construction sites this include feeds"
+            )
+        else:
+            sites = thread_uses.get(rel, [])
+            detail = (
+                "the analyzer's raw-thread rule sees construction at "
+                + ", ".join(f"{rel}:{s}" for s in sites)
+                if sites
+                else "the analyzer's raw-thread rule sees no construction "
+                "site in this file — the include may be dead"
+            )
+        findings.append(
+            f"{rel}:{lineno}: thread-include: <{m.group('header')}> outside "
+            f"src/util/; concurrency goes through util::ThreadPool "
+            f"(src/util/parallel.hpp) or carries "
+            f"`// lint: allow-thread-include(<why>)`; {detail}"
+        )
+
+
 # ---- rule 3: diagnostic codes vs docs/DIAGNOSTICS.md ------------------------
 
 DIAG_CODE = re.compile(r"\bMN-[A-Z]{2,4}-\d{3}\b")
@@ -307,12 +391,29 @@ def main(argv: list[str]) -> int:
         "extraction instead of re-grepping src/ (which also matches "
         "codes in comments)",
     )
+    parser.add_argument(
+        "--thread-uses",
+        metavar="JSON",
+        default=None,
+        help="raw-thread use map exported by `mnsim-analyze "
+        "--thread-uses-out`; when given, rule 6 cites the analyzer's "
+        "token-exact std::thread/std::async construction sites in its "
+        "finding instead of the include line alone",
+    )
     args = parser.parse_args(argv)
 
     emitted: dict[str, str] | None = None
     if args.mn_codes:
         try:
             emitted = load_analyzer_codes(pathlib.Path(args.mn_codes))
+        except ValueError as err:
+            print(f"lint.py: {err}", file=sys.stderr)
+            return 2
+
+    thread_uses: dict[str, list[str]] | None = None
+    if args.thread_uses:
+        try:
+            thread_uses = load_thread_uses(pathlib.Path(args.thread_uses))
         except ValueError as err:
             print(f"lint.py: {err}", file=sys.stderr)
             return 2
@@ -336,6 +437,7 @@ def main(argv: list[str]) -> int:
         check_rng(path, rel, findings)
         check_raw_chrono(path, rel, findings)
         check_raw_ofstream(path, rel, findings)
+        check_thread_include(path, rel, findings, thread_uses)
 
     # Global rule: run over the whole tree, not per-file, so a stale
     # catalogue entry is caught even when linting a single file.

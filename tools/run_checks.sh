@@ -7,10 +7,10 @@
 #   tools/run_checks.sh --fpe      # same, with the FPE tripwire armed
 #   tools/run_checks.sh --no-build # reuse ./build as-is (fast re-lint)
 #
-# Steps that need tools this machine lacks (clang-tidy, cppcheck) are
-# skipped with a notice, never silently: the analyzer and lint.py are
-# dependency-free and always run, so the repo-specific gates cannot be
-# skipped anywhere.
+# Steps that need tools this machine lacks (clang-tidy, cppcheck, the
+# clang++ -Wthread-safety leg) are skipped with a notice, never
+# silently: the analyzer and lint.py are dependency-free and always
+# run, so the repo-specific gates cannot be skipped anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,16 +39,28 @@ fi
 step "ctest (C++ suite + tooling suites + compile-fail harness)"
 (cd build && ctest --output-on-failure -j "$(nproc)") || failures=$((failures+1))
 
-step "mnsim-analyze (semantic rules, SARIF + MN-code map)"
+step "mnsim-analyze (semantic rules, SARIF + MN-code + thread-use maps)"
 python3 tools/analyze -p build --backend auto \
   --sarif build/mnsim-analyze.sarif \
-  --mn-codes-out build/mn_codes.json || failures=$((failures+1))
+  --mn-codes-out build/mn_codes.json \
+  --thread-uses-out build/thread_uses.json || failures=$((failures+1))
 
-step "tools/lint.py (rule 3 delegated to the analyzer code map)"
-if [ -f build/mn_codes.json ]; then
-  python3 tools/lint.py --mn-codes build/mn_codes.json || failures=$((failures+1))
+step "tools/lint.py (rules 3 and 6 delegated to the analyzer maps)"
+if [ -f build/mn_codes.json ] && [ -f build/thread_uses.json ]; then
+  python3 tools/lint.py --mn-codes build/mn_codes.json \
+    --thread-uses build/thread_uses.json || failures=$((failures+1))
 else
   python3 tools/lint.py || failures=$((failures+1))
+fi
+
+step "clang -Wthread-safety (MN_* capability annotations)"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsafety -S . -DMNSIM_WERROR=ON \
+    -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-tsafety -j "$(nproc)" || failures=$((failures+1))
+else
+  echo "clang++ not installed; skipping (CI still runs it)"
+  skipped+=(clang-thread-safety)
 fi
 
 step "clang-tidy"

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   mnsim_cli <network.ini> [config.ini] [--dse [error%]] [--pipeline]
-//             [--dump-netlist <path>] [--nvsim <path>]
+//             [--cycle] [--dump-netlist <path>] [--nvsim <path>]
 //   mnsim_cli check [--json <path>] [--werror] <file>...
 //   mnsim_cli sweep [<network.ini>] [config.ini] [--shard i/N]
 //             [--checkpoint <path>] [--resume] [--deadline <ms>]
@@ -16,6 +16,10 @@
 //                 error constraint in percent, default 25) before the
 //                 single-design simulation
 //   --pipeline    additionally print the inter-layer pipeline analysis
+//   --cycle       additionally run the cycle-level dataflow engine
+//                 against the [cycle] scratchpad/bandwidth model and
+//                 print the stall decomposition (docs/PERFORMANCE.md);
+//                 [cycle] Enabled in the config does the same
 //   --floorplan   additionally print the physical floorplan estimate
 //   --validate-mc additionally run the functional Monte-Carlo validation
 //                 of the simulated design's accuracy envelope
@@ -47,6 +51,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -338,6 +343,7 @@ int main(int argc, char** argv) {
     nn::Network net;
     arch::AcceleratorConfig cfg;
     bool want_dse = false;
+    bool want_cycle = false;
     bool want_pipeline = false;
     bool want_floorplan = false;
     bool want_validate_mc = false;
@@ -366,6 +372,8 @@ int main(int argc, char** argv) {
           constraint = std::atof(argv[++i]) / 100.0;
       } else if (arg == "--pipeline") {
         want_pipeline = true;
+      } else if (arg == "--cycle") {
+        want_cycle = true;
       } else if (arg == "--floorplan") {
         want_floorplan = true;
       } else if (arg == "--validate-mc") {
@@ -436,11 +444,21 @@ int main(int argc, char** argv) {
     if (trace_path.empty() && (want_trace || cfg.trace_enabled))
       trace_path = "trace.json";
 
+    // --cycle arms the engine exactly like [cycle] Enabled; DSE points
+    // then pick up the stall/traffic metrics too.
+    if (want_cycle) cfg.cycle_enabled = true;
+
     int exit_code = 0;
     if (want_dse && !run_dse(net, cfg, constraint)) exit_code = 1;
 
     const auto report = sim::simulate(net, cfg);
     std::fputs(sim::format_report(net, report).c_str(), stdout);
+
+    std::optional<arch::CycleSimResult> cycles;
+    if (cfg.cycle_enabled) {
+      cycles = arch::simulate_cycles(report, cfg);
+      std::fputs(sim::format_cycle_report(*cycles).c_str(), stdout);
+    }
 
     if (want_validate_mc) run_validate_mc(net, cfg, report);
 
@@ -474,7 +492,10 @@ int main(int argc, char** argv) {
     }
     if (!json_path.empty()) {
       try {
-        util::atomic_write_file(json_path, sim::report_to_json(net, report));
+        util::atomic_write_file(
+            json_path,
+            sim::report_to_json(net, report,
+                                cycles ? &*cycles : nullptr));
         std::printf("wrote JSON report to %s\n", json_path.c_str());
       } catch (const std::exception& e) {
         std::fprintf(stderr, "cannot write %s: %s\n", json_path.c_str(),

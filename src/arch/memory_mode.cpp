@@ -1,5 +1,7 @@
 #include "arch/memory_mode.hpp"
 
+#include <algorithm>
+
 #include "arch/computation_unit.hpp"
 #include "circuit/adc.hpp"
 #include "circuit/crossbar.hpp"
@@ -7,6 +9,10 @@
 #include "circuit/write_circuit.hpp"
 
 namespace mnsim::arch {
+
+double write_select_overhead(double driver_latency, double write_pulse) {
+  return std::max(driver_latency - write_pulse, 0.0);
+}
 
 MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
                                       int input_bits, int weight_bits) {
@@ -49,7 +55,8 @@ MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
   circuit::ProgramVerifyModel verify;
   verify.device = device;
   rep.row_write_latency =
-      driver.ppa().latency - device.write_latency.value() +  // select path
+      write_select_overhead(driver.ppa().latency,
+                            device.write_latency.value()) +
       verify.row_program_time(size).value();
   // Average-case pulse energy across columns at the harmonic-mean state,
   // with the expected pulses of a mid-range transition.

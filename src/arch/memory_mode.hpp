@@ -37,6 +37,13 @@ struct MemoryModeReport {
   long cells_per_compute = 0;
 };
 
+// Select-path overhead of one row write: the driver latency already
+// contains one device write pulse, so the pulse is subtracted to isolate
+// the decode/level-shift path. Slow-write devices (pulse > driver
+// latency) clamp at zero — the program-and-verify term carries the
+// pulses, and a negative overhead would understate the row latency.
+double write_select_overhead(double driver_latency, double write_pulse);
+
 // Evaluates one crossbar of `config.crossbar_size` in both modes.
 MemoryModeReport simulate_memory_mode(const AcceleratorConfig& config,
                                       int input_bits = 8,

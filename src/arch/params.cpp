@@ -148,6 +148,35 @@ AcceleratorConfig AcceleratorConfig::from_config(const util::Config& cfg) {
   c.sweep_max_attempts = static_cast<int>(
       cfg.get_int_or("sweep.Max_Attempts", c.sweep_max_attempts));
 
+  // [cycle] section (docs/PERFORMANCE.md).
+  c.cycle_enabled = cfg.get_bool_or("cycle.Enabled", c.cycle_enabled);
+  if (cfg.has("cycle.Dataflow")) {
+    const std::string flow = cfg.get_string("cycle.Dataflow");
+    const auto parsed = parse_dataflow(flow);
+    if (!parsed)
+      throw util::ConfigError(
+          "cycle.Dataflow must be weight_stationary, input_stationary or "
+          "output_stationary, got " + flow);
+    c.cycle_dataflow = *parsed;
+  }
+  if (cfg.has("cycle.Fill_Policy")) {
+    const std::string policy = cfg.get_string("cycle.Fill_Policy");
+    const auto parsed = parse_fill_policy(policy);
+    if (!parsed)
+      throw util::ConfigError(
+          "cycle.Fill_Policy must be prefetch or demand, got " + policy);
+    c.cycle_fill_policy = *parsed;
+  }
+  c.cycle_ifmap_kb = cfg.get_double_or("cycle.Ifmap_KB", c.cycle_ifmap_kb);
+  c.cycle_filter_kb = cfg.get_double_or("cycle.Filter_KB", c.cycle_filter_kb);
+  c.cycle_ofmap_kb = cfg.get_double_or("cycle.Ofmap_KB", c.cycle_ofmap_kb);
+  c.cycle_bandwidth_gbps =
+      cfg.get_double_or("cycle.Bandwidth_GBps", c.cycle_bandwidth_gbps);
+  c.cycle_clock_ghz =
+      cfg.get_double_or("cycle.Clock_GHz", c.cycle_clock_ghz);
+  c.cycle_max_events =
+      cfg.get_int_or("cycle.Max_Events", c.cycle_max_events);
+
   // [trace] section (docs/OBSERVABILITY.md).
   c.trace_enabled = cfg.get_bool_or("trace.Enabled", c.trace_enabled);
   if (cfg.has("trace.Output"))
@@ -184,6 +213,17 @@ void AcceleratorConfig::validate() const {
       sweep_shard_index >= sweep_shard_count)
     throw std::invalid_argument(
         "AcceleratorConfig: sweep shard must satisfy 0 <= index < count");
+  if (!(cycle_ifmap_kb > 0) || !(cycle_filter_kb > 0) ||
+      !(cycle_ofmap_kb > 0))
+    throw std::invalid_argument(
+        "AcceleratorConfig: cycle scratchpad sizes must be positive");
+  if (!(cycle_bandwidth_gbps > 0))
+    throw std::invalid_argument(
+        "AcceleratorConfig: cycle bandwidth must be positive");
+  if (!(cycle_clock_ghz >= 0))
+    throw std::invalid_argument("AcceleratorConfig: cycle clock");
+  if (cycle_max_events < 0)
+    throw std::invalid_argument("AcceleratorConfig: cycle event cap");
   if (!(sweep_deadline_ms >= 0))
     throw std::invalid_argument("AcceleratorConfig: sweep deadline");
   if (sweep_max_attempts < 1)

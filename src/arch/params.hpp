@@ -10,6 +10,7 @@
 // configuration file via from_config.
 #pragma once
 
+#include "arch/scratchpad.hpp"
 #include "circuit/adc.hpp"
 #include "circuit/neuron.hpp"
 #include "fault/fault_model.hpp"
@@ -96,6 +97,24 @@ struct AcceleratorConfig {
   bool sweep_resume = false;
   double sweep_deadline_ms = 0.0;
   int sweep_max_attempts = 2;
+
+  // Cycle-level dataflow simulation ([cycle] section;
+  // docs/PERFORMANCE.md): Enabled arms the tile-granular engine
+  // (arch/cycle_sim.*) behind `sim --cycle` and the DSE stall/traffic
+  // objectives. Dataflow picks the resident operand, Fill_Policy chooses
+  // prefetch vs demand ifmap fills, the _KB keys size the per-bank
+  // scratchpads, Bandwidth_GBps bounds each bank's backing store, and
+  // Clock_GHz pins the cycle clock (0 = auto: the shortest pass spans
+  // kAutoCyclesPerPass cycles). Max_Events caps the recorded timeline.
+  bool cycle_enabled = false;
+  Dataflow cycle_dataflow = Dataflow::kWeightStationary;
+  FillPolicy cycle_fill_policy = FillPolicy::kPrefetch;
+  double cycle_ifmap_kb = 32.0;
+  double cycle_filter_kb = 256.0;
+  double cycle_ofmap_kb = 32.0;
+  double cycle_bandwidth_gbps = 8.0;
+  double cycle_clock_ghz = 0.0;
+  long cycle_max_events = 256;
 
   // Observability ([trace] section; docs/OBSERVABILITY.md): Enabled turns
   // the obs::Tracer on for the run, Output names the Chrome-trace JSON

@@ -25,8 +25,12 @@ PipelineReport analyze_pipeline(const AcceleratorReport& report) {
       busiest = work;
       pipe.bottleneck_bank = static_cast<int>(b);
     }
+    // A bank cannot warm up for more passes than it runs: clamp so
+    // warmup-heavier-than-iterations banks (tiny feature maps with large
+    // line buffers) don't inflate the first-sample latency.
     pipe.fill_latency +=
-        static_cast<double>(bank.warmup_passes) * bank.pass_latency;
+        static_cast<double>(std::min(bank.warmup_passes, bank.iterations)) *
+        bank.pass_latency;
   }
   pipe.sample_interval = busiest;
   pipe.throughput = busiest > 0 ? 1.0 / busiest : 0.0;

@@ -1,0 +1,82 @@
+#include "arch/scratchpad.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mnsim::arch {
+
+const char* dataflow_name(Dataflow dataflow) {
+  switch (dataflow) {
+    case Dataflow::kWeightStationary:
+      return "weight_stationary";
+    case Dataflow::kInputStationary:
+      return "input_stationary";
+    case Dataflow::kOutputStationary:
+      return "output_stationary";
+  }
+  throw std::logic_error("dataflow_name: unreachable");
+}
+
+const char* fill_policy_name(FillPolicy policy) {
+  switch (policy) {
+    case FillPolicy::kPrefetch:
+      return "prefetch";
+    case FillPolicy::kDemand:
+      return "demand";
+  }
+  throw std::logic_error("fill_policy_name: unreachable");
+}
+
+std::optional<Dataflow> parse_dataflow(std::string_view name) {
+  if (name == "weight_stationary" || name == "ws")
+    return Dataflow::kWeightStationary;
+  if (name == "input_stationary" || name == "is")
+    return Dataflow::kInputStationary;
+  if (name == "output_stationary" || name == "os")
+    return Dataflow::kOutputStationary;
+  return std::nullopt;
+}
+
+std::optional<FillPolicy> parse_fill_policy(std::string_view name) {
+  if (name == "prefetch") return FillPolicy::kPrefetch;
+  if (name == "demand") return FillPolicy::kDemand;
+  return std::nullopt;
+}
+
+BackingChannel::BackingChannel(double bytes_per_cycle)
+    : bytes_per_cycle_(bytes_per_cycle) {
+  if (!(bytes_per_cycle > 0))
+    throw std::invalid_argument("BackingChannel: bytes per cycle");
+}
+
+long BackingChannel::transfer(long earliest, double bytes) {
+  if (bytes < 0) throw std::invalid_argument("BackingChannel: bytes");
+  const long start = std::max(earliest, busy_until_);
+  // Every transfer occupies at least one cycle: the bus grant itself is
+  // not free, and a zero-length occupancy would let unbounded traffic
+  // hide inside one cycle.
+  const long duration =
+      std::max<long>(1, static_cast<long>(std::ceil(bytes / bytes_per_cycle_)));
+  busy_until_ = start + duration;
+  busy_cycles_ += duration;
+  return busy_until_;
+}
+
+Scratchpad::Scratchpad(long capacity_tiles) {
+  if (capacity_tiles < 1)
+    throw std::invalid_argument("Scratchpad: capacity must hold one tile");
+  release_.assign(static_cast<std::size_t>(capacity_tiles), 0);
+}
+
+long Scratchpad::slot_free(long tile) const {
+  if (tile < 0) throw std::invalid_argument("Scratchpad: tile");
+  return release_[static_cast<std::size_t>(tile % capacity_tiles())];
+}
+
+void Scratchpad::release(long tile, long cycle) {
+  if (tile < 0) throw std::invalid_argument("Scratchpad: tile");
+  release_[static_cast<std::size_t>(tile % capacity_tiles())] = cycle;
+}
+
+}  // namespace mnsim::arch

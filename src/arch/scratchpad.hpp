@@ -1,0 +1,90 @@
+// Memory-hierarchy building blocks for the cycle-level simulator.
+//
+// The cycle engine (arch/cycle_sim.*) models each computation bank with
+// three scratchpads (ifmap / filter / ofmap) in front of one backing
+// store of bounded bandwidth. This header holds the pieces the engine
+// schedules against:
+//   * Dataflow / FillPolicy — the [cycle] configuration vocabulary
+//     (weight- / input- / output-stationary, prefetch vs demand fills),
+//   * BackingChannel — a bank's backing bus, serializing fill and drain
+//     transfers at a fixed bytes-per-cycle rate,
+//   * Scratchpad — a tile-granular circular buffer: a fill for tile k
+//     may only land once the tile occupying its slot (k - capacity) has
+//     been consumed. Capacity >= 2 makes it a double buffer (fills
+//     overlap compute); capacity 1 degenerates to strict alternation.
+// Everything here works in integer cycles so schedules are exact and
+// bit-identical across thread counts (docs/PERFORMANCE.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnsim::arch {
+
+// Which operand the bank keeps resident across its matrix-vector passes.
+// Weight-stationary is the memristor reality (weights live in the
+// crossbar cells); input-/output-stationary buffer the whole sample's
+// ifmap / ofmap in the scratchpad and trade pipeline overlap for
+// backing-store traffic batching (docs/PERFORMANCE.md).
+enum class Dataflow { kWeightStationary, kInputStationary, kOutputStationary };
+
+// When an ifmap tile's fill transfer may start: prefetch lets fills run
+// ahead of the consuming compute (bounded by the scratchpad capacity);
+// demand starts each fill only once the PE has finished the previous
+// tile, serializing transfer and compute.
+enum class FillPolicy { kPrefetch, kDemand };
+
+[[nodiscard]] const char* dataflow_name(Dataflow dataflow);
+[[nodiscard]] const char* fill_policy_name(FillPolicy policy);
+// Accepts the config spellings ("weight_stationary" / "ws", ...).
+// Returns nullopt for unknown names.
+[[nodiscard]] std::optional<Dataflow> parse_dataflow(std::string_view name);
+[[nodiscard]] std::optional<FillPolicy> parse_fill_policy(
+    std::string_view name);
+
+// One bank's backing bus: transfers are serialized in issue order at a
+// fixed rate, each occupying at least one cycle. Tracks total occupied
+// cycles for the achieved-bandwidth statistics.
+class BackingChannel {
+ public:
+  explicit BackingChannel(double bytes_per_cycle);
+
+  // Schedules a transfer of `bytes` starting no earlier than `earliest`
+  // (and not before the previous transfer finished); returns the cycle
+  // the transfer completes.
+  long transfer(long earliest, double bytes);
+
+  [[nodiscard]] long busy_until() const { return busy_until_; }
+  [[nodiscard]] long busy_cycles() const { return busy_cycles_; }
+
+ private:
+  double bytes_per_cycle_;
+  long busy_until_ = 0;
+  long busy_cycles_ = 0;
+};
+
+// Tile-granular circular scratchpad. Slots are tracked by the cycle the
+// previous occupant was released: a fill targeting tile k reuses the
+// slot of tile k - capacity and must wait for its release.
+class Scratchpad {
+ public:
+  // capacity_tiles must be >= 1 (the engine pre-flights this with
+  // MN-CYC-003 before constructing one).
+  explicit Scratchpad(long capacity_tiles);
+
+  [[nodiscard]] long capacity_tiles() const {
+    return static_cast<long>(release_.size());
+  }
+  // Earliest cycle a fill for `tile` has a free slot (0 for the first
+  // `capacity` tiles).
+  [[nodiscard]] long slot_free(long tile) const;
+  // Records that `tile`'s slot content was consumed / drained at `cycle`.
+  void release(long tile, long cycle);
+
+ private:
+  std::vector<long> release_;
+};
+
+}  // namespace mnsim::arch

@@ -27,13 +27,13 @@ TraceSimResult simulate_trace(const AcceleratorReport& report,
       const auto& bank = report.banks[b];
       if (!(bank.pass_latency >= 0) ||
           !(bank.pass_latency < 1e30)) {  // rejects NaN and overflow
-        diags.emit("MN-TRC-002", check::Severity::kError,
+        diags.emit("MN-TRC-003", check::Severity::kError,
                    "bank " + std::to_string(b) +
                        " has a non-finite or negative pass latency")
             .location = "bank " + std::to_string(b);
       }
       if (bank.iterations < 0) {
-        diags.emit("MN-TRC-002", check::Severity::kError,
+        diags.emit("MN-TRC-004", check::Severity::kError,
                    "bank " + std::to_string(b) +
                        " has a negative iteration count")
             .location = "bank " + std::to_string(b);
@@ -96,7 +96,9 @@ TraceSimResult simulate_trace(const AcceleratorReport& report,
     }
     result.bank_finish[b] = prev_end;
     const double span = result.bank_finish[b] - result.bank_start[b];
-    result.bank_utilization[b] = span > 0 ? result.bank_busy[b] / span : 1.0;
+    // span == 0 means the bank never ran (zero passes): it is idle, not
+    // perfectly utilized.
+    result.bank_utilization[b] = span > 0 ? result.bank_busy[b] / span : 0.0;
     result.makespan = std::max(result.makespan, result.bank_finish[b]);
   }
   return result;

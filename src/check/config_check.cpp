@@ -39,13 +39,16 @@ const std::vector<std::string>& accelerator_keys() {
       "trace.Enabled", "trace.Output", "trace.Metrics",
       "sweep.Checkpoint", "sweep.Shard_Index", "sweep.Shard_Count",
       "sweep.Resume", "sweep.Point_Deadline_Ms", "sweep.Max_Attempts",
+      "cycle.Enabled", "cycle.Dataflow", "cycle.Fill_Policy",
+      "cycle.Ifmap_KB", "cycle.Filter_KB", "cycle.Ofmap_KB",
+      "cycle.Bandwidth_GBps", "cycle.Clock_GHz", "cycle.Max_Events",
   };
   return keys;
 }
 
 const std::vector<std::string>& accelerator_sections() {
   static const std::vector<std::string> sections = {
-      "fault", "solver", "parallel", "check", "trace", "sweep"};
+      "fault", "solver", "parallel", "check", "trace", "sweep", "cycle"};
   return sections;
 }
 
@@ -308,6 +311,32 @@ void accelerator_values(const util::Config& cfg, DiagnosticList& out) {
   bool_key(out, cfg, "sweep.Resume");
   double_range(out, cfg, "sweep.Point_Deadline_Ms", 0.0, 1e9);
   int_range(out, cfg, "sweep.Max_Attempts", 1, 100);
+  bool_key(out, cfg, "cycle.Enabled");
+  if (cfg.has("cycle.Dataflow")) {
+    typed(out, cfg, "cycle.Dataflow", [&] {
+      const std::string v = cfg.get_string("cycle.Dataflow");
+      if (!arch::parse_dataflow(v))
+        value_error(out, cfg, "cycle.Dataflow",
+                    "unknown dataflow '" + v + "'",
+                    "supported: weight_stationary, input_stationary, "
+                    "output_stationary (or ws/is/os)");
+    });
+  }
+  if (cfg.has("cycle.Fill_Policy")) {
+    typed(out, cfg, "cycle.Fill_Policy", [&] {
+      const std::string v = cfg.get_string("cycle.Fill_Policy");
+      if (!arch::parse_fill_policy(v))
+        value_error(out, cfg, "cycle.Fill_Policy",
+                    "unknown fill policy '" + v + "'",
+                    "supported: prefetch, demand");
+    });
+  }
+  double_range(out, cfg, "cycle.Ifmap_KB", 1e-3, 1e6);
+  double_range(out, cfg, "cycle.Filter_KB", 1e-3, 1e6);
+  double_range(out, cfg, "cycle.Ofmap_KB", 1e-3, 1e6);
+  double_range(out, cfg, "cycle.Bandwidth_GBps", 1e-6, 1e6);
+  double_range(out, cfg, "cycle.Clock_GHz", 0.0, 1e3);
+  int_range(out, cfg, "cycle.Max_Events", 0, 1L << 30);
   if (cfg.has("sweep.Shard_Index") && cfg.has("sweep.Shard_Count")) {
     typed(out, cfg, "sweep.Shard_Index", [&] {
       const long index = cfg.get_int("sweep.Shard_Index");

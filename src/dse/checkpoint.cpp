@@ -166,11 +166,14 @@ bool parse_header_payload(const std::string& payload,
 bool parse_record_payload(const std::string& payload,
                           CheckpointRecord& record) {
   const std::vector<std::string> f = split_fields(payload);
-  if (f.size() != 19 || f[0] != "P") return false;
+  // 21 fields since the cycle-level metrics (stall_fraction,
+  // backing_traffic) joined the record; 19-field journals written before
+  // that are still read, with the two metrics defaulting to 0.
+  if ((f.size() != 19 && f.size() != 21) || f[0] != "P") return false;
   int evaluated = 0;
   int feasible = 0;
   auto& d = record.design;
-  const bool ok =
+  bool ok =
       parse_u64(f[1], record.index) &&
       parse_int(f[2], d.point.crossbar_size) &&
       parse_int(f[3], d.point.parallelism) &&
@@ -186,10 +189,13 @@ bool parse_record_payload(const std::string& payload,
       parse_double(f[15], d.metrics.avg_error_rate) &&
       parse_int(f[16], d.metrics.solver_fallbacks) &&
       parse_int(f[17], d.metrics.faults_injected);
+  if (f.size() == 21)
+    ok = ok && parse_double(f[18], d.metrics.stall_fraction) &&
+         parse_double(f[19], d.metrics.backing_traffic);
   if (!ok) return false;
   d.evaluated = evaluated != 0;
   d.feasible = feasible != 0;
-  d.failure = decode_field(f[18]);
+  d.failure = decode_field(f.back());
   return true;
 }
 
@@ -264,6 +270,14 @@ std::uint64_t sweep_fingerprint(const nn::Network& network,
   os << "solver " << num(base.solver_cg_tolerance) << ' '
      << base.solver_cg_max_iterations << ' '
      << (base.solver_allow_fallback ? 1 : 0) << '\n';
+  // The cycle line only appears when the engine is armed: legacy journals
+  // written before the [cycle] section keep their fingerprints.
+  if (base.cycle_enabled)
+    os << "cycle " << static_cast<int>(base.cycle_dataflow) << ' '
+       << static_cast<int>(base.cycle_fill_policy) << ' '
+       << num(base.cycle_ifmap_kb) << ' ' << num(base.cycle_filter_kb) << ' '
+       << num(base.cycle_ofmap_kb) << ' ' << num(base.cycle_bandwidth_gbps)
+       << ' ' << num(base.cycle_clock_ghz) << '\n';
   auto ints = [&os](const char* tag, const std::vector<int>& v) {
     os << tag;
     for (int x : v) os << ' ' << x;
@@ -302,7 +316,8 @@ std::string encode_checkpoint_record(const CheckpointRecord& record) {
      << ' ' << num(d.metrics.power) << ' ' << num(d.metrics.max_error_rate)
      << ' ' << num(d.metrics.avg_error_rate) << ' '
      << d.metrics.solver_fallbacks << ' ' << d.metrics.faults_injected << ' '
-     << encode_field(d.failure);
+     << num(d.metrics.stall_fraction) << ' '
+     << num(d.metrics.backing_traffic) << ' ' << encode_field(d.failure);
   return with_checksum(os.str());
 }
 

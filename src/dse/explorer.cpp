@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "arch/cycle_sim.hpp"
 #include "check/config_check.hpp"
 #include "check/network_check.hpp"
 #include "obs/metrics.hpp"
@@ -25,6 +26,10 @@ double DesignMetrics::objective_value(Objective objective) const {
       return max_error_rate;
     case Objective::kPower:
       return power;
+    case Objective::kStalls:
+      return stall_fraction;
+    case Objective::kTraffic:
+      return backing_traffic;
   }
   throw std::logic_error("objective_value: unreachable");
 }
@@ -66,6 +71,14 @@ EvaluatedDesign evaluate_design(const nn::Network& network,
   out.metrics.solver_fallbacks =
       report.solver.cg_retries + report.solver.lu_fallbacks;
   out.metrics.faults_injected = report.solver.faults_injected;
+  // Cycle-level memory-hierarchy metrics ride along when the engine is
+  // armed; simulate_cycles is deterministic, so the parallel sweep stays
+  // bit-identical.
+  if (cfg.cycle_enabled) {
+    const auto cycles = arch::simulate_cycles(report, cfg);
+    out.metrics.stall_fraction = cycles.stall_fraction;
+    out.metrics.backing_traffic = cycles.backing_traffic_bytes;
+  }
   out.feasible = constraints.admits(out.metrics);
   return out;
 }

@@ -16,7 +16,11 @@
 
 namespace mnsim::dse {
 
-enum class Objective { kArea, kEnergy, kLatency, kAccuracy, kPower };
+// kStalls and kTraffic come from the cycle-level engine and are only
+// populated when `base.cycle_enabled` is set — with the engine off they
+// stay 0 and selecting on them degenerates to area tie-breaking.
+enum class Objective { kArea, kEnergy, kLatency, kAccuracy, kPower,
+                       kStalls, kTraffic };
 
 struct DesignMetrics {
   double area = 0.0;              // [m^2]
@@ -28,6 +32,9 @@ struct DesignMetrics {
   double avg_error_rate = 0.0;    // average digital error (Eq. 14)
   int solver_fallbacks = 0;       // degraded circuit solves (CG retry + LU)
   int faults_injected = 0;        // hard defects injected by the fault model
+  // Cycle-level memory-hierarchy metrics ([cycle] Enabled; 0 otherwise).
+  double stall_fraction = 0.0;    // stall cycles / makespan cycles
+  double backing_traffic = 0.0;   // backing-store bytes per sample
 
   [[nodiscard]] double objective_value(Objective objective) const;
 };

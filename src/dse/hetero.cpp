@@ -29,6 +29,13 @@ double bank_objective(const arch::BankReport& bank, Objective objective) {
       return bank.pass_latency;
     case Objective::kAccuracy:
       return bank.epsilon_worst;
+    case Objective::kStalls:
+    case Objective::kTraffic:
+      // Cycle-level objectives are whole-pipeline properties (a bank's
+      // stalls depend on its neighbours) — no per-bank greedy proxy.
+      throw std::invalid_argument(
+          "optimize_per_bank: stall/traffic objectives need the whole "
+          "pipeline; use explore() with [cycle] Enabled");
   }
   throw std::logic_error("bank_objective: unreachable");
 }

@@ -31,6 +31,12 @@ std::string quote(const std::string& s) {
 
 std::string report_to_json(const nn::Network& network,
                            const arch::AcceleratorReport& report) {
+  return report_to_json(network, report, nullptr);
+}
+
+std::string report_to_json(const nn::Network& network,
+                           const arch::AcceleratorReport& report,
+                           const arch::CycleSimResult* cycles) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"network\": {\"name\": " << quote(network.name)
@@ -129,6 +135,47 @@ std::string report_to_json(const nn::Network& network,
        << (b + 1 < report.banks.size() ? "," : "") << "\n";
   }
   os << "  ]";
+
+  // Cycle-level memory-hierarchy results ([cycle] Enabled). Enums are
+  // emitted as their config spellings; booleans as 0/1 so
+  // parse_json_numbers round-trips the numeric fields.
+  if (cycles != nullptr) {
+    const auto& c = *cycles;
+    os << ",\n  \"cycle\": {\n"
+       << "    \"dataflow\": " << quote(arch::dataflow_name(c.dataflow))
+       << ", \"fill_policy\": " << quote(arch::fill_policy_name(c.fill_policy))
+       << ", \"clock_hz\": " << num(c.clock_hz)
+       << ", \"makespan_cycles\": " << c.makespan_cycles
+       << ", \"makespan_seconds\": " << num(c.makespan_seconds)
+       << ", \"total_tiles\": " << c.total_tiles
+       << ", \"total_busy_cycles\": " << c.total_busy_cycles
+       << ", \"total_stall_cycles\": " << c.total_stall_cycles
+       << ", \"backing_traffic_bytes\": " << num(c.backing_traffic_bytes)
+       << ", \"weight_image_bytes\": " << num(c.weight_image_bytes)
+       << ", \"pe_scheduled_fraction\": " << num(c.pe_scheduled_fraction)
+       << ", \"pe_active_fraction\": " << num(c.pe_active_fraction)
+       << ", \"stall_fraction\": " << num(c.stall_fraction) << ",\n"
+       << "    \"banks\": [\n";
+    for (std::size_t b = 0; b < c.banks.size(); ++b) {
+      const auto& bank = c.banks[b];
+      os << "      {\"tiles\": " << bank.tiles
+         << ", \"compute_cycles_per_tile\": " << bank.compute_cycles_per_tile
+         << ", \"busy_cycles\": " << bank.busy_cycles
+         << ", \"dependency_stall_cycles\": " << bank.dependency_stall_cycles
+         << ", \"fill_stall_cycles\": " << bank.fill_stall_cycles
+         << ", \"drain_stall_cycles\": " << bank.drain_stall_cycles
+         << ", \"idle_cycles\": " << bank.idle_cycles
+         << ", \"utilization\": " << num(bank.utilization)
+         << ", \"ifmap_bytes\": " << num(bank.ifmap_bytes)
+         << ", \"ofmap_bytes\": " << num(bank.ofmap_bytes)
+         << ", \"filter_bytes\": " << num(bank.filter_bytes)
+         << ", \"bus_busy_cycles\": " << bank.bus_busy_cycles
+         << ", \"resident_ifmap\": " << (bank.resident_ifmap ? 1 : 0)
+         << ", \"resident_ofmap\": " << (bank.resident_ofmap ? 1 : 0) << "}"
+         << (b + 1 < c.banks.size() ? "," : "") << "\n";
+    }
+    os << "    ]\n  }";
+  }
 
   // Process-wide observability counters ([trace] Metrics; the registry
   // aggregates across every solve of the run, a superset of the

@@ -135,4 +135,49 @@ std::string format_report(const nn::Network& network,
   return os.str();
 }
 
+std::string format_cycle_report(const arch::CycleSimResult& result) {
+  std::ostringstream os;
+  for (const auto& diag : result.diagnostics) os << diag.render() << "\n";
+
+  util::Table totals("Cycle-level dataflow (" +
+                     std::string(arch::dataflow_name(result.dataflow)) + ", " +
+                     arch::fill_policy_name(result.fill_policy) + " fills)");
+  totals.set_header({"Metric", "Value"});
+  totals.add_row({"Clock (GHz)", util::Table::num(result.clock_hz / 1e9, 4)});
+  totals.add_row({"Makespan (cycles)", std::to_string(result.makespan_cycles)});
+  totals.add_row(
+      {"Makespan (us)", util::Table::num(result.makespan_seconds / us, 4)});
+  totals.add_row({"Tiles scheduled", std::to_string(result.total_tiles)});
+  totals.add_row(
+      {"Compute cycles", std::to_string(result.total_busy_cycles)});
+  totals.add_row({"Stall cycles", std::to_string(result.total_stall_cycles)});
+  totals.add_row({"Stall fraction (%)",
+                  util::Table::num(100 * result.stall_fraction, 2)});
+  totals.add_row({"PE scheduled (%)",
+                  util::Table::num(100 * result.pe_scheduled_fraction, 2)});
+  totals.add_row({"PE active (%)",
+                  util::Table::num(100 * result.pe_active_fraction, 2)});
+  totals.add_row({"Backing traffic (KB)",
+                  util::Table::num(result.backing_traffic_bytes / 1024.0, 1)});
+  totals.add_row({"Weight image (KB)",
+                  util::Table::num(result.weight_image_bytes / 1024.0, 1)});
+  os << totals.str();
+
+  util::Table banks("Per-bank stall decomposition (cycles)");
+  banks.set_header({"Bank", "Tiles", "Busy", "Dep stall", "Fill stall",
+                    "Drain stall", "Bus busy", "Util (%)"});
+  int index = 0;
+  for (const auto& b : result.banks) {
+    banks.add_row({std::to_string(index++), std::to_string(b.tiles),
+                   std::to_string(b.busy_cycles),
+                   std::to_string(b.dependency_stall_cycles),
+                   std::to_string(b.fill_stall_cycles),
+                   std::to_string(b.drain_stall_cycles),
+                   std::to_string(b.bus_busy_cycles),
+                   util::Table::num(100 * b.utilization, 1)});
+  }
+  os << banks.str();
+  return os.str();
+}
+
 }  // namespace mnsim::sim

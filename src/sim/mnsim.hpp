@@ -10,6 +10,7 @@
 #include <string>
 
 #include "arch/accelerator.hpp"
+#include "arch/cycle_sim.hpp"
 #include "nn/topologies.hpp"
 
 namespace mnsim::sim {
@@ -31,5 +32,10 @@ arch::AcceleratorReport simulate(const nn::Network& network,
 // breakdown (area/power/latency/error per computation bank).
 std::string format_report(const nn::Network& network,
                           const arch::AcceleratorReport& report);
+
+// Human-readable cycle-level report ([cycle] Enabled / `sim --cycle`):
+// makespan and PE-occupancy totals followed by the per-bank stall
+// decomposition and scratchpad/bus traffic.
+std::string format_cycle_report(const arch::CycleSimResult& result);
 
 }  // namespace mnsim::sim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "accuracy/read_margin.hpp"
+#include "circuit/write_circuit.hpp"
 
 namespace mnsim::arch {
 namespace {
@@ -60,6 +61,41 @@ TEST(MemoryMode, DeviceChoiceMovesWriteCost) {
   EXPECT_GT(pcm.row_write_latency, 0.1 * rram.row_write_latency);
   EXPECT_LT(pcm.row_write_latency, 10.0 * rram.row_write_latency);
   EXPECT_NE(pcm.row_write_energy, rram.row_write_energy);
+}
+
+TEST(MemoryMode, SlowWriteDeviceClampsSelectOverhead) {
+  // Regression: the select-path overhead subtracts the one device write
+  // pulse the driver latency already contains. For a device whose pulse
+  // dominates the driver model the difference went negative and
+  // understated the row write latency; it clamps at zero now.
+  EXPECT_DOUBLE_EQ(write_select_overhead(2e-9, 1e-9), 1e-9);
+  EXPECT_DOUBLE_EQ(write_select_overhead(1e-9, 100e-9), 0.0);
+  EXPECT_DOUBLE_EQ(write_select_overhead(0.0, 0.0), 0.0);
+}
+
+TEST(MemoryMode, RowWriteNeverUndercutsTheProgramVerifyLoop) {
+  // End-to-end guard for the same bug: whatever the device/driver latency
+  // ordering, one row write can never be cheaper than its program-and-
+  // verify loop alone (the pre-clamp formula violated this whenever the
+  // write pulse exceeded the driver latency).
+  struct Case {
+    const char* model;
+    double r_min, r_max;
+  };
+  for (const Case& c : {Case{"RRAM", 500.0, 500e3},
+                        Case{"PCM", 5e3, 1e6},
+                        Case{"STT-MRAM", 1e3, 3e3}}) {
+    auto cfg = base();
+    cfg.memristor_model = c.model;
+    cfg.resistance_min = c.r_min;
+    cfg.resistance_max = c.r_max;
+    auto rep = simulate_memory_mode(cfg);
+    circuit::ProgramVerifyModel verify;
+    verify.device = cfg.device();
+    EXPECT_GE(rep.row_write_latency,
+              verify.row_program_time(cfg.crossbar_size).value())
+        << c.model;
+  }
 }
 
 }  // namespace

@@ -91,5 +91,46 @@ TEST(Pipeline, EmptyReportThrows) {
   EXPECT_THROW(analyze_pipeline(empty), std::invalid_argument);
 }
 
+TEST(Pipeline, AllZeroWorkReportsZeroThroughput) {
+  // Degenerate but well-formed: banks exist but none has any work. No
+  // bank is a bottleneck, the throughput is zero (not a division blowup),
+  // and every utilization is zero.
+  auto rep = simulate_accelerator(nn::make_mlp({8, 8, 8}), base());
+  for (auto& b : rep.banks) b.iterations = 0;
+  auto pipe = analyze_pipeline(rep);
+  EXPECT_EQ(pipe.bottleneck_bank, -1);
+  EXPECT_DOUBLE_EQ(pipe.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(pipe.sample_interval, 0.0);
+  ASSERT_EQ(pipe.utilization.size(), rep.banks.size());
+  for (double u : pipe.utilization) EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
+TEST(Pipeline, SingleBankPipelineIsItsOwnBottleneck) {
+  auto rep = simulate_accelerator(nn::make_mlp({128, 64}), base());
+  ASSERT_EQ(rep.banks.size(), 1u);
+  auto pipe = analyze_pipeline(rep);
+  EXPECT_EQ(pipe.bottleneck_bank, 0);
+  EXPECT_DOUBLE_EQ(pipe.cycle_time, rep.banks[0].pass_latency);
+  EXPECT_NEAR(pipe.sample_interval,
+              static_cast<double>(rep.banks[0].iterations) *
+                  rep.banks[0].pass_latency,
+              1e-18);
+  ASSERT_EQ(pipe.utilization.size(), 1u);
+  EXPECT_DOUBLE_EQ(pipe.utilization[0], 1.0);
+}
+
+TEST(Pipeline, WarmupHeavierThanIterationsClampsFillLatency) {
+  // Regression: a bank whose line buffer demands more warm-up passes than
+  // it ever runs (tiny feature map, large window) used to inflate the
+  // first-sample latency with passes that never execute. Warm-up now
+  // contributes at most the bank's whole run.
+  auto rep = simulate_accelerator(nn::make_mlp({8, 8, 8}), base());
+  ASSERT_EQ(rep.banks.size(), 2u);
+  rep.banks[0].warmup_passes = 50;  // iterations stays 1
+  auto pipe = analyze_pipeline(rep);
+  EXPECT_NEAR(pipe.fill_latency,
+              rep.banks[0].pass_latency + rep.banks[1].pass_latency, 1e-18);
+}
+
 }  // namespace
 }  // namespace mnsim::arch

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "arch/pipeline.hpp"
 #include "check/diagnostic.hpp"
 #include "nn/topologies.hpp"
@@ -88,6 +90,46 @@ TEST(TraceSim, BusyTimeMatchesPassCounts) {
     EXPECT_NEAR(trace.bank_busy[b],
                 rep.banks[b].iterations * rep.banks[b].pass_latency,
                 1e-12 * trace.bank_busy[b] + 1e-18);
+  }
+}
+
+TEST(TraceSim, ZeroPassBankReportsZeroUtilization) {
+  // Regression: a bank that never runs (zero iterations) has an empty
+  // active window, and busy / span used to collapse to a bogus 1.0 —
+  // an idle bank reported as perfectly utilized.
+  auto rep = simulate_accelerator(nn::make_mlp({8, 8, 8}), base());
+  rep.banks[1].iterations = 0;
+  auto trace = simulate_trace(rep);
+  EXPECT_DOUBLE_EQ(trace.bank_utilization[1], 0.0);
+  EXPECT_DOUBLE_EQ(trace.bank_busy[1], 0.0);
+  EXPECT_EQ(trace.total_passes, 1);
+  // The bank that does run still reports a real utilization.
+  EXPECT_GT(trace.bank_utilization[0], 0.0);
+}
+
+TEST(TraceSim, DistinctCodesForLatencyAndIterationErrors) {
+  // MN-TRC-002 used to cover three unrelated conditions; the bad-latency
+  // and bad-iteration cases now carry their own codes so scripted
+  // triage can tell them apart.
+  auto rep = simulate_accelerator(nn::make_mlp({8, 8}), base());
+  auto bad_latency = rep;
+  bad_latency.banks[0].pass_latency =
+      std::numeric_limits<double>::quiet_NaN();
+  try {
+    simulate_trace(bad_latency);
+    FAIL() << "expected CheckError";
+  } catch (const check::CheckError& e) {
+    EXPECT_TRUE(e.diagnostics().has_code("MN-TRC-003"));
+    EXPECT_FALSE(e.diagnostics().has_code("MN-TRC-002"));
+  }
+  auto bad_iterations = rep;
+  bad_iterations.banks[0].iterations = -4;
+  try {
+    simulate_trace(bad_iterations);
+    FAIL() << "expected CheckError";
+  } catch (const check::CheckError& e) {
+    EXPECT_TRUE(e.diagnostics().has_code("MN-TRC-004"));
+    EXPECT_FALSE(e.diagnostics().has_code("MN-TRC-003"));
   }
 }
 

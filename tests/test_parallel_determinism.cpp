@@ -56,6 +56,9 @@ void expect_identical(const dse::ExplorationResult& a,
     EXPECT_DOUBLE_EQ(da.metrics.avg_error_rate, db.metrics.avg_error_rate);
     EXPECT_EQ(da.metrics.solver_fallbacks, db.metrics.solver_fallbacks);
     EXPECT_EQ(da.metrics.faults_injected, db.metrics.faults_injected);
+    EXPECT_DOUBLE_EQ(da.metrics.stall_fraction, db.metrics.stall_fraction);
+    EXPECT_DOUBLE_EQ(da.metrics.backing_traffic,
+                     db.metrics.backing_traffic);
   }
 }
 
@@ -67,6 +70,36 @@ TEST(ParallelDeterminism, DseSweepMatchesSerial) {
   // The formatted report is a pure function of the result: byte-identical.
   EXPECT_EQ(dse::format_optima_table(serial, "t"),
             dse::format_optima_table(parallel, "t"));
+}
+
+TEST(ParallelDeterminism, DseSweepWithCycleModeMatchesSerial) {
+  // Cycle-mode points additionally run the integer-cycle dataflow engine
+  // inside each parallel task; its schedule is a pure integer function of
+  // the design point, so the stall/traffic metrics must be bit-identical
+  // at any thread count (the sharded-merge contract). A conv network so
+  // banks run many tiles — a single-tile bank can never stall (tile 0's
+  // wait is ramp-up idle by definition).
+  nn::Network net;
+  net.name = "cycle-det-conv";
+  net.input_bits = 8;
+  net.weight_bits = 4;
+  net.layers.push_back(
+      nn::Layer::convolution("conv1", 3, 8, 3, 16, 16, /*padding=*/1));
+  net.layers.push_back(
+      nn::Layer::convolution("conv2", 8, 8, 3, 16, 16, /*padding=*/1));
+  auto make = [](int threads) {
+    auto c = dse_base(threads);
+    c.cycle_enabled = true;
+    c.cycle_bandwidth_gbps = 1e-3;  // starved: fills outlast compute
+    return c;
+  };
+  const auto serial = explore(net, make(1), small_space(), 0.25);
+  const auto parallel = explore(net, make(8), small_space(), 0.25);
+  expect_identical(serial, parallel);
+  bool any_stalls = false;
+  for (const auto& d : serial.designs)
+    if (d.metrics.stall_fraction > 0) any_stalls = true;
+  EXPECT_TRUE(any_stalls);  // the cycle engine actually ran and starved
 }
 
 TEST(ParallelDeterminism, DseSweepWithFaultInjectionMatchesSerial) {

@@ -2,10 +2,11 @@
 """Unit tests for tools/perf_gate.py (ctest: test_tools_perf_gate).
 
 Drives the gate as a subprocess against fixture baselines/results:
-pass, regression, missing workload, unparsable speedup, and the two
-malformed-baseline shapes (invalid JSON, missing "gates" key). The gate
-is the last line of defence for the batched-solver speedups, so its
-failure modes are contract, not incidental behavior.
+pass, regression, missing workload, unparsable speedup, the two
+malformed-baseline shapes (invalid JSON, missing "gates" key), and the
+multi-pair --gate form. The gate is the last line of defence for the
+bench ratio floors, so its failure modes are contract, not incidental
+behavior.
 """
 from __future__ import annotations
 
@@ -53,7 +54,7 @@ class PerfGate(unittest.TestCase):
             self.BASELINE, self.HEADER + "chain64,2.1,1.0,0.48\ngrid32,3.0,2.0,0.66\n"
         )
         self.assertEqual(proc.returncode, 0, proc.stdout)
-        self.assertIn("all solver ratios at or above their floors", proc.stdout)
+        self.assertIn("all gated ratios at or above their floors", proc.stdout)
 
     def test_regressed_ratio_fails(self):
         proc = self.run_gate(
@@ -104,6 +105,59 @@ class PerfGate(unittest.TestCase):
         )
         self.assertEqual(proc.returncode, 1)
         self.assertIn("cannot read bench results", proc.stdout)
+
+    CYCLE_BASELINE = json.dumps({"gates": {"cycle-vs-trace": 0.05}})
+
+    def run_gate_pairs(self, *specs: str) -> subprocess.CompletedProcess:
+        argv = [sys.executable, str(PERF_GATE)]
+        for spec in specs:
+            argv += ["--gate", spec]
+        return subprocess.run(argv, capture_output=True, text=True)
+
+    def pair(self, stem: str, baseline: str, results: str) -> str:
+        return (
+            f"{self.write(stem + '.json', baseline)}"
+            f"={self.write(stem + '.csv', results)}"
+        )
+
+    def test_multiple_pairs_all_pass(self):
+        proc = self.run_gate_pairs(
+            self.pair(
+                "solver",
+                self.BASELINE,
+                self.HEADER + "chain64,2.1,1.0,0.48\ngrid32,3.0,2.0,0.66\n",
+            ),
+            self.pair(
+                "cycle",
+                self.CYCLE_BASELINE,
+                self.HEADER + "cycle-vs-trace,0.19,0.001,0.005\n",
+            ),
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("all gated ratios at or above their floors", proc.stdout)
+
+    def test_one_regressed_pair_fails_the_gate(self):
+        # A regression in any registered bench must fail the whole run,
+        # even when the other pairs are healthy.
+        proc = self.run_gate_pairs(
+            self.pair(
+                "solver",
+                self.BASELINE,
+                self.HEADER + "chain64,2.1,1.0,0.48\ngrid32,3.0,2.0,0.66\n",
+            ),
+            self.pair(
+                "cycle",
+                self.CYCLE_BASELINE,
+                self.HEADER + "cycle-vs-trace,0.01,0.001,0.1\n",
+            ),
+        )
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("FAIL cycle-vs-trace", proc.stdout)
+
+    def test_malformed_gate_spec_fails(self):
+        proc = self.run_gate_pairs("no-equals-sign")
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("malformed --gate", proc.stdout)
 
 
 if __name__ == "__main__":

@@ -1,21 +1,28 @@
 #!/usr/bin/env python3
-"""Solver-performance gate, run by the CI solver-perf job (and locally).
+"""Bench-performance gate, run by the CI solver-perf job (and locally).
 
-Compares the machine-independent speedup ratios reported by
-bench_solver_batch (results/solver_batch.csv: sequential wall-clock over
-batched wall-clock, both measured in the same process on the same host)
-against the floors recorded in BENCH_solver.json under "gates". Ratios
-are gated instead of absolute seconds so the check is meaningful on any
-CI runner; a failure means the batched / structured solver path lost its
-advantage over issuing the same work as independent scalar solves.
+Compares the machine-independent speedup ratios reported by the gated
+benches (same-host wall-clock ratios: reference over measured, both
+timed in the same process) against the floors recorded in the matching
+BENCH_*.json under "gates". Ratios are gated instead of absolute
+seconds so the check is meaningful on any CI runner.
+
+Registered bench/baseline pairs:
+    bench_solver_batch -> results/solver_batch.csv vs BENCH_solver.json
+    bench_cycle_sim    -> results/cycle_sim.csv    vs BENCH_cycle.json
 
 Usage:
     python3 tools/perf_gate.py [--baseline BENCH_solver.json]
                                [--results results/solver_batch.csv]
+                               [--gate BASELINE.json=results.csv ...]
 
-Exit status 0 when every gated workload meets its floor, 1 otherwise
-(including missing workloads: silently dropping a workload from the
-bench must not pass the gate).
+With no arguments every registered pair is checked. --baseline/--results
+check exactly one pair (the legacy single-bench form); --gate appends
+additional baseline=results pairs.
+
+Exit status 0 when every gated workload of every pair meets its floor,
+1 otherwise (including missing workloads: silently dropping a workload
+from a bench must not pass the gate).
 """
 from __future__ import annotations
 
@@ -25,56 +32,85 @@ import json
 import sys
 from pathlib import Path
 
+REGISTERED_PAIRS = [
+    ("BENCH_solver.json", "results/solver_batch.csv"),
+    ("BENCH_cycle.json", "results/cycle_sim.csv"),
+]
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default="BENCH_solver.json",
-                        help="baseline JSON with the 'gates' ratio floors")
-    parser.add_argument("--results", default="results/solver_batch.csv",
-                        help="CSV written by bench_solver_batch")
-    args = parser.parse_args()
 
-    baseline_path = Path(args.baseline)
-    results_path = Path(args.results)
+def check_pair(baseline_path: Path, results_path: Path) -> bool:
+    """Returns True when every gated workload meets its floor."""
     try:
         gates = json.loads(baseline_path.read_text())["gates"]
     except (OSError, KeyError, json.JSONDecodeError) as err:
         print(f"perf-gate: cannot load gates from {baseline_path}: {err}")
-        return 1
+        return False
     try:
         with results_path.open(newline="") as fh:
             rows = {row["workload"]: row for row in csv.DictReader(fh)}
     except OSError as err:
         print(f"perf-gate: cannot read bench results {results_path}: {err}")
-        return 1
+        return False
 
-    failed = False
+    ok = True
     for workload, floor in sorted(gates.items()):
         row = rows.get(workload)
         if row is None:
             print(f"FAIL {workload}: missing from {results_path} "
                   f"(bench no longer measures a gated workload)")
-            failed = True
+            ok = False
             continue
         try:
             speedup = float(row["speedup"])
         except (KeyError, TypeError, ValueError):
             print(f"FAIL {workload}: unparsable speedup column in "
                   f"{results_path}")
-            failed = True
+            ok = False
             continue
         verdict = "ok" if speedup >= float(floor) else "FAIL"
         print(f"{verdict:4} {workload}: batched speedup {speedup:.2f}x "
               f"(floor {float(floor):.2f}x, sequential "
               f"{row.get('sequential_s', '?')}s vs batched "
               f"{row.get('batched_s', '?')}s)")
-        failed = failed or verdict == "FAIL"
+        ok = ok and verdict != "FAIL"
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline",
+                        help="baseline JSON with the 'gates' ratio floors")
+    parser.add_argument("--results",
+                        help="CSV written by the matching bench")
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="BASELINE=RESULTS",
+                        help="additional baseline=results pair (repeatable)")
+    args = parser.parse_args()
+
+    pairs: list[tuple[str, str]] = []
+    if args.baseline or args.results:
+        pairs.append((args.baseline or REGISTERED_PAIRS[0][0],
+                      args.results or REGISTERED_PAIRS[0][1]))
+    for spec in args.gate:
+        baseline, sep, results = spec.partition("=")
+        if not sep or not baseline or not results:
+            print(f"perf-gate: malformed --gate '{spec}' "
+                  f"(expected BASELINE.json=results.csv)")
+            return 1
+        pairs.append((baseline, results))
+    if not pairs:
+        pairs = REGISTERED_PAIRS
+
+    failed = False
+    for baseline, results in pairs:
+        if not check_pair(Path(baseline), Path(results)):
+            failed = True
 
     if failed:
-        print("perf-gate: solver batch performance regressed "
-              "(see BENCH_solver.json for the recorded baseline)")
+        print("perf-gate: bench performance regressed "
+              "(see the BENCH_*.json baselines)")
         return 1
-    print("perf-gate: all solver ratios at or above their floors")
+    print("perf-gate: all gated ratios at or above their floors")
     return 0
 
 
